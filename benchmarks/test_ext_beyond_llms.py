@@ -1,0 +1,71 @@
+"""Extension (Section 6.7): beyond LLMs — split deployments, workload-aware
+caps, and vision inference.
+
+Three of the paper's forward-looking proposals, quantified:
+* phase splitting provisions the token pool at its capped peak
+  (Splitwise's premise);
+* workload-aware capping reclaims more power at equal SLO impact than a
+  uniform cap;
+* vision inference has flat power but still responds to the frequency
+  lever.
+"""
+
+from conftest import print_table
+
+from repro.core.splitting import (
+    plan_split_deployment,
+    plan_unsplit_deployment,
+    split_power_saving,
+)
+from repro.core.workload_aware import uniform_vs_aware_reclaim, workload_aware_plan
+from repro.models.vision import VisionServingModel
+
+
+def reproduce_beyond_llms():
+    split = plan_split_deployment()
+    unsplit = plan_unsplit_deployment()
+    saving = split_power_saving()
+    plans = workload_aware_plan()
+    reclaim = uniform_vs_aware_reclaim()
+    vision = VisionServingModel()
+    vision_tradeoff = vision.frequency_tradeoff(1100.0)
+    return split, unsplit, saving, plans, reclaim, vision_tradeoff
+
+
+def test_ext_beyond_llms(benchmark):
+    split, unsplit, saving, plans, reclaim, vision = benchmark.pedantic(
+        reproduce_beyond_llms, rounds=1, iterations=1
+    )
+    print_table(
+        "Extension — phase-split vs conventional deployment (BLOOM, 2 req/s)",
+        ["deployment", "servers", "provisioned kW", "latency"],
+        [
+            ("split", f"{split.prompt_servers}P + {split.token_servers}T",
+             f"{split.provisioned_power_w / 1000:.1f}",
+             f"{split.latency_increase:+.1%}"),
+            ("conventional", f"{unsplit.prompt_servers}",
+             f"{unsplit.provisioned_power_w / 1000:.1f}", "+0.0%"),
+        ],
+    )
+    print(f"provisioned-power saving from splitting: {saving:.1%}")
+
+    print_table(
+        "Extension — workload-aware capping plan (Table 6 mix)",
+        ["workload", "deepest safe cap", "stretch", "budget"],
+        [
+            (name, f"{plan.cap_clock_mhz:.0f} MHz",
+             f"{plan.latency_stretch:.1%}", f"{plan.slo_budget:.0%}")
+            for name, plan in plans.items()
+        ],
+    )
+    print(f"token-power reclaim: uniform {reclaim['uniform_reclaim']:.1%} "
+          f"vs workload-aware {reclaim['aware_reclaim']:.1%}")
+    print(f"vision workload at 1.1 GHz: power -{vision['power_reduction']:.1%} "
+          f"for perf -{vision['performance_reduction']:.1%}")
+
+    assert 0.10 < saving < 0.40
+    assert reclaim["aware_reclaim"] >= reclaim["uniform_reclaim"]
+    assert plans["Summarize"].cap_clock_mhz <= plans["Search"].cap_clock_mhz
+    assert vision["power_reduction"] > vision["performance_reduction"]
+    benchmark.extra_info["split_saving"] = saving
+    benchmark.extra_info["aware_reclaim"] = reclaim["aware_reclaim"]

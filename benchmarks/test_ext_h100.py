@@ -1,0 +1,64 @@
+"""Extension (Section 6.7): the next GPU generation (DGX-H100, FP8).
+
+The paper notes DGX-H100 (8U, 10.2 kW) is even more power-dense and that
+"custom hardware support for datatypes in newer GPUs, like the FP8 engine
+in NVIDIA H100, could further impact these trade-offs". This benchmark
+ports the characterization to H100: serving latency and power for
+BLOOM-176B at FP16 vs FP8, and the H100 DVFS trade-off curve.
+"""
+
+from conftest import print_table
+
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB, H100_80GB
+from repro.models.datatypes import FP8, FP16
+from repro.models.performance import RooflineLatencyModel
+from repro.models.registry import get_model
+
+
+def reproduce_h100():
+    bloom = get_model("BLOOM-176B")
+    configs = {
+        ("A100", "fp16"): RooflineLatencyModel(
+            model=bloom, gpu=A100_80GB, dtype=FP16),
+        ("H100", "fp16"): RooflineLatencyModel(
+            model=bloom, gpu=H100_80GB, dtype=FP16),
+        ("H100", "fp8"): RooflineLatencyModel(
+            model=bloom, gpu=H100_80GB, dtype=FP8, n_gpus=4),
+    }
+    latencies = {
+        key: model.request_latency(2048, 256)
+        for key, model in configs.items()
+    }
+    power_model = GpuPowerModel(H100_80GB)
+    dvfs = [
+        (clock, power_model.peak_power_reduction(1.0, clock))
+        for clock in (1980.0, 1800.0, 1600.0, 1400.0)
+    ]
+    return latencies, dvfs
+
+
+def test_ext_h100(benchmark):
+    latencies, dvfs = benchmark.pedantic(reproduce_h100, rounds=1,
+                                         iterations=1)
+    rows = [
+        (f"{gpu} {dtype}", f"{phases.prompt_seconds:.2f}",
+         f"{phases.token_seconds:.2f}", f"{phases.total_seconds:.2f}")
+        for (gpu, dtype), phases in latencies.items()
+    ]
+    print_table("Extension — BLOOM-176B serving on H100",
+                ["config", "prompt s", "token s", "total s"], rows)
+    print_table("Extension — H100 DVFS peak-power reduction",
+                ["SM MHz", "reduction"],
+                [(f"{clock:.0f}", f"{reduction:.1%}")
+                 for clock, reduction in dvfs])
+    # H100 is faster than A100 at the same datatype (more FLOPs + HBM3).
+    assert latencies[("H100", "fp16")].total_seconds < \
+        latencies[("A100", "fp16")].total_seconds
+    # FP8 squeezes the model onto half the GPUs and stays competitive.
+    assert latencies[("H100", "fp8")].total_seconds < \
+        1.8 * latencies[("H100", "fp16")].total_seconds
+    # The DVFS lever exists on H100 too.
+    assert dvfs[-1][1] > 0.15
+    benchmark.extra_info["h100_fp16_total_s"] = \
+        latencies[("H100", "fp16")].total_seconds

@@ -1,0 +1,54 @@
+"""Extension (Section 5.2): phase-aware power management ablation.
+
+The paper proposes "using lower frequencies during the token phase" as a
+future optimization. This ablation quantifies it across the model zoo:
+energy saved, latency given up, and the contrast with whole-request
+locking (which is what the OOB path can do).
+"""
+
+from conftest import print_table
+
+from repro.core.phase_aware import compare_with_full_lock, phase_aware_outcome
+from repro.models.registry import INFERENCE_FIGURE_MODELS
+
+TOKEN_CLOCKS = (1275.0, 1110.0)
+
+
+def reproduce_phase_aware():
+    outcomes = {
+        (name, clock): phase_aware_outcome(name, clock)
+        for name in INFERENCE_FIGURE_MODELS
+        for clock in TOKEN_CLOCKS
+    }
+    contrast = compare_with_full_lock("BLOOM-176B", 1110.0)
+    return outcomes, contrast
+
+
+def test_ext_phase_aware(benchmark):
+    outcomes, contrast = benchmark.pedantic(reproduce_phase_aware,
+                                            rounds=1, iterations=1)
+    rows = [
+        (name, f"{clock:.0f}",
+         f"{outcome.energy_saving:.1%}",
+         f"{outcome.mean_power_saving:.1%}",
+         f"{outcome.latency_increase:+.1%}",
+         f"{outcome.efficiency_gain:.1f}x")
+        for (name, clock), outcome in outcomes.items()
+    ]
+    print_table("Extension — token-phase-only frequency locking",
+                ["model", "token MHz", "energy -", "mean power -",
+                 "latency", "energy/latency"], rows)
+    print("BLOOM @1110 MHz, phase-aware vs whole-request lock:")
+    for key, value in contrast.items():
+        print(f"  {key}: {value:+.1%}")
+    # Every model saves energy at modest latency cost.
+    for outcome in outcomes.values():
+        assert outcome.energy_saving > 0.0
+        assert outcome.latency_increase < 0.10
+        assert outcome.efficiency_gain > 1.0
+    # Phase-aware beats full lock on latency but reclaims no peak power.
+    assert contrast["phase_aware_latency_increase"] < \
+        contrast["full_lock_latency_increase"]
+    assert contrast["full_lock_peak_reduction"] > 0.15
+    benchmark.extra_info["bloom_energy_saving"] = \
+        outcomes[("BLOOM-176B", 1110.0)].energy_saving

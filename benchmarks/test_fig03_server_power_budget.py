@@ -1,0 +1,44 @@
+"""Figure 3: provisioned power per component of an 8xA100-80GB server.
+
+Paper: ~50% of a DGX-A100's 6500 W rating is provisioned for GPUs and
+~25% for fans; Section 5 adds that the observed peak never exceeded
+5700 W, leaving >=800 W of derating headroom.
+"""
+
+from conftest import print_table
+
+from repro.server import DGX_A100_BUDGET, DgxServer
+
+
+def reproduce_figure3():
+    server = DgxServer()
+    rows = [
+        (name, f"{watts:.0f}", f"{fraction:.1%}")
+        for (name, watts), fraction in zip(
+            DGX_A100_BUDGET.components.items(),
+            DGX_A100_BUDGET.fractions().values(),
+        )
+    ]
+    rows.append(("TOTAL (rated)", f"{DGX_A100_BUDGET.total_w:.0f}", "100.0%"))
+    return server, rows
+
+
+def test_fig03_server_power_budget(benchmark):
+    server, rows = benchmark.pedantic(reproduce_figure3, rounds=1,
+                                      iterations=1)
+    print_table(
+        "Figure 3 — provisioned power breakdown (DGX-A100)",
+        ["component", "watts", "share"],
+        rows,
+    )
+    print(f"observed peak: {server.peak_power_w:.0f} W "
+          f"(paper: never exceeded 5700 W)")
+    print(f"derating headroom: {server.derating_headroom_w():.0f} W "
+          f"(paper: derate by up to ~800 W)")
+    benchmark.extra_info["gpu_share"] = DGX_A100_BUDGET.fraction("gpus")
+    benchmark.extra_info["fan_share"] = DGX_A100_BUDGET.fraction("fans")
+    # Shape assertions from the paper's text.
+    assert abs(DGX_A100_BUDGET.fraction("gpus") - 0.50) < 0.03
+    assert abs(DGX_A100_BUDGET.fraction("fans") - 0.25) < 0.02
+    assert server.peak_power_w < 5700.0
+    assert server.derating_headroom_w() >= 800.0

@@ -1,0 +1,66 @@
+"""Figure 4: training power time series under no cap / 325 W / 1.1 GHz.
+
+Paper: peaks reach (RoBERTa) or exceed (GPT-NeoX, Flan-T5) TDP; iteration
+troughs sit at ~75% / ~50% / ~20% of TDP respectively; power capping
+clips peaks without raising troughs; frequency locking scales the whole
+series down.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.gpu.specs import A100_40GB
+from repro.models.registry import TRAINING_FIGURE_MODELS, get_model
+from repro.training import TrainingIterationModel
+
+TDP = A100_40GB.tdp_w
+
+
+def reproduce_figure4():
+    rows = []
+    series_by_model = {}
+    for name in TRAINING_FIGURE_MODELS:
+        model = TrainingIterationModel(get_model(name), seed=0)
+        uncapped = model.power_series(n_iterations=5)
+        capped = model.power_series(n_iterations=5, power_cap_w=325.0)
+        locked = model.power_series(n_iterations=5,
+                                    frequency_lock_mhz=1100.0)
+        series_by_model[name] = (uncapped, capped, locked)
+        rows.append((
+            name,
+            f"{uncapped.peak() / TDP:.2f}",
+            f"{uncapped.trough() / TDP:.2f}",
+            f"{capped.peak() / TDP:.2f}",
+            f"{locked.peak() / TDP:.2f}",
+        ))
+    return rows, series_by_model
+
+
+def test_fig04_training_timeseries(benchmark):
+    rows, series = benchmark.pedantic(reproduce_figure4, rounds=1,
+                                      iterations=1)
+    print_table(
+        "Figure 4 — training power (per GPU, fraction of TDP)",
+        ["model", "peak", "trough", "peak@325W", "peak@1.1GHz"],
+        rows,
+    )
+    uncapped, capped, locked = series["Flan-T5-XXL"]
+    # GPT-NeoX / Flan-T5 exceed TDP uncapped; RoBERTa does not.
+    assert series["GPT-NeoX-20B"][0].peak() > TDP
+    assert series["Flan-T5-XXL"][0].peak() > TDP
+    assert series["RoBERTa-355M"][0].peak() < TDP
+    # Trough ordering: RoBERTa ~75%, GPT-NeoX ~50%, Flan-T5 ~20%.
+    assert series["RoBERTa-355M"][0].trough() / TDP == pytest.approx(
+        0.73, abs=0.07
+    )
+    assert series["GPT-NeoX-20B"][0].trough() / TDP == pytest.approx(
+        0.49, abs=0.07
+    )
+    assert series["Flan-T5-XXL"][0].trough() / TDP == pytest.approx(
+        0.20, abs=0.05
+    )
+    # Capping clips the peak but leaves the trough; locking lowers both.
+    assert capped.peak() < uncapped.peak()
+    assert capped.trough() == pytest.approx(uncapped.trough(), rel=0.15)
+    assert locked.peak() < uncapped.peak()
+    benchmark.extra_info["flan_peak_tdp"] = uncapped.peak() / TDP

@@ -1,0 +1,71 @@
+"""Figure 5: peak-power vs performance reduction for training knobs.
+
+Paper: for Flan-T5 and GPT-NeoX, frequency capping reduces peak server
+power by ~22% while impacting performance by only ~10%; power capping
+clips peaks reactively (troughs untouched) and adds variability.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.models.registry import TRAINING_FIGURE_MODELS, get_model
+from repro.training import (
+    TrainingIterationModel,
+    frequency_lock_tradeoff,
+    power_cap_tradeoff,
+)
+
+CLOCKS = (1410.0, 1350.0, 1275.0, 1200.0, 1100.0)
+CAPS = (400.0, 375.0, 350.0, 325.0, 300.0)
+
+
+def reproduce_figure5():
+    freq_rows, cap_rows = [], []
+    curves = {}
+    for name in TRAINING_FIGURE_MODELS:
+        model = TrainingIterationModel(get_model(name), seed=0)
+        freq = frequency_lock_tradeoff(model, CLOCKS)
+        cap = power_cap_tradeoff(model, CAPS, seed=0)
+        curves[name] = (freq, cap)
+        for point in freq:
+            freq_rows.append((
+                name, f"{point.knob_value:.0f} MHz",
+                f"{point.peak_power_reduction:.1%}",
+                f"{point.performance_reduction:.1%}",
+            ))
+        for point in cap:
+            cap_rows.append((
+                name, f"{point.knob_value:.0f} W",
+                f"{point.peak_power_reduction:.1%}",
+                f"{point.performance_reduction:.1%}",
+            ))
+    return freq_rows, cap_rows, curves
+
+
+def test_fig05_training_knob_tradeoff(benchmark):
+    freq_rows, cap_rows, curves = benchmark.pedantic(
+        reproduce_figure5, rounds=1, iterations=1
+    )
+    print_table("Figure 5a — frequency locking (training)",
+                ["model", "clock", "peak power -", "performance -"],
+                freq_rows)
+    print_table("Figure 5b — power capping (training)",
+                ["model", "cap", "peak power -", "performance -"],
+                cap_rows)
+    # Headline: ~22% peak reduction for ~10% performance (Flan-T5/NeoX).
+    for name in ("Flan-T5-XXL", "GPT-NeoX-20B"):
+        deepest = curves[name][0][-1]
+        assert deepest.peak_power_reduction == pytest.approx(0.22, abs=0.04)
+        assert deepest.performance_reduction == pytest.approx(0.10, abs=0.04)
+    # Power capping leaves troughs untouched across all models.
+    for name in TRAINING_FIGURE_MODELS:
+        assert all(p.trough_power_reduction == pytest.approx(0.0, abs=0.01)
+                   for p in curves[name][1])
+    # Both knobs: peak reduction outpaces performance reduction.
+    for name in TRAINING_FIGURE_MODELS:
+        for curve in curves[name]:
+            for point in curve:
+                assert point.peak_power_reduction >= \
+                    point.performance_reduction - 0.02
+    benchmark.extra_info["flan_deepest_peak_reduction"] = \
+        curves["Flan-T5-XXL"][0][-1].peak_power_reduction

@@ -1,0 +1,52 @@
+"""Figure 6: inference power time series for the five generative models.
+
+Paper: every inference shows a brief prompt spike at or above TDP
+followed by a longer, stable, lower token plateau; phase durations differ
+by model.
+"""
+
+from conftest import print_table
+
+from repro.characterization import repeated_inference_series
+from repro.gpu.specs import A100_80GB
+from repro.models.registry import INFERENCE_FIGURE_MODELS
+
+TDP = A100_80GB.tdp_w
+
+
+def reproduce_figure6():
+    rows, series = [], {}
+    for name in INFERENCE_FIGURE_MODELS:
+        trace = repeated_inference_series(name, n_requests=3)
+        series[name] = trace
+        plateau = trace.values[trace.values > 1.2 * A100_80GB.idle_w]
+        plateau_level = float(
+            sorted(plateau)[len(plateau) // 2]
+        ) if plateau.size else 0.0
+        rows.append((
+            name,
+            f"{trace.peak() / TDP:.2f}",
+            f"{plateau_level / TDP:.2f}",
+            f"{trace.duration:.1f}s",
+        ))
+    return rows, series
+
+
+def test_fig06_inference_timeseries(benchmark):
+    rows, series = benchmark.pedantic(reproduce_figure6, rounds=1,
+                                      iterations=1)
+    print_table(
+        "Figure 6 — inference power (3 requests; per-GPU, fraction of TDP)",
+        ["model", "prompt peak", "token plateau", "duration"],
+        rows,
+    )
+    # Larger models spike at/above TDP; spikes exceed their plateaus.
+    assert series["BLOOM-176B"].peak() >= TDP
+    assert series["Llama2-70B"].peak() >= 0.95 * TDP
+    for name in INFERENCE_FIGURE_MODELS:
+        trace = series[name]
+        token_level = float(trace.values[len(trace) // 3])
+        assert trace.peak() > 1.1 * token_level
+    # Bigger models take longer per request (more phases on screen time).
+    assert series["BLOOM-176B"].duration > series["GPT-NeoX-20B"].duration
+    benchmark.extra_info["bloom_peak_tdp"] = series["BLOOM-176B"].peak() / TDP

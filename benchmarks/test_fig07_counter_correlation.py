@@ -1,0 +1,43 @@
+"""Figure 7: pairwise GPU-counter correlations for prompt vs token phase.
+
+Paper: the prompt phase is highly correlated with SM and tensor activity
+and inversely correlated with memory activity; token-phase counters are
+generally uncorrelated with each other.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.characterization import phase_correlation_matrices
+
+
+def reproduce_figure7():
+    return phase_correlation_matrices(samples=800, seed=0)
+
+
+def _matrix_rows(names, matrix):
+    rows = []
+    for i, name in enumerate(names):
+        rows.append((name,) + tuple(f"{matrix[i][j]:+.2f}"
+                                    for j in range(len(names))))
+    return rows
+
+
+def test_fig07_counter_correlation(benchmark):
+    matrices = benchmark.pedantic(reproduce_figure7, rounds=1, iterations=1)
+    for phase in ("prompt", "token"):
+        names, matrix = matrices[phase]
+        short = [n[:9] for n in names]
+        print_table(f"Figure 7 — {phase}-phase Pearson correlations",
+                    ["counter"] + short, _matrix_rows(short, matrix))
+    names, prompt = matrices["prompt"]
+    power = names.index("power")
+    assert prompt[power][names.index("sm_activity")] > 0.7
+    assert prompt[power][names.index("tensor_core_activity")] > 0.7
+    assert prompt[power][names.index("memory_utilization")] < -0.4
+    _, token = matrices["token"]
+    off_diagonal = token[~np.eye(len(names), dtype=bool)]
+    assert np.abs(off_diagonal).max() < 0.25
+    benchmark.extra_info["prompt_power_sm_corr"] = float(
+        prompt[power][names.index("sm_activity")]
+    )

@@ -1,0 +1,66 @@
+"""Figure 8: power and latency sensitivity to input/batch/output sizes.
+
+Paper (Insight 5): peak and mean power depend primarily on input and
+batch size (prompt-side knobs) while latency depends primarily on output
+size; output size leaves power untouched and stretches latency linearly.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.characterization import config_sweep
+from repro.models.registry import INFERENCE_FIGURE_MODELS
+
+
+def reproduce_figure8():
+    data = {}
+    for knob in ("input", "batch", "output"):
+        for name in INFERENCE_FIGURE_MODELS:
+            data[(name, knob)] = config_sweep(name, knob)
+    return data
+
+
+def test_fig08_config_sweeps(benchmark):
+    data = benchmark.pedantic(reproduce_figure8, rounds=1, iterations=1)
+    for knob, subfig in (("input", "8a/8b"), ("batch", "8c/8d"),
+                         ("output", "8e/8f")):
+        rows = []
+        for name in INFERENCE_FIGURE_MODELS:
+            for point in data[(name, knob)]:
+                rows.append((
+                    name, point.value,
+                    f"{point.peak_power_ratio:.2f}",
+                    f"{point.mean_power_ratio:.2f}",
+                    f"{point.latency_seconds:.1f}",
+                ))
+        print_table(
+            f"Figure {subfig} — {knob}-size sweep (power/TDP, latency s)",
+            ["model", knob, "peak", "mean", "latency"],
+            rows,
+        )
+
+    bloom_input = data[("BLOOM-176B", "input")]
+    bloom_batch = data[("BLOOM-176B", "batch")]
+    bloom_output = data[("BLOOM-176B", "output")]
+    # 8a: peak rises drastically with input size.
+    assert bloom_input[-1].peak_power_ratio - \
+        bloom_input[0].peak_power_ratio > 0.25
+    # 8b: latency flat until >4096 input tokens.
+    assert bloom_input[3].latency_seconds / \
+        bloom_input[0].latency_seconds < 1.3
+    # 8c: batch raises peak and (gradually) mean.
+    assert bloom_batch[-1].mean_power_ratio > bloom_batch[0].mean_power_ratio
+    # 8e: output size does not change power.
+    assert bloom_output[-1].peak_power_ratio == pytest.approx(
+        bloom_output[0].peak_power_ratio, abs=0.01
+    )
+    # 8f: output size stretches latency linearly.
+    ratio = (bloom_output[-1].latency_seconds
+             / bloom_output[2].latency_seconds)
+    assert ratio == pytest.approx(4096 / 512, rel=0.3)
+    # Cross-model: BLOOM draws the most at equal configuration.
+    for name in INFERENCE_FIGURE_MODELS:
+        assert data[("BLOOM-176B", "input")][-1].peak_power_ratio >= \
+            data[(name, "input")][-1].peak_power_ratio - 1e-9
+    benchmark.extra_info["bloom_peak_at_8192"] = \
+        bloom_input[-1].peak_power_ratio

@@ -1,0 +1,55 @@
+"""Figure 11: server vs GPU peak power (normalized to TDP) in production.
+
+Paper observations: (1) GPUs are ~60% of server power; (2) peak GPU power
+exceeds the server GPU TDP by up to ~500 W; (3) server and GPU peaks are
+highly correlated; (4) normalized GPU peak spans a smaller range than the
+server peak; (5) peaks are stable because servers are heavily utilized.
+"""
+
+from conftest import print_table
+
+from repro.analysis.correlation import pearson
+from repro.server import DgxServer
+from repro.server.fleet import sample_fleet_peaks
+
+
+def reproduce_figure11():
+    server = DgxServer()
+    samples = sample_fleet_peaks(n_servers=200, seed=1)
+    normalized = [s.normalized(server) for s in samples]
+    return server, samples, normalized
+
+
+def test_fig11_server_gpu_peak(benchmark):
+    server, samples, normalized = benchmark.pedantic(
+        reproduce_figure11, rounds=1, iterations=1
+    )
+    gpu_peaks = [s.peak_gpu_power_w for s in normalized]
+    server_peaks = [s.peak_server_power_w for s in normalized]
+    rows = [
+        ("peak GPU power / GPU TDP",
+         f"{min(gpu_peaks):.3f}", f"{max(gpu_peaks):.3f}"),
+        ("peak server power / rating",
+         f"{min(server_peaks):.3f}", f"{max(server_peaks):.3f}"),
+    ]
+    print_table("Figure 11 — fleet peak power scatter (200 servers)",
+                ["series", "min", "max"], rows)
+    correlation = pearson(gpu_peaks, server_peaks)
+    shares = [s.mean_gpu_share for s in samples]
+    excess = max(
+        s.peak_gpu_power_w for s in samples
+    ) - server.gpu_tdp_total_w
+    print(f"corr(server peak, GPU peak) = {correlation:.3f}")
+    print(f"mean GPU share of server power = {sum(shares)/len(shares):.1%}")
+    print(f"max GPU peak above GPU TDP = {excess:.0f} W")
+
+    # (1) ~60% GPU share.
+    assert 0.55 < sum(shares) / len(shares) < 0.70
+    # (2) GPU peak exceeds GPU TDP by up to ~500 W.
+    assert 0 < excess <= 550.0
+    # (3) high correlation.
+    assert correlation > 0.8
+    # (4) normalized server range at least as wide as the GPU range.
+    assert (max(server_peaks) - min(server_peaks)) > \
+        0.8 * (max(gpu_peaks) - min(gpu_peaks))
+    benchmark.extra_info["correlation"] = correlation

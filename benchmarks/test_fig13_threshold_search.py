@@ -1,0 +1,72 @@
+"""Figure 13: the T1-T2 threshold space search.
+
+Paper: 75-85% and 80-89% support ~35% more servers without brakes while
+85-95% manages only 32.5%; 75-85% over-punishes low priority by capping
+too early; 80-89% at 30% added servers is the selected operating point.
+"""
+
+from conftest import print_table
+
+from repro.core.policy import PolcaThresholds
+from repro.workloads.spec import Priority
+
+COMBOS = (
+    ("75-85", PolcaThresholds(t1=0.75, t2=0.85)),
+    ("80-89", PolcaThresholds(t1=0.80, t2=0.89)),
+    ("85-95", PolcaThresholds(t1=0.85, t2=0.95)),
+)
+FRACTIONS = (0.10, 0.20, 0.30, 0.40)
+
+
+def reproduce_figure13(eval_cache):
+    baseline = eval_cache.baseline()
+    results = {}
+    for label, thresholds in COMBOS:
+        for fraction in FRACTIONS:
+            result = eval_cache.run(
+                "POLCA", added_fraction=fraction, thresholds=thresholds
+            )
+            results[(label, fraction)] = {
+                "lp_p50": result.normalized_latencies(
+                    Priority.LOW, baseline)["p50"],
+                "lp_p99": result.normalized_latencies(
+                    Priority.LOW, baseline)["p99"],
+                "hp_p50": result.normalized_latencies(
+                    Priority.HIGH, baseline)["p50"],
+                "hp_p99": result.normalized_latencies(
+                    Priority.HIGH, baseline)["p99"],
+                "brakes": result.power_brake_events,
+            }
+    return results
+
+
+def test_fig13_threshold_search(benchmark, eval_cache):
+    results = benchmark.pedantic(
+        reproduce_figure13, args=(eval_cache,), rounds=1, iterations=1
+    )
+    rows = [
+        (label, f"{int(fraction * 100)}%",
+         f"{data['lp_p50']:.3f}", f"{data['lp_p99']:.3f}",
+         f"{data['hp_p50']:.3f}", f"{data['hp_p99']:.3f}", data["brakes"])
+        for (label, fraction), data in results.items()
+    ]
+    print_table("Figure 13 — threshold space search",
+                ["T1-T2", "added", "LP p50", "LP p99", "HP p50", "HP p99",
+                 "brakes"], rows)
+
+    # The selected configuration (80-89) carries 30% more servers with
+    # zero brakes and minimal high-priority impact.
+    selected = results[("80-89", 0.30)]
+    assert selected["brakes"] == 0
+    assert selected["hp_p50"] < 1.01
+    # The conservative 75-85 combo caps low priority much earlier: its
+    # low-priority latency at 30% is at least as bad as 80-89's.
+    assert results[("75-85", 0.30)]["lp_p50"] >= selected["lp_p50"] - 0.005
+    # Every combo degrades (or brakes) as servers keep being added.
+    for label, _ in COMBOS:
+        assert (
+            results[(label, 0.40)]["brakes"] >= results[(label, 0.30)]["brakes"]
+        )
+    # The cliff exists: at 40% added servers, brakes appear.
+    assert any(results[(label, 0.40)]["brakes"] > 0 for label, _ in COMBOS)
+    benchmark.extra_info["selected_lp_p50_at_30pct"] = selected["lp_p50"]

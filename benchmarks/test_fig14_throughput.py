@@ -1,0 +1,41 @@
+"""Figure 14: server throughput under POLCA.
+
+Paper: at the chosen configuration the high-priority throughput is
+unaffected while low-priority throughput declines by less than 2%.
+"""
+
+from conftest import print_table
+
+from repro.workloads.spec import Priority
+
+FRACTIONS = (0.10, 0.20, 0.30, 0.40)
+
+
+def reproduce_figure14(eval_cache):
+    baseline = eval_cache.baseline()
+    rows = {}
+    for fraction in FRACTIONS:
+        result = eval_cache.run("POLCA", added_fraction=fraction)
+        rows[fraction] = {
+            priority: result.normalized_throughput(priority, baseline)
+            for priority in Priority
+        }
+    return rows
+
+
+def test_fig14_throughput(benchmark, eval_cache):
+    data = benchmark.pedantic(
+        reproduce_figure14, args=(eval_cache,), rounds=1, iterations=1
+    )
+    rows = [
+        (f"{int(fraction * 100)}%",
+         f"{ratios[Priority.LOW]:.4f}", f"{ratios[Priority.HIGH]:.4f}")
+        for fraction, ratios in data.items()
+    ]
+    print_table("Figure 14 — normalized served-request throughput",
+                ["added servers", "low priority", "high priority"], rows)
+    at_30 = data[0.30]
+    # HP unaffected; LP declines < 2%.
+    assert at_30[Priority.HIGH] > 0.99
+    assert at_30[Priority.LOW] > 0.98
+    benchmark.extra_info["lp_throughput_at_30pct"] = at_30[Priority.LOW]

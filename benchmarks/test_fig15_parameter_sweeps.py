@@ -1,0 +1,71 @@
+"""Figure 15: POLCA parameter sweeps.
+
+(a) the T1 capping frequency for low-priority servers: below 1275 MHz the
+low-priority SLO can no longer be met, so the A100 base clock is chosen;
+(b) the low-/high-priority mix: shrinking the low-priority pool leaves
+POLCA less reclaimable power, eventually hurting high-priority p99.
+"""
+
+from conftest import print_table
+
+from repro.core.policy import PolcaThresholds
+from repro.workloads.spec import Priority, SLO_TARGETS
+
+T1_CLOCKS = (1335.0, 1275.0, 1215.0, 1155.0)
+LP_FRACTIONS = (0.75, 0.50, 0.25)
+
+
+def reproduce_figure15(eval_cache):
+    baseline = eval_cache.baseline()
+    clock_sweep = {}
+    for clock in T1_CLOCKS:
+        thresholds = PolcaThresholds(lp_t1_clock_mhz=clock)
+        result = eval_cache.run("POLCA", added_fraction=0.30,
+                                thresholds=thresholds)
+        clock_sweep[clock] = result.normalized_latencies(
+            Priority.LOW, baseline
+        )
+    split_sweep = {}
+    for fraction in LP_FRACTIONS:
+        result = eval_cache.run("POLCA", added_fraction=0.30,
+                                low_priority_fraction=fraction)
+        split_sweep[fraction] = {
+            Priority.LOW: result.normalized_latencies(
+                Priority.LOW, baseline),
+            Priority.HIGH: result.normalized_latencies(
+                Priority.HIGH, baseline),
+            "brakes": result.power_brake_events,
+        }
+    return clock_sweep, split_sweep
+
+
+def test_fig15_parameter_sweeps(benchmark, eval_cache):
+    clock_sweep, split_sweep = benchmark.pedantic(
+        reproduce_figure15, args=(eval_cache,), rounds=1, iterations=1
+    )
+    rows = [
+        (f"{clock:.0f} MHz", f"{latencies['p50']:.3f}",
+         f"{latencies['p99']:.3f}")
+        for clock, latencies in clock_sweep.items()
+    ]
+    print_table("Figure 15a — T1 capping frequency (low-priority latency)",
+                ["T1 clock", "LP p50", "LP p99"], rows)
+    rows = [
+        (f"{int(fraction * 100)}% LP",
+         f"{data[Priority.LOW]['p50']:.3f}",
+         f"{data[Priority.HIGH]['p99']:.3f}", data["brakes"])
+        for fraction, data in split_sweep.items()
+    ]
+    print_table("Figure 15b — low-priority pool size",
+                ["split", "LP p50", "HP p99", "brakes"], rows)
+
+    # (a) Deeper T1 clocks monotonically worsen LP latency; the base
+    # clock (1275 MHz) keeps LP p50 within its SLO budget.
+    p50s = [clock_sweep[c]["p50"] for c in T1_CLOCKS]
+    assert all(a <= b + 0.02 for a, b in zip(p50s, p50s[1:]))
+    lp_budget = 1.0 + SLO_TARGETS[Priority.LOW].p50_impact
+    assert clock_sweep[1275.0]["p50"] <= lp_budget + 0.01
+    # (b) Shrinking the LP pool pushes the pain toward high priority.
+    assert split_sweep[0.25][Priority.HIGH]["p99"] >= \
+        split_sweep[0.75][Priority.HIGH]["p99"] - 0.02
+    benchmark.extra_info["lp_p50_at_base_clock"] = clock_sweep[1275.0]["p50"]

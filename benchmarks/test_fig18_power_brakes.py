@@ -1,0 +1,41 @@
+"""Figure 18: number of power-brake events per policy.
+
+Paper: POLCA incurs zero brakes under the standard workload and the
+fewest when workloads become 5% more power-intensive; No-cap relies on
+the brake entirely and racks up orders of magnitude more events.
+"""
+
+from conftest import print_table
+
+POLICIES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")
+
+
+def reproduce_figure18(eval_cache):
+    counts = {}
+    for scale in (1.0, 1.05):
+        for name in POLICIES:
+            label = name if scale == 1.0 else f"{name}+5%"
+            result = eval_cache.run(name, added_fraction=0.30,
+                                    power_scale=scale)
+            counts[label] = result.power_brake_events
+    return counts
+
+
+def test_fig18_power_brakes(benchmark, eval_cache):
+    counts = benchmark.pedantic(
+        reproduce_figure18, args=(eval_cache,), rounds=1, iterations=1
+    )
+    rows = [(label, count) for label, count in counts.items()]
+    print_table("Figure 18 — power brake events (30% oversubscription)",
+                ["policy", "brake events"], rows)
+    # POLCA: zero brakes in the standard scenario.
+    assert counts["POLCA"] == 0
+    # POLCA: the fewest brakes when workloads get 5% hotter.
+    polca_hot = counts["POLCA+5%"]
+    for name in ("1-Thresh-Low-Pri", "1-Thresh-All", "No-cap"):
+        assert counts[f"{name}+5%"] >= polca_hot
+    # No-cap, unprotected, brakes the most in the hot scenario.
+    assert counts["No-cap+5%"] == max(
+        counts[f"{name}+5%"] for name in POLICIES
+    )
+    benchmark.extra_info.update(counts)

@@ -1,0 +1,30 @@
+"""Table 2: row-level parameters of the POLCA evaluation cluster."""
+
+from conftest import print_table
+
+from repro.datacenter import DEFAULT_ROW, Row
+
+
+def reproduce_table2():
+    row = Row.build("row0")
+    rows = [
+        ("Number of servers", DEFAULT_ROW.n_servers),
+        ("Server type", DEFAULT_ROW.server_type),
+        ("Power telemetry delay", f"{DEFAULT_ROW.telemetry_interval_s:.0f}s"),
+        ("Power brake latency", f"{DEFAULT_ROW.brake_latency_s:.0f}s"),
+        ("OOB control latency", f"{DEFAULT_ROW.oob_latency_s:.0f}s"),
+    ]
+    return row, rows
+
+
+def test_tab02_row_parameters(benchmark):
+    row, rows = benchmark.pedantic(reproduce_table2, rounds=1, iterations=1)
+    print_table("Table 2 — row-level parameters",
+                ["parameter", "value"], rows)
+    assert DEFAULT_ROW.n_servers == 40
+    assert DEFAULT_ROW.server_type == "DGX-A100"
+    assert DEFAULT_ROW.telemetry_interval_s == 2.0
+    assert DEFAULT_ROW.brake_latency_s == 5.0
+    assert DEFAULT_ROW.oob_latency_s == 40.0
+    assert row.n_servers == 40
+    benchmark.extra_info["provisioned_kw"] = row.provisioned_power_w / 1000

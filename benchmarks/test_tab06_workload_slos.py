@@ -1,0 +1,52 @@
+"""Table 6: workload distribution and SLO compliance under POLCA.
+
+Regenerates the workload mix and checks the right-hand SLO columns
+against the POLCA run at 30% oversubscription: HP p50 <1%, HP p99 <5%,
+LP p50 <5%, LP p99 <50%, zero power brakes.
+"""
+
+from conftest import print_table
+
+from repro.core import evaluate_slos
+from repro.workloads.spec import Priority, SLO_TARGETS, TABLE6_MIX
+
+
+def reproduce_table6(eval_cache):
+    baseline = eval_cache.baseline()
+    polca = eval_cache.run("POLCA", added_fraction=0.30)
+    return evaluate_slos(polca, baseline), polca
+
+
+def test_tab06_workload_slos(benchmark, eval_cache):
+    report, polca = benchmark.pedantic(
+        reproduce_table6, args=(eval_cache,), rounds=1, iterations=1
+    )
+    mix_rows = [
+        (w.name, f"{w.prompt_range[0]}-{w.prompt_range[1]}",
+         f"{w.output_range[0]}-{w.output_range[1]}",
+         f"{w.share:.0%}",
+         {0.0: "Low", 1.0: "High", 0.5: "50:50"}[w.high_priority_probability])
+        for w in TABLE6_MIX
+    ]
+    print_table("Table 6 — workload distribution",
+                ["workload", "prompt size", "output size", "ratio",
+                 "priority"], mix_rows)
+    slo_rows = []
+    for priority in Priority:
+        target = SLO_TARGETS[priority]
+        slo_rows.append((
+            priority.value,
+            f"{report.p50_impact[priority]:+.1%} (<= {target.p50_impact:.0%})",
+            f"{report.p99_impact[priority]:+.1%} (<= {target.p99_impact:.0%})",
+            "MET" if report.meets(priority) else "VIOLATED",
+        ))
+    slo_rows.append((
+        "power brakes", f"{report.power_brake_events} (== 0)", "",
+        "MET" if report.brakes_ok else "VIOLATED",
+    ))
+    print_table("Table 6 — SLO compliance at 30% oversubscription",
+                ["tier", "p50 impact", "p99 impact", "verdict"], slo_rows)
+    assert report.all_met
+    assert polca.power_brake_events == 0
+    benchmark.extra_info["hp_p50_impact"] = report.p50_impact[Priority.HIGH]
+    benchmark.extra_info["lp_p50_impact"] = report.p50_impact[Priority.LOW]

@@ -1,0 +1,81 @@
+"""Inference power characterization (the paper's Section 4.2, condensed).
+
+Reproduces, in text form, the inference-side characterization:
+
+* the two-phase power signature of each model (Figure 6);
+* power/latency sensitivity to input, batch, and output sizes (Figure 8);
+* the frequency-locking trade-off per model (Figure 10a);
+* reactive power capping vs proactive frequency locking (Figure 9).
+
+Run:  python examples/characterize_inference.py
+"""
+
+from repro.characterization import (
+    config_sweep,
+    frequency_tradeoff,
+    inference_power_series,
+    repeated_inference_series,
+)
+from repro.models import InferenceRequest, get_model
+from repro.models.registry import INFERENCE_FIGURE_MODELS
+from repro.gpu import A100_80GB
+
+
+def two_phase_signatures() -> None:
+    print("== Figure 6: prompt spike vs token plateau (per-GPU watts) ==")
+    for name in INFERENCE_FIGURE_MODELS:
+        series = repeated_inference_series(name, n_requests=3)
+        print(f"{name:>14}: peak {series.peak():6.0f} W "
+              f"(TDP {A100_80GB.tdp_w:.0f} W), trough {series.trough():5.0f} W, "
+              f"3 requests in {series.duration:6.1f} s")
+
+
+def config_sensitivity() -> None:
+    print("\n== Figure 8: BLOOM-176B sensitivity to configuration knobs ==")
+    for knob in ("input", "batch", "output"):
+        points = config_sweep("BLOOM-176B", knob)
+        values = [point.value for point in points]
+        peaks = [f"{point.peak_power_ratio:.2f}" for point in points]
+        latencies = [f"{point.latency_seconds:.1f}" for point in points]
+        print(f"{knob:>7} sizes:   {values}")
+        print(f"  peak/TDP:      {peaks}")
+        print(f"  latency (s):   {latencies}")
+
+
+def frequency_locking() -> None:
+    print("\n== Figure 10a: peak-power vs performance reduction ==")
+    for name in INFERENCE_FIGURE_MODELS:
+        points = frequency_tradeoff(name)
+        deepest = points[-1]
+        print(f"{name:>14}: lock at {deepest.sm_clock_mhz:.0f} MHz reclaims "
+              f"{deepest.peak_power_reduction:.1%} peak power for "
+              f"{deepest.performance_reduction:.1%} performance loss")
+
+
+def capping_comparison() -> None:
+    print("\n== Figure 9: 325 W power cap vs 1.1 GHz frequency lock ==")
+    bloom = get_model("BLOOM-176B")
+    request = InferenceRequest("BLOOM-176B", input_tokens=8192,
+                               output_tokens=128)
+    uncapped = inference_power_series(bloom, request)
+    capped = inference_power_series(bloom, request, power_cap_w=325.0)
+    locked = inference_power_series(bloom, request,
+                                    frequency_lock_mhz=1100.0)
+    print(f"no cap:       peak {uncapped.peak():5.0f} W, "
+          f"duration {uncapped.duration:5.1f} s")
+    print(f"325 W cap:    peak {capped.peak():5.0f} W "
+          f"(reactive overshoot above the cap), "
+          f"duration {capped.duration:5.1f} s")
+    print(f"1.1 GHz lock: peak {locked.peak():5.0f} W "
+          f"(proactive, no overshoot), duration {locked.duration:5.1f} s")
+
+
+def main() -> None:
+    two_phase_signatures()
+    config_sensitivity()
+    frequency_locking()
+    capping_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quantization study (the paper's Section 4.2, "Impact of datatypes").
+
+Runs Llama2-70B and Llama2-13B with FP32, FP16, and INT8 weights and
+reports GPUs required, latency, and peak power — reproducing Insight 6:
+quantization reduces model sizes and total power (fewer GPUs), FP16 is the
+fastest and hottest (optimized tensor-core kernels), INT8 is slower
+despite smaller weights (bitsandbytes kernel overheads), and none of it
+changes the prompt/token phase asymmetry.
+
+Run:  python examples/datatype_study.py
+"""
+
+from repro.gpu import A100_80GB, GpuPowerModel
+from repro.models import FP16, FP32, INT8, RooflineLatencyModel, get_model
+from repro.models.power_profile import PhasePowerProfile
+
+
+def gpus_required(model, dtype) -> int:
+    """Minimum A100-80GB count whose aggregate HBM fits the model.
+
+    The KV cache stays FP16 regardless of the weight datatype —
+    bitsandbytes quantizes weights only (the paper's footnote 1).
+    """
+    n = 1
+    while not model.architecture.fits_on(
+        dtype, n * A100_80GB.memory_bytes, kv_dtype=FP16
+    ):
+        n *= 2
+    return n
+
+
+def study(model_name: str) -> None:
+    model = get_model(model_name)
+    power_model = GpuPowerModel(A100_80GB)
+    print(f"== {model_name} ==")
+    print(f"{'dtype':>6} {'GPUs':>5} {'latency(s)':>11} "
+          f"{'peak W/GPU':>11} {'total peak W':>13}")
+    for dtype in (FP32, FP16, INT8):
+        n_gpus = gpus_required(model, dtype)
+        latency = RooflineLatencyModel(
+            model=model, gpu=A100_80GB, dtype=dtype, n_gpus=n_gpus
+        )
+        profile = PhasePowerProfile(model=model, dtype=dtype)
+        request = latency.request_latency(input_tokens=2048, output_tokens=256)
+        peak_per_gpu = power_model.power(
+            profile.prompt_activity(2048), A100_80GB.max_sm_clock_mhz
+        )
+        print(f"{dtype.name:>6} {n_gpus:>5} {request.total_seconds:>11.1f} "
+              f"{peak_per_gpu:>11.0f} {peak_per_gpu * n_gpus:>13.0f}")
+
+
+def main() -> None:
+    study("Llama2-70B")
+    print()
+    study("Llama2-13B")
+    print("\nInsight 6: quantization frees GPUs (and watts) under a fixed")
+    print("power budget, but the prompt/token power asymmetry remains.")
+
+
+if __name__ == "__main__":
+    main()

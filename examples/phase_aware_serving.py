@@ -1,0 +1,53 @@
+"""Phase-aware serving study (the paper's Section 5.2 proposal).
+
+An application owner who controls their own VMs keeps in-band access to
+the GPU (Section 3.3), where frequency changes land in milliseconds —
+fast enough to run prompts at full clock and decode at a lower one. This
+walkthrough quantifies what that buys across the model zoo and contrasts
+it with the whole-request locking available to the cloud provider's
+out-of-band path.
+
+Run:  python examples/phase_aware_serving.py
+"""
+
+from repro.core.phase_aware import compare_with_full_lock, phase_aware_outcome
+from repro.models.registry import INFERENCE_FIGURE_MODELS
+
+
+def per_model_study() -> None:
+    print("== Token-phase-only lock to 1110 MHz (prompt stays at 1410) ==")
+    print(f"{'model':>14} {'energy':>8} {'mean power':>11} {'latency':>9} "
+          f"{'saving per % latency':>21}")
+    for name in INFERENCE_FIGURE_MODELS:
+        outcome = phase_aware_outcome(name, 1110.0)
+        print(f"{name:>14} {-outcome.energy_saving:>+8.1%} "
+              f"{-outcome.mean_power_saving:>+11.1%} "
+              f"{outcome.latency_increase:>+9.1%} "
+              f"{outcome.efficiency_gain:>20.1f}x")
+
+
+def provider_vs_owner() -> None:
+    print("\n== BLOOM-176B: application-owner (phase-aware, in-band) vs "
+          "provider (whole-request, OOB) ==")
+    comparison = compare_with_full_lock("BLOOM-176B", 1110.0)
+    print(f"latency increase:     phase-aware "
+          f"{comparison['phase_aware_latency_increase']:+.1%}  vs  "
+          f"full lock {comparison['full_lock_latency_increase']:+.1%}")
+    print(f"peak power reduction: phase-aware "
+          f"{comparison['phase_aware_peak_reduction']:+.1%}  vs  "
+          f"full lock {comparison['full_lock_peak_reduction']:+.1%}")
+    print(f"energy saving (phase-aware): "
+          f"{comparison['phase_aware_energy_saving']:+.1%}")
+    print("\nTakeaway: phase-aware capping is an *energy* optimization —")
+    print("it cannot reduce provisioned peak power (the prompt spike still")
+    print("runs at full clock), so POLCA-style oversubscription still needs")
+    print("whole-request capping as its enforcement lever.")
+
+
+def main() -> None:
+    per_model_study()
+    provider_vs_owner()
+
+
+if __name__ == "__main__":
+    main()

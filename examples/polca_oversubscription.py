@@ -1,0 +1,74 @@
+"""End-to-end POLCA deployment walkthrough (the paper's Section 6).
+
+1. Synthesize a production-style power trace and fit a request trace to
+   it (validated with the paper's MAPE<3% criterion).
+2. Select the POLCA thresholds from the first part of the trace, the way
+   Section 6.3 prescribes (T2 from the maximum 40-second power spike).
+3. Run POLCA and every baseline at 30% oversubscription and report
+   latency impact, throughput, brake counts, and SLO compliance.
+
+Run:  python examples/polca_oversubscription.py
+"""
+
+from repro import (
+    DualThresholdPolicy,
+    EvaluationHarness,
+    Priority,
+    evaluate_slos,
+    select_thresholds,
+)
+from repro.core import compare_policies
+from repro.units import hours
+
+
+def main() -> None:
+    harness = EvaluationHarness(duration_s=hours(24), seed=0)
+
+    # --- 1. Trace replication (Section 6.4). ---------------------------
+    print("== Replicating the production trace ==")
+    baseline = harness.baseline()
+    trace = harness.utilization_trace()
+    print(f"target trace: {len(trace)} samples over "
+          f"{trace.duration / 3600:.0f} h, smoothed peak {trace.peak():.1%}")
+    requests = harness.requests_for(0.0)
+    print(f"synthetic request trace: {len(requests)} requests "
+          f"(MAPE-validated against the target power)")
+    print(f"default cluster: peak utilization {baseline.peak_utilization:.1%}, "
+          f"headroom {1 - baseline.peak_utilization:.1%}")
+
+    # --- 2. Threshold selection from history (Section 6.3). ------------
+    utilization = baseline.power_series.normalized(
+        baseline.provisioned_power_w
+    )
+    recommendation = select_thresholds(utilization)
+    print("\n== Threshold selection from the historical trace ==")
+    print(f"max 2 s spike:  {recommendation.max_spike_2s:.1%}")
+    print(f"max 40 s spike: {recommendation.max_spike_40s:.1%}  "
+          f"(the OOB capping latency)")
+    print(f"recommended T1/T2: {recommendation.thresholds.t1:.0%} / "
+          f"{recommendation.thresholds.t2:.0%}")
+
+    # --- 3. POLCA at 30% oversubscription (Section 6.6). ---------------
+    print("\n== POLCA with 30% more servers ==")
+    result = harness.run(DualThresholdPolicy(), added_fraction=0.30)
+    report = evaluate_slos(result, baseline)
+    print(f"power brake events: {result.power_brake_events}")
+    for priority in Priority:
+        print(f"{priority.value:>4}: p50 impact "
+              f"{report.p50_impact[priority]:+.1%}, p99 impact "
+              f"{report.p99_impact[priority]:+.1%}, SLO "
+              f"{'MET' if report.meets(priority) else 'VIOLATED'}")
+    print(f"all SLOs met: {report.all_met}")
+
+    # --- 4. Policy comparison (Figures 17-18). --------------------------
+    print("\n== Policy comparison at 30% oversubscription ==")
+    print(f"{'policy':>22} {'LP p99':>8} {'HP p99':>8} {'brakes':>7}")
+    for comparison in compare_policies(harness, power_scales=(1.0,)):
+        print(f"{comparison.policy_name:>22} "
+              f"{comparison.normalized_p99[Priority.LOW]:8.3f} "
+              f"{comparison.normalized_p99[Priority.HIGH]:8.3f} "
+              f"{comparison.power_brake_events:7d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: the library in five minutes.
+
+Walks the stack bottom-up: a simulated A100, an LLM's phase latencies and
+power profile, a DGX server, and finally a short POLCA oversubscription
+run on a simulated inference row.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    A100_80GB,
+    DgxServer,
+    DualThresholdPolicy,
+    EvaluationHarness,
+    InferenceRequest,
+    Priority,
+    RooflineLatencyModel,
+    SimulatedGpu,
+    get_model,
+)
+from repro.models import PhasePowerProfile
+from repro.units import hours
+
+
+def main() -> None:
+    # --- 1. A simulated A100 GPU with its power knobs. ----------------
+    gpu = SimulatedGpu(A100_80GB)
+    print("== GPU ==")
+    print(f"TDP {A100_80GB.tdp_w:.0f} W, idle {A100_80GB.idle_w:.0f} W, "
+          f"transient peak {A100_80GB.transient_peak_w:.0f} W")
+    print(f"uncapped power at full activity: {gpu.power(0.0, 1.0):.0f} W")
+    gpu.lock_frequency(1275.0)  # the A100 base clock (POLCA's T1 cap)
+    print(f"frequency-locked to 1275 MHz:    {gpu.power(0.0, 1.0):.0f} W")
+    gpu.unlock_frequency()
+
+    # --- 2. An LLM: phase latencies and power levels. ------------------
+    bloom = get_model("BLOOM-176B")
+    latency = RooflineLatencyModel(model=bloom, gpu=A100_80GB)
+    profile = PhasePowerProfile(model=bloom)
+    phases = latency.request_latency(input_tokens=2048, output_tokens=256)
+    print("\n== BLOOM-176B inference (2048 in / 256 out) ==")
+    print(f"prompt phase: {phases.prompt_seconds:.2f} s at activity "
+          f"{profile.prompt_activity(2048):.2f} (compute-bound spike)")
+    print(f"token phase:  {phases.token_seconds:.2f} s at activity "
+          f"{profile.token_activity():.2f} (bandwidth-bound plateau)")
+
+    # --- 3. A DGX server's power envelope. -----------------------------
+    server = DgxServer()
+    print("\n== DGX-A100 server ==")
+    print(f"rated {server.rated_power_w:.0f} W, achievable peak "
+          f"{server.peak_power_w:.0f} W, derating headroom "
+          f"{server.derating_headroom_w():.0f} W")
+
+    # --- 4. POLCA: 30% more servers under the same breaker. ------------
+    print("\n== POLCA oversubscription (6 simulated hours) ==")
+    harness = EvaluationHarness(duration_s=hours(6), seed=0)
+    baseline = harness.baseline()
+    result = harness.run(DualThresholdPolicy(), added_fraction=0.30)
+    print(f"peak row utilization: {result.peak_utilization:.1%}")
+    print(f"power brake events:   {result.power_brake_events}")
+    for priority in Priority:
+        normalized = result.normalized_latencies(priority, baseline)
+        print(f"{priority.value:>4}-priority p50 latency: "
+              f"{normalized['p50']:.3f}x baseline")
+
+
+if __name__ == "__main__":
+    main()

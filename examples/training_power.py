@@ -1,0 +1,65 @@
+"""Training power characterization (the paper's Section 4.1).
+
+Shows the iteration power shape per model (Figure 4), the knob trade-offs
+(Figure 5), and why training clusters cannot be oversubscribed: correlated
+swings and ~3% headroom at cluster scale (Table 4, Insight 9).
+
+Run:  python examples/training_power.py
+"""
+
+from repro.models import get_model, training_models
+from repro.training import (
+    TrainingClusterModel,
+    TrainingIterationModel,
+    frequency_lock_tradeoff,
+    power_cap_tradeoff,
+)
+
+
+def iteration_shapes() -> None:
+    print("== Figure 4: training iteration power shape (per GPU) ==")
+    for spec in training_models():
+        model = TrainingIterationModel(spec)
+        series = model.power_series(n_iterations=5)
+        tdp = model.gpu.tdp_w
+        print(f"{spec.name:>14}: iteration "
+              f"{spec.training.iteration_seconds:.0f} s, peak "
+              f"{series.peak() / tdp:.0%} of TDP, trough "
+              f"{series.trough() / tdp:.0%} of TDP")
+
+
+def knob_tradeoffs() -> None:
+    print("\n== Figure 5: knob trade-offs (Flan-T5 fine-tuning) ==")
+    model = TrainingIterationModel(get_model("Flan-T5-XXL"))
+    print("frequency locking (proactive, lowers troughs too):")
+    for point in frequency_lock_tradeoff(model, [1350, 1200, 1100]):
+        print(f"  {point.knob_value:6.0f} MHz: peak -"
+              f"{point.peak_power_reduction:.1%}, perf -"
+              f"{point.performance_reduction:.1%}, trough -"
+              f"{point.trough_power_reduction:.1%}")
+    print("power capping (reactive, clips peaks only):")
+    for point in power_cap_tradeoff(model, [380, 340, 300]):
+        print(f"  {point.knob_value:6.0f} W:   peak -"
+              f"{point.peak_power_reduction:.1%}, perf -"
+              f"{point.performance_reduction:.1%}, trough -"
+              f"{point.trough_power_reduction:.1%}")
+
+
+def cluster_scale() -> None:
+    print("\n== Table 4 (training column): cluster-scale patterns ==")
+    cluster = TrainingClusterModel()
+    stats = cluster.stats()
+    print(f"peak utilization:        {stats.peak_utilization:.1%}")
+    print(f"max 2 s power swing:     {stats.max_swing_2s:.1%} of provisioned")
+    print(f"oversubscription headroom: {stats.headroom:.1%}  "
+          f"(vs ~21% for inference clusters)")
+
+
+def main() -> None:
+    iteration_shapes()
+    knob_tradeoffs()
+    cluster_scale()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim so `setup.py develop` works in offline environments
+that lack the `wheel` package required by PEP 660 editable installs."""
+from setuptools import setup
+
+setup()

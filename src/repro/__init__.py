@@ -1,0 +1,112 @@
+"""repro — Characterizing Power Management Opportunities for LLMs in the Cloud.
+
+A full reproduction of Patel et al., ASPLOS 2024: simulated substrates for
+GPU power/DVFS behaviour, LLM roofline performance, DGX servers, cluster
+telemetry and OOB control, training- and inference-cluster power patterns —
+and POLCA, the dual-threshold power-oversubscription framework for LLM
+inference clusters, evaluated with a discrete-event cluster simulator.
+
+Quickstart::
+
+    from repro import EvaluationHarness, DualThresholdPolicy
+    from repro.units import hours
+
+    harness = EvaluationHarness(duration_s=hours(6))
+    baseline = harness.baseline()
+    result = harness.run(DualThresholdPolicy(), added_fraction=0.30)
+    print(result.power_brake_events)          # 0
+    print(result.normalized_latencies(...))   # SLO-compliant
+
+Subpackages: :mod:`repro.gpu`, :mod:`repro.models`, :mod:`repro.server`,
+:mod:`repro.telemetry`, :mod:`repro.control`, :mod:`repro.datacenter`,
+:mod:`repro.training`, :mod:`repro.workloads`, :mod:`repro.cluster`,
+:mod:`repro.core` (POLCA), :mod:`repro.characterization`,
+:mod:`repro.analysis`.
+"""
+
+from repro.errors import (
+    ActuationError,
+    CapacityError,
+    ConfigurationError,
+    FrequencyError,
+    ModelNotFoundError,
+    PowerCapError,
+    ReproError,
+    SimulationError,
+    TelemetryError,
+    TraceError,
+)
+from repro.gpu import A100_40GB, A100_80GB, H100_80GB, GpuSpec, SimulatedGpu
+from repro.models import (
+    InferenceRequest,
+    LlmSpec,
+    MODEL_ZOO,
+    RooflineLatencyModel,
+    get_model,
+)
+from repro.server import DgxServer
+from repro.cluster import ClusterConfig, ClusterSimulator, SimulationResult
+from repro.core import (
+    DualThresholdPolicy,
+    EvaluationHarness,
+    NoCapPolicy,
+    POLCA_DEFAULTS,
+    PolcaThresholds,
+    SingleThresholdAllPolicy,
+    SingleThresholdLowPriPolicy,
+    added_servers_sweep,
+    compare_policies,
+    evaluate_slos,
+    select_thresholds,
+)
+from repro.workloads import (
+    Priority,
+    ProductionTraceModel,
+    SyntheticTraceGenerator,
+    TABLE6_MIX,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "ActuationError",
+    "CapacityError",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "ConfigurationError",
+    "DgxServer",
+    "DualThresholdPolicy",
+    "EvaluationHarness",
+    "FrequencyError",
+    "GpuSpec",
+    "H100_80GB",
+    "InferenceRequest",
+    "LlmSpec",
+    "MODEL_ZOO",
+    "ModelNotFoundError",
+    "NoCapPolicy",
+    "POLCA_DEFAULTS",
+    "PolcaThresholds",
+    "PowerCapError",
+    "Priority",
+    "ProductionTraceModel",
+    "ReproError",
+    "RooflineLatencyModel",
+    "SimulatedGpu",
+    "SimulationError",
+    "SimulationResult",
+    "SingleThresholdAllPolicy",
+    "SingleThresholdLowPriPolicy",
+    "SyntheticTraceGenerator",
+    "TABLE6_MIX",
+    "TelemetryError",
+    "TraceError",
+    "added_servers_sweep",
+    "compare_policies",
+    "evaluate_slos",
+    "get_model",
+    "select_thresholds",
+    "__version__",
+]

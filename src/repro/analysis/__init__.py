@@ -1,0 +1,30 @@
+"""Shared statistics, time-series, and correlation utilities.
+
+These helpers back both the characterization experiments (Section 4 of the
+paper) and the POLCA evaluation (Section 6): percentile latencies, the MAPE
+trace-fidelity criterion, power-swing extraction over sliding windows, and
+Pearson correlation matrices for the GPU counter study (Figure 7).
+"""
+
+from repro.analysis.stats import (
+    mean_absolute_percentage_error,
+    normalized,
+    percentile,
+    summarize_latencies,
+)
+from repro.analysis.timeseries import TimeSeries, max_swing
+from repro.analysis.correlation import pearson, correlation_matrix
+from repro.analysis.report import polca_report, render_table
+
+__all__ = [
+    "TimeSeries",
+    "correlation_matrix",
+    "max_swing",
+    "mean_absolute_percentage_error",
+    "normalized",
+    "pearson",
+    "percentile",
+    "polca_report",
+    "render_table",
+    "summarize_latencies",
+]

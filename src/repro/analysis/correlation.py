@@ -1,0 +1,83 @@
+"""Pearson correlation utilities for the GPU counter study (Figure 7).
+
+Figure 7 of the paper shows pairwise Pearson correlations between seven GPU
+performance counters (power, GPU utilization, memory utilization, SM
+activity, tensor-core activity, PCIe TX, PCIe RX), computed separately for
+the prompt and token phases of BLOOM inference. These helpers compute the
+same matrices from the synthetic counter traces in :mod:`repro.gpu.counters`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length series.
+
+    A constant series has zero variance; its correlation with anything is
+    undefined, and we return ``0.0`` for it (matching the "uncorrelated"
+    reading the paper gives to flat token-phase counters).
+
+    Raises:
+        ConfigurationError: On length mismatch or fewer than two samples.
+    """
+    a = np.asarray(list(x), dtype=float)
+    b = np.asarray(list(y), dtype=float)
+    if a.shape != b.shape:
+        raise ConfigurationError(f"length mismatch: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ConfigurationError("correlation needs at least two samples")
+    a_std = a.std()
+    b_std = b.std()
+    if a_std == 0.0 or b_std == 0.0:
+        return 0.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (a_std * b_std))
+
+
+def correlation_matrix(
+    counters: Mapping[str, Sequence[float]],
+) -> Tuple[List[str], np.ndarray]:
+    """Pairwise Pearson correlation matrix over named counter traces.
+
+    Args:
+        counters: Mapping from counter name to its sample sequence. All
+            sequences must share one length.
+
+    Returns:
+        ``(names, matrix)`` where ``matrix[i][j]`` is the correlation of
+        ``names[i]`` with ``names[j]``. The diagonal is exactly 1.0.
+    """
+    names = list(counters.keys())
+    if not names:
+        raise ConfigurationError("correlation matrix over zero counters")
+    n = len(names)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = pearson(counters[names[i]], counters[names[j]])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return names, matrix
+
+
+def correlations_with(
+    target: str, counters: Mapping[str, Sequence[float]]
+) -> Dict[str, float]:
+    """Correlation of every counter against one target counter.
+
+    Convenience for assertions like "prompt-phase power is highly correlated
+    with SM and tensor activity and inversely correlated with memory
+    activity" (Insight 4 validation).
+    """
+    if target not in counters:
+        raise ConfigurationError(f"unknown target counter {target!r}")
+    return {
+        name: pearson(counters[target], series)
+        for name, series in counters.items()
+        if name != target
+    }

@@ -1,0 +1,96 @@
+"""Plain-text and Markdown report rendering for experiment results.
+
+The benchmarks, examples, and any downstream notebook all need the same
+thing: a fixed-width or Markdown table of reproduced numbers. This module
+provides the shared renderer plus a convenience report builder for the
+POLCA evaluation results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.metrics import SimulationResult
+from repro.errors import ConfigurationError
+from repro.workloads.spec import Priority
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    markdown: bool = False,
+) -> str:
+    """Render a table as aligned plain text or GitHub Markdown.
+
+    Raises:
+        ConfigurationError: If a row's width mismatches the headers.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[str(h) for h in headers]] + [
+        [str(cell) for cell in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    if markdown:
+        lines = [
+            "| " + " | ".join(
+                cell.ljust(width) for cell, width in zip(cells[0], widths)
+            ) + " |",
+            "|" + "|".join("-" * (width + 2) for width in widths) + "|",
+        ]
+        for row in cells[1:]:
+            lines.append("| " + " | ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ) + " |")
+        return "\n".join(lines)
+    lines = ["  ".join(
+        cell.rjust(width) for cell, width in zip(cells[0], widths)
+    )]
+    lines.append("-" * len(lines[0]))
+    for row in cells[1:]:
+        lines.append("  ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def polca_result_rows(
+    results: Dict[str, SimulationResult],
+    baseline: SimulationResult,
+) -> List[List[str]]:
+    """Summary rows (one per named run) for a results table.
+
+    Columns: run, peak utilization, LP p50/p99, HP p50/p99, brakes.
+    """
+    rows: List[List[str]] = []
+    for name, result in results.items():
+        lp = result.normalized_latencies(Priority.LOW, baseline)
+        hp = result.normalized_latencies(Priority.HIGH, baseline)
+        rows.append([
+            name,
+            f"{result.peak_utilization:.1%}",
+            f"{lp['p50']:.3f}",
+            f"{lp['p99']:.3f}",
+            f"{hp['p50']:.3f}",
+            f"{hp['p99']:.3f}",
+            str(result.power_brake_events),
+        ])
+    return rows
+
+
+def polca_report(
+    results: Dict[str, SimulationResult],
+    baseline: SimulationResult,
+    markdown: bool = False,
+) -> str:
+    """A ready-to-print summary of a set of POLCA evaluation runs."""
+    headers = ["run", "peak util", "LP p50", "LP p99", "HP p50", "HP p99",
+               "brakes"]
+    return render_table(
+        headers, polca_result_rows(results, baseline), markdown=markdown
+    )

@@ -1,0 +1,203 @@
+"""Uniformly sampled time series with the operations the paper relies on.
+
+The characterization and POLCA evaluation repeatedly need the same handful
+of operations over power signals: resampling a continuous signal at a
+telemetry interval, rolling averages ("5min avg" in Figure 16), peak/mean
+extraction, and the *maximum power swing within a window* statistic that
+Table 4 reports (max spike in 2 s / 40 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """An immutable, uniformly sampled scalar time series.
+
+    Attributes:
+        start: Timestamp of the first sample, in seconds.
+        interval: Sampling period in seconds (strictly positive).
+        values: Sample values as a 1-D :class:`numpy.ndarray`.
+    """
+
+    start: float
+    interval: float
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {self.interval}")
+        array = np.asarray(self.values, dtype=float)
+        if array.ndim != 1:
+            raise ConfigurationError("TimeSeries values must be one-dimensional")
+        object.__setattr__(self, "values", array)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def duration(self) -> float:
+        """Span covered by the series in seconds (0 for an empty series)."""
+        if self.values.size == 0:
+            return 0.0
+        return float((self.values.size - 1) * self.interval)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps of every sample."""
+        return self.start + np.arange(self.values.size) * self.interval
+
+    @classmethod
+    def from_function(
+        cls,
+        func: Callable[[float], float],
+        start: float,
+        end: float,
+        interval: float,
+    ) -> "TimeSeries":
+        """Sample a continuous function ``func(t)`` on ``[start, end)``.
+
+        This is how telemetry interfaces turn the simulator's continuous
+        power model into discrete readings (Table 1 sampling intervals).
+        """
+        if end <= start:
+            raise ConfigurationError("end must be after start")
+        times = np.arange(start, end, interval)
+        return cls(start=start, interval=interval,
+                   values=np.array([func(float(t)) for t in times]))
+
+    def peak(self) -> float:
+        """Maximum sample value."""
+        self._require_nonempty()
+        return float(self.values.max())
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        self._require_nonempty()
+        return float(self.values.mean())
+
+    def trough(self) -> float:
+        """Minimum sample value."""
+        self._require_nonempty()
+        return float(self.values.min())
+
+    def rolling_mean(self, window_seconds: float) -> "TimeSeries":
+        """Trailing moving average over ``window_seconds``.
+
+        Used by Figure 16 to overlay the "5min avg" on the "2s avg" power
+        utilization series. The first ``window - 1`` outputs average over
+        the shorter available prefix rather than being dropped.
+        """
+        self._require_nonempty()
+        window = max(1, int(round(window_seconds / self.interval)))
+        cumsum = np.cumsum(np.insert(self.values, 0, 0.0))
+        out = np.empty_like(self.values)
+        for i in range(self.values.size):
+            lo = max(0, i + 1 - window)
+            out[i] = (cumsum[i + 1] - cumsum[lo]) / (i + 1 - lo)
+        return TimeSeries(start=self.start, interval=self.interval, values=out)
+
+    def downsample(self, factor: int) -> "TimeSeries":
+        """Keep every ``factor``-th sample (e.g. 100 ms DCGM -> 2 s row)."""
+        if factor < 1:
+            raise ConfigurationError(f"factor must be >= 1, got {factor}")
+        return TimeSeries(
+            start=self.start,
+            interval=self.interval * factor,
+            values=self.values[::factor].copy(),
+        )
+
+    def slice(self, t_from: float, t_to: float) -> "TimeSeries":
+        """Return the sub-series with timestamps in ``[t_from, t_to)``."""
+        times = self.times
+        mask = (times >= t_from) & (times < t_to)
+        selected = self.values[mask]
+        if selected.size == 0:
+            return TimeSeries(start=t_from, interval=self.interval,
+                              values=np.empty(0))
+        new_start = float(times[mask][0])
+        return TimeSeries(start=new_start, interval=self.interval,
+                          values=selected.copy())
+
+    def normalized(self, baseline: float) -> "TimeSeries":
+        """Divide every sample by ``baseline`` (e.g. TDP, provisioned power)."""
+        if baseline <= 0:
+            raise ConfigurationError(f"baseline must be positive, got {baseline}")
+        return TimeSeries(start=self.start, interval=self.interval,
+                          values=self.values / baseline)
+
+    def _require_nonempty(self) -> None:
+        if self.values.size == 0:
+            raise ConfigurationError("operation undefined on an empty TimeSeries")
+
+
+def max_swing(series: TimeSeries, window_seconds: float) -> float:
+    """Largest increase of the signal within any window of the given length.
+
+    Table 4 reports the production clusters' "Max. power spike in 2s" (37.5%
+    of provisioned power for training, 9% for inference) and "in 40s"
+    (11.8% for inference). Matching that definition, the swing is the
+    maximum of ``max(window) - value_at_window_start`` over all windows —
+    i.e. how far power can *rise* within the reaction time of a control.
+
+    Args:
+        series: Input series; must contain at least two samples.
+        window_seconds: Window length in seconds; must cover >= 1 interval.
+    """
+    if len(series) < 2:
+        raise ConfigurationError("max_swing needs at least two samples")
+    steps = int(round(window_seconds / series.interval))
+    if steps < 1:
+        raise ConfigurationError(
+            f"window {window_seconds}s shorter than sampling interval "
+            f"{series.interval}s"
+        )
+    values = series.values
+    best = 0.0
+    n = values.size
+    # Sliding-window maximum via a monotonic deque keeps this O(n).
+    from collections import deque
+
+    dq: "deque[int]" = deque()
+    for i in range(n):
+        hi = min(n - 1, i + steps)
+        # Maintain deque of indices in (i, hi] with decreasing values.
+        if not dq:
+            for j in range(i + 1, hi + 1):
+                while dq and values[dq[-1]] <= values[j]:
+                    dq.pop()
+                dq.append(j)
+        else:
+            while dq and dq[0] <= i:
+                dq.popleft()
+            j = hi
+            if j > i and (not dq or dq[-1] < j):
+                while dq and values[dq[-1]] <= values[j]:
+                    dq.pop()
+                dq.append(j)
+        if dq:
+            best = max(best, float(values[dq[0]] - values[i]))
+    return best
+
+
+def concatenate(parts: Sequence[TimeSeries]) -> TimeSeries:
+    """Concatenate back-to-back series sharing one sampling interval.
+
+    The resulting series starts at ``parts[0].start``; subsequent parts are
+    assumed contiguous (their own ``start`` values are ignored).
+    """
+    if not parts:
+        raise ConfigurationError("cannot concatenate zero series")
+    interval = parts[0].interval
+    for part in parts[1:]:
+        if abs(part.interval - interval) > 1e-12:
+            raise ConfigurationError("cannot concatenate series with mixed intervals")
+    values = np.concatenate([part.values for part in parts])
+    return TimeSeries(start=parts[0].start, interval=interval, values=values)

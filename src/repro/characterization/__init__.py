@@ -1,0 +1,37 @@
+"""Drivers for the paper's Section 4 characterization experiments.
+
+Each module packages one family of experiments as library functions that
+return plain data (time series, sweep tables, correlation matrices); the
+``benchmarks/`` tree calls these to regenerate each figure's rows/series.
+"""
+
+from repro.characterization.inference import (
+    inference_power_series,
+    repeated_inference_series,
+)
+from repro.characterization.sweeps import ConfigSweepPoint, config_sweep
+from repro.characterization.frequency import (
+    FrequencyTradeoffPoint,
+    frequency_sensitivity,
+    frequency_tradeoff,
+)
+from repro.characterization.correlation import phase_correlation_matrices
+from repro.characterization.scale import (
+    ClusterPowerPatterns,
+    inference_cluster_patterns,
+    training_cluster_patterns,
+)
+
+__all__ = [
+    "ClusterPowerPatterns",
+    "ConfigSweepPoint",
+    "FrequencyTradeoffPoint",
+    "config_sweep",
+    "frequency_sensitivity",
+    "frequency_tradeoff",
+    "inference_cluster_patterns",
+    "inference_power_series",
+    "phase_correlation_matrices",
+    "repeated_inference_series",
+    "training_cluster_patterns",
+]

@@ -1,0 +1,115 @@
+"""Frequency-locking trade-offs for inference (Figure 10).
+
+Figure 10 varies the locked SM clock over 1.1-1.4 GHz and plots the peak
+power reduction against the performance (end-to-end latency) reduction:
+
+* 10a — one curve per model at a common configuration; the relationship
+  is superlinear (up to ~20% peak power for <=7% performance), and larger
+  models are more sensitive (BLOOM ~5% at a 13% reduction where GPT-NeoX
+  loses almost nothing);
+* 10b — BLOOM only, varying prompt-heaviness (input/batch): bigger
+  prompts mean a bigger clock-sensitive latency share;
+* 10c — raw performance-vs-frequency, showing <2% loss at ~100 MHz below
+  the maximum, motivating 1305 MHz as the high-priority cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB, GpuSpec
+from repro.models.inference import InferenceRequest, request_timeline
+from repro.models.registry import get_model
+
+#: Clock points spanning the paper's 1.1-1.4 GHz locking range.
+DEFAULT_CLOCKS_MHZ = (1410, 1380, 1350, 1305, 1275, 1230, 1170, 1100)
+
+#: Common evaluation configuration for the Figure 10a curves.
+EVAL_INPUT = 4096
+EVAL_OUTPUT = 256
+
+#: The (batch, input) variants of Figure 10b.
+BLOOM_VARIANTS: Tuple[Tuple[int, int], ...] = (
+    (1, 512),
+    (1, 2048),
+    (1, 8192),
+    (16, 512),
+)
+
+
+@dataclass(frozen=True)
+class FrequencyTradeoffPoint:
+    """One point on a Figure 10 curve.
+
+    Attributes:
+        model_name: The model.
+        sm_clock_mhz: The locked clock.
+        peak_power_reduction: Fractional peak-power drop vs unlocked.
+        performance_reduction: Fractional end-to-end latency increase,
+            expressed as throughput reduction ``1 - t0/t``.
+    """
+
+    model_name: str
+    sm_clock_mhz: float
+    peak_power_reduction: float
+    performance_reduction: float
+
+
+def frequency_tradeoff(
+    model_name: str,
+    clocks_mhz: Sequence[float] = DEFAULT_CLOCKS_MHZ,
+    input_tokens: int = EVAL_INPUT,
+    output_tokens: int = EVAL_OUTPUT,
+    batch_size: int = 1,
+    gpu: GpuSpec = A100_80GB,
+) -> List[FrequencyTradeoffPoint]:
+    """One Figure 10a/10b curve.
+
+    Raises:
+        ConfigurationError: If no clocks are given.
+    """
+    if not clocks_mhz:
+        raise ConfigurationError("need at least one clock point")
+    model = get_model(model_name)
+    request = InferenceRequest(model_name, input_tokens, output_tokens, batch_size)
+    timeline = request_timeline(model, gpu, request)
+    power_model = GpuPowerModel(gpu)
+    peak_activity = timeline.peak_activity()
+    baseline_peak = power_model.power(peak_activity, gpu.max_sm_clock_mhz)
+    baseline_time = timeline.total_seconds(1.0)
+    points: List[FrequencyTradeoffPoint] = []
+    for clock in clocks_mhz:
+        gpu.validate_clock(clock)
+        ratio = clock / gpu.max_sm_clock_mhz
+        locked_peak = power_model.power(peak_activity, clock)
+        locked_time = timeline.total_seconds(ratio)
+        points.append(FrequencyTradeoffPoint(
+            model_name=model_name,
+            sm_clock_mhz=clock,
+            peak_power_reduction=(baseline_peak - locked_peak) / baseline_peak,
+            performance_reduction=1.0 - baseline_time / locked_time,
+        ))
+    return points
+
+
+def frequency_sensitivity(
+    model_name: str = "BLOOM-176B",
+    clocks_mhz: Sequence[float] = DEFAULT_CLOCKS_MHZ,
+    variants: Sequence[Tuple[int, int]] = BLOOM_VARIANTS,
+) -> List[List[FrequencyTradeoffPoint]]:
+    """Figure 10b/10c: per-configuration BLOOM sensitivity curves.
+
+    Returns one curve per ``(batch, input)`` variant.
+    """
+    return [
+        frequency_tradeoff(
+            model_name,
+            clocks_mhz=clocks_mhz,
+            input_tokens=input_tokens,
+            batch_size=batch,
+        )
+        for batch, input_tokens in variants
+    ]

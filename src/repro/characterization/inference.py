@@ -1,0 +1,143 @@
+"""Inference power time series (Figures 6 and 9).
+
+Figure 6 runs "three inferences of the same prompt" per model and shows
+the two-phase power signature: a brief spike at or above TDP during prompt
+processing, then a long, stable, lower plateau during token sampling.
+Figure 9 repeats the BLOOM run under a 325 W power cap (reactive — the
+spike overshoots) and under a 1.1 GHz frequency lock (proactive — the
+whole series scales down and stretches out).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.timeseries import TimeSeries, concatenate
+from repro.errors import ConfigurationError
+from repro.gpu.capping import ReactivePowerCap
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB, GpuSpec
+from repro.models.inference import InferenceRequest, request_timeline
+from repro.models.registry import LlmSpec, get_model
+from repro.telemetry.dcgm import DCGM_INTERVAL_S
+
+#: Idle gap between the repeated requests of Figure 6, seconds.
+INTER_REQUEST_GAP_S = 0.5
+
+
+def inference_power_series(
+    model: LlmSpec,
+    request: InferenceRequest,
+    gpu: GpuSpec = A100_80GB,
+    sample_interval: float = DCGM_INTERVAL_S,
+    frequency_lock_mhz: Optional[float] = None,
+    power_cap_w: Optional[float] = None,
+    noise_std: float = 0.01,
+    seed: int = 0,
+) -> TimeSeries:
+    """Per-GPU power during one inference request.
+
+    At most one knob may be active at a time (the paper's methodology).
+
+    Raises:
+        ConfigurationError: If both knobs are requested at once.
+    """
+    if frequency_lock_mhz is not None and power_cap_w is not None:
+        raise ConfigurationError("apply one knob at a time, as the paper does")
+    power_model = GpuPowerModel(gpu)
+    clock_ratio = 1.0
+    if frequency_lock_mhz is not None:
+        gpu.validate_clock(frequency_lock_mhz)
+        clock_ratio = frequency_lock_mhz / gpu.max_sm_clock_mhz
+    cap: Optional[ReactivePowerCap] = None
+    if power_cap_w is not None:
+        cap = ReactivePowerCap(power_model, cap_w=power_cap_w)
+    timeline = request_timeline(model, gpu, request)
+    rng = np.random.default_rng(seed)
+    total = timeline.total_seconds(clock_ratio)
+    times = np.arange(0.0, total, sample_interval)
+    values = np.empty(times.size)
+    # Absolute phase boundaries at the effective clock.
+    boundaries = []
+    elapsed = 0.0
+    for segment in timeline.segments:
+        elapsed += segment.duration_at(clock_ratio)
+        boundaries.append((elapsed, segment.activity))
+    clock = clock_ratio * gpu.max_sm_clock_mhz
+
+    def activity_at(t: float) -> float:
+        for end, segment_activity in boundaries:
+            if t < end:
+                return segment_activity
+        return boundaries[-1][1]
+
+    for i, t in enumerate(times):
+        if cap is not None:
+            # DCGM reports interval-averaged power, so run the reactive
+            # control loop on its own fine-grained schedule and average —
+            # the reported spike overshoots the cap only partially
+            # (Figure 9b), because throttling begins mid-interval.
+            steps = max(1, int(round(sample_interval / cap.sample_interval)))
+            fine = [
+                cap.observe(float(t) + k * cap.sample_interval,
+                            activity_at(float(t) + k * cap.sample_interval))
+                for k in range(steps)
+            ]
+            power = sum(fine) / len(fine)
+        else:
+            power = power_model.power(activity_at(float(t)), clock)
+        values[i] = power * (1.0 + noise_std * rng.standard_normal())
+    return TimeSeries(start=0.0, interval=sample_interval, values=values)
+
+
+def repeated_inference_series(
+    model_name: str,
+    n_requests: int = 3,
+    input_tokens: int = 2048,
+    output_tokens: int = 256,
+    batch_size: int = 1,
+    frequency_lock_mhz: Optional[float] = None,
+    power_cap_w: Optional[float] = None,
+    seed: int = 0,
+) -> TimeSeries:
+    """The Figure 6 trace: ``n_requests`` back-to-back identical requests.
+
+    A short idle gap separates requests (the serving framework dequeues
+    the next request), during which power falls toward idle.
+
+    Raises:
+        ConfigurationError: If ``n_requests`` is not positive.
+    """
+    if n_requests <= 0:
+        raise ConfigurationError("n_requests must be positive")
+    model = get_model(model_name)
+    request = InferenceRequest(
+        model_name=model_name,
+        input_tokens=input_tokens,
+        output_tokens=output_tokens,
+        batch_size=batch_size,
+    )
+    gpu = A100_80GB
+    power_model = GpuPowerModel(gpu)
+    gap_samples = int(round(INTER_REQUEST_GAP_S / DCGM_INTERVAL_S))
+    idle_power = power_model.power(0.0, gpu.max_sm_clock_mhz)
+    parts = []
+    for index in range(n_requests):
+        part = inference_power_series(
+            model,
+            request,
+            gpu=gpu,
+            frequency_lock_mhz=frequency_lock_mhz,
+            power_cap_w=power_cap_w,
+            seed=seed + index,
+        )
+        parts.append(part)
+        if index != n_requests - 1:
+            parts.append(TimeSeries(
+                start=0.0,
+                interval=DCGM_INTERVAL_S,
+                values=np.full(gap_samples, idle_power),
+            ))
+    return concatenate(parts)

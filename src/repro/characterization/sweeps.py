@@ -1,0 +1,125 @@
+"""Configuration sweeps over input, batch, and output sizes (Figure 8).
+
+Figure 8 plots, per model, the peak and mean GPU power (normalized to TDP)
+and the request latency while varying one knob at a time:
+
+* input size 256-8192 (8a/8b): peak power rises sharply, mean power and
+  latency stay nearly flat (latency bends up only past 4096);
+* batch size 1-16 (8c/8d): peak power rises like a larger effective
+  prompt; mean power rises gradually; latency rises slightly;
+* output size 128-4096 (8e/8f): power is unchanged; latency is linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB, GpuSpec
+from repro.models.inference import InferenceRequest, request_timeline
+from repro.models.registry import LlmSpec, get_model
+
+#: Default knob values, matching the Figure 8 axes.
+INPUT_SIZES = (256, 512, 1024, 2048, 4096, 8192)
+BATCH_SIZES = (1, 2, 4, 8, 16)
+OUTPUT_SIZES = (128, 256, 512, 1024, 2048, 4096)
+
+#: Base configuration each sweep perturbs one knob of.
+BASE_INPUT = 2048
+BASE_OUTPUT = 256
+BASE_BATCH = 1
+
+
+@dataclass(frozen=True)
+class ConfigSweepPoint:
+    """One bar of a Figure 8 subplot.
+
+    Attributes:
+        model_name: The model.
+        knob: ``"input"``, ``"batch"``, or ``"output"``.
+        value: The knob value.
+        peak_power_ratio: Peak GPU power over TDP.
+        mean_power_ratio: Duration-weighted mean GPU power over TDP.
+        latency_seconds: End-to-end request latency.
+    """
+
+    model_name: str
+    knob: str
+    value: int
+    peak_power_ratio: float
+    mean_power_ratio: float
+    latency_seconds: float
+
+
+def _sweep_point(
+    model: LlmSpec, gpu: GpuSpec, knob: str, request: InferenceRequest
+) -> ConfigSweepPoint:
+    power_model = GpuPowerModel(gpu)
+    timeline = request_timeline(model, gpu, request)
+    clock = gpu.max_sm_clock_mhz
+    peak = max(
+        power_model.power(segment.activity, clock)
+        for segment in timeline.segments
+    )
+    mean = sum(
+        power_model.power(segment.activity, clock) * segment.duration_seconds
+        for segment in timeline.segments
+    ) / timeline.total_seconds()
+    value = {
+        "input": request.input_tokens,
+        "batch": request.batch_size,
+        "output": request.output_tokens,
+    }[knob]
+    return ConfigSweepPoint(
+        model_name=model.name,
+        knob=knob,
+        value=value,
+        peak_power_ratio=peak / gpu.tdp_w,
+        mean_power_ratio=mean / gpu.tdp_w,
+        latency_seconds=timeline.total_seconds(),
+    )
+
+
+def config_sweep(
+    model_name: str,
+    knob: str,
+    values: Sequence[int] = (),
+    gpu: GpuSpec = A100_80GB,
+) -> List[ConfigSweepPoint]:
+    """Sweep one knob for one model (one group of Figure 8 bars).
+
+    Args:
+        model_name: Model to sweep.
+        knob: ``"input"``, ``"batch"``, or ``"output"``.
+        values: Knob values; defaults to the figure's axis values.
+        gpu: GPU type (A100-80GB in the paper's inference machine).
+
+    Raises:
+        ConfigurationError: On an unknown knob.
+    """
+    model = get_model(model_name)
+    if knob == "input":
+        values = values or INPUT_SIZES
+        requests = [
+            InferenceRequest(model_name, v, BASE_OUTPUT, BASE_BATCH)
+            for v in values
+        ]
+    elif knob == "batch":
+        values = values or BATCH_SIZES
+        requests = [
+            InferenceRequest(model_name, BASE_INPUT, BASE_OUTPUT, v)
+            for v in values
+        ]
+    elif knob == "output":
+        values = values or OUTPUT_SIZES
+        requests = [
+            InferenceRequest(model_name, BASE_INPUT, v, BASE_BATCH)
+            for v in values
+        ]
+    else:
+        raise ConfigurationError(
+            f"unknown knob {knob!r}; expected input/batch/output"
+        )
+    return [_sweep_point(model, gpu, knob, request) for request in requests]

@@ -1,0 +1,68 @@
+"""A minimal, deterministic event queue for the cluster simulator.
+
+Events are ``(time, sequence, payload)`` triples on a binary heap; the
+monotonically increasing sequence number breaks time ties deterministically
+(insertion order), which keeps simulations reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    sequence: int
+    payload: Any = field(compare=False)
+
+
+@dataclass
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    _heap: List[_Entry] = field(default_factory=list)
+    _sequence: int = 0
+    _last_popped: float = float("-inf")
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at ``time``.
+
+        Raises:
+            SimulationError: If scheduling into the already-processed past.
+        """
+        if time < self._last_popped:
+            raise SimulationError(
+                f"scheduling event at {time} before current time "
+                f"{self._last_popped}"
+            )
+        heapq.heappush(self._heap, _Entry(time, self._sequence, payload))
+        self._sequence += 1
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``.
+
+        Raises:
+            SimulationError: If the queue is empty.
+        """
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        entry = heapq.heappop(self._heap)
+        self._last_popped = entry.time
+        return entry.time, entry.payload
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest scheduled time, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

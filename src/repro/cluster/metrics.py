@@ -1,0 +1,149 @@
+"""Result accounting for cluster simulations.
+
+Collects per-priority latency populations, served/dropped counts, the row
+power series, and the power-management event log — everything Figures 13
+through 18 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.stats import LatencySummary, summarize_latencies
+from repro.analysis.timeseries import TimeSeries, max_swing
+from repro.errors import ConfigurationError
+from repro.workloads.spec import Priority
+
+
+@dataclass
+class PriorityMetrics:
+    """Mutable accumulator for one priority tier.
+
+    Attributes:
+        latencies: End-to-end latencies of completed requests (seconds).
+        served: Completed request count.
+        dropped: Requests rejected because the pool was saturated.
+    """
+
+    latencies: List[float] = field(default_factory=list)
+    served: int = 0
+    dropped: int = 0
+
+    @property
+    def offered(self) -> int:
+        """Requests offered to this tier."""
+        return self.served + self.dropped
+
+    @property
+    def served_fraction(self) -> float:
+        """Throughput as the fraction of offered requests served."""
+        if self.offered == 0:
+            return 1.0
+        return self.served / self.offered
+
+    def summary(self) -> LatencySummary:
+        """Latency percentile summary.
+
+        Raises:
+            ConfigurationError: If no request completed.
+        """
+        return summarize_latencies(self.latencies)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a cluster simulation run produced.
+
+    Attributes:
+        per_priority: Metrics per priority tier.
+        power_series: Row power sampled at the telemetry interval (W).
+        provisioned_power_w: The row's breaker budget.
+        power_brake_events: Number of distinct brake engagements
+            (Figure 18's metric; the Table 6 SLO demands zero).
+        capping_actions: Number of frequency-cap commands issued.
+        duration_s: Simulated wall-clock duration.
+        per_workload: Metrics per Table 6 workload name (Summarize,
+            Search, Chat) for workload-level SLO analysis.
+        total_energy_j: Exact row energy over the run (server power is
+            piecewise constant between events, so the integral is exact).
+    """
+
+    per_priority: Dict[Priority, PriorityMetrics]
+    power_series: TimeSeries
+    provisioned_power_w: float
+    power_brake_events: int
+    capping_actions: int
+    duration_s: float
+    per_workload: Dict[str, PriorityMetrics] = field(default_factory=dict)
+    total_energy_j: float = 0.0
+
+    def latency_summary(self, priority: Priority) -> LatencySummary:
+        """Latency summary for one tier."""
+        return self.per_priority[priority].summary()
+
+    def normalized_latencies(
+        self, priority: Priority, baseline: "SimulationResult"
+    ) -> Dict[str, float]:
+        """p50/p99/max latency ratios against a baseline run.
+
+        This is the y-axis of Figures 13, 15, and 17 ("Normalized pXX
+        latency" relative to the default, uncapped cluster).
+        """
+        mine = self.latency_summary(priority)
+        theirs = baseline.latency_summary(priority)
+        return mine.normalized_to(theirs)
+
+    def normalized_throughput(
+        self, priority: Priority, baseline: "SimulationResult"
+    ) -> float:
+        """Served-fraction ratio against a baseline run (Figure 14)."""
+        base = baseline.per_priority[priority].served_fraction
+        if base == 0:
+            raise ConfigurationError("baseline served nothing")
+        return self.per_priority[priority].served_fraction / base
+
+    @property
+    def peak_utilization(self) -> float:
+        """Peak row power over provisioned power."""
+        return self.power_series.peak() / self.provisioned_power_w
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean row power over provisioned power."""
+        return self.power_series.mean() / self.provisioned_power_w
+
+    def max_swing_fraction(self, window_seconds: float) -> float:
+        """Largest power rise within a window, as a provisioned fraction
+        (Table 4's 'Max. power spike in 2s / 40s' rows)."""
+        return max_swing(self.power_series, window_seconds) / self.provisioned_power_w
+
+    @property
+    def total_served(self) -> int:
+        """Requests completed across both priority tiers."""
+        return sum(m.served for m in self.per_priority.values())
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """Row energy divided by served requests (the efficiency metric
+        energy-oriented work optimizes; POLCA targets peak power, but the
+        two interact).
+
+        Raises:
+            ConfigurationError: If no request completed.
+        """
+        if self.total_served == 0:
+            raise ConfigurationError("no requests served")
+        return self.total_energy_j / self.total_served
+
+    def workload_summary(self, workload_name: str) -> "LatencySummary":
+        """Latency summary for one Table 6 workload.
+
+        Raises:
+            ConfigurationError: If the workload saw no completions.
+        """
+        if workload_name not in self.per_workload:
+            raise ConfigurationError(
+                f"no metrics recorded for workload {workload_name!r}"
+            )
+        return self.per_workload[workload_name].summary()

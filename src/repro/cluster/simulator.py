@@ -1,0 +1,311 @@
+"""The discrete-event cluster simulator (Section 6.4's evaluation vehicle).
+
+Simulates a row of BLOOM-176B inference servers under a power-management
+policy:
+
+* requests arrive from a (synthetic production) trace, are routed by a
+  priority-aware load balancer, and execute as prompt+token phase
+  segments whose durations stretch under frequency caps;
+* the row power — a running sum over piecewise-constant server powers —
+  is observed every 2 s (Table 2) and fed to the policy;
+* frequency-cap commands land after the 40 s OOB latency; power brakes
+  engage after 5 s and force every GPU to 288 MHz until power recedes.
+
+The simulator is deterministic for a fixed seed and request trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.timeseries import TimeSeries
+from repro.cluster.events import EventQueue
+from repro.cluster.loadbalancer import LoadBalancer, split_servers
+from repro.cluster.metrics import PriorityMetrics, SimulationResult
+from repro.cluster.policy_base import GroupCaps, PowerPolicy
+from repro.cluster.server_sim import ServerPowerModel, ServerSim
+from repro.errors import ConfigurationError, SimulationError
+from repro.gpu.specs import A100_80GB
+from repro.telemetry.smbpbi import SMBPBI_ACTUATION_LATENCY_S
+from repro.workloads.requests import SampledRequest
+from repro.workloads.spec import Priority
+from repro.workloads.tracegen import INFERENCE_PROVISIONED_PER_SERVER_W
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static configuration of one simulation run.
+
+    Attributes:
+        n_base_servers: Designed server count (Table 2: 40).
+        added_fraction: Extra servers deployed via oversubscription
+            (0.30 adds 12 servers to the default 40).
+        provisioned_per_server_w: Breaker budget per *designed* server
+            slot; the budget does not grow with added servers.
+        low_priority_fraction: Share of servers in the low-priority pool
+            (Figure 15b's sweep knob).
+        telemetry_interval_s: Row telemetry period (Table 2: 2 s).
+        oob_latency_s: Frequency-cap actuation latency (Table 2: 40 s).
+        brake_latency_s: Power-brake latency (Table 2: 5 s).
+        brake_hold_s: Minimum time the brake stays engaged once active.
+        power_scale: GPU dynamic-power multiplier (1.05 = the "+5%"
+            robustness scenario of Section 6.6).
+        seed: RNG seed for load-balancer tie-breaking.
+    """
+
+    n_base_servers: int = 40
+    added_fraction: float = 0.0
+    provisioned_per_server_w: float = INFERENCE_PROVISIONED_PER_SERVER_W
+    low_priority_fraction: float = 0.5
+    telemetry_interval_s: float = 2.0
+    oob_latency_s: float = SMBPBI_ACTUATION_LATENCY_S
+    brake_latency_s: float = 5.0
+    brake_hold_s: float = 60.0
+    power_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_base_servers <= 0:
+            raise ConfigurationError("n_base_servers must be positive")
+        if self.added_fraction < 0:
+            raise ConfigurationError("added_fraction cannot be negative")
+        if self.telemetry_interval_s <= 0:
+            raise ConfigurationError("telemetry interval must be positive")
+
+    @property
+    def n_servers(self) -> int:
+        """Deployed server count after oversubscription."""
+        return self.n_base_servers + int(round(
+            self.n_base_servers * self.added_fraction
+        ))
+
+    @property
+    def provisioned_power_w(self) -> float:
+        """The row breaker budget (fixed at the designed capacity)."""
+        return self.n_base_servers * self.provisioned_per_server_w
+
+
+class ClusterSimulator:
+    """Runs one policy against one request trace on one row."""
+
+    def __init__(self, config: ClusterConfig, policy: PowerPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        power_model = ServerPowerModel(
+            gpu=A100_80GB, power_scale=config.power_scale
+        )
+        server_ids = [f"s{i}" for i in range(config.n_servers)]
+        assignment = split_servers(server_ids, config.low_priority_fraction)
+        self.servers: List[ServerSim] = [
+            ServerSim(
+                server_id=sid,
+                priority=assignment[sid],
+                power_model=power_model,
+            )
+            for sid in server_ids
+        ]
+        self._index_by_priority: Dict[Priority, List[int]] = {
+            p: [i for i, s in enumerate(self.servers) if s.priority is p]
+            for p in Priority
+        }
+        self.balancer = LoadBalancer(self.servers, seed=config.seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        requests: Sequence[SampledRequest],
+        duration_s: float,
+    ) -> SimulationResult:
+        """Simulate ``duration_s`` seconds of the request trace.
+
+        Requests arriving after ``duration_s`` are ignored; requests in
+        flight at the end are allowed to finish (their latencies count).
+
+        Raises:
+            ConfigurationError: If the duration is not positive.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.policy.reset()
+        queue = EventQueue()
+        metrics = {p: PriorityMetrics() for p in Priority}
+        workload_metrics: Dict[str, PriorityMetrics] = {}
+        power_samples: List[float] = []
+
+        # Running row power; server powers are piecewise constant, which
+        # also makes the energy integral exact: accumulate power x dt at
+        # every event boundary.
+        server_power = [s.current_power() for s in self.servers]
+        row_power = sum(server_power)
+        total_energy = 0.0
+        last_event_time = 0.0
+
+        def refresh_power(index: int) -> None:
+            nonlocal row_power
+            new_power = self.servers[index].current_power()
+            row_power += new_power - server_power[index]
+            server_power[index] = new_power
+
+        def workload_tier(name: str) -> PriorityMetrics:
+            if name not in workload_metrics:
+                workload_metrics[name] = PriorityMetrics()
+            return workload_metrics[name]
+
+        # Actuation bookkeeping.
+        commanded = GroupCaps.uncapped()
+        capping_actions = 0
+        brake_state = "off"  # off | pending_on | on | pending_off
+        brake_engaged_at = -float("inf")
+        brake_events = 0
+
+        server_index = {s.server_id: i for i, s in enumerate(self.servers)}
+
+        for request in requests:
+            if request.arrival_time < duration_s:
+                queue.push(request.arrival_time, ("arrival", request))
+        for tick in np.arange(0.0, duration_s, self.config.telemetry_interval_s):
+            queue.push(float(tick), ("tick",))
+
+        def schedule_slot(index: int, slot: int) -> None:
+            server = self.servers[index]
+            active = server.slots.get(slot)
+            if active is None:
+                return
+            queue.push(
+                active.phase_end, ("phase", index, slot, active.version)
+            )
+
+        def start_on(now: float, index: int, request: SampledRequest) -> None:
+            slot = self.servers[index].start_request(now, request)
+            refresh_power(index)
+            schedule_slot(index, slot)
+
+        while queue:
+            now, event = queue.pop()
+            total_energy += row_power * (now - last_event_time)
+            last_event_time = now
+            kind = event[0]
+
+            if kind == "arrival":
+                request: SampledRequest = event[1]
+                server = self.balancer.route(request.priority)
+                if server is None:
+                    metrics[request.priority].dropped += 1
+                    workload_tier(request.workload.name).dropped += 1
+                    continue
+                index = server_index[server.server_id]
+                if server.has_free_slot:
+                    start_on(now, index, request)
+                else:
+                    server.buffered = request
+
+            elif kind == "phase":
+                index, slot, version = event[1], event[2], event[3]
+                server = self.servers[index]
+                active = server.slots.get(slot)
+                if active is None or active.version != version:
+                    continue  # superseded by a clock change
+                finished = active.request
+                next_end = server.advance_phase(now, slot)
+                if next_end is not None:
+                    refresh_power(index)
+                    schedule_slot(index, slot)
+                    continue
+                # Request complete; the slot is free again.
+                tier = metrics[finished.priority]
+                tier.served += 1
+                tier.latencies.append(now - finished.arrival_time)
+                by_workload = workload_tier(finished.workload.name)
+                by_workload.served += 1
+                by_workload.latencies.append(now - finished.arrival_time)
+                queued = server.take_buffered()
+                if queued is not None:
+                    start_on(now, index, queued)
+                else:
+                    refresh_power(index)
+
+            elif kind == "tick":
+                power_samples.append(row_power)
+                utilization = row_power / self.config.provisioned_power_w
+                # --- Brake safety logic (all policies carry the brake).
+                if brake_state == "off" and self.policy.wants_brake(utilization):
+                    brake_events += 1
+                    brake_state = "pending_on"
+                    queue.push(now + self.config.brake_latency_s, ("brake_on",))
+                elif (
+                    brake_state == "on"
+                    and now - brake_engaged_at >= self.config.brake_hold_s
+                    and self.policy.brake_release_ok(utilization)
+                ):
+                    brake_state = "pending_off"
+                    queue.push(now + self.config.brake_latency_s, ("brake_off",))
+                # --- Frequency-capping policy.
+                desired = self.policy.desired_caps(utilization, now)
+                if desired.low_clock_mhz != commanded.low_clock_mhz:
+                    queue.push(
+                        now + self.config.oob_latency_s,
+                        ("cap", Priority.LOW, desired.low_clock_mhz),
+                    )
+                    capping_actions += 1
+                if desired.high_clock_mhz != commanded.high_clock_mhz:
+                    queue.push(
+                        now + self.config.oob_latency_s,
+                        ("cap", Priority.HIGH, desired.high_clock_mhz),
+                    )
+                    capping_actions += 1
+                commanded = desired
+
+            elif kind == "cap":
+                priority, clock_mhz = event[1], event[2]
+                ratio = 1.0
+                if clock_mhz is not None:
+                    ratio = clock_mhz / A100_80GB.max_sm_clock_mhz
+                for index in self._index_by_priority[priority]:
+                    server = self.servers[index]
+                    rescheduled = server.apply_clock(now, ratio)
+                    refresh_power(index)
+                    for slot in rescheduled:
+                        schedule_slot(index, slot)
+
+            elif kind == "brake_on":
+                if brake_state != "pending_on":
+                    continue
+                brake_state = "on"
+                brake_engaged_at = now
+                for index in range(len(self.servers)):
+                    rescheduled = self.servers[index].apply_brake(now, True)
+                    refresh_power(index)
+                    for slot in rescheduled:
+                        schedule_slot(index, slot)
+
+            elif kind == "brake_off":
+                if brake_state != "pending_off":
+                    continue
+                brake_state = "off"
+                for index in range(len(self.servers)):
+                    rescheduled = self.servers[index].apply_brake(now, False)
+                    refresh_power(index)
+                    for slot in rescheduled:
+                        schedule_slot(index, slot)
+
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+
+        series = TimeSeries(
+            start=0.0,
+            interval=self.config.telemetry_interval_s,
+            values=np.asarray(power_samples),
+        )
+        return SimulationResult(
+            per_priority=metrics,
+            power_series=series,
+            provisioned_power_w=self.config.provisioned_power_w,
+            power_brake_events=brake_events,
+            capping_actions=capping_actions,
+            duration_s=duration_s,
+            per_workload=workload_metrics,
+            total_energy_j=total_energy,
+        )

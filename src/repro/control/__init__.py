@@ -1,0 +1,21 @@
+"""Power control actuation: knobs, latency-aware dispatch, and history.
+
+Section 3.2 describes the control landscape: fast in-band frequency
+locking and power capping (milliseconds, but unavailable to the provider
+under fixed-passthrough virtualization), slow OOB frequency/power capping
+(up to 40 s), and the OOB power brake (5 s, drastic). This package turns
+those into :class:`ControlAction` values dispatched through a
+latency- and reliability-aware :class:`Actuator`.
+"""
+
+from repro.control.actions import ActionKind, ControlAction
+from repro.control.actuator import Actuator, AppliedAction, InBandActuator, OobActuator
+
+__all__ = [
+    "ActionKind",
+    "Actuator",
+    "AppliedAction",
+    "ControlAction",
+    "InBandActuator",
+    "OobActuator",
+]

@@ -1,0 +1,153 @@
+"""A standalone POLCA controller over telemetry and actuation (Figure 12).
+
+Figure 12 shows POLCA's control flow: the PDU feeds row-level telemetry
+to the rack-level power manager, which applies the Table 5 thresholds and
+pushes per-GPU caps through the BMC/SMBPBI. The discrete-event simulator
+embeds this loop for evaluation; :class:`PolcaController` is the same
+loop factored as a reusable component over the :mod:`repro.telemetry` and
+:mod:`repro.control` substrates, for driving *any* power signal (e.g. a
+recorded trace, a live testbed adapter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List
+
+from repro.cluster.policy_base import GroupCaps, PowerPolicy
+from repro.control.actions import ControlAction
+from repro.control.actuator import Actuator, AppliedAction, OobActuator
+from repro.errors import ConfigurationError
+from repro.telemetry.row_manager import RowManager
+
+
+@dataclass
+class PolcaController:
+    """Threshold control loop: telemetry in, capping commands out.
+
+    Attributes:
+        policy: The capping policy (POLCA or a baseline).
+        provisioned_power_w: The row budget utilization is measured
+            against.
+        low_priority_servers / high_priority_servers: Target sets for the
+            per-group commands.
+        actuator: Command pipeline; defaults to the OOB actuator with the
+            paper's latencies.
+        row_manager: Telemetry source configuration (2 s period).
+    """
+
+    policy: PowerPolicy
+    provisioned_power_w: float
+    low_priority_servers: FrozenSet[str]
+    high_priority_servers: FrozenSet[str]
+    actuator: Actuator = field(default_factory=OobActuator)
+    row_manager: RowManager = field(default_factory=RowManager)
+    #: Guardrail against silently dropped OOB commands (Section 3.3: they
+    #: "may sometimes fail without signaling completion or errors"): while
+    #: any cap is commanded, the controller re-issues the full desired
+    #: state at this period. Re-issuing a cap that already landed is
+    #: idempotent; re-issuing one that was dropped repairs it. Set to 0 to
+    #: disable.
+    refresh_interval_s: float = 120.0
+    _commanded: GroupCaps = field(init=False, default_factory=GroupCaps.uncapped)
+    _braked: bool = field(init=False, default=False)
+    _last_issue_time: float = field(init=False, default=-float("inf"))
+    brake_events: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.provisioned_power_w <= 0:
+            raise ConfigurationError("provisioned power must be positive")
+        if not self.low_priority_servers or not self.high_priority_servers:
+            raise ConfigurationError("both priority groups need servers")
+        if self.refresh_interval_s < 0:
+            raise ConfigurationError("refresh interval cannot be negative")
+        self.policy.reset()
+
+    def step(self, now: float, row_power_w: float) -> List[AppliedAction]:
+        """Process one telemetry reading; returns the commands issued."""
+        utilization = row_power_w / self.provisioned_power_w
+        issued: List[AppliedAction] = []
+
+        if not self._braked and self.policy.wants_brake(utilization):
+            self._braked = True
+            self.brake_events += 1
+            issued.append(self.actuator.issue(now, ControlAction.power_brake(
+                self.low_priority_servers | self.high_priority_servers,
+                reason=f"utilization {utilization:.2f} at breaker",
+            )))
+        elif self._braked and self.policy.brake_release_ok(utilization):
+            self._braked = False
+            issued.append(self.actuator.issue(now, ControlAction.brake_release(
+                self.low_priority_servers | self.high_priority_servers,
+                reason="power receded",
+            )))
+
+        desired = self.policy.desired_caps(utilization, now)
+        refresh = (
+            self.refresh_interval_s > 0
+            and desired != GroupCaps.uncapped()
+            and now - self._last_issue_time >= self.refresh_interval_s
+        )
+        issued.extend(self._reconcile(now, desired, force=refresh))
+        if issued:
+            self._last_issue_time = now
+        self._commanded = desired
+        return issued
+
+    def _reconcile(self, now: float, desired: GroupCaps, force: bool = False
+                   ) -> List[AppliedAction]:
+        """Issue the commands that change the commanded state (all of the
+        desired state when ``force`` refreshes against silent drops)."""
+        issued: List[AppliedAction] = []
+        for group, targets, new, old in (
+            ("low", self.low_priority_servers,
+             desired.low_clock_mhz, self._commanded.low_clock_mhz),
+            ("high", self.high_priority_servers,
+             desired.high_clock_mhz, self._commanded.high_clock_mhz),
+        ):
+            if new == old and not (force and new is not None):
+                continue
+            if new is None:
+                action = ControlAction.frequency_unlock(
+                    targets, reason=f"{group}-priority uncap"
+                )
+            else:
+                action = ControlAction.frequency_lock(
+                    targets, new, reason=f"{group}-priority cap"
+                )
+            issued.append(self.actuator.issue(now, action))
+        return issued
+
+    def run_over_signal(
+        self,
+        power_signal: Callable[[float], float],
+        start: float,
+        end: float,
+    ) -> List[AppliedAction]:
+        """Drive the loop over a continuous power signal.
+
+        Samples the signal at the row manager's 2-second period — the
+        offline-replay mode for recorded traces.
+
+        Raises:
+            ConfigurationError: If the window is empty.
+        """
+        if end <= start:
+            raise ConfigurationError("end must be after start")
+        issued: List[AppliedAction] = []
+        t = start
+        while t < end:
+            sample = self.row_manager.read(t, power_signal)
+            issued.extend(self.step(sample.time, sample.value))
+            t += self.row_manager.interval
+        return issued
+
+    @property
+    def commanded_caps(self) -> GroupCaps:
+        """The caps most recently commanded (possibly still in flight)."""
+        return self._commanded
+
+    @property
+    def brake_engaged(self) -> bool:
+        """Whether the controller currently holds the brake."""
+        return self._braked

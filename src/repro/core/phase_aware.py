@@ -1,0 +1,145 @@
+"""Phase-aware power management (the paper's Section 5.2 proposal).
+
+"Adapting GPU capping based on the inference phase could yield additional
+benefits. For example, using lower frequencies during the token phase
+could help reduce power consumption without substantially impacting
+performance."
+
+This module analyzes that proposal: an application owner with in-band
+control (Section 3.3 notes VM customers retain IB access, which lands in
+milliseconds — fast enough to switch per phase) locks the clock down for
+token sampling and restores it for prompt processing. We compute the
+resulting energy, average power, and latency changes per model and
+configuration, which the ablation benchmark turns into a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB, GpuSpec
+from repro.models.inference import InferenceRequest, request_timeline
+from repro.models.registry import LlmSpec, get_model
+
+
+@dataclass(frozen=True)
+class PhaseAwareOutcome:
+    """Effect of clocking the token phase down to ``token_clock_mhz``.
+
+    Attributes:
+        model_name: The model analyzed.
+        token_clock_mhz: SM clock used during token sampling (prompt
+            processing stays at the maximum clock).
+        energy_saving: Fractional reduction of per-request GPU energy.
+        mean_power_saving: Fractional reduction of mean power during the
+            request.
+        latency_increase: Fractional end-to-end latency increase.
+        peak_power_unchanged: Always true — the prompt spike still runs
+            at the full clock, so provisioned peak power does not move.
+    """
+
+    model_name: str
+    token_clock_mhz: float
+    energy_saving: float
+    mean_power_saving: float
+    latency_increase: float
+
+    @property
+    def peak_power_unchanged(self) -> bool:
+        """Phase-aware capping leaves the prompt-phase peak untouched."""
+        return True
+
+    @property
+    def efficiency_gain(self) -> float:
+        """Energy saved per unit of latency given up (the knob's value)."""
+        if self.latency_increase <= 0:
+            return float("inf")
+        return self.energy_saving / self.latency_increase
+
+
+def phase_aware_outcome(
+    model_name: str,
+    token_clock_mhz: float,
+    input_tokens: int = 2048,
+    output_tokens: int = 256,
+    batch_size: int = 1,
+    gpu: GpuSpec = A100_80GB,
+) -> PhaseAwareOutcome:
+    """Analyze token-phase-only frequency locking for one configuration.
+
+    Raises:
+        FrequencyError: If the clock is outside the lockable range.
+    """
+    gpu.validate_clock(token_clock_mhz)
+    spec: LlmSpec = get_model(model_name)
+    request = InferenceRequest(model_name, input_tokens, output_tokens,
+                               batch_size)
+    timeline = request_timeline(spec, gpu, request)
+    power_model = GpuPowerModel(gpu)
+    ratio = token_clock_mhz / gpu.max_sm_clock_mhz
+
+    base_energy = base_time = aware_energy = aware_time = 0.0
+    for segment in timeline.segments:
+        full_duration = segment.duration_at(1.0)
+        full_power = power_model.power(segment.activity,
+                                       gpu.max_sm_clock_mhz)
+        base_energy += full_duration * full_power
+        base_time += full_duration
+        if segment.phase == "token":
+            slow_duration = segment.duration_at(ratio)
+            slow_power = power_model.power(segment.activity, token_clock_mhz)
+            aware_energy += slow_duration * slow_power
+            aware_time += slow_duration
+        else:
+            aware_energy += full_duration * full_power
+            aware_time += full_duration
+    base_mean = base_energy / base_time
+    aware_mean = aware_energy / aware_time
+    return PhaseAwareOutcome(
+        model_name=model_name,
+        token_clock_mhz=token_clock_mhz,
+        energy_saving=1.0 - aware_energy / base_energy,
+        mean_power_saving=1.0 - aware_mean / base_mean,
+        latency_increase=aware_time / base_time - 1.0,
+    )
+
+
+def compare_with_full_lock(
+    model_name: str,
+    clock_mhz: float,
+    input_tokens: int = 2048,
+    output_tokens: int = 256,
+) -> dict:
+    """Contrast phase-aware vs whole-request frequency locking.
+
+    Whole-request locking (what POLCA's OOB path can do) also slows the
+    prompt phase; phase-aware locking preserves prompt speed and the
+    time-to-first-token, at the cost of leaving the peak power untouched.
+
+    Raises:
+        ConfigurationError: On an invalid configuration.
+    """
+    if clock_mhz <= 0:
+        raise ConfigurationError("clock must be positive")
+    gpu = A100_80GB
+    spec = get_model(model_name)
+    request = InferenceRequest(model_name, input_tokens, output_tokens)
+    timeline = request_timeline(spec, gpu, request)
+    power_model = GpuPowerModel(gpu)
+    ratio = clock_mhz / gpu.max_sm_clock_mhz
+    aware = phase_aware_outcome(model_name, clock_mhz, input_tokens,
+                                output_tokens)
+    full_time = timeline.total_seconds(ratio)
+    base_time = timeline.total_seconds(1.0)
+    peak_activity = timeline.peak_activity()
+    return {
+        "phase_aware_latency_increase": aware.latency_increase,
+        "full_lock_latency_increase": full_time / base_time - 1.0,
+        "phase_aware_peak_reduction": 0.0,
+        "full_lock_peak_reduction": power_model.peak_power_reduction(
+            peak_activity, clock_mhz
+        ),
+        "phase_aware_energy_saving": aware.energy_saving,
+    }

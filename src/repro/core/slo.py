@@ -1,0 +1,71 @@
+"""SLO evaluation against the Table 6 targets.
+
+Table 6's right-hand columns define success: high priority may lose <1%
+p50 and <5% p99 latency, low priority <5% p50 and <50% p99, and there must
+be zero power-brake events. All latency impacts are measured relative to
+the default (non-oversubscribed, uncapped) cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.metrics import SimulationResult
+from repro.workloads.spec import Priority, SLO_TARGETS, SloTargets
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """SLO compliance of one simulation run against a baseline.
+
+    Attributes:
+        p50_impact: Fractional p50 increase per priority.
+        p99_impact: Fractional p99 increase per priority.
+        power_brake_events: Brake engagements in the run.
+        targets: The SLO targets evaluated against.
+    """
+
+    p50_impact: Dict[Priority, float]
+    p99_impact: Dict[Priority, float]
+    power_brake_events: int
+    targets: Dict[Priority, SloTargets]
+
+    def meets(self, priority: Priority) -> bool:
+        """Whether one tier's latency SLOs are met."""
+        target = self.targets[priority]
+        return (
+            self.p50_impact[priority] <= target.p50_impact
+            and self.p99_impact[priority] <= target.p99_impact
+        )
+
+    @property
+    def brakes_ok(self) -> bool:
+        """Whether the brake-count SLO (zero events) is met."""
+        limit = max(t.max_power_brakes for t in self.targets.values())
+        return self.power_brake_events <= limit
+
+    @property
+    def all_met(self) -> bool:
+        """Whether every SLO is met."""
+        return self.brakes_ok and all(self.meets(p) for p in self.targets)
+
+
+def evaluate_slos(
+    result: SimulationResult,
+    baseline: SimulationResult,
+    targets: Dict[Priority, SloTargets] = SLO_TARGETS,
+) -> SloReport:
+    """Compare a run against its baseline and the Table 6 targets."""
+    p50_impact: Dict[Priority, float] = {}
+    p99_impact: Dict[Priority, float] = {}
+    for priority in targets:
+        normalized = result.normalized_latencies(priority, baseline)
+        p50_impact[priority] = normalized["p50"] - 1.0
+        p99_impact[priority] = normalized["p99"] - 1.0
+    return SloReport(
+        p50_impact=p50_impact,
+        p99_impact=p99_impact,
+        power_brake_events=result.power_brake_events,
+        targets=dict(targets),
+    )

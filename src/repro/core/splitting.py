@@ -1,0 +1,204 @@
+"""Prompt/token phase splitting across GPU pools (Section 5.2).
+
+"It would be interesting to separate prompt computation and token
+processing on different GPUs, which enables us to only power cap GPUs
+that run the token phases. Such separation would require transferring
+intermediate state between the prompt and token GPUs, which is promising
+given the high-bandwidth Infiniband interconnects in LLM clusters."
+
+(The same authors later built exactly this as *Splitwise*.) This module
+models a split deployment analytically:
+
+* a **prompt pool** sized to the offered prompt-compute load, running at
+  the full clock (prompt latency is user-visible time-to-first-token);
+* a **token pool** sized to the decode load, frequency-locked — safe,
+  because token throughput is bandwidth-bound (Insight 7);
+* a per-request **KV-cache transfer** between the pools over the
+  cluster interconnect.
+
+The payoff is provisioning: the token pool can be provisioned at its
+*capped* peak rather than the prompt spike, so a split cluster packs more
+serving capacity under the same breaker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB, GpuSpec
+from repro.models.datatypes import FP16
+from repro.models.performance import RooflineLatencyModel
+from repro.models.power_profile import PhasePowerProfile
+from repro.models.registry import LlmSpec, get_model
+from repro.server.dgx import HostPowerModel
+from repro.units import gigabytes_per_second
+
+#: Effective per-server interconnect bandwidth for KV transfers
+#: (InfiniBand HDR-class fabric, as in the paper's clusters).
+DEFAULT_INTERCONNECT_BW = gigabytes_per_second(25)
+
+
+@dataclass(frozen=True)
+class SplitDeployment:
+    """Sizing and power of a phase-split serving deployment.
+
+    Attributes:
+        model_name: The model served.
+        request_rate: Offered load in requests/second.
+        prompt_servers: Servers in the (uncapped) prompt pool.
+        token_servers: Servers in the (frequency-locked) token pool.
+        token_clock_mhz: Clock the token pool is locked to.
+        provisioned_power_w: Power to provision for the split deployment
+            (prompt pool at spike power, token pool at locked peak).
+        transfer_seconds: Added per-request KV-transfer latency.
+        latency_increase: End-to-end latency change vs an unsplit server
+            (transfer overhead plus the token pool's residual slowdown).
+    """
+
+    model_name: str
+    request_rate: float
+    prompt_servers: int
+    token_servers: int
+    token_clock_mhz: float
+    provisioned_power_w: float
+    transfer_seconds: float
+    latency_increase: float
+
+    @property
+    def total_servers(self) -> int:
+        """Servers across both pools."""
+        return self.prompt_servers + self.token_servers
+
+
+def _server_power(gpu: GpuSpec, activity: float, clock_mhz: float,
+                  n_gpus: int = 8) -> float:
+    power_model = GpuPowerModel(gpu)
+    host = HostPowerModel()
+    per_gpu = power_model.power(activity, clock_mhz)
+    dynamic = (per_gpu - gpu.idle_w) / (gpu.transient_peak_w - gpu.idle_w)
+    return n_gpus * per_gpu + host.power(min(1.0, max(0.0, dynamic)))
+
+
+def plan_split_deployment(
+    model_name: str = "BLOOM-176B",
+    request_rate: float = 2.0,
+    input_tokens: int = 2048,
+    output_tokens: int = 256,
+    token_clock_mhz: float = 1110.0,
+    concurrency: int = 4,
+    interconnect_bw: float = DEFAULT_INTERCONNECT_BW,
+    gpu: GpuSpec = A100_80GB,
+) -> SplitDeployment:
+    """Size a phase-split deployment for an offered request rate.
+
+    Pool sizes come from per-phase service demands (Little's law with a
+    20% utilization margin); the KV transfer ships the prompt's cache
+    (``kv_bytes_per_token x input_tokens``) between pools.
+
+    Raises:
+        ConfigurationError: On a non-positive request rate.
+    """
+    if request_rate <= 0:
+        raise ConfigurationError("request_rate must be positive")
+    spec: LlmSpec = get_model(model_name)
+    gpu.validate_clock(token_clock_mhz)
+    latency = RooflineLatencyModel(model=spec, gpu=gpu)
+    profile = PhasePowerProfile(model=spec)
+    ratio = token_clock_mhz / gpu.max_sm_clock_mhz
+
+    phases = latency.request_latency(input_tokens, output_tokens)
+    token_locked = latency.request_latency(
+        input_tokens, output_tokens, clock_ratio=ratio
+    ).token_seconds
+
+    # Service demand per request on each pool, in server-seconds.
+    margin = 1.25
+    prompt_demand = phases.prompt_seconds
+    token_demand = token_locked / concurrency
+    prompt_servers = max(1, math.ceil(request_rate * prompt_demand * margin))
+    token_servers = max(1, math.ceil(request_rate * token_demand * margin))
+
+    # Power to provision: prompt pool at the spike, token pool at the
+    # locked token peak — the whole point of the split.
+    prompt_peak = _server_power(
+        gpu, profile.prompt_activity(input_tokens), gpu.max_sm_clock_mhz
+    )
+    token_peak = _server_power(
+        gpu, profile.token_activity(concurrency), token_clock_mhz
+    )
+    provisioned = prompt_servers * prompt_peak + token_servers * token_peak
+
+    kv_bytes = spec.architecture.kv_cache_bytes(FP16, input_tokens, 1)
+    transfer = kv_bytes / interconnect_bw
+    base_total = phases.total_seconds
+    split_total = phases.prompt_seconds + transfer + token_locked
+    return SplitDeployment(
+        model_name=model_name,
+        request_rate=request_rate,
+        prompt_servers=prompt_servers,
+        token_servers=token_servers,
+        token_clock_mhz=token_clock_mhz,
+        provisioned_power_w=provisioned,
+        transfer_seconds=transfer,
+        latency_increase=split_total / base_total - 1.0,
+    )
+
+
+def plan_unsplit_deployment(
+    model_name: str = "BLOOM-176B",
+    request_rate: float = 2.0,
+    input_tokens: int = 2048,
+    output_tokens: int = 256,
+    concurrency: int = 4,
+    gpu: GpuSpec = A100_80GB,
+) -> SplitDeployment:
+    """The conventional deployment, sized for the same offered load.
+
+    Every server must be provisioned for the prompt spike because any
+    server may be processing a prompt at any time.
+    """
+    if request_rate <= 0:
+        raise ConfigurationError("request_rate must be positive")
+    spec = get_model(model_name)
+    latency = RooflineLatencyModel(model=spec, gpu=gpu)
+    profile = PhasePowerProfile(model=spec)
+    phases = latency.request_latency(input_tokens, output_tokens)
+    margin = 1.25
+    demand = phases.prompt_seconds + phases.token_seconds / concurrency
+    servers = max(1, math.ceil(request_rate * demand * margin))
+    spike_power = _server_power(
+        gpu, profile.prompt_activity(input_tokens), gpu.max_sm_clock_mhz
+    )
+    return SplitDeployment(
+        model_name=model_name,
+        request_rate=request_rate,
+        prompt_servers=servers,
+        token_servers=0,
+        token_clock_mhz=gpu.max_sm_clock_mhz,
+        provisioned_power_w=servers * spike_power,
+        transfer_seconds=0.0,
+        latency_increase=0.0,
+    )
+
+
+def split_power_saving(
+    model_name: str = "BLOOM-176B",
+    request_rate: float = 2.0,
+    **kwargs,
+) -> float:
+    """Fractional provisioned-power saving of splitting vs not.
+
+    The headline of the Section 5.2 proposal: the token pool's capped
+    provisioning more than pays for the extra transfer latency.
+    """
+    split = plan_split_deployment(model_name, request_rate, **kwargs)
+    unsplit = plan_unsplit_deployment(
+        model_name, request_rate,
+        input_tokens=kwargs.get("input_tokens", 2048),
+        output_tokens=kwargs.get("output_tokens", 256),
+        concurrency=kwargs.get("concurrency", 4),
+    )
+    return 1.0 - split.provisioned_power_w / unsplit.provisioned_power_w

@@ -1,0 +1,245 @@
+"""Evaluation harness and parameter sweeps behind Figures 13-18.
+
+The harness reproduces the paper's pipeline end to end: synthesize the
+production power trace, fit a request trace to it (MAPE-validated), run
+the discrete-event simulator under a policy at a given oversubscription
+level, and normalize latencies/throughput against the default uncapped
+cluster.
+
+When more servers are added, the offered load scales with the deployed
+server count — the point of oversubscription is to serve *more* inference
+under the same breaker budget, and Figure 16 accordingly shows the same
+diurnal pattern "with a higher power offset".
+
+Simulated durations are configurable: the paper uses a six-week trace;
+the benchmarks default to shorter windows (the dynamics that matter —
+diurnal peaks, capping responses, brake avoidance — play out within a
+couple of days).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.timeseries import TimeSeries
+from repro.cluster.metrics import SimulationResult
+from repro.cluster.policy_base import PowerPolicy
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+from repro.core.baselines import NoCapPolicy, all_policies
+from repro.core.policy import DualThresholdPolicy, PolcaThresholds
+from repro.errors import ConfigurationError
+from repro.units import days
+from repro.workloads.requests import SampledRequest
+from repro.workloads.spec import Priority
+from repro.workloads.tracegen import (
+    INFERENCE_PROVISIONED_PER_SERVER_W,
+    ProductionTraceModel,
+    SyntheticTraceGenerator,
+)
+
+
+@dataclass
+class EvaluationHarness:
+    """Shared setup for the POLCA evaluation experiments.
+
+    Attributes:
+        n_base_servers: Designed row size (40, Table 2).
+        duration_s: Simulated duration per run.
+        provisioned_per_server_w: Breaker budget per designed slot.
+        low_priority_fraction: Server split between priority pools.
+        seed: Seed shared by trace generation and simulation.
+    """
+
+    n_base_servers: int = 40
+    duration_s: float = days(2)
+    provisioned_per_server_w: float = INFERENCE_PROVISIONED_PER_SERVER_W
+    low_priority_fraction: float = 0.5
+    seed: int = 0
+    _trace: Optional[TimeSeries] = field(init=False, default=None)
+    _requests_cache: Dict[int, List[SampledRequest]] = field(
+        init=False, default_factory=dict
+    )
+    _baseline: Optional[SimulationResult] = field(init=False, default=None)
+
+    def utilization_trace(self) -> TimeSeries:
+        """The production-style target utilization trace (cached)."""
+        if self._trace is None:
+            self._trace = ProductionTraceModel(seed=self.seed).generate(
+                duration_s=self.duration_s
+            )
+        return self._trace
+
+    def requests_for(self, added_fraction: float) -> List[SampledRequest]:
+        """The request trace for a deployment with added servers (cached).
+
+        Load scales with the deployed server count so per-server
+        utilization stays on the production pattern.
+        """
+        n_total = self.n_base_servers + int(round(
+            self.n_base_servers * added_fraction
+        ))
+        if n_total not in self._requests_cache:
+            generator = SyntheticTraceGenerator(
+                n_servers=n_total,
+                provisioned_per_server_w=self.provisioned_per_server_w,
+                seed=self.seed,
+            )
+            synthetic = generator.generate(self.utilization_trace())
+            synthetic.validate()
+            self._requests_cache[n_total] = synthetic.requests
+        return self._requests_cache[n_total]
+
+    def config(
+        self,
+        added_fraction: float,
+        power_scale: float = 1.0,
+        low_priority_fraction: Optional[float] = None,
+    ) -> ClusterConfig:
+        """Build the simulator configuration for one run."""
+        return ClusterConfig(
+            n_base_servers=self.n_base_servers,
+            added_fraction=added_fraction,
+            provisioned_per_server_w=self.provisioned_per_server_w,
+            low_priority_fraction=(
+                self.low_priority_fraction
+                if low_priority_fraction is None
+                else low_priority_fraction
+            ),
+            power_scale=power_scale,
+            seed=self.seed,
+        )
+
+    def run(
+        self,
+        policy: PowerPolicy,
+        added_fraction: float = 0.0,
+        power_scale: float = 1.0,
+        low_priority_fraction: Optional[float] = None,
+    ) -> SimulationResult:
+        """Run one policy at one oversubscription level."""
+        simulator = ClusterSimulator(
+            self.config(added_fraction, power_scale, low_priority_fraction),
+            policy,
+        )
+        return simulator.run(self.requests_for(added_fraction), self.duration_s)
+
+    def baseline(self) -> SimulationResult:
+        """The normalization baseline: default servers, no capping (cached)."""
+        if self._baseline is None:
+            self._baseline = self.run(NoCapPolicy(), added_fraction=0.0)
+        return self._baseline
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the Figure 13/14 added-servers sweep.
+
+    Attributes:
+        added_fraction: Oversubscription level (0.30 = 30% more servers).
+        normalized_p50: Normalized p50 latency per priority.
+        normalized_p99: Normalized p99 latency per priority.
+        normalized_throughput: Normalized served fraction per priority.
+        power_brake_events: Brake engagements during the run.
+    """
+
+    added_fraction: float
+    normalized_p50: Dict[Priority, float]
+    normalized_p99: Dict[Priority, float]
+    normalized_throughput: Dict[Priority, float]
+    power_brake_events: int
+
+
+def added_servers_sweep(
+    harness: EvaluationHarness,
+    thresholds: PolcaThresholds,
+    added_fractions: Sequence[float],
+) -> List[SweepPoint]:
+    """Sweep oversubscription levels for one threshold configuration.
+
+    This is the engine behind Figure 13 (one subplot per threshold pair)
+    and Figure 14 (throughput for the selected configuration).
+
+    Raises:
+        ConfigurationError: If no sweep points are given.
+    """
+    if not added_fractions:
+        raise ConfigurationError("need at least one added_fraction")
+    baseline = harness.baseline()
+    points: List[SweepPoint] = []
+    for fraction in added_fractions:
+        result = harness.run(
+            DualThresholdPolicy(thresholds), added_fraction=fraction
+        )
+        points.append(SweepPoint(
+            added_fraction=fraction,
+            normalized_p50={
+                p: result.normalized_latencies(p, baseline)["p50"]
+                for p in Priority
+            },
+            normalized_p99={
+                p: result.normalized_latencies(p, baseline)["p99"]
+                for p in Priority
+            },
+            normalized_throughput={
+                p: result.normalized_throughput(p, baseline)
+                for p in Priority
+            },
+            power_brake_events=result.power_brake_events,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """One policy's Figure 17/18 outcome at 30% oversubscription.
+
+    Attributes:
+        policy_name: Display name ("POLCA", "No-cap+5%", ...).
+        normalized_p50 / normalized_p99 / normalized_max: Latency ratios
+            per priority against the default uncapped cluster.
+        power_brake_events: Brake engagements (Figure 18).
+    """
+
+    policy_name: str
+    normalized_p50: Dict[Priority, float]
+    normalized_p99: Dict[Priority, float]
+    normalized_max: Dict[Priority, float]
+    power_brake_events: int
+
+
+def compare_policies(
+    harness: EvaluationHarness,
+    added_fraction: float = 0.30,
+    power_scales: Sequence[float] = (1.0, 1.05),
+) -> List[PolicyComparison]:
+    """Run every policy (and +5% power variants) at 30% oversubscription.
+
+    Reproduces Figures 17 and 18: the four policies under the standard
+    workload and under uniformly 5%-more-power-intensive workloads.
+    """
+    baseline = harness.baseline()
+    comparisons: List[PolicyComparison] = []
+    for scale in power_scales:
+        suffix = "" if scale == 1.0 else f"+{round((scale - 1) * 100)}%"
+        for name, factory in all_policies().items():
+            result = harness.run(
+                factory(), added_fraction=added_fraction, power_scale=scale
+            )
+            comparisons.append(PolicyComparison(
+                policy_name=name + suffix,
+                normalized_p50={
+                    p: result.normalized_latencies(p, baseline)["p50"]
+                    for p in Priority
+                },
+                normalized_p99={
+                    p: result.normalized_latencies(p, baseline)["p99"]
+                    for p in Priority
+                },
+                normalized_max={
+                    p: result.normalized_latencies(p, baseline)["max"]
+                    for p in Priority
+                },
+                power_brake_events=result.power_brake_events,
+            ))
+    return comparisons

@@ -1,0 +1,77 @@
+"""Threshold selection from historical power traces (Section 6.3/6.5).
+
+"POLCA selects the power value for the thresholds by analyzing historical
+power usage traces... The upper threshold (T2) is chosen to avoid power
+brakes. POLCA sets the threshold based on the observed value of maximum
+power spike in 40s (the OOB capping delay) over the available trace."
+
+Given a training trace (the paper uses the first of the six weeks), the
+recommendation is:
+
+* ``T2 = 1 - max 40 s spike`` — even if the worst historical spike starts
+  the instant T2 is crossed, the cap lands before the breaker trips;
+* ``T1 = T2 - (max 40 s spike)`` rounded to sit comfortably below, giving
+  the LP capping stage room to act first;
+* uncap thresholds 5% below each capping threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timeseries import TimeSeries, max_swing
+from repro.core.policy import PolcaThresholds
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThresholdRecommendation:
+    """Outcome of analyzing a historical trace.
+
+    Attributes:
+        max_spike_2s: Largest observed rise within 2 s (utilization units).
+        max_spike_40s: Largest observed rise within 40 s.
+        thresholds: The recommended POLCA configuration.
+    """
+
+    max_spike_2s: float
+    max_spike_40s: float
+    thresholds: PolcaThresholds
+
+
+def select_thresholds(
+    utilization_trace: TimeSeries,
+    uncap_margin: float = 0.05,
+    t1_gap: float = 0.09,
+) -> ThresholdRecommendation:
+    """Recommend (T1, T2) from a historical utilization trace.
+
+    Args:
+        utilization_trace: Row power as a fraction of provisioned power.
+        uncap_margin: Hysteresis margin below each threshold.
+        t1_gap: How far below T2 to place T1 (the paper lands on
+            T1=80%/T2=89%, a 9-point gap).
+
+    Raises:
+        ConfigurationError: If the trace is too short to analyze.
+    """
+    if len(utilization_trace) < 3:
+        raise ConfigurationError("trace too short for threshold selection")
+    spike_2s = max_swing(utilization_trace, 2.0) if (
+        utilization_trace.interval <= 2.0
+    ) else max_swing(utilization_trace, utilization_trace.interval)
+    spike_40s = max_swing(utilization_trace, 40.0) if (
+        utilization_trace.interval <= 40.0
+    ) else spike_2s
+    t2 = round(1.0 - spike_40s, 2)
+    t2 = min(max(t2, 0.5), 0.99)
+    t1 = round(t2 - t1_gap, 2)
+    if t1 <= 0:
+        raise ConfigurationError(
+            f"trace spikes too large for a usable T1 (t2={t2})"
+        )
+    return ThresholdRecommendation(
+        max_spike_2s=spike_2s,
+        max_spike_40s=spike_40s,
+        thresholds=PolcaThresholds(t1=t1, t2=t2, uncap_margin=uncap_margin),
+    )

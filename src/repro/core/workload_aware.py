@@ -1,0 +1,155 @@
+"""Workload-aware capping plans (the paper's Section 6.7 proposal).
+
+"Given the rise of inference-as-a-service platforms, POLCA could be
+extended to use workload-specific power profiles to reduce the impact on
+performance, while getting the most power savings."
+
+The advisor computes, per workload, the deepest capping clock whose
+latency stretch still fits that workload's SLO budget — using the
+workload's own prompt/output shape (a Summarize request, prompt-heavy
+and short-output, tolerates a different clock than a Search request whose
+latency is all decode). A provider running POLCA can then cap each
+workload's servers to their individual limits instead of one
+one-size-fits-all frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import A100_80GB, GpuSpec
+from repro.models.performance import RooflineLatencyModel
+from repro.models.registry import get_model
+from repro.workloads.spec import SLO_TARGETS, TABLE6_MIX, WorkloadSpec
+
+#: Candidate capping clocks, deepest first (the lockable ladder POLCA uses).
+CANDIDATE_CLOCKS_MHZ: Tuple[float, ...] = (
+    1110.0, 1155.0, 1200.0, 1245.0, 1275.0, 1305.0, 1350.0, 1410.0,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadCapPlan:
+    """The deepest safe cap for one workload.
+
+    Attributes:
+        workload_name: The workload.
+        cap_clock_mhz: Deepest clock whose stretch fits the SLO budget.
+        latency_stretch: Fractional latency increase at that clock.
+        slo_budget: The p50-impact budget it was fitted against.
+    """
+
+    workload_name: str
+    cap_clock_mhz: float
+    latency_stretch: float
+    slo_budget: float
+
+
+def latency_stretch(
+    workload: WorkloadSpec,
+    clock_mhz: float,
+    gpu: GpuSpec = A100_80GB,
+) -> float:
+    """Fractional latency increase of a mean-shaped request at a clock.
+
+    Raises:
+        FrequencyError: If the clock is outside the lockable range.
+    """
+    gpu.validate_clock(clock_mhz)
+    spec = get_model(workload.model_name)
+    latency = RooflineLatencyModel(model=spec, gpu=gpu)
+    inputs = int(workload.mean_prompt_tokens())
+    outputs = int(workload.mean_output_tokens())
+    ratio = clock_mhz / gpu.max_sm_clock_mhz
+    base = latency.request_latency(inputs, outputs).total_seconds
+    locked = latency.request_latency(
+        inputs, outputs, clock_ratio=ratio
+    ).total_seconds
+    return locked / base - 1.0
+
+
+def deepest_safe_cap(
+    workload: WorkloadSpec,
+    slo_budget: float,
+    candidates: Sequence[float] = CANDIDATE_CLOCKS_MHZ,
+    gpu: GpuSpec = A100_80GB,
+) -> WorkloadCapPlan:
+    """The deepest candidate clock whose stretch stays within budget.
+
+    Raises:
+        ConfigurationError: If even the maximum clock misses the budget
+            (budget must be non-negative).
+    """
+    if slo_budget < 0:
+        raise ConfigurationError("SLO budget cannot be negative")
+    for clock in sorted(candidates):  # deepest first
+        stretch = latency_stretch(workload, clock, gpu)
+        if stretch <= slo_budget:
+            return WorkloadCapPlan(
+                workload_name=workload.name,
+                cap_clock_mhz=clock,
+                latency_stretch=stretch,
+                slo_budget=slo_budget,
+            )
+    # The max clock always has zero stretch, so this is unreachable for
+    # candidate lists that include it; guard anyway.
+    raise ConfigurationError(
+        f"{workload.name}: no candidate clock fits budget {slo_budget}"
+    )
+
+
+def workload_aware_plan(
+    mix: Sequence[WorkloadSpec] = TABLE6_MIX,
+    gpu: GpuSpec = A100_80GB,
+) -> Dict[str, WorkloadCapPlan]:
+    """Per-workload deepest safe caps for a whole mix.
+
+    Each workload's budget comes from its priority tier's p50 SLO
+    (Table 6): high-priority workloads get the 1% budget, low-priority
+    the 5% one; Chat (mixed priority) conservatively uses the stricter.
+    """
+    plans: Dict[str, WorkloadCapPlan] = {}
+    for workload in mix:
+        if workload.high_priority_probability >= 0.5:
+            budget = min(t.p50_impact for t in SLO_TARGETS.values())
+        else:
+            budget = max(t.p50_impact for t in SLO_TARGETS.values())
+        plans[workload.name] = deepest_safe_cap(workload, budget, gpu=gpu)
+    return plans
+
+
+def uniform_vs_aware_reclaim(
+    mix: Sequence[WorkloadSpec] = TABLE6_MIX,
+    gpu: GpuSpec = A100_80GB,
+) -> Dict[str, float]:
+    """Compare power reclaim of per-workload caps vs one uniform cap.
+
+    The uniform cap must satisfy the *strictest* workload, so it reclaims
+    the least; workload-aware capping reclaims the per-workload maximum.
+    Returns mix-weighted fractional GPU dynamic-power reductions.
+    """
+    from repro.gpu.power import GpuPowerModel
+    from repro.models.power_profile import PhasePowerProfile
+
+    plans = workload_aware_plan(mix, gpu)
+    uniform_clock = max(plan.cap_clock_mhz for plan in plans.values())
+    power_model = GpuPowerModel(gpu)
+
+    def token_power(workload: WorkloadSpec, clock: float) -> float:
+        profile = PhasePowerProfile(model=get_model(workload.model_name))
+        return power_model.power(profile.token_activity(), clock)
+
+    aware = uniform = base = 0.0
+    for workload in mix:
+        base += workload.share * token_power(workload, gpu.max_sm_clock_mhz)
+        aware += workload.share * token_power(
+            workload, plans[workload.name].cap_clock_mhz
+        )
+        uniform += workload.share * token_power(workload, uniform_clock)
+    return {
+        "uniform_clock_mhz": uniform_clock,
+        "uniform_reclaim": 1.0 - uniform / base,
+        "aware_reclaim": 1.0 - aware / base,
+    }

@@ -1,0 +1,32 @@
+"""Datacenter power-delivery hierarchy and provisioning math.
+
+Figure 2 of the paper shows the hierarchy — utility feeds the datacenter,
+PDUs power rows of racks, GPU servers sit in racks — and Table 2 gives the
+row the POLCA evaluation uses: 40 DGX-A100 servers, 2 s power telemetry,
+5 s power-brake latency, 40 s OOB control latency. This package models the
+topology tree, provisioned budgets, and the oversubscription arithmetic
+(how many servers fit under a fixed power budget).
+"""
+
+from repro.datacenter.topology import Datacenter, Rack, Row, RowParameters, DEFAULT_ROW
+from repro.datacenter.derating import DeratingPlan, plan_derating
+from repro.datacenter.provisioning import (
+    OversubscriptionPlan,
+    headroom_fraction,
+    plan_oversubscription,
+    servers_supportable,
+)
+
+__all__ = [
+    "Datacenter",
+    "DEFAULT_ROW",
+    "DeratingPlan",
+    "OversubscriptionPlan",
+    "Rack",
+    "Row",
+    "RowParameters",
+    "headroom_fraction",
+    "plan_derating",
+    "plan_oversubscription",
+    "servers_supportable",
+]

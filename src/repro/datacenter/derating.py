@@ -1,0 +1,104 @@
+"""Server derating planner (the paper's Section 5 proposal).
+
+"The rated power for the DGX-A100 machine is 6500W. Yet, across all our
+workloads, the peak power on our machine never exceeded 5700W. Thus, we
+could derate the power provisioned per server by up to 800W... Reducing
+power provisioned per server enables providers to deploy additional
+servers under the same infrastructure... To ensure power safety when
+derating servers, it is important to deploy it with an effective power
+capping mechanism."
+
+Given a server's rated and observed-peak power and a safety margin, the
+planner computes the derated per-server budget and how many extra servers
+fit in an existing row — the no-new-datacenter capacity win that derating
+alone (before any POLCA-style statistical oversubscription) provides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.server.dgx import DgxServer
+
+
+@dataclass(frozen=True)
+class DeratingPlan:
+    """Outcome of derating a row's servers.
+
+    Attributes:
+        rated_power_w: The nameplate per-server rating.
+        observed_peak_w: Measured worst-case per-server draw.
+        safety_margin_w: Extra watts kept above the observed peak.
+        derated_power_w: The new per-server budget.
+        base_servers: Servers provisioned at the rated power.
+        derated_servers: Servers that fit at the derated budget.
+    """
+
+    rated_power_w: float
+    observed_peak_w: float
+    safety_margin_w: float
+    derated_power_w: float
+    base_servers: int
+    derated_servers: int
+
+    @property
+    def headroom_per_server_w(self) -> float:
+        """Watts reclaimed per server slot."""
+        return self.rated_power_w - self.derated_power_w
+
+    @property
+    def added_servers(self) -> int:
+        """Extra servers gained without new power infrastructure."""
+        return self.derated_servers - self.base_servers
+
+    @property
+    def added_fraction(self) -> float:
+        """Capacity gain as a fraction of the base deployment."""
+        return self.added_servers / self.base_servers
+
+
+def plan_derating(
+    server: DgxServer = None,
+    base_servers: int = 40,
+    safety_margin_w: float = 100.0,
+    observed_peak_w: float = None,
+) -> DeratingPlan:
+    """Plan derating a row of DGX servers.
+
+    Args:
+        server: The server model; defaults to a DGX-A100.
+        base_servers: Servers provisioned at the nameplate rating.
+        safety_margin_w: Buffer above the observed peak (deployed together
+            with power capping as the backstop, per the paper).
+        observed_peak_w: Measured peak; defaults to the model's worst case.
+
+    Raises:
+        ConfigurationError: On invalid inputs or if the derated budget
+            would not cover the observed peak plus margin.
+    """
+    if server is None:
+        server = DgxServer()
+    if base_servers <= 0:
+        raise ConfigurationError("base_servers must be positive")
+    if safety_margin_w < 0:
+        raise ConfigurationError("safety margin cannot be negative")
+    peak = observed_peak_w if observed_peak_w is not None \
+        else server.peak_power_w
+    derated = peak + safety_margin_w
+    if derated > server.rated_power_w:
+        raise ConfigurationError(
+            f"observed peak {peak:.0f} W + margin exceeds the "
+            f"{server.rated_power_w:.0f} W rating; nothing to derate"
+        )
+    row_budget = base_servers * server.rated_power_w
+    derated_servers = int(math.floor(row_budget / derated))
+    return DeratingPlan(
+        rated_power_w=server.rated_power_w,
+        observed_peak_w=peak,
+        safety_margin_w=safety_margin_w,
+        derated_power_w=derated,
+        base_servers=base_servers,
+        derated_servers=derated_servers,
+    )

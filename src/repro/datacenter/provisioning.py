@@ -1,0 +1,124 @@
+"""Oversubscription arithmetic: headroom, added servers, derating.
+
+The paper's central quantitative claims live here:
+
+* an inference cluster peaking at 79% of provisioned power offers ~21%
+  headroom, while a training cluster peaking at 97% offers ~3% (Table 4,
+  Insight 9);
+* derating DGX-A100 servers from their 6.5 kW rating to the 5.7 kW
+  observed peak frees >=800 W per server (Section 5);
+* deploying X% more servers under a fixed budget divides the per-server
+  share by ``1 + X`` and raises utilization proportionally (Section 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def headroom_fraction(peak_utilization: float) -> float:
+    """Power headroom given peak utilization of the provisioned budget.
+
+    ``headroom_fraction(0.79) == 0.21`` — Table 4's inference cluster.
+
+    Raises:
+        ConfigurationError: If utilization is outside ``(0, 1]``.
+    """
+    if not 0.0 < peak_utilization <= 1.0:
+        raise ConfigurationError(
+            f"peak utilization {peak_utilization} outside (0, 1]"
+        )
+    return 1.0 - peak_utilization
+
+
+def servers_supportable(
+    provisioned_power_w: float, per_server_peak_w: float
+) -> int:
+    """Maximum servers that fit under a budget at a given per-server peak.
+
+    Raises:
+        ConfigurationError: On non-positive inputs.
+    """
+    if provisioned_power_w <= 0 or per_server_peak_w <= 0:
+        raise ConfigurationError("powers must be positive")
+    return int(math.floor(provisioned_power_w / per_server_peak_w))
+
+
+@dataclass(frozen=True)
+class OversubscriptionPlan:
+    """Outcome of planning oversubscription for a row.
+
+    Attributes:
+        base_servers: Designed server count.
+        added_servers: Extra servers deployed under the same budget.
+        provisioned_power_w: The unchanged breaker budget.
+        expected_peak_utilization: Predicted peak row utilization after
+            adding servers, assuming peak power scales with server count.
+    """
+
+    base_servers: int
+    added_servers: int
+    provisioned_power_w: float
+    expected_peak_utilization: float
+
+    @property
+    def total_servers(self) -> int:
+        """Servers deployed after oversubscription."""
+        return self.base_servers + self.added_servers
+
+    @property
+    def oversubscription_fraction(self) -> float:
+        """Added servers over base servers (the x-axis of Figure 13)."""
+        return self.added_servers / self.base_servers
+
+
+def plan_oversubscription(
+    base_servers: int,
+    provisioned_power_w: float,
+    observed_peak_utilization: float,
+    added_fraction: float,
+) -> OversubscriptionPlan:
+    """Plan adding ``added_fraction`` more servers to a row.
+
+    The expected peak utilization scales linearly with the server count —
+    the statistical-multiplexing assumption that holds for inference
+    clusters (uncorrelated prompt spikes; Insight 9) and *fails* for
+    training clusters (coordinated iterations; Insight 2).
+
+    Raises:
+        ConfigurationError: On invalid inputs or if the plan would exceed
+            the provisioned budget at expected peak.
+    """
+    if base_servers <= 0:
+        raise ConfigurationError("base_servers must be positive")
+    if not 0.0 < observed_peak_utilization <= 1.0:
+        raise ConfigurationError("observed peak utilization outside (0, 1]")
+    if added_fraction < 0:
+        raise ConfigurationError("added_fraction cannot be negative")
+    added = int(round(base_servers * added_fraction))
+    expected = observed_peak_utilization * (base_servers + added) / base_servers
+    return OversubscriptionPlan(
+        base_servers=base_servers,
+        added_servers=added,
+        provisioned_power_w=provisioned_power_w,
+        expected_peak_utilization=expected,
+    )
+
+
+def max_safe_added_fraction(
+    observed_peak_utilization: float, safety_threshold: float = 1.0
+) -> float:
+    """Largest added-server fraction keeping expected peak under threshold.
+
+    For the Table 4 inference cluster (79% peak), the uncontrolled bound is
+    ``1.0 / 0.79 - 1 ≈ 26.6%`` — POLCA goes beyond it (30%) by capping the
+    rare excursions instead of provisioning for them.
+    """
+    if not 0.0 < observed_peak_utilization <= 1.0:
+        raise ConfigurationError("observed peak utilization outside (0, 1]")
+    if not 0.0 < safety_threshold <= 1.0:
+        raise ConfigurationError("safety threshold outside (0, 1]")
+    return safety_threshold / observed_peak_utilization - 1.0

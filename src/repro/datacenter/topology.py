@@ -1,0 +1,170 @@
+"""The power-distribution hierarchy: datacenter -> row (PDU) -> rack -> server.
+
+"A datacenter floor plan is generally built around the power distribution
+hierarchy... power distribution units (PDUs) power rows of racks. GPU
+servers are deployed within each rack, and several racks make a row"
+(Section 2). POLCA makes its capping decisions at the PDU/row breaker
+level (Section 6.3) because statistical multiplexing across a row is what
+creates the oversubscription headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.errors import ConfigurationError
+from repro.telemetry.row_manager import ROW_TELEMETRY_INTERVAL_S
+from repro.telemetry.smbpbi import SMBPBI_ACTUATION_LATENCY_S
+from repro.gpu.brake import DEFAULT_BRAKE_LATENCY_S
+
+
+@dataclass(frozen=True)
+class RowParameters:
+    """Row-level simulation parameters (the paper's Table 2).
+
+    Attributes:
+        n_servers: Servers in the row (40 in the production row studied).
+        server_type: Server model name.
+        telemetry_interval_s: Row power telemetry period.
+        brake_latency_s: Power-brake actuation latency.
+        oob_latency_s: OOB frequency/power capping latency.
+        provisioned_power_per_server_w: Power budgeted per server slot.
+            Defaults to the DGX-A100 rating of 6.5 kW.
+    """
+
+    n_servers: int = 40
+    server_type: str = "DGX-A100"
+    telemetry_interval_s: float = ROW_TELEMETRY_INTERVAL_S
+    brake_latency_s: float = DEFAULT_BRAKE_LATENCY_S
+    oob_latency_s: float = SMBPBI_ACTUATION_LATENCY_S
+    provisioned_power_per_server_w: float = 6500.0
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError("a row needs at least one server")
+        if self.provisioned_power_per_server_w <= 0:
+            raise ConfigurationError("provisioned power must be positive")
+
+    @property
+    def provisioned_power_w(self) -> float:
+        """Total power budget of the row's PDU breaker."""
+        return self.n_servers * self.provisioned_power_per_server_w
+
+
+#: Table 2's row, verbatim: 40 DGX-A100 servers, 2 s telemetry, 5 s brake,
+#: 40 s OOB control.
+DEFAULT_ROW = RowParameters()
+
+
+@dataclass
+class Rack:
+    """A rack holding server identifiers.
+
+    Attributes:
+        name: Rack identifier.
+        server_ids: Servers mounted in this rack.
+    """
+
+    name: str
+    server_ids: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.server_ids)
+
+
+@dataclass
+class Row:
+    """A row of racks fed by one PDU — POLCA's capping scope.
+
+    Attributes:
+        name: Row identifier.
+        parameters: The row's physical and control parameters.
+        racks: Racks in the row.
+    """
+
+    name: str
+    parameters: RowParameters
+    racks: List[Rack] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        parameters: RowParameters = DEFAULT_ROW,
+        servers_per_rack: int = 4,
+    ) -> "Row":
+        """Construct a row with evenly packed racks and generated ids.
+
+        Server ids take the form ``"<row>/r<rack>/s<index>"``.
+        """
+        if servers_per_rack <= 0:
+            raise ConfigurationError("servers_per_rack must be positive")
+        racks: List[Rack] = []
+        for index in range(parameters.n_servers):
+            rack_index = index // servers_per_rack
+            if rack_index == len(racks):
+                racks.append(Rack(name=f"{name}/r{rack_index}"))
+            racks[rack_index].server_ids.append(
+                f"{name}/r{rack_index}/s{index}"
+            )
+        return cls(name=name, parameters=parameters, racks=racks)
+
+    @property
+    def server_ids(self) -> List[str]:
+        """All server identifiers in rack order."""
+        return [sid for rack in self.racks for sid in rack.server_ids]
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers currently placed in the row."""
+        return sum(len(rack) for rack in self.racks)
+
+    @property
+    def provisioned_power_w(self) -> float:
+        """The PDU breaker budget (based on the *designed* server count,
+        not the oversubscribed count — that is the whole point)."""
+        return self.parameters.provisioned_power_w
+
+    def add_servers(self, count: int, servers_per_rack: int = 4) -> List[str]:
+        """Physically deploy extra servers (oversubscription!).
+
+        The breaker budget does not change; the new servers must share the
+        existing provisioned power. Returns the new server ids.
+        """
+        if count <= 0:
+            raise ConfigurationError("must add at least one server")
+        new_ids: List[str] = []
+        start = self.n_servers
+        for offset in range(count):
+            index = start + offset
+            rack_index = index // servers_per_rack
+            while rack_index >= len(self.racks):
+                self.racks.append(Rack(name=f"{self.name}/r{len(self.racks)}"))
+            sid = f"{self.name}/r{rack_index}/s{index}"
+            self.racks[rack_index].server_ids.append(sid)
+            new_ids.append(sid)
+        return new_ids
+
+
+@dataclass
+class Datacenter:
+    """A datacenter as a collection of rows.
+
+    Attributes:
+        name: Datacenter identifier.
+        rows: The rows on the floor.
+    """
+
+    name: str
+    rows: List[Row] = field(default_factory=list)
+
+    def iter_servers(self) -> Iterator[str]:
+        """Yield every server id across all rows."""
+        for row in self.rows:
+            yield from row.server_ids
+
+    @property
+    def provisioned_power_w(self) -> float:
+        """Total provisioned power across rows."""
+        return sum(row.provisioned_power_w for row in self.rows)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Subclasses communicate *which subsystem* rejected the
+operation, mirroring the paper's split between device modelling, telemetry,
+control actuation, and cluster simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class ModelNotFoundError(ConfigurationError):
+    """A model name was requested that is not in the registry (Table 3)."""
+
+
+class FrequencyError(ConfigurationError):
+    """A GPU clock frequency outside the supported range was requested."""
+
+
+class PowerCapError(ConfigurationError):
+    """A power cap outside the device's configurable range was requested."""
+
+class CapacityError(ReproError):
+    """A request exceeded the capacity of a simulated resource."""
+
+
+class ActuationError(ReproError):
+    """An out-of-band control action failed to execute.
+
+    The paper (Section 3.3) notes that OOB GPU management interfaces "are
+    unreliable and may sometimes fail without signaling completion or
+    errors"; this exception models the *detected* failure case.
+    """
+
+
+class TelemetryError(ReproError):
+    """A telemetry interface could not produce a sample."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A power/request trace was malformed or failed validation."""

@@ -1,0 +1,48 @@
+"""Simulated GPU substrate: device specs, DVFS power model, knobs, counters.
+
+The paper characterizes NVIDIA A100 GPUs under frequency locking, power
+capping, and power brakes (Sections 3-4). This package replaces the physical
+device with an analytical model that preserves the behaviours those
+experiments depend on:
+
+* a DVFS power curve ``P = P_idle + activity * P_dyn * (f / f_max)^alpha``
+  whose dynamic range spans idle (~20% of TDP) to transient peaks *above*
+  TDP (Insights 1 and 4);
+* *reactive* power capping that throttles only after observing an
+  over-threshold sample, letting short prompt-phase spikes overshoot the
+  cap (Figure 9b);
+* frequency locking that bounds power proactively at a performance cost
+  proportional to the workload's compute-boundedness (Figure 10);
+* a power brake that forces the SM clock to 288 MHz within seconds
+  (Table 5); and
+* synthetic performance counters with the prompt/token correlation
+  structure of Figure 7.
+"""
+
+from repro.gpu.specs import (
+    A100_40GB,
+    A100_80GB,
+    H100_80GB,
+    GpuSpec,
+    gpu_spec,
+)
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.capping import ReactivePowerCap
+from repro.gpu.brake import BrakeState, PowerBrake
+from repro.gpu.counters import CounterSynthesizer, GpuCounterTrace
+from repro.gpu.device import SimulatedGpu
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "H100_80GB",
+    "BrakeState",
+    "CounterSynthesizer",
+    "GpuCounterTrace",
+    "GpuPowerModel",
+    "GpuSpec",
+    "PowerBrake",
+    "ReactivePowerCap",
+    "SimulatedGpu",
+    "gpu_spec",
+]

@@ -1,0 +1,83 @@
+"""Out-of-band GPU power brake.
+
+"Power brake is a faster OOB lever that brings all GPUs down to almost a
+halt within 5 seconds, while reclaiming substantial power" (Section 3.2).
+Under POLCA, the brake is the last-resort safety net whose activation count
+is itself a reported metric (Figure 18). The brake forces the SM clock to
+288 MHz (Table 5) after an engage latency, and holds it until released.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import GpuSpec
+
+#: OOB power-brake engage latency from Table 2 ("Power brake latency: 5s").
+DEFAULT_BRAKE_LATENCY_S = 5.0
+
+
+class BrakeState(enum.Enum):
+    """Lifecycle of the power brake."""
+
+    RELEASED = "released"
+    ENGAGING = "engaging"
+    ENGAGED = "engaged"
+
+
+@dataclass
+class PowerBrake:
+    """Latency-aware power-brake state machine for one GPU (or one server).
+
+    Attributes:
+        spec: GPU whose brake clock applies.
+        latency_s: Seconds between the engage command and the clock drop.
+    """
+
+    spec: GpuSpec
+    latency_s: float = DEFAULT_BRAKE_LATENCY_S
+    _state: BrakeState = field(init=False, default=BrakeState.RELEASED)
+    _engage_at: Optional[float] = field(init=False, default=None)
+    engage_count: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError("brake latency cannot be negative")
+
+    def engage(self, now: float) -> None:
+        """Command the brake at time ``now``; it takes effect after latency.
+
+        Engaging an already engaging/engaged brake is a no-op — the brake
+        count (Figure 18's metric) counts distinct engage events only.
+        """
+        if self._state is not BrakeState.RELEASED:
+            return
+        self._state = BrakeState.ENGAGING
+        self._engage_at = now + self.latency_s
+        self.engage_count += 1
+
+    def release(self) -> None:
+        """Release the brake immediately."""
+        self._state = BrakeState.RELEASED
+        self._engage_at = None
+
+    def state(self, now: float) -> BrakeState:
+        """Return the brake state at time ``now``, advancing ENGAGING."""
+        if self._state is BrakeState.ENGAGING:
+            assert self._engage_at is not None
+            if now >= self._engage_at:
+                self._state = BrakeState.ENGAGED
+        return self._state
+
+    def is_engaged(self, now: float) -> bool:
+        """True once the brake has physically taken effect."""
+        return self.state(now) is BrakeState.ENGAGED
+
+    def clock_ceiling_mhz(self, now: float) -> float:
+        """SM clock ceiling the brake imposes at time ``now``."""
+        if self.is_engaged(now):
+            return self.spec.brake_clock_mhz
+        return self.spec.max_sm_clock_mhz

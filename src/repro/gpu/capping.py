@@ -1,0 +1,101 @@
+"""Reactive power capping, as implemented by GPU firmware.
+
+Power capping "limits GPU power consumption to a software-specified value by
+reactively throttling frequencies" (Section 3.2). Because the control loop
+only acts *after* observing an over-cap sample, fast prompt-phase spikes can
+briefly overshoot the cap (Figure 9b shows peaks above the 325 W line), and
+power troughs are untouched (Insight 3). This module models that loop as a
+sampled proportional controller over the DVFS curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.gpu.power import GpuPowerModel
+
+
+@dataclass
+class ReactivePowerCap:
+    """Sampled reactive power-cap controller for one GPU.
+
+    The controller observes instantaneous power every ``sample_interval``
+    seconds. When the observation exceeds the cap it steps the throttle
+    clock toward the steady-state clock that meets the cap; when power falls
+    well below the cap it relaxes the throttle back toward the maximum
+    clock. The single-step convergence toward the target (rather than an
+    instantaneous jump) is what lets short spikes overshoot.
+
+    Attributes:
+        model: The DVFS power model to invert.
+        cap_w: The configured cap in watts (defaults to TDP).
+        sample_interval: Firmware control-loop period in seconds. NVIDIA's
+            in-band loop runs at tens of milliseconds; 50 ms by default.
+        convergence: Fraction of the gap to the target clock closed per
+            control step, in ``(0, 1]``.
+        release_margin_w: Power must fall this far below the cap before the
+            throttle is relaxed, providing hysteresis.
+    """
+
+    model: GpuPowerModel
+    cap_w: float = 0.0
+    sample_interval: float = 0.05
+    convergence: float = 0.5
+    release_margin_w: float = 10.0
+    _throttle_clock_mhz: float = field(init=False, default=0.0)
+    _next_sample_time: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.cap_w == 0.0:
+            self.cap_w = self.model.spec.tdp_w
+        self.model.spec.validate_power_cap(self.cap_w)
+        if not 0.0 < self.convergence <= 1.0:
+            raise ConfigurationError(
+                f"convergence {self.convergence} outside (0, 1]"
+            )
+        if self.sample_interval <= 0:
+            raise ConfigurationError("sample_interval must be positive")
+        self._throttle_clock_mhz = self.model.spec.max_sm_clock_mhz
+
+    @property
+    def throttle_clock_mhz(self) -> float:
+        """The clock ceiling currently imposed by the cap controller."""
+        return self._throttle_clock_mhz
+
+    def reset(self) -> None:
+        """Clear controller state (throttle fully released)."""
+        self._throttle_clock_mhz = self.model.spec.max_sm_clock_mhz
+        self._next_sample_time = 0.0
+
+    def observe(self, now: float, activity: float) -> float:
+        """Advance the control loop to time ``now`` and return power drawn.
+
+        Args:
+            now: Simulation time in seconds; must be non-decreasing across
+                calls (the controller keeps its own next-sample schedule).
+            activity: Current workload activity in ``[0, 1]``.
+
+        Returns:
+            The instantaneous power in watts at the *current* throttle
+            clock — i.e. before any correction this sample triggers, which
+            is what produces the realistic overshoot.
+        """
+        power_now = self.model.power(activity, self._throttle_clock_mhz)
+        if now < self._next_sample_time:
+            return power_now
+        self._next_sample_time = now + self.sample_interval
+        if power_now > self.cap_w:
+            target = self.model.throttle_clock_for_cap(activity, self.cap_w)
+            gap = self._throttle_clock_mhz - target
+            self._throttle_clock_mhz -= self.convergence * gap
+        elif power_now < self.cap_w - self.release_margin_w:
+            spec = self.model.spec
+            gap = spec.max_sm_clock_mhz - self._throttle_clock_mhz
+            self._throttle_clock_mhz += self.convergence * gap
+        return power_now
+
+    def steady_state_power(self, activity: float) -> float:
+        """Power after the loop has fully converged for a sustained phase."""
+        clock = self.model.throttle_clock_for_cap(activity, self.cap_w)
+        return self.model.power(activity, clock)

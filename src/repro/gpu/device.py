@@ -1,0 +1,148 @@
+"""A simulated GPU combining the DVFS model with every control knob.
+
+:class:`SimulatedGpu` is the device abstraction the rest of the library
+talks to. It layers, in priority order, the power brake (OOB, 288 MHz), a
+frequency lock (in-band or OOB), and a reactive power cap on top of the
+DVFS power curve, and exposes the performance scale factor that the
+roofline latency model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.gpu.brake import PowerBrake
+from repro.gpu.capping import ReactivePowerCap
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import GpuSpec
+
+
+@dataclass
+class SimulatedGpu:
+    """One GPU with frequency locking, power capping, and a power brake.
+
+    Attributes:
+        spec: Static device description.
+    """
+
+    spec: GpuSpec
+    power_model: GpuPowerModel = field(init=False)
+    brake: PowerBrake = field(init=False)
+    _frequency_lock_mhz: Optional[float] = field(init=False, default=None)
+    _power_cap: Optional[ReactivePowerCap] = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.power_model = GpuPowerModel(self.spec)
+        self.brake = PowerBrake(self.spec)
+
+    # ------------------------------------------------------------------
+    # Knobs
+    # ------------------------------------------------------------------
+    def lock_frequency(self, sm_clock_mhz: float) -> None:
+        """Lock the SM clock ("frequency locking", Section 3.2).
+
+        Raises:
+            FrequencyError: If the clock is outside the lockable range.
+        """
+        self._frequency_lock_mhz = self.spec.validate_clock(sm_clock_mhz)
+
+    def unlock_frequency(self) -> None:
+        """Remove any frequency lock; the GPU may boost to the max clock."""
+        self._frequency_lock_mhz = None
+
+    @property
+    def frequency_lock_mhz(self) -> Optional[float]:
+        """Currently locked SM clock, or ``None`` when unlocked."""
+        return self._frequency_lock_mhz
+
+    def set_power_cap(self, cap_w: float) -> None:
+        """Enable the reactive power cap at ``cap_w`` watts.
+
+        Raises:
+            PowerCapError: If the cap is outside the configurable range.
+        """
+        self.spec.validate_power_cap(cap_w)
+        self._power_cap = ReactivePowerCap(self.power_model, cap_w=cap_w)
+
+    def clear_power_cap(self) -> None:
+        """Return the power cap to the default (TDP, effectively off)."""
+        self._power_cap = None
+
+    @property
+    def power_cap_w(self) -> Optional[float]:
+        """Configured power cap in watts, or ``None`` at the TDP default."""
+        if self._power_cap is None:
+            return None
+        return self._power_cap.cap_w
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def effective_clock_mhz(self, now: float, activity: float = 1.0) -> float:
+        """SM clock after applying brake, lock, and cap (most restrictive).
+
+        The brake dominates everything; otherwise the clock is the minimum
+        of the frequency lock and the power-cap throttle state.
+        """
+        ceiling = self.brake.clock_ceiling_mhz(now)
+        if ceiling == self.spec.brake_clock_mhz:
+            return ceiling
+        clock = self.spec.max_sm_clock_mhz
+        if self._frequency_lock_mhz is not None:
+            clock = min(clock, self._frequency_lock_mhz)
+        if self._power_cap is not None:
+            steady = self.power_model.throttle_clock_for_cap(
+                activity, self._power_cap.cap_w
+            )
+            clock = min(clock, steady)
+        return clock
+
+    def power(self, now: float, activity: float) -> float:
+        """Instantaneous power in watts for the given workload activity.
+
+        When a power cap is active this advances the reactive controller,
+        so consecutive calls with increasing ``now`` trace the realistic
+        overshoot-then-converge trajectory of Figure 9b. Frequency locks
+        and the brake apply proactively.
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ConfigurationError(f"activity {activity} outside [0, 1]")
+        if self.brake.is_engaged(now):
+            return self.power_model.power(activity, self.spec.brake_clock_mhz)
+        if self._frequency_lock_mhz is not None:
+            locked = self.power_model.power(activity, self._frequency_lock_mhz)
+            if self._power_cap is not None:
+                return min(locked, self._power_cap.observe(now, activity))
+            return locked
+        if self._power_cap is not None:
+            return self._power_cap.observe(now, activity)
+        return self.power_model.power(activity, self.spec.max_sm_clock_mhz)
+
+    def performance_scale(
+        self, compute_fraction: float, now: float = 0.0, activity: float = 1.0
+    ) -> float:
+        """Throughput multiplier in ``(0, 1]`` at the current clock.
+
+        A phase that is ``compute_fraction`` compute-bound and
+        ``1 - compute_fraction`` bandwidth-bound slows down as::
+
+            scale = 1 / ((1 - c) + c * f_max / f)
+
+        i.e. the compute portion stretches inversely with clock while the
+        bandwidth portion is clock-insensitive. This is the mechanism
+        behind the paper's superlinear power-vs-performance trade-off
+        (Insight 7): token phases (small ``c``) barely slow down while the
+        prompt-phase peak power falls with the clock.
+
+        Raises:
+            ConfigurationError: If ``compute_fraction`` is outside [0, 1].
+        """
+        if not 0.0 <= compute_fraction <= 1.0:
+            raise ConfigurationError(
+                f"compute_fraction {compute_fraction} outside [0, 1]"
+            )
+        clock = self.effective_clock_mhz(now, activity)
+        ratio = self.spec.max_sm_clock_mhz / clock
+        return 1.0 / ((1.0 - compute_fraction) + compute_fraction * ratio)

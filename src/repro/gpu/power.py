@@ -1,0 +1,114 @@
+"""Analytical DVFS power model for a single GPU.
+
+The model is deliberately simple — a single activity factor times a
+frequency-dependent dynamic-power term on top of idle power:
+
+    P(activity, f) = P_idle + activity * (P_peak - P_idle) * (f / f_max)^alpha
+
+where ``activity`` in ``[0, 1]`` expresses how hard the workload drives the
+chip (1.0 = the most power-intensive phase observed, i.e. a long prompt
+computation that transiently exceeds TDP), ``f`` is the SM clock, and
+``alpha`` is mildly superlinear. This is sufficient to reproduce every
+power-side effect the paper measures:
+
+* prompt phases reach/exceed TDP while token phases sit at 60-75% of TDP
+  (Figures 6 and 8) because their activities differ;
+* frequency locking reduces peak power roughly linearly over the
+  1.1-1.4 GHz window (Figure 10), because ``alpha`` is close to 1 in that
+  limited-voltage-scaling range;
+* power capping computes the steady-state throttle clock by inverting the
+  same curve (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class GpuPowerModel:
+    """Power as a function of workload activity and SM clock.
+
+    Attributes:
+        spec: The GPU being modelled.
+    """
+
+    spec: GpuSpec
+
+    def power(self, activity: float, sm_clock_mhz: float) -> float:
+        """Instantaneous power in watts.
+
+        Args:
+            activity: Workload intensity in ``[0, 1]``; 0 is idle and 1 is
+                the most intense phase (prompt processing of a large batch),
+                which draws the spec's transient peak at the maximum clock.
+            sm_clock_mhz: Current SM clock in MHz.
+
+        Raises:
+            ConfigurationError: If ``activity`` is outside ``[0, 1]``.
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ConfigurationError(f"activity {activity} outside [0, 1]")
+        frequency_ratio = sm_clock_mhz / self.spec.max_sm_clock_mhz
+        dynamic_range = self.spec.transient_peak_w - self.spec.idle_w
+        scale = frequency_ratio ** self.spec.dvfs_alpha
+        return self.spec.idle_w + activity * dynamic_range * scale
+
+    def activity_for_power(self, power_w: float, sm_clock_mhz: float) -> float:
+        """Invert :meth:`power` for a fixed clock.
+
+        Returns the activity that would draw ``power_w`` at ``sm_clock_mhz``.
+        Used when fitting phase activities to target power levels during
+        model calibration.
+
+        Raises:
+            ConfigurationError: If the power is unreachable at this clock.
+        """
+        frequency_ratio = sm_clock_mhz / self.spec.max_sm_clock_mhz
+        dynamic_range = self.spec.transient_peak_w - self.spec.idle_w
+        scale = frequency_ratio ** self.spec.dvfs_alpha
+        if scale <= 0:
+            raise ConfigurationError("clock must be positive")
+        activity = (power_w - self.spec.idle_w) / (dynamic_range * scale)
+        tolerance = 1e-9
+        if not -tolerance <= activity <= 1.0 + tolerance:
+            raise ConfigurationError(
+                f"power {power_w} W unreachable at {sm_clock_mhz} MHz "
+                f"(implied activity {activity:.3f})"
+            )
+        return min(1.0, max(0.0, activity))
+
+    def throttle_clock_for_cap(self, activity: float, cap_w: float) -> float:
+        """Steady-state SM clock a reactive power cap converges to.
+
+        If the uncapped power at the maximum clock is below ``cap_w`` the
+        maximum clock is returned; otherwise the curve is inverted to the
+        clock at which power exactly equals the cap, floored at the minimum
+        lockable clock (caps below the idle-power floor cannot be honored
+        by frequency throttling alone).
+        """
+        if self.power(activity, self.spec.max_sm_clock_mhz) <= cap_w:
+            return self.spec.max_sm_clock_mhz
+        dynamic_range = self.spec.transient_peak_w - self.spec.idle_w
+        numerator = cap_w - self.spec.idle_w
+        if numerator <= 0 or activity <= 0:
+            return self.spec.min_sm_clock_mhz
+        scale = numerator / (activity * dynamic_range)
+        ratio = scale ** (1.0 / self.spec.dvfs_alpha)
+        clock = ratio * self.spec.max_sm_clock_mhz
+        return max(self.spec.min_sm_clock_mhz,
+                   min(clock, self.spec.max_sm_clock_mhz))
+
+    def peak_power_reduction(self, activity: float, sm_clock_mhz: float) -> float:
+        """Fractional peak-power reduction from locking to ``sm_clock_mhz``.
+
+        This is the x-axis of Figure 10: the relative drop in peak power
+        versus running uncapped at the maximum clock, for a phase of the
+        given activity.
+        """
+        uncapped = self.power(activity, self.spec.max_sm_clock_mhz)
+        locked = self.power(activity, sm_clock_mhz)
+        return (uncapped - locked) / uncapped

@@ -1,0 +1,195 @@
+"""Datacenter GPU specifications used by the power and performance models.
+
+The numbers come from public NVIDIA datasheets and from values quoted in the
+paper itself: the A100's 400 W TDP, 1410 MHz maximum SM clock, 1275 MHz base
+clock ("the base frequency of A100", Section 6.5), the 288 MHz power-brake
+clock (Table 5), and the 300-400 W configurable power-cap range and
+1.1-1.4 GHz frequency-lock range used in the characterization (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import FrequencyError, ModelNotFoundError, PowerCapError
+from repro.units import gigabytes, gigabytes_per_second, teraflops
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a datacenter GPU model.
+
+    Attributes:
+        name: Marketing name, e.g. ``"A100-80GB"``.
+        tdp_w: Thermal design power in watts; the default power cap.
+        idle_w: Power drawn with no work scheduled. The paper observes
+            training troughs at ~20% of TDP for Flan-T5, which corresponds
+            to GPU idle power.
+        transient_peak_w: Maximum instantaneous power. The paper observes
+            peaks *above* TDP (Insights 1 and 4); power capping is reactive
+            so short excursions beyond even the cap are possible.
+        max_sm_clock_mhz: Maximum (boost) SM clock.
+        base_sm_clock_mhz: Base SM clock; POLCA's T1 capping target.
+        min_sm_clock_mhz: Lowest lockable SM clock.
+        brake_clock_mhz: SM clock forced by the OOB power brake.
+        min_power_cap_w / max_power_cap_w: Software power-cap range.
+        memory_bytes: HBM capacity in bytes.
+        memory_bandwidth: HBM bandwidth in bytes/second.
+        peak_flops: Peak dense throughput in FLOP/s per datatype name
+            (``"fp32"``, ``"fp16"``, ``"int8"``), at the maximum SM clock.
+        dvfs_alpha: Exponent of the dynamic-power-vs-frequency curve,
+            ``P_dyn ∝ (f / f_max)^alpha``. Values slightly above 1 reflect
+            that voltage scaling is limited in the upper DVFS range, which
+            matches the near-linear peak-power reduction the paper measures
+            between 1.1 and 1.4 GHz (Figure 10).
+    """
+
+    name: str
+    tdp_w: float
+    idle_w: float
+    transient_peak_w: float
+    max_sm_clock_mhz: float
+    base_sm_clock_mhz: float
+    min_sm_clock_mhz: float
+    brake_clock_mhz: float
+    min_power_cap_w: float
+    max_power_cap_w: float
+    memory_bytes: float
+    memory_bandwidth: float
+    peak_flops: Dict[str, float] = field(default_factory=dict)
+    dvfs_alpha: float = 1.35
+
+    def __post_init__(self) -> None:
+        if not 0 < self.idle_w < self.tdp_w <= self.transient_peak_w:
+            raise PowerCapError(
+                f"{self.name}: require 0 < idle < TDP <= transient peak, got "
+                f"idle={self.idle_w}, tdp={self.tdp_w}, "
+                f"peak={self.transient_peak_w}"
+            )
+        ladder_ok = (
+            0 < self.min_sm_clock_mhz
+            <= self.base_sm_clock_mhz
+            <= self.max_sm_clock_mhz
+        )
+        if not ladder_ok or not 0 < self.brake_clock_mhz < self.base_sm_clock_mhz:
+            raise FrequencyError(f"{self.name}: inconsistent clock ladder")
+        if not 0 < self.min_power_cap_w <= self.max_power_cap_w:
+            raise PowerCapError(f"{self.name}: inconsistent power-cap range")
+
+    @property
+    def lockable_clock_range_mhz(self) -> Tuple[float, float]:
+        """Inclusive (min, max) range for frequency locking."""
+        return (self.min_sm_clock_mhz, self.max_sm_clock_mhz)
+
+    def validate_clock(self, sm_clock_mhz: float) -> float:
+        """Return ``sm_clock_mhz`` if lockable (or the brake clock).
+
+        Raises:
+            FrequencyError: If the clock is outside the supported set.
+        """
+        if sm_clock_mhz == self.brake_clock_mhz:
+            return sm_clock_mhz
+        lo, hi = self.lockable_clock_range_mhz
+        if not lo <= sm_clock_mhz <= hi:
+            raise FrequencyError(
+                f"{self.name}: clock {sm_clock_mhz} MHz outside [{lo}, {hi}]"
+            )
+        return sm_clock_mhz
+
+    def validate_power_cap(self, cap_w: float) -> float:
+        """Return ``cap_w`` if it lies in the configurable cap range.
+
+        Raises:
+            PowerCapError: If the cap is outside the supported range.
+        """
+        if not self.min_power_cap_w <= cap_w <= self.max_power_cap_w:
+            raise PowerCapError(
+                f"{self.name}: power cap {cap_w} W outside "
+                f"[{self.min_power_cap_w}, {self.max_power_cap_w}]"
+            )
+        return cap_w
+
+
+#: NVIDIA A100-40GB SXM (training machine in the paper, Section 3.4).
+A100_40GB = GpuSpec(
+    name="A100-40GB",
+    tdp_w=400.0,
+    idle_w=80.0,
+    transient_peak_w=460.0,
+    max_sm_clock_mhz=1410.0,
+    base_sm_clock_mhz=1275.0,
+    min_sm_clock_mhz=210.0,
+    brake_clock_mhz=288.0,
+    min_power_cap_w=100.0,
+    max_power_cap_w=400.0,
+    memory_bytes=gigabytes(40),
+    memory_bandwidth=gigabytes_per_second(1555),
+    peak_flops={
+        "fp32": teraflops(19.5),
+        "fp16": teraflops(312.0),
+        "int8": teraflops(624.0),
+    },
+)
+
+#: NVIDIA A100-80GB SXM (inference machine in the paper, Section 3.4).
+A100_80GB = GpuSpec(
+    name="A100-80GB",
+    tdp_w=400.0,
+    idle_w=80.0,
+    transient_peak_w=465.0,
+    max_sm_clock_mhz=1410.0,
+    base_sm_clock_mhz=1275.0,
+    min_sm_clock_mhz=210.0,
+    brake_clock_mhz=288.0,
+    min_power_cap_w=100.0,
+    max_power_cap_w=400.0,
+    memory_bytes=gigabytes(80),
+    memory_bandwidth=gigabytes_per_second(2039),
+    peak_flops={
+        "fp32": teraflops(19.5),
+        "fp16": teraflops(312.0),
+        "int8": teraflops(624.0),
+    },
+)
+
+#: NVIDIA H100-80GB SXM, mentioned by the paper's discussion (Section 6.7)
+#: as the next-generation part (DGX-H100, FP8 engine). Included to support
+#: the "Beyond LLMs / newer GPUs" extension experiments.
+H100_80GB = GpuSpec(
+    name="H100-80GB",
+    tdp_w=700.0,
+    idle_w=110.0,
+    transient_peak_w=790.0,
+    max_sm_clock_mhz=1980.0,
+    base_sm_clock_mhz=1590.0,
+    min_sm_clock_mhz=210.0,
+    brake_clock_mhz=345.0,
+    min_power_cap_w=200.0,
+    max_power_cap_w=700.0,
+    memory_bytes=gigabytes(80),
+    memory_bandwidth=gigabytes_per_second(3350),
+    peak_flops={
+        "fp32": teraflops(67.0),
+        "fp16": teraflops(990.0),
+        "int8": teraflops(1980.0),
+        "fp8": teraflops(1980.0),
+    },
+)
+
+_SPECS: Dict[str, GpuSpec] = {
+    spec.name: spec for spec in (A100_40GB, A100_80GB, H100_80GB)
+}
+
+
+def gpu_spec(name: str) -> GpuSpec:
+    """Look up a GPU spec by name.
+
+    Raises:
+        ModelNotFoundError: If the name is unknown.
+    """
+    try:
+        return _SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS))
+        raise ModelNotFoundError(f"unknown GPU {name!r}; known: {known}") from None

@@ -1,0 +1,53 @@
+"""LLM substrate: model zoo, roofline performance, and phase power profiles.
+
+The paper characterizes seven open LLMs (Table 3) spanning encoder,
+decoder, and encoder-decoder transformers on DGX-A100 servers. We replace
+the real frameworks (DeepSpeed-Inference, vLLM, HF Transformers) with an
+analytical substrate:
+
+* :mod:`repro.models.architecture` — transformer FLOP/byte arithmetic;
+* :mod:`repro.models.registry` — the Table 3 zoo with per-model GPU counts
+  and the calibration constants tied to the paper's figures;
+* :mod:`repro.models.performance` — a roofline latency model separating
+  the compute-bound prompt phase from the bandwidth-bound token phase;
+* :mod:`repro.models.power_profile` — per-phase activity levels feeding
+  the GPU power model;
+* :mod:`repro.models.inference` — request descriptions and phase
+  timelines consumed by the characterization and the cluster simulator.
+"""
+
+from repro.models.datatypes import DType, FP32, FP16, INT8, FP8
+from repro.models.architecture import TransformerArchitecture, ArchitectureKind
+from repro.models.registry import (
+    LlmSpec,
+    MODEL_ZOO,
+    get_model,
+    inference_models,
+    training_models,
+)
+from repro.models.performance import RooflineLatencyModel, PhaseLatency
+from repro.models.power_profile import PhasePowerProfile
+from repro.models.inference import InferenceRequest, PhaseSegment, request_timeline
+from repro.models.vision import VisionServingModel
+
+__all__ = [
+    "ArchitectureKind",
+    "DType",
+    "FP16",
+    "FP32",
+    "FP8",
+    "INT8",
+    "InferenceRequest",
+    "LlmSpec",
+    "MODEL_ZOO",
+    "PhaseLatency",
+    "PhasePowerProfile",
+    "PhaseSegment",
+    "RooflineLatencyModel",
+    "TransformerArchitecture",
+    "VisionServingModel",
+    "get_model",
+    "inference_models",
+    "request_timeline",
+    "training_models",
+]

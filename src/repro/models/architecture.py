@@ -1,0 +1,164 @@
+"""Transformer architecture arithmetic: parameters, FLOPs, and bytes.
+
+The roofline performance model needs three quantities per model:
+
+* forward-pass FLOPs per token (``≈ 2 × parameters`` for dense decoder
+  transformers, the standard approximation from the scaling-law
+  literature);
+* weight bytes that must stream from HBM for every generated token during
+  the bandwidth-bound token phase;
+* KV-cache bytes per token, which both consume HBM capacity and add to the
+  per-token streaming traffic as context grows.
+
+These follow directly from the published layer counts and hidden sizes of
+the open models in Table 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.models.datatypes import DType
+
+
+class ArchitectureKind(enum.Enum):
+    """The three transformer families distinguished by the paper (Sec. 2)."""
+
+    ENCODER = "encoder"
+    DECODER = "decoder"
+    ENCODER_DECODER = "encoder-decoder"
+
+
+@dataclass(frozen=True)
+class TransformerArchitecture:
+    """Shape of a dense transformer.
+
+    Attributes:
+        kind: Encoder / decoder / encoder-decoder.
+        n_params: Total parameter count.
+        n_layers: Transformer block count (sum of both stacks for
+            encoder-decoder models).
+        hidden_size: Model dimension.
+        n_heads: Attention head count.
+        vocab_size: Vocabulary size (affects embedding/unembedding only).
+    """
+
+    kind: ArchitectureKind
+    n_params: float
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    vocab_size: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.n_params <= 0 or self.n_layers <= 0 or self.hidden_size <= 0:
+            raise ConfigurationError("architecture dimensions must be positive")
+        if self.hidden_size % max(self.n_heads, 1) != 0:
+            raise ConfigurationError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"n_heads {self.n_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.n_heads
+
+    def forward_flops_per_token(self) -> float:
+        """Dense forward-pass FLOPs for one token (≈ 2 × parameters)."""
+        return 2.0 * self.n_params
+
+    def prompt_flops(self, prompt_tokens: int, batch_size: int) -> float:
+        """FLOPs to process a prompt of the given size in parallel.
+
+        Attention's quadratic term is included; it only matters for very
+        long prompts (it is why Figure 8b's latency finally bends upward
+        past 4096 input tokens).
+        """
+        self._check_tokens(prompt_tokens, batch_size)
+        dense = self.forward_flops_per_token() * prompt_tokens * batch_size
+        attention = (
+            4.0 * self.n_layers * self.hidden_size
+            * prompt_tokens * prompt_tokens * batch_size
+        )
+        return dense + attention
+
+    def token_flops(self, batch_size: int, context_tokens: int) -> float:
+        """FLOPs to generate one token per sequence in the batch."""
+        self._check_tokens(max(context_tokens, 1), batch_size)
+        dense = self.forward_flops_per_token() * batch_size
+        attention = (
+            4.0 * self.n_layers * self.hidden_size * context_tokens * batch_size
+        )
+        return dense + attention
+
+    def weight_bytes(self, dtype: DType) -> float:
+        """Bytes occupied by the model weights at the given datatype."""
+        return self.n_params * dtype.bytes_per_param
+
+    def kv_cache_bytes_per_token(self, dtype: DType) -> float:
+        """KV-cache bytes appended per token per sequence.
+
+        Two vectors (K and V) of ``hidden_size`` per layer.
+        """
+        return 2.0 * self.n_layers * self.hidden_size * dtype.bytes_per_param
+
+    def kv_cache_bytes(
+        self, dtype: DType, context_tokens: int, batch_size: int
+    ) -> float:
+        """Total KV-cache footprint for a batch at the given context length."""
+        self._check_tokens(context_tokens, batch_size)
+        return (
+            self.kv_cache_bytes_per_token(dtype) * context_tokens * batch_size
+        )
+
+    def token_read_bytes(
+        self, dtype: DType, context_tokens: int, batch_size: int
+    ) -> float:
+        """HBM bytes streamed to generate one token (weights + KV cache).
+
+        Weights are read once per forward pass regardless of batch size;
+        the KV cache is read per sequence.
+        """
+        return self.weight_bytes(dtype) + self.kv_cache_bytes(
+            dtype, context_tokens, batch_size
+        )
+
+    def fits_on(
+        self,
+        dtype: DType,
+        memory_bytes_total: float,
+        context_tokens: int = 2048,
+        batch_size: int = 1,
+        activation_overhead: float = 0.10,
+        kv_dtype: Optional[DType] = None,
+    ) -> bool:
+        """Whether weights + KV cache + activations fit in aggregate HBM.
+
+        The paper's footnote 1 notes that "beyond model weights, extra
+        state is needed for activations, KV cache, etc., which could
+        preclude using fewer GPUs for smaller datatypes" — the
+        ``activation_overhead`` fraction models that extra state, and
+        ``kv_dtype`` lets the KV cache stay FP16 when the weights are
+        quantized (bitsandbytes quantizes weights only, which is why the
+        paper still needs two GPUs for INT8 Llama2-70B).
+        """
+        need = self.weight_bytes(dtype) * (1.0 + activation_overhead)
+        need += self.kv_cache_bytes(
+            kv_dtype if kv_dtype is not None else dtype,
+            context_tokens,
+            batch_size,
+        )
+        return need <= memory_bytes_total
+
+    @staticmethod
+    def _check_tokens(tokens: int, batch_size: int) -> None:
+        if tokens <= 0:
+            raise ConfigurationError(f"token count must be positive, got {tokens}")
+        if batch_size <= 0:
+            raise ConfigurationError(
+                f"batch size must be positive, got {batch_size}"
+            )

@@ -1,0 +1,91 @@
+"""Model weight datatypes and their kernel-efficiency trade-offs.
+
+Section 4.2 ("Impact of datatypes") runs Llama2-70B/13B with FP32, FP16,
+and INT8 weights via bitsandbytes, and observes:
+
+* FP16 is fastest and draws the *highest* peak power because it uses the
+  highly optimized tensor-core kernels;
+* FP32 is slower due to a 2x larger footprint (and far lower tensor-core
+  throughput);
+* INT8 is slower than FP16 despite smaller weights, because the
+  bitsandbytes dequantization kernels are less optimized;
+* quantized weights need fewer GPUs, reducing total power (Insight 6).
+
+We encode each datatype as bytes-per-parameter plus a *kernel efficiency*
+multiplier applied to the device's peak throughput for that type, which
+reproduces exactly those orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DType:
+    """A model-weight datatype.
+
+    Attributes:
+        name: Key into :attr:`repro.gpu.specs.GpuSpec.peak_flops`.
+        bytes_per_param: Storage per parameter (weights and KV cache).
+        kernel_efficiency: Fraction of the device's peak throughput the
+            available kernels achieve, in ``(0, 1]``. INT8's low value
+            models the bitsandbytes dequantize-then-matmul path.
+        bandwidth_efficiency: Fraction of streaming bandwidth the kernels
+            achieve, in ``(0, 1]``. INT8's low value makes it *slower*
+            than FP16 despite halved weight bytes — the dequantization
+            stalls the memory pipeline (Section 4.2, "INT8 perform[s]
+            slower due to ... less optimized CUDA kernels").
+        peak_activity_bonus: Additive adjustment to prompt-phase activity;
+            FP16's optimized tensor-core kernels drive the chip hardest.
+    """
+
+    name: str
+    bytes_per_param: float
+    kernel_efficiency: float
+    bandwidth_efficiency: float = 1.0
+    peak_activity_bonus: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_param <= 0:
+            raise ConfigurationError("bytes_per_param must be positive")
+        if not 0.0 < self.kernel_efficiency <= 1.0:
+            raise ConfigurationError("kernel_efficiency must be in (0, 1]")
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ConfigurationError("bandwidth_efficiency must be in (0, 1]")
+
+
+#: IEEE single precision; no tensor-core path for matmuls at this width.
+FP32 = DType(name="fp32", bytes_per_param=4.0, kernel_efficiency=0.85,
+             peak_activity_bonus=-0.05)
+
+#: Half precision on tensor cores — the default serving datatype.
+FP16 = DType(name="fp16", bytes_per_param=2.0, kernel_efficiency=1.0,
+             peak_activity_bonus=0.0)
+
+#: bitsandbytes LLM.int8(): small weights, poorly optimized kernels.
+INT8 = DType(name="int8", bytes_per_param=1.0, kernel_efficiency=0.25,
+             bandwidth_efficiency=0.35, peak_activity_bonus=-0.08)
+
+#: H100-era FP8 (Section 6.7 mentions the H100 FP8 engine).
+FP8 = DType(name="fp8", bytes_per_param=1.0, kernel_efficiency=0.95,
+            peak_activity_bonus=0.02)
+
+_DTYPES = {d.name: d for d in (FP32, FP16, INT8, FP8)}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a datatype by its name.
+
+    Raises:
+        ConfigurationError: If the name is unknown.
+    """
+    try:
+        return _DTYPES[name]
+    except KeyError:
+        known = ", ".join(sorted(_DTYPES))
+        raise ConfigurationError(
+            f"unknown dtype {name!r}; known: {known}"
+        ) from None

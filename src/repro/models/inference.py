@@ -1,0 +1,154 @@
+"""Inference request descriptions and their phase timelines.
+
+A request is fully described by its model, input/output token counts,
+batch size, and datatype. The timeline expansion turns one request into a
+sequence of :class:`PhaseSegment`\\ s — (duration, activity,
+compute-boundedness) triples — which is the single currency shared by the
+characterization harness (power time series, Figures 6 and 9) and the
+cluster simulator (per-server power and latency under capping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import GpuSpec
+from repro.models.datatypes import DType
+from repro.models.performance import RooflineLatencyModel
+from repro.models.power_profile import PhasePowerProfile
+from repro.models.registry import LlmSpec
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One LLM inference request.
+
+    Attributes:
+        model_name: Canonical model name from the zoo.
+        input_tokens: Prompt length per sequence.
+        output_tokens: Tokens to generate per sequence.
+        batch_size: Sequences processed together.
+        dtype: Optional datatype override.
+    """
+
+    model_name: str
+    input_tokens: int
+    output_tokens: int
+    batch_size: int = 1
+    dtype: Optional[DType] = None
+
+    def __post_init__(self) -> None:
+        if self.input_tokens <= 0:
+            raise ConfigurationError("input_tokens must be positive")
+        if self.output_tokens <= 0:
+            raise ConfigurationError("output_tokens must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+
+    def with_sizes(
+        self,
+        input_tokens: Optional[int] = None,
+        output_tokens: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> "InferenceRequest":
+        """Return a copy with some sizes replaced (for parameter sweeps)."""
+        return replace(
+            self,
+            input_tokens=input_tokens if input_tokens is not None else self.input_tokens,
+            output_tokens=output_tokens if output_tokens is not None else self.output_tokens,
+            batch_size=batch_size if batch_size is not None else self.batch_size,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """A contiguous stretch of execution with uniform power behaviour.
+
+    Attributes:
+        phase: ``"prompt"``, ``"token"``, or ``"idle"``.
+        duration_seconds: Duration at the maximum SM clock. Consumers
+            stretch this by the phase's compute sensitivity when the clock
+            is reduced.
+        activity: GPU activity driving the power model.
+        compute_fraction: Clock sensitivity of the duration: 1.0 stretches
+            inversely with clock, 0.0 is clock-insensitive.
+    """
+
+    phase: str
+    duration_seconds: float
+    activity: float
+    compute_fraction: float
+
+    def duration_at(self, clock_ratio: float) -> float:
+        """Duration when running at ``clock_ratio`` of the max clock."""
+        if not 0.0 < clock_ratio <= 1.0:
+            raise ConfigurationError(f"clock_ratio {clock_ratio} outside (0, 1]")
+        stretch = (1.0 - self.compute_fraction) + self.compute_fraction / clock_ratio
+        return self.duration_seconds * stretch
+
+
+@dataclass(frozen=True)
+class RequestTimeline:
+    """The phase segments of one request, with convenience accessors."""
+
+    request: InferenceRequest
+    segments: List[PhaseSegment] = field(default_factory=list)
+
+    def total_seconds(self, clock_ratio: float = 1.0) -> float:
+        """End-to-end duration at the given clock ratio."""
+        return sum(seg.duration_at(clock_ratio) for seg in self.segments)
+
+    def peak_activity(self) -> float:
+        """Maximum activity across segments (the prompt spike)."""
+        return max(seg.activity for seg in self.segments)
+
+    def mean_activity(self, clock_ratio: float = 1.0) -> float:
+        """Duration-weighted mean activity (the stable token level)."""
+        total = self.total_seconds(clock_ratio)
+        weighted = sum(
+            seg.activity * seg.duration_at(clock_ratio) for seg in self.segments
+        )
+        return weighted / total
+
+
+def request_timeline(
+    spec: LlmSpec,
+    gpu: GpuSpec,
+    request: InferenceRequest,
+    n_gpus: Optional[int] = None,
+) -> RequestTimeline:
+    """Expand a request into its prompt and token phase segments.
+
+    The prompt segment is fully compute-bound; the token segment's clock
+    sensitivity is the model's calibrated ``token_clock_sensitivity``.
+    """
+    if request.model_name != spec.name:
+        raise ConfigurationError(
+            f"request targets {request.model_name!r} but spec is {spec.name!r}"
+        )
+    latency = RooflineLatencyModel(
+        model=spec, gpu=gpu, dtype=request.dtype, n_gpus=n_gpus
+    )
+    profile = PhasePowerProfile(model=spec, dtype=request.dtype)
+    phases = latency.request_latency(
+        request.input_tokens, request.output_tokens, request.batch_size
+    )
+    segments = [
+        PhaseSegment(
+            phase="prompt",
+            duration_seconds=phases.prompt_seconds,
+            activity=profile.prompt_activity(
+                request.input_tokens, request.batch_size
+            ),
+            compute_fraction=1.0,
+        ),
+        PhaseSegment(
+            phase="token",
+            duration_seconds=phases.token_seconds,
+            activity=profile.token_activity(request.batch_size),
+            compute_fraction=spec.calibration.token_clock_sensitivity,
+        ),
+    ]
+    return RequestTimeline(request=request, segments=segments)

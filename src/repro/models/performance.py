@@ -1,0 +1,209 @@
+"""Roofline latency model for LLM inference phases.
+
+The paper's performance-side observations all follow from the different
+bottlenecks of the two inference phases (Section 2, Figure 1):
+
+* **Prompt processing** runs all input tokens in parallel and is
+  compute-bound: its latency is FLOPs over delivered tensor throughput,
+  and it scales inversely with the SM clock.
+* **Token sampling** is sequential and bandwidth-bound: each generated
+  token must stream the model weights (plus the KV cache) from HBM, so
+  its latency is bytes over bandwidth and is only weakly clock-sensitive.
+
+The weak residual clock sensitivity of the token phase is the per-model
+``token_clock_sensitivity`` calibration constant (see
+:mod:`repro.models.registry`), which reproduces Figure 10's superlinear
+peak-power-vs-performance trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import GpuSpec
+from repro.models.datatypes import DType
+from repro.models.registry import LlmSpec
+
+#: Fraction of peak HBM bandwidth achieved by streaming reads.
+DEFAULT_BANDWIDTH_EFFICIENCY = 0.8
+
+#: Tensor-parallel scaling efficiency across GPUs on one server (NVLink).
+DEFAULT_TP_EFFICIENCY = 0.85
+
+#: Fixed per-request overhead (scheduling, tokenization), in seconds.
+DEFAULT_REQUEST_OVERHEAD_S = 0.02
+
+
+@dataclass(frozen=True)
+class PhaseLatency:
+    """Latency of one inference request, split by phase.
+
+    Attributes:
+        prompt_seconds: Prompt-processing time.
+        token_seconds: Total token-sampling time for all output tokens.
+        overhead_seconds: Fixed request overhead.
+    """
+
+    prompt_seconds: float
+    token_seconds: float
+    overhead_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end request latency."""
+        return self.prompt_seconds + self.token_seconds + self.overhead_seconds
+
+    @property
+    def prompt_fraction(self) -> float:
+        """Share of the request spent in the prompt phase."""
+        return self.prompt_seconds / self.total_seconds
+
+
+@dataclass(frozen=True)
+class RooflineLatencyModel:
+    """Analytical latency model for one model served on one server.
+
+    Attributes:
+        model: The LLM being served.
+        gpu: The GPU type of the serving server.
+        dtype: Weight datatype; defaults to the model's default (FP16).
+        n_gpus: Tensor-parallel degree; defaults to Table 3's value.
+        bandwidth_efficiency: Achieved fraction of peak HBM bandwidth.
+        tp_efficiency: Tensor-parallel scaling efficiency.
+        overhead_seconds: Fixed per-request overhead.
+    """
+
+    model: LlmSpec
+    gpu: GpuSpec
+    dtype: Optional[DType] = None
+    n_gpus: Optional[int] = None
+    bandwidth_efficiency: float = DEFAULT_BANDWIDTH_EFFICIENCY
+    tp_efficiency: float = DEFAULT_TP_EFFICIENCY
+    overhead_seconds: float = DEFAULT_REQUEST_OVERHEAD_S
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ConfigurationError("bandwidth_efficiency must be in (0, 1]")
+        if not 0.0 < self.tp_efficiency <= 1.0:
+            raise ConfigurationError("tp_efficiency must be in (0, 1]")
+
+    @property
+    def effective_dtype(self) -> DType:
+        """The datatype in use."""
+        return self.dtype if self.dtype is not None else self.model.default_dtype
+
+    @property
+    def effective_n_gpus(self) -> int:
+        """The tensor-parallel degree in use."""
+        return self.n_gpus if self.n_gpus is not None else self.model.n_inference_gpus
+
+    def _delivered_flops(self) -> float:
+        """Aggregate tensor throughput at the maximum SM clock, FLOP/s."""
+        dtype = self.effective_dtype
+        try:
+            peak = self.gpu.peak_flops[dtype.name]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.gpu.name} has no peak-FLOPs entry for {dtype.name}"
+            ) from None
+        return (
+            peak
+            * dtype.kernel_efficiency
+            * self.effective_n_gpus
+            * self.tp_efficiency
+        )
+
+    def _delivered_bandwidth(self) -> float:
+        """Aggregate HBM bandwidth, B/s (dtype kernels included)."""
+        return (
+            self.gpu.memory_bandwidth
+            * self.bandwidth_efficiency
+            * self.effective_dtype.bandwidth_efficiency
+            * self.effective_n_gpus
+        )
+
+    def prompt_latency(
+        self, input_tokens: int, batch_size: int = 1, clock_ratio: float = 1.0
+    ) -> float:
+        """Prompt-processing latency in seconds.
+
+        Compute-bound: scales with FLOPs and inversely with the SM clock.
+
+        Args:
+            input_tokens: Prompt length per sequence.
+            batch_size: Number of sequences processed together.
+            clock_ratio: Current SM clock over the max clock, in (0, 1].
+        """
+        self._check_clock_ratio(clock_ratio)
+        flops = self.model.architecture.prompt_flops(input_tokens, batch_size)
+        calibration = self.model.calibration
+        throughput = self._delivered_flops() * calibration.mfu_prompt
+        return flops / throughput / clock_ratio
+
+    def token_latency(
+        self,
+        batch_size: int = 1,
+        context_tokens: int = 1024,
+        clock_ratio: float = 1.0,
+    ) -> float:
+        """Latency to generate one token (per sequence in the batch).
+
+        Bandwidth-bound at the roofline, with the residual clock
+        sensitivity given by the model's calibration.
+        """
+        self._check_clock_ratio(clock_ratio)
+        arch = self.model.architecture
+        dtype = self.effective_dtype
+        read_time = (
+            arch.token_read_bytes(dtype, context_tokens, batch_size)
+            / self._delivered_bandwidth()
+        )
+        compute_time = (
+            arch.token_flops(batch_size, context_tokens)
+            / (self._delivered_flops() * self.model.calibration.mfu_token)
+        )
+        base = max(read_time, compute_time)
+        sensitivity = self.model.calibration.token_clock_sensitivity
+        stretch = (1.0 - sensitivity) + sensitivity / clock_ratio
+        return base * stretch
+
+    def request_latency(
+        self,
+        input_tokens: int,
+        output_tokens: int,
+        batch_size: int = 1,
+        clock_ratio: float = 1.0,
+    ) -> PhaseLatency:
+        """End-to-end latency of one request, split by phase.
+
+        Token sampling uses the mean context length over the generation
+        (input plus half the output) to account for KV-cache growth.
+        """
+        if output_tokens <= 0:
+            raise ConfigurationError("output_tokens must be positive")
+        prompt = self.prompt_latency(input_tokens, batch_size, clock_ratio)
+        mean_context = input_tokens + output_tokens // 2
+        per_token = self.token_latency(batch_size, mean_context, clock_ratio)
+        return PhaseLatency(
+            prompt_seconds=prompt,
+            token_seconds=per_token * output_tokens,
+            overhead_seconds=self.overhead_seconds,
+        )
+
+    def throughput_tokens_per_second(
+        self, batch_size: int = 1, context_tokens: int = 1024,
+        clock_ratio: float = 1.0,
+    ) -> float:
+        """Steady-state generation throughput in tokens/second."""
+        return batch_size / self.token_latency(
+            batch_size, context_tokens, clock_ratio
+        )
+
+    @staticmethod
+    def _check_clock_ratio(clock_ratio: float) -> None:
+        if not 0.0 < clock_ratio <= 1.0:
+            raise ConfigurationError(
+                f"clock_ratio {clock_ratio} outside (0, 1]"
+            )

@@ -1,0 +1,90 @@
+"""Mapping from inference configuration to GPU activity per phase.
+
+The GPU power model (:mod:`repro.gpu.power`) takes a scalar *activity*;
+this module computes that activity from the workload shape, per phase,
+using the per-model calibration constants. The resulting behaviour matches
+Figure 8:
+
+* prompt activity rises with the total prompt tokens (input x batch) and
+  saturates — peak power "drastically increases" with input size (8a) and
+  batch size (8c) while the asymptote differs per model;
+* token activity rises only gently with batch size (8c's mean power) and
+  is independent of input/output sizes (8a, 8e);
+* output size affects durations only, never activity (8e).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.models.datatypes import DType
+from repro.models.registry import LlmSpec
+
+#: Token-phase activity never exceeds this — token sampling cannot drive
+#: the chip to its transient peak (Insight 4).
+TOKEN_ACTIVITY_CEILING = 0.75
+
+
+@dataclass(frozen=True)
+class PhasePowerProfile:
+    """Computes per-phase GPU activity for a model and configuration.
+
+    Attributes:
+        model: The LLM served.
+        dtype: Weight datatype; defaults to the model's default. FP16's
+            optimized tensor-core kernels add a small activity bonus
+            (Section 4.2, "Impact of datatypes").
+    """
+
+    model: LlmSpec
+    dtype: Optional[DType] = None
+
+    @property
+    def effective_dtype(self) -> DType:
+        """The datatype in use."""
+        return self.dtype if self.dtype is not None else self.model.default_dtype
+
+    def prompt_activity(self, input_tokens: int, batch_size: int = 1) -> float:
+        """Activity during prompt processing, in ``[0, 1]``.
+
+        Saturating in the total number of prompt tokens processed in
+        parallel (``input_tokens * batch_size``).
+        """
+        self._check(input_tokens, batch_size)
+        calibration = self.model.calibration
+        tokens = float(input_tokens * batch_size)
+        span = calibration.prompt_activity_max - calibration.prompt_activity_min
+        saturation = 1.0 - math.exp(-tokens / calibration.prompt_saturation_tokens)
+        activity = calibration.prompt_activity_min + span * saturation
+        activity += self.effective_dtype.peak_activity_bonus
+        return min(1.0, max(0.0, activity))
+
+    def token_activity(self, batch_size: int = 1) -> float:
+        """Activity during token sampling, in ``[0, 1]``.
+
+        Grows logarithmically with batch size (more sequences decoded per
+        forward pass raise compute occupancy slightly) and is capped well
+        below the transient peak.
+        """
+        self._check(1, batch_size)
+        calibration = self.model.calibration
+        activity = (
+            calibration.token_activity_base
+            + calibration.token_activity_batch_slope * math.log2(batch_size)
+        )
+        activity += 0.5 * self.effective_dtype.peak_activity_bonus
+        return min(TOKEN_ACTIVITY_CEILING, max(0.0, activity))
+
+    def idle_activity(self) -> float:
+        """Activity between requests (zero: the GPU draws idle power)."""
+        return 0.0
+
+    @staticmethod
+    def _check(input_tokens: int, batch_size: int) -> None:
+        if input_tokens <= 0:
+            raise ConfigurationError("input_tokens must be positive")
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")

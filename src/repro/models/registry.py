@@ -1,0 +1,340 @@
+"""The model zoo from Table 3, with per-model calibration constants.
+
+Table 3 of the paper lists the characterized workloads: RoBERTa (encoder),
+Llama2-13B/70B, GPT-NeoX-20B, OPT-30B, BLOOM-176B (decoders), and
+Flan-T5 XXL (encoder-decoder), along with the number of A100-80GB GPUs each
+uses for inference. Models marked with ``*`` in the table (Llama2, OPT,
+BLOOM) were characterized for inference only.
+
+Each :class:`LlmSpec` additionally carries the calibration constants of the
+power/performance substrate. These are the knobs fitted so that the
+reproduction matches the published *shapes*:
+
+* prompt/token activity ranges reproduce the Figure 6/8 power levels
+  (prompt spikes at or above TDP for large models, token plateaus at
+  60-75% of TDP);
+* ``token_clock_sensitivity`` reproduces Figure 10a's per-model ordering
+  (GPT-NeoX loses ~0% performance at a 13% peak-power reduction while
+  BLOOM loses ~5%);
+* the training profile reproduces Figure 4's iteration shapes (RoBERTa
+  troughs at ~75% of TDP, GPT-NeoX at ~50%, Flan-T5 down to idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ModelNotFoundError
+from repro.models.architecture import ArchitectureKind, TransformerArchitecture
+from repro.models.datatypes import DType, FP16
+from repro.units import billions, millions
+
+
+@dataclass(frozen=True)
+class TrainingProfile:
+    """Shape of one training (fine-tuning) iteration for Figure 4.
+
+    Attributes:
+        iteration_seconds: Duration of one iteration at the max clock.
+        peak_activity: Activity during the compute-heavy phases (values at
+            1.0 reach the GPU's transient peak, i.e. above TDP).
+        mid_dip_activity: Activity during the brief dip between the
+            forward and backward passes.
+        trough_activity: Activity during the end-of-iteration gradient
+            synchronization (Flan-T5 falls all the way to idle: 0.0).
+        forward_fraction / backward_fraction / sync_fraction: Fractions of
+            the iteration spent in each phase; must sum to 1.
+        compute_fraction: Effective clock sensitivity of iteration time.
+            Calibrated to Figure 5a: locking ~22% below the max clock
+            costs ~10% throughput (communication, memory-bound kernels,
+            and host work do not scale with the SM clock).
+    """
+
+    iteration_seconds: float
+    peak_activity: float
+    mid_dip_activity: float
+    trough_activity: float
+    forward_fraction: float = 0.30
+    backward_fraction: float = 0.55
+    sync_fraction: float = 0.15
+    compute_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        total = self.forward_fraction + self.backward_fraction + self.sync_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"phase fractions sum to {total}, expected 1.0")
+
+
+@dataclass(frozen=True)
+class PowerCalibration:
+    """Per-model constants mapping workload shape to GPU activity.
+
+    Attributes:
+        prompt_activity_min: Activity for a minimal prompt (256 tokens).
+        prompt_activity_max: Asymptotic activity for very large prompt
+            batches; 1.0 means the transient peak (above TDP).
+        prompt_saturation_tokens: Token scale of the saturating exponential
+            ``a = min + (max - min) * (1 - exp(-tokens / scale))``.
+        token_activity_base: Activity during token sampling at batch 1.
+        token_activity_batch_slope: Activity added per doubling of the
+            batch size during token sampling.
+        token_clock_sensitivity: Effective compute-bound fraction of the
+            token phase — the Figure 10a per-model knob.
+        mfu_prompt: Model FLOPs utilization during prompt processing.
+        mfu_token: FLOPs utilization during token sampling (compute side).
+    """
+
+    prompt_activity_min: float
+    prompt_activity_max: float
+    prompt_saturation_tokens: float
+    token_activity_base: float
+    token_activity_batch_slope: float
+    token_clock_sensitivity: float
+    mfu_prompt: float = 0.45
+    mfu_token: float = 0.30
+
+
+@dataclass(frozen=True)
+class LlmSpec:
+    """One row of Table 3, plus the substrate calibration.
+
+    Attributes:
+        name: Canonical model name, e.g. ``"BLOOM-176B"``.
+        architecture: Transformer shape.
+        n_inference_gpus: GPUs used to serve the model (Table 3).
+        default_dtype: Serving datatype.
+        trainable: Whether the paper also characterized training for this
+            model (Table 3 marks Llama2/OPT/BLOOM as inference-only).
+        calibration: Power/performance calibration constants.
+        training: Training iteration profile (``None`` for inference-only).
+    """
+
+    name: str
+    architecture: TransformerArchitecture
+    n_inference_gpus: int
+    default_dtype: DType = FP16
+    trainable: bool = False
+    calibration: PowerCalibration = PowerCalibration(
+        prompt_activity_min=0.55,
+        prompt_activity_max=0.95,
+        prompt_saturation_tokens=2000.0,
+        token_activity_base=0.45,
+        token_activity_batch_slope=0.02,
+        token_clock_sensitivity=0.12,
+    )
+    training: Optional[TrainingProfile] = None
+
+    @property
+    def n_params(self) -> float:
+        """Total parameter count."""
+        return self.architecture.n_params
+
+    @property
+    def params_per_gpu(self) -> float:
+        """Parameters resident per GPU under tensor parallelism."""
+        return self.n_params / self.n_inference_gpus
+
+
+def _decoder(n_params: float, layers: int, hidden: int, heads: int
+             ) -> TransformerArchitecture:
+    return TransformerArchitecture(
+        kind=ArchitectureKind.DECODER, n_params=n_params,
+        n_layers=layers, hidden_size=hidden, n_heads=heads,
+    )
+
+
+ROBERTA = LlmSpec(
+    name="RoBERTa-355M",
+    architecture=TransformerArchitecture(
+        kind=ArchitectureKind.ENCODER, n_params=millions(355),
+        n_layers=24, hidden_size=1024, n_heads=16,
+    ),
+    n_inference_gpus=1,
+    trainable=True,
+    calibration=PowerCalibration(
+        prompt_activity_min=0.40,
+        prompt_activity_max=0.72,
+        prompt_saturation_tokens=2000.0,
+        token_activity_base=0.35,
+        token_activity_batch_slope=0.02,
+        token_clock_sensitivity=0.10,
+    ),
+    # Figure 4: ~1 s iterations; trough stays at ~75% of TDP because the
+    # small model synchronizes quickly and keeps GPUs busy.
+    training=TrainingProfile(
+        iteration_seconds=1.0,
+        peak_activity=0.76,
+        mid_dip_activity=0.62,
+        trough_activity=0.57,
+    ),
+)
+
+FLAN_T5_XXL = LlmSpec(
+    name="Flan-T5-XXL",
+    architecture=TransformerArchitecture(
+        kind=ArchitectureKind.ENCODER_DECODER, n_params=billions(11),
+        n_layers=48, hidden_size=4096, n_heads=64,
+    ),
+    n_inference_gpus=1,
+    trainable=True,
+    calibration=PowerCalibration(
+        prompt_activity_min=0.50,
+        prompt_activity_max=0.88,
+        prompt_saturation_tokens=2200.0,
+        token_activity_base=0.40,
+        token_activity_batch_slope=0.02,
+        token_clock_sensitivity=0.15,
+    ),
+    # Figure 4: ~4 s iterations; the sync trough drops to GPU idle (~20%
+    # of TDP) because all eight GPUs wait on communication.
+    training=TrainingProfile(
+        iteration_seconds=4.0,
+        peak_activity=0.99,
+        mid_dip_activity=0.55,
+        trough_activity=0.0,
+        forward_fraction=0.30,
+        backward_fraction=0.50,
+        sync_fraction=0.20,
+    ),
+)
+
+LLAMA2_13B = LlmSpec(
+    name="Llama2-13B",
+    architecture=_decoder(billions(13), 40, 5120, 40),
+    n_inference_gpus=1,
+    calibration=PowerCalibration(
+        prompt_activity_min=0.52,
+        prompt_activity_max=0.90,
+        prompt_saturation_tokens=2000.0,
+        token_activity_base=0.42,
+        token_activity_batch_slope=0.02,
+        token_clock_sensitivity=0.12,
+    ),
+)
+
+GPT_NEOX_20B = LlmSpec(
+    name="GPT-NeoX-20B",
+    architecture=_decoder(billions(20), 44, 6144, 64),
+    n_inference_gpus=2,
+    trainable=True,
+    calibration=PowerCalibration(
+        prompt_activity_min=0.55,
+        prompt_activity_max=0.92,
+        prompt_saturation_tokens=2000.0,
+        token_activity_base=0.45,
+        token_activity_batch_slope=0.02,
+        # Figure 10a: GPT-NeoX shows essentially no performance loss as
+        # frequency drops — its token phase is almost purely
+        # bandwidth-bound at 10B parameters per GPU.
+        token_clock_sensitivity=0.05,
+    ),
+    # Figure 4: ~2 s iterations; trough at ~50% of TDP.
+    training=TrainingProfile(
+        iteration_seconds=2.0,
+        peak_activity=1.0,
+        mid_dip_activity=0.60,
+        trough_activity=0.31,
+    ),
+)
+
+OPT_30B = LlmSpec(
+    name="OPT-30B",
+    architecture=_decoder(billions(30), 48, 7168, 56),
+    n_inference_gpus=4,
+    calibration=PowerCalibration(
+        prompt_activity_min=0.56,
+        prompt_activity_max=0.94,
+        prompt_saturation_tokens=2000.0,
+        token_activity_base=0.46,
+        token_activity_batch_slope=0.02,
+        token_clock_sensitivity=0.10,
+    ),
+)
+
+LLAMA2_70B = LlmSpec(
+    name="Llama2-70B",
+    architecture=_decoder(billions(70), 80, 8192, 64),
+    n_inference_gpus=4,
+    calibration=PowerCalibration(
+        prompt_activity_min=0.58,
+        prompt_activity_max=0.97,
+        prompt_saturation_tokens=2000.0,
+        token_activity_base=0.50,
+        token_activity_batch_slope=0.02,
+        token_clock_sensitivity=0.18,
+    ),
+)
+
+BLOOM_176B = LlmSpec(
+    name="BLOOM-176B",
+    architecture=_decoder(billions(176), 70, 14336, 112),
+    n_inference_gpus=8,
+    calibration=PowerCalibration(
+        prompt_activity_min=0.60,
+        prompt_activity_max=1.00,
+        prompt_saturation_tokens=2000.0,
+        token_activity_base=0.55,
+        token_activity_batch_slope=0.02,
+        # Figure 10a: BLOOM shows the highest sensitivity (~5% performance
+        # loss at a 13% peak-power reduction) — 22B parameters per GPU
+        # leave a substantial compute component even during token sampling,
+        # and long prompts add a fully clock-sensitive latency share.
+        token_clock_sensitivity=0.18,
+    ),
+)
+
+#: All characterized models, keyed by canonical name (Table 3).
+MODEL_ZOO: Dict[str, LlmSpec] = {
+    spec.name: spec
+    for spec in (
+        ROBERTA,
+        FLAN_T5_XXL,
+        LLAMA2_13B,
+        GPT_NEOX_20B,
+        OPT_30B,
+        LLAMA2_70B,
+        BLOOM_176B,
+    )
+}
+
+#: The five generative models used in the inference figures (6, 8, 10).
+INFERENCE_FIGURE_MODELS: Tuple[str, ...] = (
+    "Flan-T5-XXL",
+    "GPT-NeoX-20B",
+    "OPT-30B",
+    "Llama2-70B",
+    "BLOOM-176B",
+)
+
+#: The three models used in the training figures (4, 5).
+TRAINING_FIGURE_MODELS: Tuple[str, ...] = (
+    "RoBERTa-355M",
+    "GPT-NeoX-20B",
+    "Flan-T5-XXL",
+)
+
+
+def get_model(name: str) -> LlmSpec:
+    """Look up a model by canonical name.
+
+    Raises:
+        ModelNotFoundError: If the name is not in the zoo.
+    """
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise ModelNotFoundError(
+            f"unknown model {name!r}; known: {known}"
+        ) from None
+
+
+def inference_models() -> Tuple[LlmSpec, ...]:
+    """The models used in the paper's inference characterization figures."""
+    return tuple(MODEL_ZOO[name] for name in INFERENCE_FIGURE_MODELS)
+
+
+def training_models() -> Tuple[LlmSpec, ...]:
+    """The models used in the paper's training characterization figures."""
+    return tuple(MODEL_ZOO[name] for name in TRAINING_FIGURE_MODELS)

@@ -1,0 +1,89 @@
+"""Non-generative deep-learning inference ("Beyond LLMs", Section 6.7).
+
+"Unlike generative LLMs, vision and multi-modal deep learning inference
+workloads exhibit relatively stable power consumption patterns. However,
+they can still reclaim power from frequency scaling for small performance
+loss."
+
+A vision model runs one feed-forward pass per request: no prompt/token
+phase split, so its power is a single stable level, and its compute is
+batched matrix work whose latency scales with the clock less than
+linearly (memory-bound layers, pre/post-processing). This module models
+such a workload for the "beyond LLMs" comparison experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB, GpuSpec
+
+
+@dataclass(frozen=True)
+class VisionServingModel:
+    """A vision/multi-modal inference workload on one GPU.
+
+    Attributes:
+        name: Workload name.
+        activity: Stable serving activity level (no phase structure).
+        base_latency_s: Per-batch inference latency at the max clock.
+        compute_fraction: Clock sensitivity of latency; below 1 because
+            memory-bound layers and host-side work do not scale.
+    """
+
+    name: str = "vision-classifier"
+    activity: float = 0.62
+    base_latency_s: float = 0.05
+    compute_fraction: float = 0.65
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.activity <= 1.0:
+            raise ConfigurationError("activity must be in (0, 1]")
+        if self.base_latency_s <= 0:
+            raise ConfigurationError("latency must be positive")
+        if not 0.0 <= self.compute_fraction <= 1.0:
+            raise ConfigurationError("compute_fraction outside [0, 1]")
+
+    def power(self, gpu: GpuSpec = A100_80GB,
+              sm_clock_mhz: float = None) -> float:
+        """Serving power at a clock (defaults to the maximum)."""
+        clock = sm_clock_mhz if sm_clock_mhz is not None \
+            else gpu.max_sm_clock_mhz
+        return GpuPowerModel(gpu).power(self.activity, clock)
+
+    def latency(self, clock_ratio: float = 1.0) -> float:
+        """Per-batch latency at a clock ratio.
+
+        Raises:
+            ConfigurationError: If the ratio is outside ``(0, 1]``.
+        """
+        if not 0.0 < clock_ratio <= 1.0:
+            raise ConfigurationError(f"clock_ratio {clock_ratio} outside (0, 1]")
+        c = self.compute_fraction
+        return self.base_latency_s * ((1.0 - c) + c / clock_ratio)
+
+    def power_stability(self, gpu: GpuSpec = A100_80GB) -> float:
+        """Peak-to-mean power ratio — exactly 1.0: no phases, no spikes.
+
+        Contrast with generative LLMs, whose prompt spikes push this well
+        above 1 (Figure 6)."""
+        return 1.0
+
+    def frequency_tradeoff(self, sm_clock_mhz: float,
+                           gpu: GpuSpec = A100_80GB) -> dict:
+        """Power reclaimed vs performance lost at a locked clock.
+
+        Section 6.7's point: the reclaim-per-loss lever still works for
+        non-LLM inference, even without oversubscribable phase structure.
+        """
+        gpu.validate_clock(sm_clock_mhz)
+        ratio = sm_clock_mhz / gpu.max_sm_clock_mhz
+        full_power = self.power(gpu)
+        locked_power = self.power(gpu, sm_clock_mhz)
+        return {
+            "power_reduction": 1.0 - locked_power / full_power,
+            "performance_reduction": 1.0 - self.latency(1.0)
+            / self.latency(ratio),
+        }

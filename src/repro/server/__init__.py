@@ -1,0 +1,22 @@
+"""Simulated GPU server (DGX-class): component budgets and aggregate power.
+
+Reproduces the server-level facts the paper reports: the provisioned-power
+breakdown of an 8xA100-80GB server (Figure 3, ~50% GPUs and ~25% fans), the
+observation that drawn GPU power is ~60% of server power and that peak
+server power tracks peak GPU power (Figure 11, Insight 8), and the derating
+headroom (rated 6.5 kW vs <=5.7 kW observed peak, Section 5).
+"""
+
+from repro.server.components import ComponentBudget, DGX_A100_BUDGET, DGX_H100_BUDGET
+from repro.server.dgx import DgxServer, HostPowerModel
+from repro.server.fleet import FleetSample, sample_fleet_peaks
+
+__all__ = [
+    "ComponentBudget",
+    "DGX_A100_BUDGET",
+    "DGX_H100_BUDGET",
+    "DgxServer",
+    "FleetSample",
+    "HostPowerModel",
+    "sample_fleet_peaks",
+]

@@ -1,0 +1,88 @@
+"""Provisioned power budgets per server component (Figure 3).
+
+Figure 3 of the paper breaks the provisioned power of an 8xA100-80GB DGX
+server into components: roughly half goes to the GPUs and about a quarter
+to the fans, with CPUs and the remaining platform making up the rest
+(Section 5 quotes the 6500 W DGX-A100 rating, "around 50% of the power is
+provisioned for GPUs", and "server fans constitute nearly 25% of the
+server power").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """Provisioned power per server component, in watts.
+
+    Attributes:
+        name: Server model name.
+        components: Mapping of component name to provisioned watts. By
+            convention uses the keys ``"gpus"``, ``"fans"``, ``"cpus"``
+            and ``"other"`` (memory, storage, NICs, conversion losses).
+    """
+
+    name: str
+    components: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("budget needs at least one component")
+        for component, watts in self.components.items():
+            if watts <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: component {component!r} has non-positive "
+                    f"budget {watts}"
+                )
+
+    @property
+    def total_w(self) -> float:
+        """Rated (provisioned) server power."""
+        return float(sum(self.components.values()))
+
+    def fraction(self, component: str) -> float:
+        """Share of the provisioned budget for one component.
+
+        Raises:
+            ConfigurationError: If the component is unknown.
+        """
+        if component not in self.components:
+            known = ", ".join(sorted(self.components))
+            raise ConfigurationError(
+                f"unknown component {component!r}; known: {known}"
+            )
+        return self.components[component] / self.total_w
+
+    def fractions(self) -> Dict[str, float]:
+        """Every component's share of the provisioned budget."""
+        total = self.total_w
+        return {name: watts / total for name, watts in self.components.items()}
+
+
+#: DGX-A100 provisioned budget: 6500 W rated (Section 5), with the GPU and
+#: fan shares from Figure 3 (~49% GPUs, ~25% fans).
+DGX_A100_BUDGET = ComponentBudget(
+    name="DGX-A100",
+    components={
+        "gpus": 3200.0,   # 8 x 400 W TDP
+        "fans": 1625.0,   # ~25% of provisioned power
+        "cpus": 560.0,    # dual-socket AMD Rome
+        "other": 1115.0,  # memory, NVMe, NICs, NVSwitch, conversion losses
+    },
+)
+
+#: DGX-H100 budget (Section 6.7: 10.2 kW TDP, 8U), same proportional split.
+DGX_H100_BUDGET = ComponentBudget(
+    name="DGX-H100",
+    components={
+        "gpus": 5600.0,   # 8 x 700 W TDP
+        "fans": 2550.0,
+        "cpus": 700.0,
+        "other": 1350.0,
+    },
+)

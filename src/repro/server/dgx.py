@@ -1,0 +1,174 @@
+"""A simulated DGX-class GPU server.
+
+Aggregates eight :class:`~repro.gpu.device.SimulatedGpu` instances with a
+host-side power model (CPUs, fans, platform). Calibrated so that:
+
+* the observed peak server power stays below 5.7 kW against the 6.5 kW
+  rating (the >=800 W derating headroom of Section 5);
+* GPUs account for ~60% of *drawn* server power under load (Figure 11,
+  Insight 8) even though they are ~50% of the *provisioned* budget;
+* fan power tracks thermal load, i.e. follows GPU power with a lag, so the
+  variable portion of server power is dominated by the GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.specs import A100_80GB, GpuSpec
+from repro.server.components import ComponentBudget, DGX_A100_BUDGET
+
+
+@dataclass(frozen=True)
+class HostPowerModel:
+    """Power of the non-GPU server components as a function of GPU load.
+
+    The host side is deliberately *weakly* load-following: fans have large
+    thermal inertia and are provisioned for the worst case, and LLM serving
+    keeps host CPUs lightly loaded. This is Insight 8 — "GPUs represent
+    the majority of the variable portion of the power draw" — encoded as a
+    model property.
+
+    Attributes:
+        cpu_idle_w / cpu_busy_w: CPU power range.
+        fan_idle_w / fan_max_w: Fan power range; narrow, because fan speed
+            tracks slowly varying temperature, not instantaneous load.
+        other_w: Constant platform power (memory, NVSwitch, NICs, losses).
+    """
+
+    cpu_idle_w: float = 150.0
+    cpu_busy_w: float = 250.0
+    fan_idle_w: float = 700.0
+    fan_max_w: float = 800.0
+    other_w: float = 400.0
+
+    def power(self, gpu_load_fraction: float) -> float:
+        """Host power in watts given the GPUs' dynamic load fraction.
+
+        Args:
+            gpu_load_fraction: GPU dynamic power over its maximum dynamic
+                power, in ``[0, 1]``; drives CPU (request handling) and
+                fan (thermal) power.
+        """
+        if not 0.0 <= gpu_load_fraction <= 1.0:
+            raise ConfigurationError(
+                f"gpu_load_fraction {gpu_load_fraction} outside [0, 1]"
+            )
+        cpu = self.cpu_idle_w + (self.cpu_busy_w - self.cpu_idle_w) * gpu_load_fraction
+        fans = self.fan_idle_w + (self.fan_max_w - self.fan_idle_w) * gpu_load_fraction
+        return cpu + fans + self.other_w
+
+    @property
+    def peak_w(self) -> float:
+        """Maximum host power."""
+        return self.cpu_busy_w + self.fan_max_w + self.other_w
+
+
+@dataclass
+class DgxServer:
+    """An 8-GPU server with aggregate power accounting.
+
+    Attributes:
+        gpu_spec: GPU model installed (8x).
+        budget: Provisioned component budget (Figure 3).
+        host: Host power model.
+        n_gpus: Number of GPUs (8 for DGX).
+    """
+
+    gpu_spec: GpuSpec = A100_80GB
+    budget: ComponentBudget = DGX_A100_BUDGET
+    host: HostPowerModel = field(default_factory=HostPowerModel)
+    n_gpus: int = 8
+    gpus: List[SimulatedGpu] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus <= 0:
+            raise ConfigurationError("a server needs at least one GPU")
+        self.gpus = [SimulatedGpu(self.gpu_spec) for _ in range(self.n_gpus)]
+
+    @property
+    def rated_power_w(self) -> float:
+        """Provisioned (rated) server power — 6500 W for DGX-A100."""
+        return self.budget.total_w
+
+    @property
+    def gpu_tdp_total_w(self) -> float:
+        """Sum of GPU TDPs (the 'overall server GPU TDP' of Figure 11)."""
+        return self.n_gpus * self.gpu_spec.tdp_w
+
+    def gpu_power(self, now: float, activities: Sequence[float]) -> float:
+        """Total GPU power for per-GPU activities at time ``now``.
+
+        Raises:
+            ConfigurationError: If the activity count mismatches the GPUs.
+        """
+        if len(activities) != self.n_gpus:
+            raise ConfigurationError(
+                f"expected {self.n_gpus} activities, got {len(activities)}"
+            )
+        return sum(
+            gpu.power(now, activity)
+            for gpu, activity in zip(self.gpus, activities)
+        )
+
+    def server_power(self, now: float, activities: Sequence[float]) -> float:
+        """Total server power: GPUs plus load-following host components."""
+        gpu_power = self.gpu_power(now, activities)
+        idle_total = self.n_gpus * self.gpu_spec.idle_w
+        dynamic_max = self.n_gpus * (
+            self.gpu_spec.transient_peak_w - self.gpu_spec.idle_w
+        )
+        load_fraction = (gpu_power - idle_total) / dynamic_max
+        load_fraction = min(1.0, max(0.0, load_fraction))
+        return gpu_power + self.host.power(load_fraction)
+
+    def server_power_uniform(self, now: float, activity: float) -> float:
+        """Server power when all GPUs run the same activity (tensor
+        parallelism drives all GPUs of one model identically)."""
+        return self.server_power(now, [activity] * self.n_gpus)
+
+    @property
+    def peak_power_w(self) -> float:
+        """Worst-case instantaneous server power (all GPUs at transient
+        peak plus maximum host power). Stays below the 6.5 kW rating,
+        giving the derating headroom of Section 5."""
+        return (
+            self.n_gpus * self.gpu_spec.transient_peak_w + self.host.peak_w
+        )
+
+    def derating_headroom_w(self) -> float:
+        """Watts by which the rating exceeds the achievable peak."""
+        return self.rated_power_w - self.peak_power_w
+
+    def lock_all_frequencies(self, sm_clock_mhz: float) -> None:
+        """Frequency-lock every GPU (homogeneous caps; Section 6.3)."""
+        for gpu in self.gpus:
+            gpu.lock_frequency(sm_clock_mhz)
+
+    def unlock_all_frequencies(self) -> None:
+        """Release frequency locks on every GPU."""
+        for gpu in self.gpus:
+            gpu.unlock_frequency()
+
+    def set_all_power_caps(self, cap_w: float) -> None:
+        """Power-cap every GPU to ``cap_w`` watts."""
+        for gpu in self.gpus:
+            gpu.set_power_cap(cap_w)
+
+    def clear_all_power_caps(self) -> None:
+        """Remove GPU power caps (back to TDP)."""
+        for gpu in self.gpus:
+            gpu.clear_power_cap()
+
+    def engage_brake(self, now: float) -> None:
+        """Engage the power brake on every GPU."""
+        for gpu in self.gpus:
+            gpu.brake.engage(now)
+
+    def release_brake(self) -> None:
+        """Release the power brake on every GPU."""
+        for gpu in self.gpus:
+            gpu.brake.release()

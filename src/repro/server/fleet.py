@@ -1,0 +1,104 @@
+"""Fleet-level peak-power sampling for Figure 11.
+
+Figure 11 plots, for servers in a production cluster, the peak server power
+against the peak GPU power (both normalized to the respective TDP). Its
+observations (Section 4.3):
+
+1. GPU power is ~60% of server power on average;
+2. peak GPU power exceeds the total server GPU TDP (by up to ~500 W);
+3. peak server power is highly correlated with peak GPU power;
+4. peak GPU power has a smaller normalized range than peak server power;
+5. peaks are stable over time because servers are heavily utilized.
+
+We reproduce the scatter by sampling a fleet of heavily utilized servers
+whose per-server prompt intensity varies with the workload mix it happens
+to serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.server.dgx import DgxServer
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """Peak powers of one server in the fleet.
+
+    Attributes:
+        peak_gpu_power_w: Peak total GPU power observed on the server.
+        peak_server_power_w: Peak server power observed.
+        mean_gpu_share: Average fraction of server power drawn by GPUs.
+    """
+
+    peak_gpu_power_w: float
+    peak_server_power_w: float
+    mean_gpu_share: float
+
+    def normalized(self, server: DgxServer) -> "FleetSample":
+        """Normalize both peaks by their TDP (the Figure 11 axes)."""
+        return FleetSample(
+            peak_gpu_power_w=self.peak_gpu_power_w / server.gpu_tdp_total_w,
+            peak_server_power_w=self.peak_server_power_w / server.rated_power_w,
+            mean_gpu_share=self.mean_gpu_share,
+        )
+
+
+def sample_fleet_peaks(
+    n_servers: int = 100,
+    seed: int = 0,
+    mean_prompt_activity: float = 0.92,
+    activity_spread: float = 0.04,
+    thermal_gain: float = 1.6,
+    host_noise_w: float = 60.0,
+) -> List[FleetSample]:
+    """Sample per-server peak powers for a heavily utilized fleet.
+
+    Each server's peak activity is drawn around ``mean_prompt_activity``
+    (heavily utilized: most servers regularly see near-maximal prompt
+    spikes). At peak, the host side *amplifies* GPU differences — hotter
+    GPUs push fans and power conversion harder (``thermal_gain``), plus
+    per-server noise (cooling position, PSU efficiency). That joint
+    structure is exactly Figure 11's: server peak highly correlated with
+    GPU peak (observation 3) while spanning a wider normalized range
+    (observation 4).
+
+    Raises:
+        ConfigurationError: If ``n_servers`` is not positive.
+    """
+    if n_servers <= 0:
+        raise ConfigurationError("n_servers must be positive")
+    rng = np.random.default_rng(seed)
+    server = DgxServer()
+    mean_peak_gpu = server.gpu_power(
+        0.0, [mean_prompt_activity] * server.n_gpus
+    )
+    samples: List[FleetSample] = []
+    for _ in range(n_servers):
+        peak_activity = float(np.clip(
+            rng.normal(mean_prompt_activity, activity_spread), 0.6, 1.0
+        ))
+        mean_activity = float(np.clip(rng.normal(0.55, 0.05), 0.3, 0.75))
+        peak_gpu = server.gpu_power(0.0, [peak_activity] * server.n_gpus)
+        host_offset = (
+            thermal_gain * (peak_gpu - mean_peak_gpu)
+            + float(rng.normal(0.0, host_noise_w))
+        )
+        peak_server = host_offset + server.server_power(
+            0.0, [peak_activity] * server.n_gpus
+        )
+        mean_gpu = server.gpu_power(0.0, [mean_activity] * server.n_gpus)
+        mean_server = 0.5 * host_offset + server.server_power(
+            0.0, [mean_activity] * server.n_gpus
+        )
+        samples.append(FleetSample(
+            peak_gpu_power_w=peak_gpu,
+            peak_server_power_w=peak_server,
+            mean_gpu_share=mean_gpu / mean_server,
+        ))
+    return samples

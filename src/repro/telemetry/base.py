@@ -1,0 +1,105 @@
+"""Common machinery for sampled telemetry interfaces.
+
+Every monitoring interface in Table 1 is, abstractly, a sampler over a
+continuous power signal with three properties: a sampling interval, a
+measurement path (in-band or out-of-band), and a noise/staleness profile.
+:class:`SampledInterface` captures that shape once; the concrete interfaces
+(DCGM, IPMI, SMBPBI, row manager) configure it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.analysis.timeseries import TimeSeries
+from repro.errors import ConfigurationError, TelemetryError
+
+#: A function of time returning the instantaneous value being monitored.
+Signal = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One reading from a monitoring interface.
+
+    Attributes:
+        time: When the reading became *available* to the consumer, which is
+            the sample time plus the interface's reporting delay.
+        value: The measured value (watts for power interfaces).
+        sampled_at: When the underlying signal was actually observed.
+    """
+
+    time: float
+    value: float
+    sampled_at: float
+
+
+@dataclass
+class SampledInterface:
+    """A periodic sampler over a continuous signal.
+
+    Attributes:
+        name: Interface name (for diagnostics).
+        interval: Sampling period in seconds (Table 1's "Interval").
+        in_band: Whether the interface is in-band (Table 1's "Path").
+        delay: Reporting delay between observation and availability.
+        noise_std: Gaussian measurement noise, as a *fraction* of the
+            reading.
+        seed: RNG seed for the noise process.
+    """
+
+    name: str
+    interval: float
+    in_band: bool
+    delay: float = 0.0
+    noise_std: float = 0.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _next_sample: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError(f"{self.name}: interval must be positive")
+        if self.delay < 0:
+            raise ConfigurationError(f"{self.name}: delay cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def read(self, now: float, signal: Signal) -> TelemetrySample:
+        """Take one reading of ``signal`` at time ``now``.
+
+        The returned sample carries the noisy value and its availability
+        time (``now + delay``).
+        """
+        true_value = float(signal(now))
+        noisy = true_value
+        if self.noise_std > 0:
+            noisy = true_value * (1.0 + self.noise_std * self._rng.standard_normal())
+        return TelemetrySample(time=now + self.delay, value=noisy, sampled_at=now)
+
+    def sample_series(
+        self, signal: Signal, start: float, end: float
+    ) -> TimeSeries:
+        """Sample ``signal`` over ``[start, end)`` at this interface's rate.
+
+        Raises:
+            TelemetryError: If the window is empty.
+        """
+        if end <= start:
+            raise TelemetryError(f"{self.name}: empty sampling window")
+        times = np.arange(start, end, self.interval)
+        values = np.array([self.read(float(t), signal).value for t in times])
+        return TimeSeries(start=start, interval=self.interval, values=values)
+
+    def due_samples(self, until: float) -> List[float]:
+        """Sample times that have become due up to ``until`` (stateful).
+
+        Used by the discrete-event simulator to schedule readings.
+        """
+        due: List[float] = []
+        while self._next_sample <= until:
+            due.append(self._next_sample)
+            self._next_sample += self.interval
+        return due

@@ -1,0 +1,78 @@
+"""The Table 1 catalogue of power-monitoring interfaces.
+
+This module is the machine-readable form of the paper's Table 1 ("Power
+monitoring interfaces in an LLM cluster"), used by the corresponding
+benchmark to print the reproduced table and by tests to assert the
+simulated interfaces honor their published properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InterfaceInfo:
+    """One row of Table 1.
+
+    Attributes:
+        mechanism: Interface name.
+        granularity: What the interface measures.
+        in_band: True for in-band ("IB"), False for out-of-band ("OOB").
+        interval_seconds: (min, max) sampling interval in seconds.
+    """
+
+    mechanism: str
+    granularity: str
+    in_band: bool
+    interval_seconds: Tuple[float, float]
+
+    def __post_init__(self) -> None:
+        lo, hi = self.interval_seconds
+        if not 0 < lo <= hi:
+            raise ConfigurationError(
+                f"{self.mechanism}: invalid interval range {self.interval_seconds}"
+            )
+
+    @property
+    def path(self) -> str:
+        """Table 1's "Path" column: "IB" or "OOB"."""
+        return "IB" if self.in_band else "OOB"
+
+
+#: Table 1, verbatim.
+INTERFACE_CATALOG: Dict[str, InterfaceInfo] = {
+    "RAPL": InterfaceInfo(
+        mechanism="RAPL",
+        granularity="CPU & DRAM",
+        in_band=True,
+        interval_seconds=(0.001, 0.010),
+    ),
+    "DCGM": InterfaceInfo(
+        mechanism="DCGM",
+        granularity="GPU",
+        in_band=True,
+        interval_seconds=(0.1, 1.0),
+    ),
+    "SMBPBI": InterfaceInfo(
+        mechanism="SMBPBI",
+        granularity="GPU",
+        in_band=False,
+        interval_seconds=(5.0, 40.0),
+    ),
+    "IPMI": InterfaceInfo(
+        mechanism="IPMI",
+        granularity="Server",
+        in_band=False,
+        interval_seconds=(1.0, 5.0),
+    ),
+    "RowManager": InterfaceInfo(
+        mechanism="Row manager",
+        granularity="Row of racks",
+        in_band=False,
+        interval_seconds=(2.0, 2.0),
+    ),
+}

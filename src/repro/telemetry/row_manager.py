@@ -1,0 +1,50 @@
+"""Row manager: 2-second aggregate power telemetry for a row of racks.
+
+The row manager "aggregates the power draw across all servers in the row"
+(Section 3.1) and delivers a reading every 2 seconds (Tables 1-2:
+"Power telemetry delay: 2s"). POLCA's power manager consumes exactly this
+signal (Figure 12) — it is the coarsest but the only row-level view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.timeseries import TimeSeries
+from repro.errors import TelemetryError
+from repro.telemetry.base import SampledInterface, Signal
+
+#: Row-level telemetry period (Table 2).
+ROW_TELEMETRY_INTERVAL_S = 2.0
+
+
+@dataclass
+class RowManager(SampledInterface):
+    """OOB aggregate power telemetry for one row (PDU scope)."""
+
+    name: str = "RowManager"
+    interval: float = ROW_TELEMETRY_INTERVAL_S
+    in_band: bool = False
+    delay: float = 0.0
+    noise_std: float = 0.0
+
+    def aggregate_signal(self, server_signals: Sequence[Signal]) -> Signal:
+        """Build the row power signal as the sum of server signals.
+
+        Raises:
+            TelemetryError: If the row has no servers.
+        """
+        if not server_signals:
+            raise TelemetryError("row has no servers to aggregate")
+
+        def row_power(t: float) -> float:
+            return float(sum(signal(t) for signal in server_signals))
+
+        return row_power
+
+    def row_power_series(
+        self, server_signals: Sequence[Signal], start: float, end: float
+    ) -> TimeSeries:
+        """Sampled row power over a window (the Figure 16 '2s avg' trace)."""
+        return self.sample_series(self.aggregate_signal(server_signals), start, end)

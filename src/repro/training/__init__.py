@@ -1,0 +1,37 @@
+"""LLM training power behaviour: iterations, knob trade-offs, cluster scale.
+
+Section 4.1 of the paper characterizes training (fine-tuning) power:
+iterations alternate compute-heavy forward/backward phases that reach or
+exceed TDP with communication troughs whose depth is model-specific
+(Figure 4); frequency locking and power capping trade peak power for
+throughput differently (Figure 5, Insight 3); and at cluster scale the
+iterations of a synchronous job are *correlated* across thousands of GPUs,
+producing the 97% peak utilization and 37.5%-in-2s swings of Table 4 that
+leave training clusters only ~3% oversubscription headroom (Insight 9).
+"""
+
+from repro.training.iteration import IterationSegment, TrainingIterationModel
+from repro.training.capping import (
+    KnobTradeoffPoint,
+    frequency_lock_tradeoff,
+    power_cap_tradeoff,
+)
+from repro.training.cluster import TrainingClusterModel, TrainingClusterStats
+from repro.training.smoothing import (
+    SmoothingOutcome,
+    overlapped_profile,
+    smoothing_sweep,
+)
+
+__all__ = [
+    "IterationSegment",
+    "KnobTradeoffPoint",
+    "SmoothingOutcome",
+    "TrainingClusterModel",
+    "TrainingClusterStats",
+    "TrainingIterationModel",
+    "frequency_lock_tradeoff",
+    "overlapped_profile",
+    "power_cap_tradeoff",
+    "smoothing_sweep",
+]

@@ -1,0 +1,121 @@
+"""Frequency-locking vs power-capping trade-offs for training (Figure 5).
+
+Figure 5 plots peak-power reduction against throughput reduction for the
+three training models under (a) frequency locking across 1.1-1.4 GHz and
+(b) power capping across 300-400 W. The paper's reading (Insight 3):
+frequency locking reduces power constantly (including troughs) and costs
+performance roughly in proportion to the clock; power capping clips only
+the peaks (troughs untouched) and adds variability because it is reactive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.training.iteration import TrainingIterationModel
+
+
+@dataclass(frozen=True)
+class KnobTradeoffPoint:
+    """One point of a Figure 5 curve.
+
+    Attributes:
+        knob_value: The clock (MHz) or cap (W) applied.
+        peak_power_reduction: Fractional peak-power drop vs uncapped.
+        performance_reduction: Fractional throughput drop vs uncapped.
+        trough_power_reduction: Fractional drop of the iteration trough —
+            near zero for power capping (Insight 3), positive for
+            frequency locking.
+    """
+
+    knob_value: float
+    peak_power_reduction: float
+    performance_reduction: float
+    trough_power_reduction: float
+
+
+def frequency_lock_tradeoff(
+    model: TrainingIterationModel, clocks_mhz: Sequence[float]
+) -> List[KnobTradeoffPoint]:
+    """Figure 5a: the frequency-locking trade-off curve for one model.
+
+    Raises:
+        ConfigurationError: If no clocks are given.
+    """
+    if not clocks_mhz:
+        raise ConfigurationError("need at least one clock point")
+    baseline_peak = model.peak_power_w(1.0)
+    baseline_trough = model.trough_power_w(1.0)
+    points: List[KnobTradeoffPoint] = []
+    for clock in clocks_mhz:
+        model.gpu.validate_clock(clock)
+        ratio = clock / model.gpu.max_sm_clock_mhz
+        peak = model.peak_power_w(ratio)
+        # The communication trough is clock-insensitive in time but its
+        # *power* still falls with the locked clock (dynamic power scales).
+        trough = model.trough_power_w(ratio)
+        throughput = model.throughput_scale(ratio)
+        points.append(KnobTradeoffPoint(
+            knob_value=clock,
+            peak_power_reduction=(baseline_peak - peak) / baseline_peak,
+            performance_reduction=1.0 - throughput,
+            trough_power_reduction=(baseline_trough - trough)
+            / max(baseline_trough, 1e-9),
+        ))
+    return points
+
+
+def power_cap_tradeoff(
+    model: TrainingIterationModel,
+    caps_w: Sequence[float],
+    variability_std: float = 0.01,
+    seed: int = 0,
+) -> List[KnobTradeoffPoint]:
+    """Figure 5b: the power-capping trade-off curve for one model.
+
+    Peak power converges to (slightly above) the cap; the trough never
+    changes because sync-phase power sits below any sensible cap. The
+    performance cost is incurred only while the uncapped power would have
+    exceeded the cap — the compute segments throttle to the steady-state
+    cap clock. Reactivity adds run-to-run variability (Section 4.1:
+    "power capping introduces more performance and power variability"),
+    modelled as Gaussian noise on the performance reduction.
+
+    Raises:
+        ConfigurationError: If no caps are given.
+    """
+    if not caps_w:
+        raise ConfigurationError("need at least one cap point")
+    rng = np.random.default_rng(seed)
+    power_model = model._power_model  # shared internal; same package
+    baseline_peak = model.peak_power_w(1.0)
+    baseline_trough = model.trough_power_w(1.0)
+    baseline_time = model.iteration_seconds(1.0)
+    points: List[KnobTradeoffPoint] = []
+    for cap in caps_w:
+        model.gpu.validate_power_cap(cap)
+        # The cap throttles only while power would exceed it, i.e. during
+        # the peak-activity compute phases; the trough is untouched.
+        peak_activity = max(s.activity for s in model.segments())
+        trough_activity = min(s.activity for s in model.segments())
+        clock = power_model.throttle_clock_for_cap(peak_activity, cap)
+        ratio = clock / model.gpu.max_sm_clock_mhz
+        capped_peak = power_model.power(peak_activity, clock)
+        capped_trough = power_model.power(
+            trough_activity, model.gpu.max_sm_clock_mhz
+        )
+        capped_time = model.iteration_seconds(ratio)
+        performance_reduction = 1.0 - baseline_time / capped_time
+        performance_reduction += abs(variability_std * rng.standard_normal())
+        points.append(KnobTradeoffPoint(
+            knob_value=cap,
+            peak_power_reduction=(baseline_peak - capped_peak) / baseline_peak,
+            performance_reduction=min(performance_reduction, 1.0),
+            trough_power_reduction=(baseline_trough - capped_trough)
+            / max(baseline_trough, 1e-9),
+        ))
+    return points

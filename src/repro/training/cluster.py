@@ -1,0 +1,146 @@
+"""Cluster-scale training power: correlated swings and tiny headroom.
+
+Table 4's training column reports the production numbers this module
+reproduces: ~97% peak utilization of provisioned power, coordinated swings
+"every few seconds", and a maximum power spike of 37.5% of provisioned
+capacity within 2 seconds. The mechanism (Insight 2) is that a synchronous
+training job drives all servers through the same iteration phases nearly
+in lockstep, so the per-server peak-to-trough swing survives aggregation —
+unlike inference, where arrival-time variation decorrelates the spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.timeseries import TimeSeries, max_swing
+from repro.errors import ConfigurationError
+from repro.gpu.specs import A100_40GB, GpuSpec
+from repro.models.registry import LlmSpec, get_model
+from repro.server.dgx import DgxServer
+from repro.training.iteration import TrainingIterationModel
+
+#: Production training clusters are provisioned much closer to observed
+#: peak than the 6.5 kW DGX rating (derating, Section 5); this per-server
+#: budget yields the ~97% peak utilization of Table 4.
+TRAINING_PROVISIONED_PER_SERVER_W = 5290.0
+
+
+@dataclass(frozen=True)
+class TrainingClusterStats:
+    """Aggregate power statistics of a training cluster (Table 4 column).
+
+    Attributes:
+        peak_utilization: Peak aggregate power over provisioned power.
+        mean_utilization: Mean aggregate power over provisioned power.
+        max_swing_2s: Largest rise within 2 s, as a provisioned fraction.
+        max_swing_40s: Largest rise within 40 s, as a provisioned fraction.
+        headroom: ``1 - peak_utilization`` (the ~3% of Insight 9).
+    """
+
+    peak_utilization: float
+    mean_utilization: float
+    max_swing_2s: float
+    max_swing_40s: float
+
+    @property
+    def headroom(self) -> float:
+        """Oversubscription headroom left by the peak."""
+        return 1.0 - self.peak_utilization
+
+
+@dataclass
+class TrainingClusterModel:
+    """A row-scale cluster running one synchronous training job.
+
+    Attributes:
+        model: The trained LLM (must have a training profile).
+        n_servers: Servers participating in the job.
+        gpu: GPU type of the training servers.
+        provisioned_per_server_w: Power budgeted per server.
+        phase_jitter_std_s: Std-dev of per-server phase misalignment.
+            Synchronous jobs keep this small (fractions of a second);
+            it is what softens the aggregate swing from the raw
+            per-server peak-to-trough to Table 4's 37.5%.
+        seed: RNG seed.
+    """
+
+    model: LlmSpec = field(default_factory=lambda: get_model("GPT-NeoX-20B"))
+    n_servers: int = 40
+    gpu: GpuSpec = A100_40GB
+    provisioned_per_server_w: float = TRAINING_PROVISIONED_PER_SERVER_W
+    phase_jitter_std_s: float = 0.06
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError("n_servers must be positive")
+        if self.model.training is None:
+            raise ConfigurationError(f"{self.model.name} is not trainable")
+        self._iteration = TrainingIterationModel(
+            model=self.model, gpu=self.gpu, noise_std=0.0, seed=self.seed
+        )
+        self._server = DgxServer(gpu_spec=self.gpu)
+        self._rng = np.random.default_rng(self.seed)
+        self._offsets = self._rng.normal(
+            0.0, self.phase_jitter_std_s, size=self.n_servers
+        )
+
+    @property
+    def provisioned_power_w(self) -> float:
+        """Total provisioned power of the cluster."""
+        return self.n_servers * self.provisioned_per_server_w
+
+    def aggregate_power(self, t: float, clock_ratio: float = 1.0) -> float:
+        """Cluster power at time ``t`` in watts.
+
+        A ``clock_ratio`` below 1 models a cluster-wide frequency lock:
+        iterations stretch and every server's power scales down.
+        """
+        if clock_ratio < 1.0:
+            self._server.lock_all_frequencies(
+                clock_ratio * self.gpu.max_sm_clock_mhz
+            )
+        else:
+            self._server.unlock_all_frequencies()
+        total = 0.0
+        for offset in self._offsets:
+            activity = self._iteration.activity_at(
+                float(t + offset), clock_ratio
+            )
+            total += self._server.server_power_uniform(0.0, activity)
+        return total
+
+    def power_series(
+        self,
+        duration_s: float = 120.0,
+        sample_interval: float = 0.25,
+        clock_ratio: float = 1.0,
+    ) -> TimeSeries:
+        """Aggregate cluster power over a window.
+
+        Raises:
+            ConfigurationError: If the window is not positive.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        times = np.arange(0.0, duration_s, sample_interval)
+        values = np.array(
+            [self.aggregate_power(float(t), clock_ratio) for t in times]
+        )
+        return TimeSeries(start=0.0, interval=sample_interval, values=values)
+
+    def stats(
+        self, duration_s: float = 120.0, sample_interval: float = 0.25
+    ) -> TrainingClusterStats:
+        """Table 4 training-column statistics for this cluster."""
+        series = self.power_series(duration_s, sample_interval)
+        provisioned = self.provisioned_power_w
+        return TrainingClusterStats(
+            peak_utilization=series.peak() / provisioned,
+            mean_utilization=series.mean() / provisioned,
+            max_swing_2s=max_swing(series, 2.0) / provisioned,
+            max_swing_40s=max_swing(series, 40.0) / provisioned,
+        )

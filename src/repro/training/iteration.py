@@ -1,0 +1,182 @@
+"""The power shape of one training iteration (Figure 4).
+
+Each iteration has four stretches (Section 4.1): a compute-heavy forward
+pass; a brief dip where "threads working on the same data synchronize and
+the GPU utilization decreases"; a compute-heavy backward pass; and the
+end-of-iteration gradient synchronization, where power falls to a
+model-specific trough (RoBERTa stays at ~75% of TDP, GPT-NeoX drops to
+~50%, Flan-T5 all the way to idle). The model expands a
+:class:`~repro.models.registry.TrainingProfile` into activity segments and
+renders DCGM-rate power time series under any combination of frequency
+locking and power capping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.timeseries import TimeSeries
+from repro.errors import ConfigurationError
+from repro.gpu.capping import ReactivePowerCap
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_40GB, GpuSpec
+from repro.models.registry import LlmSpec
+
+#: Fraction of the iteration spent in the forward/backward boundary dip.
+MID_DIP_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class IterationSegment:
+    """A stretch of a training iteration with uniform activity.
+
+    Attributes:
+        name: ``"forward"``, ``"mid_dip"``, ``"backward"``, or ``"sync"``.
+        duration_fraction: Share of the iteration (at the max clock).
+        activity: GPU activity during the stretch.
+        compute_bound: Whether the stretch slows with the SM clock
+            (compute phases do; the communication trough does not).
+    """
+
+    name: str
+    duration_fraction: float
+    activity: float
+    compute_bound: bool
+
+
+@dataclass
+class TrainingIterationModel:
+    """Renders training power time series for one model on one server.
+
+    Attributes:
+        model: A trainable LLM spec (must carry a training profile).
+        gpu: GPU of the training server (A100-40GB in the paper).
+        n_gpus: GPUs per server (8).
+        noise_std: Multiplicative power noise per sample.
+        seed: RNG seed.
+    """
+
+    model: LlmSpec
+    gpu: GpuSpec = A100_40GB
+    n_gpus: int = 8
+    noise_std: float = 0.015
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model.training is None:
+            raise ConfigurationError(
+                f"{self.model.name} has no training profile (Table 3 marks "
+                f"it inference-only)"
+            )
+        self._power_model = GpuPowerModel(self.gpu)
+        self._rng = np.random.default_rng(self.seed)
+
+    def segments(self) -> List[IterationSegment]:
+        """The iteration's activity segments, in execution order."""
+        profile = self.model.training
+        assert profile is not None
+        forward = max(profile.forward_fraction - MID_DIP_FRACTION, 0.05)
+        return [
+            IterationSegment("forward", forward, profile.peak_activity, True),
+            IterationSegment(
+                "mid_dip", MID_DIP_FRACTION, profile.mid_dip_activity, False
+            ),
+            IterationSegment(
+                "backward", profile.backward_fraction, profile.peak_activity, True
+            ),
+            IterationSegment(
+                "sync", profile.sync_fraction, profile.trough_activity, False
+            ),
+        ]
+
+    def iteration_seconds(self, clock_ratio: float = 1.0) -> float:
+        """Iteration duration at the given clock ratio.
+
+        The iteration stretches by ``(1 - c) + c / clock_ratio`` where
+        ``c`` is the profile's effective compute fraction — only the
+        SM-clock-sensitive share of the iteration slows down.
+        """
+        if not 0.0 < clock_ratio <= 1.0:
+            raise ConfigurationError(f"clock_ratio {clock_ratio} outside (0, 1]")
+        profile = self.model.training
+        assert profile is not None
+        c = profile.compute_fraction
+        return profile.iteration_seconds * ((1.0 - c) + c / clock_ratio)
+
+    def activity_at(self, t: float, clock_ratio: float = 1.0) -> float:
+        """Activity at time ``t`` within the repeating iteration pattern.
+
+        Segment boundaries keep their fractional positions within the
+        (possibly stretched) iteration.
+        """
+        iteration = self.iteration_seconds(clock_ratio)
+        position = (t % iteration) / iteration
+        elapsed = 0.0
+        for segment in self.segments():
+            if position < elapsed + segment.duration_fraction:
+                return segment.activity
+            elapsed += segment.duration_fraction
+        return self.segments()[-1].activity
+
+    def power_series(
+        self,
+        n_iterations: int = 5,
+        sample_interval: float = 0.1,
+        frequency_lock_mhz: Optional[float] = None,
+        power_cap_w: Optional[float] = None,
+    ) -> TimeSeries:
+        """Per-GPU power time series over ``n_iterations`` (Figure 4).
+
+        At most one knob may be active; passing both raises, matching the
+        paper's one-knob-at-a-time methodology.
+
+        Raises:
+            ConfigurationError: If both knobs are requested at once.
+        """
+        if frequency_lock_mhz is not None and power_cap_w is not None:
+            raise ConfigurationError("apply one knob at a time, as the paper does")
+        if n_iterations <= 0:
+            raise ConfigurationError("n_iterations must be positive")
+        clock_ratio = 1.0
+        if frequency_lock_mhz is not None:
+            self.gpu.validate_clock(frequency_lock_mhz)
+            clock_ratio = frequency_lock_mhz / self.gpu.max_sm_clock_mhz
+        cap: Optional[ReactivePowerCap] = None
+        if power_cap_w is not None:
+            cap = ReactivePowerCap(self._power_model, cap_w=power_cap_w)
+        end = n_iterations * self.iteration_seconds(clock_ratio)
+        times = np.arange(0.0, end, sample_interval)
+        values = np.empty(times.size)
+        clock = clock_ratio * self.gpu.max_sm_clock_mhz
+        for i, t in enumerate(times):
+            activity = self.activity_at(float(t), clock_ratio)
+            if cap is not None:
+                power = cap.observe(float(t), activity)
+            else:
+                power = self._power_model.power(activity, clock)
+            jitter = 1.0 + self.noise_std * self._rng.standard_normal()
+            values[i] = power * jitter
+        return TimeSeries(start=0.0, interval=sample_interval, values=values)
+
+    def peak_power_w(self, clock_ratio: float = 1.0) -> float:
+        """Peak per-GPU power during an iteration at the given clock."""
+        clock = clock_ratio * self.gpu.max_sm_clock_mhz
+        return max(
+            self._power_model.power(segment.activity, clock)
+            for segment in self.segments()
+        )
+
+    def trough_power_w(self, clock_ratio: float = 1.0) -> float:
+        """Minimum per-GPU power during an iteration at the given clock."""
+        clock = clock_ratio * self.gpu.max_sm_clock_mhz
+        return min(
+            self._power_model.power(segment.activity, clock)
+            for segment in self.segments()
+        )
+
+    def throughput_scale(self, clock_ratio: float) -> float:
+        """Training throughput at a locked clock, relative to uncapped."""
+        return self.iteration_seconds(1.0) / self.iteration_seconds(clock_ratio)

@@ -1,0 +1,101 @@
+"""Mitigating training power swings (the paper's Section 5.1 proposal).
+
+"Another alternative is to smooth out the power swings by reducing
+synchronization requirements and overlapping the computation and
+communication phases. Lazy weight updates and asynchronous training
+techniques could help in this regard."
+
+We model communication/computation overlap as a fraction of the
+end-of-iteration synchronization that executes concurrently with compute:
+the overlapped share no longer drops to the trough activity, which raises
+the trough, shrinks the aggregate swing, and shortens the iteration. The
+ablation benchmark sweeps the overlap factor to quantify how much
+asynchrony the power-delivery infrastructure buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.registry import LlmSpec, TrainingProfile
+from repro.training.cluster import TrainingClusterModel, TrainingClusterStats
+
+
+@dataclass(frozen=True)
+class SmoothingOutcome:
+    """Cluster-level effect of one comm/compute overlap level.
+
+    Attributes:
+        overlap: Fraction of the sync phase overlapped with compute.
+        stats: Cluster power statistics at that overlap.
+        iteration_speedup: Throughput gain from hiding communication.
+    """
+
+    overlap: float
+    stats: TrainingClusterStats
+    iteration_speedup: float
+
+
+def overlapped_profile(profile: TrainingProfile, overlap: float
+                       ) -> TrainingProfile:
+    """A training profile with part of the sync phase hidden under compute.
+
+    The overlapped share of the sync time disappears (it runs concurrently
+    with the backward pass), and the remaining exposed sync draws a
+    blended activity because some compute is still in flight.
+
+    Raises:
+        ConfigurationError: If ``overlap`` is outside ``[0, 1)``.
+    """
+    if not 0.0 <= overlap < 1.0:
+        raise ConfigurationError(f"overlap {overlap} outside [0, 1)")
+    if overlap == 0.0:
+        return profile
+    exposed_sync = profile.sync_fraction * (1.0 - overlap)
+    removed = profile.sync_fraction - exposed_sync
+    # Renormalize phase fractions over the shorter iteration.
+    scale = 1.0 / (1.0 - removed)
+    blended_trough = (
+        profile.trough_activity
+        + overlap * (profile.peak_activity - profile.trough_activity) * 0.5
+    )
+    return dataclasses.replace(
+        profile,
+        iteration_seconds=profile.iteration_seconds * (1.0 - removed),
+        trough_activity=min(blended_trough, profile.peak_activity),
+        forward_fraction=profile.forward_fraction * scale,
+        backward_fraction=profile.backward_fraction * scale,
+        sync_fraction=exposed_sync * scale,
+    )
+
+
+def smoothing_sweep(
+    model: LlmSpec,
+    overlaps=(0.0, 0.25, 0.5, 0.75),
+    n_servers: int = 40,
+    duration_s: float = 120.0,
+    seed: int = 0,
+):
+    """Sweep overlap factors and report cluster power statistics.
+
+    Raises:
+        ConfigurationError: If the model is not trainable.
+    """
+    if model.training is None:
+        raise ConfigurationError(f"{model.name} is not trainable")
+    outcomes = []
+    base_iteration = model.training.iteration_seconds
+    for overlap in overlaps:
+        profile = overlapped_profile(model.training, overlap)
+        smoothed = dataclasses.replace(model, training=profile)
+        cluster = TrainingClusterModel(
+            model=smoothed, n_servers=n_servers, seed=seed
+        )
+        outcomes.append(SmoothingOutcome(
+            overlap=overlap,
+            stats=cluster.stats(duration_s=duration_s),
+            iteration_speedup=base_iteration / profile.iteration_seconds,
+        ))
+    return outcomes

@@ -1,0 +1,104 @@
+"""Unit conventions and light-weight conversion helpers.
+
+The library uses plain ``float``s with a single canonical unit per quantity
+(documented here once, relied on everywhere) rather than a heavyweight unit
+system:
+
+========== ======================= =========================================
+Quantity   Canonical unit          Notes
+========== ======================= =========================================
+power      watt (W)                GPU, server, rack, row and cluster level
+energy     joule (J)
+time       second (s)              simulation time is seconds from t=0
+frequency  megahertz (MHz)         GPU SM / memory clock domains
+bandwidth  bytes per second (B/s)
+compute    FLOP/s
+memory     byte (B)
+tokens     count
+========== ======================= =========================================
+
+The helpers below exist so that call sites can spell human-scale quantities
+(``gigabytes(80)``, ``minutes(5)``) without embedding magic multipliers.
+"""
+
+from __future__ import annotations
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def kilowatts(value: float) -> float:
+    """Convert kilowatts to watts."""
+    return value * KILO
+
+
+def watts_to_kilowatts(value: float) -> float:
+    """Convert watts to kilowatts."""
+    return value / KILO
+
+
+def gigahertz(value: float) -> float:
+    """Convert gigahertz to megahertz (the canonical frequency unit)."""
+    return value * 1e3
+
+
+def megahertz_to_ghz(value: float) -> float:
+    """Convert megahertz to gigahertz for display."""
+    return value / 1e3
+
+
+def gigabytes(value: float) -> float:
+    """Convert gigabytes to bytes."""
+    return value * GIGA
+
+
+def gigabytes_per_second(value: float) -> float:
+    """Convert GB/s to B/s."""
+    return value * GIGA
+
+
+def teraflops(value: float) -> float:
+    """Convert TFLOP/s to FLOP/s."""
+    return value * TERA
+
+
+def billions(value: float) -> float:
+    """Convert a count expressed in billions (e.g. parameters) to units."""
+    return value * 1e9
+
+
+def millions(value: float) -> float:
+    """Convert a count expressed in millions (e.g. parameters) to units."""
+    return value * 1e6
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def weeks(value: float) -> float:
+    """Convert weeks to seconds."""
+    return value * SECONDS_PER_WEEK
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value / KILO

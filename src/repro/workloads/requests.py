@@ -1,0 +1,81 @@
+"""Sampling concrete requests from the workload mix.
+
+Combines the Table 6 mix (which workload, which priority) with per-request
+prompt/output sizes drawn uniformly from the workload's ranges, producing
+the request stream the POLCA simulator serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import Priority, TABLE6_MIX, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SampledRequest:
+    """One concrete inference request in the cluster trace.
+
+    Attributes:
+        arrival_time: Arrival time in seconds from trace start.
+        workload: The Table 6 workload it belongs to.
+        priority: Its priority tier.
+        input_tokens: Sampled prompt length.
+        output_tokens: Sampled output length.
+    """
+
+    arrival_time: float
+    workload: WorkloadSpec
+    priority: Priority
+    input_tokens: int
+    output_tokens: int
+
+
+@dataclass
+class RequestSampler:
+    """Draws workloads, priorities, and sizes per Table 6.
+
+    Attributes:
+        mix: The workload mix; shares must sum to 1.
+        seed: RNG seed.
+    """
+
+    mix: Sequence[WorkloadSpec] = TABLE6_MIX
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        total_share = sum(w.share for w in self.mix)
+        if abs(total_share - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"workload shares sum to {total_share}, expected 1.0"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    def sample(self, arrival_time: float) -> SampledRequest:
+        """Sample one request arriving at ``arrival_time``."""
+        shares = [w.share for w in self.mix]
+        index = int(self._rng.choice(len(self.mix), p=shares))
+        workload = self.mix[index]
+        is_high = self._rng.random() < workload.high_priority_probability
+        lo_p, hi_p = workload.prompt_range
+        lo_o, hi_o = workload.output_range
+        return SampledRequest(
+            arrival_time=arrival_time,
+            workload=workload,
+            priority=Priority.HIGH if is_high else Priority.LOW,
+            input_tokens=int(self._rng.integers(lo_p, hi_p + 1)),
+            output_tokens=int(self._rng.integers(lo_o, hi_o + 1)),
+        )
+
+    def sample_many(self, arrival_times: Sequence[float]) -> List[SampledRequest]:
+        """Sample one request per arrival time."""
+        return [self.sample(t) for t in arrival_times]
+
+    def expected_priority_split(self) -> float:
+        """Expected fraction of high-priority requests (0.5 for Table 6)."""
+        return sum(w.share * w.high_priority_probability for w in self.mix)

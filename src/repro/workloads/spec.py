@@ -1,0 +1,135 @@
+"""Workload definitions and SLOs from Table 6.
+
+Table 6 configures BLOOM-176B for three tasks:
+
+=========  ===========  ===========  =====  ========
+Workload   Prompt size  Output size  Ratio  Priority
+=========  ===========  ===========  =====  ========
+Summarize  2048-8192    256-512      25%    Low
+Search     512-2048     1024-2048    25%    High
+Chat       2048-4096    128-2048     50%    50:50
+=========  ===========  ===========  =====  ========
+
+with the SLO targets: high priority may lose <1% p50 / <5% p99 latency,
+low priority <5% p50 / <50% p99, and zero power-brake events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Priority(enum.Enum):
+    """Workload priority tier (Section 6.2: pricing tiers / SLO classes)."""
+
+    LOW = "low"
+    HIGH = "high"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table 6 workload.
+
+    Attributes:
+        name: Workload name.
+        prompt_range: Inclusive (min, max) prompt tokens.
+        output_range: Inclusive (min, max) output tokens.
+        share: Fraction of the request mix.
+        high_priority_probability: Probability a request of this workload
+            is high priority (1.0 for Search, 0.0 for Summarize, 0.5 for
+            Chat's "50:50").
+        model_name: Model serving the workload (BLOOM-176B throughout the
+            POLCA evaluation — the worst case for capping, Section 6.4).
+    """
+
+    name: str
+    prompt_range: Tuple[int, int]
+    output_range: Tuple[int, int]
+    share: float
+    high_priority_probability: float
+    model_name: str = "BLOOM-176B"
+
+    def __post_init__(self) -> None:
+        for label, (lo, hi) in (
+            ("prompt_range", self.prompt_range),
+            ("output_range", self.output_range),
+        ):
+            if not 0 < lo <= hi:
+                raise ConfigurationError(f"{self.name}: invalid {label} ({lo}, {hi})")
+        if not 0.0 < self.share <= 1.0:
+            raise ConfigurationError(f"{self.name}: share outside (0, 1]")
+        if not 0.0 <= self.high_priority_probability <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: high_priority_probability outside [0, 1]"
+            )
+
+    def mean_prompt_tokens(self) -> float:
+        """Expected prompt length under uniform sampling."""
+        lo, hi = self.prompt_range
+        return (lo + hi) / 2.0
+
+    def mean_output_tokens(self) -> float:
+        """Expected output length under uniform sampling."""
+        lo, hi = self.output_range
+        return (lo + hi) / 2.0
+
+
+#: Table 6's rows.
+SUMMARIZE = WorkloadSpec(
+    name="Summarize",
+    prompt_range=(2048, 8192),
+    output_range=(256, 512),
+    share=0.25,
+    high_priority_probability=0.0,
+)
+
+SEARCH = WorkloadSpec(
+    name="Search",
+    prompt_range=(512, 2048),
+    output_range=(1024, 2048),
+    share=0.25,
+    high_priority_probability=1.0,
+)
+
+CHAT = WorkloadSpec(
+    name="Chat",
+    prompt_range=(2048, 4096),
+    output_range=(128, 2048),
+    share=0.50,
+    high_priority_probability=0.5,
+)
+
+#: The full Table 6 mix; shares sum to 1 and priorities average to 50:50.
+TABLE6_MIX: Tuple[WorkloadSpec, ...] = (SUMMARIZE, SEARCH, CHAT)
+
+
+@dataclass(frozen=True)
+class SloTargets:
+    """Latency/brake SLOs, as maximum allowed normalized degradation.
+
+    Attributes:
+        p50_impact: Allowed fractional p50 latency increase.
+        p99_impact: Allowed fractional p99 latency increase.
+        max_power_brakes: Allowed power-brake events (0 in Table 6).
+    """
+
+    p50_impact: float
+    p99_impact: float
+    max_power_brakes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.p50_impact < 0 or self.p99_impact < 0:
+            raise ConfigurationError("SLO impacts cannot be negative")
+        if self.max_power_brakes < 0:
+            raise ConfigurationError("max_power_brakes cannot be negative")
+
+
+#: Table 6's SLO columns.
+SLO_TARGETS: Dict[Priority, SloTargets] = {
+    Priority.HIGH: SloTargets(p50_impact=0.01, p99_impact=0.05),
+    Priority.LOW: SloTargets(p50_impact=0.05, p99_impact=0.50),
+}

@@ -1,0 +1,29 @@
+"""Shared fixtures for the heavier integration tests.
+
+The POLCA evaluation harness simulates hours of cluster time; building
+baseline and policy runs once per session keeps the suite fast while still
+exercising the full pipeline (trace synthesis -> DES -> policy -> SLOs).
+"""
+
+import pytest
+
+from repro.core import DualThresholdPolicy, EvaluationHarness
+from repro.units import hours
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """A six-simulated-hour evaluation harness (covers one daily peak)."""
+    return EvaluationHarness(duration_s=hours(30), seed=1)
+
+
+@pytest.fixture(scope="session")
+def baseline_result(harness):
+    """Default cluster, no capping — the normalization baseline."""
+    return harness.baseline()
+
+
+@pytest.fixture(scope="session")
+def polca_30pct_result(harness):
+    """POLCA at the paper's headline 30% oversubscription."""
+    return harness.run(DualThresholdPolicy(), added_fraction=0.30)

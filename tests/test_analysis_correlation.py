@@ -1,0 +1,78 @@
+"""Pearson correlation utilities (Figure 7 backend)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.correlation import (
+    correlation_matrix,
+    correlations_with,
+    pearson,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        # Matches the "uncorrelated" reading of flat token-phase counters.
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson([1], [2])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                    max_size=40))
+    def test_bounded_in_unit_interval(self, xs):
+        rng = np.random.default_rng(0)
+        ys = rng.normal(size=len(xs)).tolist()
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                    max_size=40))
+    def test_symmetric(self, xs):
+        ys = [x * 0.5 + 1 for x in xs]
+        assert pearson(xs, ys) == pytest.approx(pearson(ys, xs))
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self):
+        names, matrix = correlation_matrix({
+            "a": [1, 2, 3], "b": [3, 1, 2],
+        })
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric_matrix(self):
+        _, matrix = correlation_matrix({
+            "a": [1, 2, 3], "b": [3, 1, 2], "c": [1, 3, 2],
+        })
+        assert np.allclose(matrix, matrix.T)
+
+    def test_names_preserve_insertion_order(self):
+        names, _ = correlation_matrix({"power": [1, 2], "sm": [2, 1]})
+        assert names == ["power", "sm"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            correlation_matrix({})
+
+
+class TestCorrelationsWith:
+    def test_excludes_target(self):
+        result = correlations_with("a", {"a": [1, 2, 3], "b": [1, 2, 3]})
+        assert set(result) == {"b"}
+        assert result["b"] == pytest.approx(1.0)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            correlations_with("missing", {"a": [1, 2]})

@@ -1,0 +1,71 @@
+"""Report rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import polca_report, render_table
+from repro.analysis.timeseries import TimeSeries
+from repro.cluster.metrics import PriorityMetrics, SimulationResult
+from repro.errors import ConfigurationError
+from repro.workloads.spec import Priority
+
+
+class TestRenderTable:
+    def test_plain_text_alignment(self):
+        text = render_table(["name", "w"], [["gpus", 3200], ["fans", 1625]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines if line)) == 1
+
+    def test_markdown_shape(self):
+        text = render_table(["a", "b"], [[1, 2]], markdown=True)
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+        assert lines[2].startswith("| 1")
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_allowed(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+def _result(p50, brakes=0):
+    metrics = {
+        p: PriorityMetrics(latencies=[p50] * 100, served=100)
+        for p in Priority
+    }
+    return SimulationResult(
+        per_priority=metrics,
+        power_series=TimeSeries(start=0, interval=2,
+                                values=np.full(10, 150_000.0)),
+        provisioned_power_w=200_000.0,
+        power_brake_events=brakes,
+        capping_actions=0,
+        duration_s=20.0,
+    )
+
+
+class TestPolcaReport:
+    def test_report_contains_all_runs(self):
+        baseline = _result(10.0)
+        report = polca_report(
+            {"POLCA": _result(10.5), "No-cap": _result(12.0, brakes=3)},
+            baseline,
+        )
+        assert "POLCA" in report and "No-cap" in report
+        assert "1.050" in report  # normalized p50
+        assert "3" in report      # brake count
+
+    def test_markdown_mode(self):
+        baseline = _result(10.0)
+        report = polca_report({"POLCA": _result(10.0)}, baseline,
+                              markdown=True)
+        assert report.startswith("| run")

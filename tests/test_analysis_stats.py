@@ -1,0 +1,114 @@
+"""Statistics utilities: percentiles, MAPE, latency summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    LatencySummary,
+    mean_absolute_percentage_error,
+    normalized,
+    percentile,
+    summarize_latencies,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPercentile:
+    def test_median_of_known_values(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_p100_is_maximum(self):
+        assert percentile([5.0, 1.0, 9.0], 100) == 9.0
+
+    def test_p0_is_minimum(self):
+        assert percentile([5.0, 1.0, 9.0], 0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_percentile_bounded_by_extremes(self, values):
+        p = percentile(values, 73.0)
+        assert min(values) <= p <= max(values)
+
+
+class TestMape:
+    def test_identical_series_zero(self):
+        assert mean_absolute_percentage_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # 10% high on one of two equal-weight points -> 5% MAPE.
+        assert mean_absolute_percentage_error([10.0, 10.0], [11.0, 10.0]) \
+            == pytest.approx(0.05)
+
+    def test_symmetric_in_error_sign(self):
+        low = mean_absolute_percentage_error([10.0], [9.0])
+        high = mean_absolute_percentage_error([10.0], [11.0])
+        assert low == pytest.approx(high)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_absolute_percentage_error([1.0], [1.0, 2.0])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_absolute_percentage_error([], [])
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e3), min_size=1,
+                    max_size=30))
+    def test_self_mape_always_zero(self, series):
+        assert mean_absolute_percentage_error(series, series) == 0.0
+
+
+class TestNormalized:
+    def test_divides_by_baseline(self):
+        out = normalized([400.0, 200.0], 400.0)
+        assert np.allclose(out, [1.0, 0.5])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalized([1.0], 0.0)
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.p50 == pytest.approx(2.5)
+        assert summary.maximum == 4.0
+        assert summary.mean == pytest.approx(2.5)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_latencies([])
+
+    def test_normalization_against_baseline(self):
+        baseline = summarize_latencies([10.0] * 100)
+        mine = summarize_latencies([11.0] * 100)
+        ratios = mine.normalized_to(baseline)
+        assert ratios["p50"] == pytest.approx(1.1)
+        assert ratios["p99"] == pytest.approx(1.1)
+        assert ratios["max"] == pytest.approx(1.1)
+
+    def test_normalization_rejects_degenerate_baseline(self):
+        bad = LatencySummary(count=1, p50=0.0, p99=0.0, maximum=0.0, mean=0.0)
+        mine = summarize_latencies([1.0])
+        with pytest.raises(ConfigurationError):
+            mine.normalized_to(bad)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e4), min_size=2,
+                    max_size=100))
+    def test_percentile_ordering_invariant(self, latencies):
+        summary = summarize_latencies(latencies)
+        assert summary.p50 <= summary.p99 <= summary.maximum

@@ -1,0 +1,154 @@
+"""TimeSeries operations and the Table 4 max-swing statistic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.timeseries import TimeSeries, concatenate, max_swing
+from repro.errors import ConfigurationError
+
+
+def series(values, interval=1.0, start=0.0):
+    return TimeSeries(start=start, interval=interval,
+                      values=np.asarray(values, dtype=float))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ts = series([1, 2, 3], interval=0.5)
+        assert len(ts) == 3
+        assert ts.duration == 1.0
+        assert np.allclose(ts.times, [0.0, 0.5, 1.0])
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series([1.0], interval=0.0)
+
+    def test_two_dimensional_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries(start=0, interval=1, values=np.zeros((2, 2)))
+
+    def test_from_function_samples_half_open_interval(self):
+        ts = TimeSeries.from_function(lambda t: 2 * t, 0.0, 1.0, 0.25)
+        assert len(ts) == 4
+        assert ts.values[-1] == pytest.approx(1.5)
+
+    def test_from_function_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries.from_function(lambda t: t, 1.0, 1.0, 0.1)
+
+
+class TestAggregates:
+    def test_peak_mean_trough(self):
+        ts = series([1, 5, 3])
+        assert ts.peak() == 5.0
+        assert ts.trough() == 1.0
+        assert ts.mean() == 3.0
+
+    def test_aggregates_on_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series([]).peak()
+
+    def test_normalized(self):
+        ts = series([200, 400]).normalized(400.0)
+        assert np.allclose(ts.values, [0.5, 1.0])
+
+    def test_normalized_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            series([1.0]).normalized(0.0)
+
+
+class TestTransforms:
+    def test_rolling_mean_smooths(self):
+        ts = series([0, 10, 0, 10, 0, 10])
+        smooth = ts.rolling_mean(window_seconds=2.0)
+        assert smooth.values[0] == 0.0  # prefix averages shorter window
+        assert smooth.values[1] == 5.0
+        assert smooth.values.std() < ts.values.std()
+
+    def test_rolling_mean_window_of_one_is_identity(self):
+        ts = series([1, 2, 3])
+        assert np.allclose(ts.rolling_mean(1.0).values, ts.values)
+
+    def test_downsample(self):
+        ts = series([1, 2, 3, 4, 5], interval=0.1)
+        coarse = ts.downsample(2)
+        assert np.allclose(coarse.values, [1, 3, 5])
+        assert coarse.interval == pytest.approx(0.2)
+
+    def test_downsample_rejects_zero_factor(self):
+        with pytest.raises(ConfigurationError):
+            series([1.0]).downsample(0)
+
+    def test_slice_selects_window(self):
+        ts = series([0, 1, 2, 3, 4])
+        window = ts.slice(1.0, 3.0)
+        assert np.allclose(window.values, [1, 2])
+        assert window.start == 1.0
+
+    def test_slice_outside_range_is_empty(self):
+        assert len(series([1, 2]).slice(10.0, 20.0)) == 0
+
+    def test_concatenate(self):
+        joined = concatenate([series([1, 2]), series([3, 4])])
+        assert np.allclose(joined.values, [1, 2, 3, 4])
+
+    def test_concatenate_mixed_intervals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concatenate([series([1], interval=1.0), series([2], interval=2.0)])
+
+    def test_concatenate_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concatenate([])
+
+
+class TestMaxSwing:
+    def test_step_up_detected(self):
+        ts = series([1, 1, 1, 5, 5], interval=1.0)
+        assert max_swing(ts, 1.0) == 4.0
+
+    def test_drop_is_not_a_swing(self):
+        # Table 4 measures upward spikes (what power capping must absorb).
+        ts = series([5, 4, 3, 2, 1])
+        assert max_swing(ts, 2.0) == 0.0
+
+    def test_window_limits_visible_rise(self):
+        ts = series([0, 1, 2, 3, 4], interval=1.0)
+        assert max_swing(ts, 1.0) == 1.0
+        assert max_swing(ts, 3.0) == 3.0
+
+    def test_window_shorter_than_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_swing(series([1, 2], interval=2.0), 1.0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_swing(series([1.0]), 1.0)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=2,
+                    max_size=60))
+    def test_swing_non_negative_and_bounded_by_range(self, values):
+        ts = series(values)
+        swing = max_swing(ts, 3.0)
+        assert 0.0 <= swing <= (max(values) - min(values)) + 1e-9
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=3,
+                    max_size=40))
+    def test_swing_monotone_in_window(self, values):
+        ts = series(values)
+        assert max_swing(ts, 1.0) <= max_swing(ts, 5.0) + 1e-9
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=2,
+                    max_size=40))
+    def test_swing_matches_bruteforce(self, values):
+        ts = series(values)
+        steps = 4
+        brute = 0.0
+        for i in range(len(values)):
+            hi = min(len(values) - 1, i + steps)
+            window_max = max(values[i:hi + 1])
+            brute = max(brute, window_max - values[i])
+        assert max_swing(ts, 4.0) == pytest.approx(brute)

@@ -1,0 +1,204 @@
+"""Characterization drivers behind the Section 4 figures."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    config_sweep,
+    frequency_sensitivity,
+    frequency_tradeoff,
+    inference_power_series,
+    phase_correlation_matrices,
+    repeated_inference_series,
+    training_cluster_patterns,
+)
+from repro.characterization.sweeps import BATCH_SIZES, INPUT_SIZES, OUTPUT_SIZES
+from repro.errors import ConfigurationError
+from repro.gpu.specs import A100_80GB
+from repro.models.inference import InferenceRequest
+from repro.models.registry import get_model
+
+
+class TestFigure6Series:
+    def test_three_requests_three_spikes(self):
+        series = repeated_inference_series("BLOOM-176B", n_requests=3)
+        tdp = A100_80GB.tdp_w
+        above = series.values > 0.95 * tdp
+        # Spikes form distinct clusters (prompt of each request).
+        clusters = int(np.sum(np.diff(above.astype(int)) == 1))
+        clusters += int(above[0])
+        assert clusters == 3
+
+    def test_prompt_spike_reaches_tdp(self):
+        series = repeated_inference_series("BLOOM-176B")
+        assert series.peak() >= A100_80GB.tdp_w
+
+    def test_token_plateau_below_peak(self):
+        series = repeated_inference_series("BLOOM-176B", n_requests=1)
+        # The long tail of the series is the token plateau.
+        tail = series.values[len(series) // 2:]
+        assert tail.mean() < 0.85 * series.peak()
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repeated_inference_series("BLOOM-176B", n_requests=0)
+
+
+class TestFigure9Capping:
+    @pytest.fixture()
+    def bloom_request(self):
+        return InferenceRequest("BLOOM-176B", 8192, 128)
+
+    def test_both_knobs_rejected(self, bloom_request):
+        with pytest.raises(ConfigurationError):
+            inference_power_series(
+                get_model("BLOOM-176B"), bloom_request,
+                frequency_lock_mhz=1100.0, power_cap_w=325.0,
+            )
+
+    def test_power_cap_overshoots_then_converges(self, bloom_request):
+        """Figure 9b: the reactive cap lets the spike partially through."""
+        capped = inference_power_series(
+            get_model("BLOOM-176B"), bloom_request, power_cap_w=325.0, noise_std=0.0
+        )
+        assert capped.peak() > 325.0          # overshoot exists
+        assert capped.peak() < 469.0          # but is partially absorbed
+        assert capped.values[-10:].mean() < 330.0  # converged under cap
+
+    def test_frequency_lock_never_overshoots(self, bloom_request):
+        """Figure 9c: locking is proactive — no spike above the locked
+        level."""
+        locked = inference_power_series(
+            get_model("BLOOM-176B"), bloom_request,
+            frequency_lock_mhz=1100.0, noise_std=0.0,
+        )
+        uncapped = inference_power_series(
+            get_model("BLOOM-176B"), bloom_request, noise_std=0.0
+        )
+        assert locked.peak() < 0.80 * uncapped.peak()
+
+    def test_frequency_lock_stretches_duration(self, bloom_request):
+        locked = inference_power_series(
+            get_model("BLOOM-176B"), bloom_request, frequency_lock_mhz=1100.0
+        )
+        uncapped = inference_power_series(get_model("BLOOM-176B"), bloom_request)
+        assert locked.duration > uncapped.duration
+
+
+class TestFigure8Sweeps:
+    def test_input_sweep_moves_peak_not_mean(self):
+        """Figure 8a: peak rises drastically, mean stays flat."""
+        points = config_sweep("BLOOM-176B", "input")
+        peaks = [p.peak_power_ratio for p in points]
+        means = [p.mean_power_ratio for p in points]
+        peak_change = peaks[-1] - peaks[0]
+        mean_change = abs(means[-1] - means[0])
+        assert peak_change > 0.25
+        # The mean (token-dominated) moves far less than the peak.
+        assert mean_change < 0.5 * peak_change
+
+    def test_input_sweep_latency_flat_until_long_prompts(self):
+        """Figure 8b: latency barely moves until >4096 input tokens."""
+        points = config_sweep("BLOOM-176B", "input")
+        latencies = {p.value: p.latency_seconds for p in points}
+        assert latencies[2048] / latencies[256] < 1.25
+        assert latencies[8192] / latencies[4096] > 1.15
+
+    def test_batch_sweep_raises_peak_and_mean(self):
+        """Figure 8c: peak like a larger prompt; mean gradually up."""
+        points = config_sweep("BLOOM-176B", "batch")
+        assert points[-1].peak_power_ratio >= points[0].peak_power_ratio
+        assert points[-1].mean_power_ratio > points[0].mean_power_ratio
+
+    def test_output_sweep_only_stretches_latency(self):
+        """Figure 8e/8f: output size leaves power untouched, latency
+        linear."""
+        points = config_sweep("BLOOM-176B", "output")
+        peaks = {p.value: p.peak_power_ratio for p in points}
+        latencies = {p.value: p.latency_seconds for p in points}
+        assert peaks[4096] == pytest.approx(peaks[128], abs=0.01)
+        assert latencies[4096] / latencies[512] == pytest.approx(8.0, rel=0.25)
+
+    def test_default_axis_values(self):
+        assert config_sweep("OPT-30B", "input")[0].value == INPUT_SIZES[0]
+        assert len(config_sweep("OPT-30B", "batch")) == len(BATCH_SIZES)
+        assert len(config_sweep("OPT-30B", "output")) == len(OUTPUT_SIZES)
+
+    def test_larger_models_draw_more(self):
+        """Figure 8: BLOOM's bars top the others at equal config."""
+        bloom = config_sweep("BLOOM-176B", "input", values=[4096])[0]
+        flan = config_sweep("Flan-T5-XXL", "input", values=[4096])[0]
+        assert bloom.peak_power_ratio > flan.peak_power_ratio
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_sweep("BLOOM-176B", "temperature")
+
+
+class TestFigure10Frequency:
+    def test_superlinear_tradeoff(self):
+        """Insight 7: peak-power reduction exceeds performance loss."""
+        for point in frequency_tradeoff("BLOOM-176B"):
+            assert point.peak_power_reduction >= point.performance_reduction
+
+    def test_bloom_more_sensitive_than_neox(self):
+        """Figure 10a's ordering at a ~13% peak-power reduction."""
+        def loss_at_13pct(model_name):
+            points = frequency_tradeoff(model_name)
+            return min(
+                points,
+                key=lambda p: abs(p.peak_power_reduction - 0.13),
+            ).performance_reduction
+        assert loss_at_13pct("BLOOM-176B") > loss_at_13pct("GPT-NeoX-20B")
+        assert loss_at_13pct("BLOOM-176B") == pytest.approx(0.05, abs=0.02)
+
+    def test_small_lock_costs_under_2pct(self):
+        """Figure 10c: <2% loss at ~100 MHz below max — the basis for the
+        1305 MHz high-priority cap."""
+        points = frequency_tradeoff("BLOOM-176B", clocks_mhz=[1305.0])
+        assert points[0].performance_reduction < 0.03
+
+    def test_prompt_heavy_configs_more_sensitive(self):
+        """Figure 10b: larger prompts/batches lose more performance."""
+        curves = frequency_sensitivity()
+        # variants: (1,512), (1,2048), (1,8192), (16,512)
+        light = curves[0][-1].performance_reduction
+        heavy_input = curves[2][-1].performance_reduction
+        heavy_batch = curves[3][-1].performance_reduction
+        assert heavy_input > light
+        assert heavy_batch > light
+
+    def test_empty_clock_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frequency_tradeoff("BLOOM-176B", clocks_mhz=[])
+
+
+class TestFigure7Correlations:
+    @pytest.fixture(scope="class")
+    def matrices(self):
+        return phase_correlation_matrices(samples=600, seed=0)
+
+    def test_prompt_phase_structure(self, matrices):
+        names, matrix = matrices["prompt"]
+        power = names.index("power")
+        assert matrix[power][names.index("tensor_core_activity")] > 0.7
+        assert matrix[power][names.index("sm_activity")] > 0.7
+        assert matrix[power][names.index("memory_utilization")] < -0.4
+
+    def test_token_phase_uncorrelated(self, matrices):
+        names, matrix = matrices["token"]
+        off_diagonal = matrix[~np.eye(len(names), dtype=bool)]
+        assert np.abs(off_diagonal).max() < 0.25
+
+    def test_matrices_symmetric_unit_diagonal(self, matrices):
+        for names, matrix in matrices.values():
+            assert np.allclose(matrix, matrix.T)
+            assert np.allclose(np.diag(matrix), 1.0)
+
+
+class TestTable4Patterns:
+    def test_training_column(self):
+        patterns = training_cluster_patterns()
+        assert patterns.peak_utilization == pytest.approx(0.97, abs=0.02)
+        assert patterns.max_spike_2s == pytest.approx(0.375, abs=0.06)
+        assert patterns.headroom == pytest.approx(0.03, abs=0.02)

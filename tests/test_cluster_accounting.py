@@ -1,0 +1,107 @@
+"""Per-workload metrics and energy accounting in the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+from repro.core.baselines import NoCapPolicy
+from repro.core.policy import DualThresholdPolicy
+from repro.errors import ConfigurationError
+from repro.workloads.requests import RequestSampler
+from repro.workloads.spec import Priority
+
+
+def make_requests(rate, duration, seed=0):
+    rng = np.random.default_rng(seed)
+    sampler = RequestSampler(seed=seed)
+    t, arrivals = 0.0, []
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= duration:
+            break
+        arrivals.append(t)
+    return sampler.sample_many(arrivals)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ClusterConfig(n_base_servers=6, seed=0)
+    requests = make_requests(0.5, 600.0)
+    return ClusterSimulator(config, NoCapPolicy()).run(requests, 600.0), \
+        requests
+
+
+class TestPerWorkloadMetrics:
+    def test_workload_names_are_table6(self, result):
+        run, _ = result
+        assert set(run.per_workload) <= {"Summarize", "Search", "Chat"}
+
+    def test_workload_counts_sum_to_priority_counts(self, result):
+        run, _ = result
+        workload_total = sum(m.served for m in run.per_workload.values())
+        priority_total = sum(m.served for m in run.per_priority.values())
+        assert workload_total == priority_total
+
+    def test_workload_latency_summary(self, result):
+        run, _ = result
+        summary = run.workload_summary("Chat")
+        assert summary.count == run.per_workload["Chat"].served
+        assert summary.p50 > 0
+
+    def test_unknown_workload_rejected(self, result):
+        run, _ = result
+        with pytest.raises(ConfigurationError):
+            run.workload_summary("Translate")
+
+    def test_search_slower_than_summarize(self, result):
+        """Search generates 1024-2048 tokens vs Summarize's 256-512, so
+        its latencies are much higher (Figure 8f: latency ~ output)."""
+        run, _ = result
+        assert run.workload_summary("Search").p50 > \
+            2 * run.workload_summary("Summarize").p50
+
+
+class TestEnergyAccounting:
+    def test_energy_close_to_mean_power_times_duration(self, result):
+        run, _ = result
+        approx = run.power_series.mean() * run.duration_s
+        # The integral also covers the post-duration drain, so it exceeds
+        # the telemetry-window product slightly.
+        assert approx * 0.95 <= run.total_energy_j <= approx * 1.4
+
+    def test_energy_positive_and_bounded(self, result):
+        run, _ = result
+        config_servers = 6
+        ceiling = config_servers * 6000.0 * (run.duration_s * 1.5)
+        assert 0 < run.total_energy_j < ceiling
+
+    def test_energy_per_request(self, result):
+        run, _ = result
+        assert run.energy_per_request_j == pytest.approx(
+            run.total_energy_j / run.total_served
+        )
+
+    def test_capping_reduces_energy_under_equal_load(self):
+        """Frequency capping trades latency for energy: the capped run
+        consumes less total energy on the same request trace."""
+        requests = make_requests(1.0, 600.0, seed=2)
+        config = ClusterConfig(n_base_servers=6, seed=2)
+
+        class AlwaysCap(NoCapPolicy):
+            def desired_caps(self, utilization, now=0.0):
+                from repro.cluster.policy_base import GroupCaps
+                return GroupCaps(low_clock_mhz=1110.0,
+                                 high_clock_mhz=1110.0)
+
+        free = ClusterSimulator(config, NoCapPolicy()).run(requests, 600.0)
+        capped = ClusterSimulator(config, AlwaysCap()).run(requests, 600.0)
+        assert capped.total_energy_j < free.total_energy_j
+
+    def test_polca_energy_not_worse_than_uncapped(self):
+        requests = make_requests(1.0, 600.0, seed=3)
+        config = ClusterConfig(n_base_servers=6, seed=3)
+        free = ClusterSimulator(config, NoCapPolicy()).run(requests, 600.0)
+        polca = ClusterSimulator(config, DualThresholdPolicy()).run(
+            requests, 600.0
+        )
+        assert polca.total_energy_j <= free.total_energy_j * 1.02

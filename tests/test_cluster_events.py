@@ -1,0 +1,56 @@
+"""Event queue: ordering, determinism, safety."""
+
+import pytest
+
+from repro.cluster.events import EventQueue
+from repro.errors import SimulationError
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, "c")
+        queue.push(1.0, "a")
+        queue.push(2.0, "b")
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        for index in range(10):
+            queue.push(5.0, index)
+        assert [queue.pop()[1] for _ in range(10)] == list(range(10))
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(1.0, "x")
+        assert queue.peek_time() == 1.0
+        assert len(queue) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestSafety:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_scheduling_into_past_rejected(self):
+        queue = EventQueue()
+        queue.push(10.0, "late")
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.push(5.0, "too-late")
+
+    def test_scheduling_at_current_time_allowed(self):
+        queue = EventQueue()
+        queue.push(10.0, "a")
+        queue.pop()
+        queue.push(10.0, "b")  # same instant is fine
+        assert queue.pop() == (10.0, "b")
+
+    def test_bool_and_len(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, "x")
+        assert queue and len(queue) == 1

@@ -1,0 +1,73 @@
+"""Simulation result accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import TimeSeries
+from repro.cluster.metrics import PriorityMetrics, SimulationResult
+from repro.errors import ConfigurationError
+from repro.workloads.spec import Priority
+
+
+def make_result(low_latencies, high_latencies, power, provisioned=1000.0,
+                brakes=0):
+    per_priority = {
+        Priority.LOW: PriorityMetrics(latencies=list(low_latencies),
+                                      served=len(low_latencies)),
+        Priority.HIGH: PriorityMetrics(latencies=list(high_latencies),
+                                       served=len(high_latencies)),
+    }
+    return SimulationResult(
+        per_priority=per_priority,
+        power_series=TimeSeries(start=0, interval=2.0,
+                                values=np.asarray(power, dtype=float)),
+        provisioned_power_w=provisioned,
+        power_brake_events=brakes,
+        capping_actions=0,
+        duration_s=100.0,
+    )
+
+
+class TestPriorityMetrics:
+    def test_served_fraction(self):
+        metrics = PriorityMetrics(served=90, dropped=10)
+        assert metrics.offered == 100
+        assert metrics.served_fraction == pytest.approx(0.9)
+
+    def test_served_fraction_with_no_traffic_is_one(self):
+        assert PriorityMetrics().served_fraction == 1.0
+
+    def test_summary_requires_completions(self):
+        with pytest.raises(ConfigurationError):
+            PriorityMetrics().summary()
+
+
+class TestSimulationResult:
+    def test_normalized_latencies(self):
+        baseline = make_result([10.0] * 100, [20.0] * 100, [500.0] * 10)
+        mine = make_result([12.0] * 100, [20.0] * 100, [600.0] * 10)
+        ratios = mine.normalized_latencies(Priority.LOW, baseline)
+        assert ratios["p50"] == pytest.approx(1.2)
+        assert mine.normalized_latencies(Priority.HIGH, baseline)["p50"] == \
+            pytest.approx(1.0)
+
+    def test_normalized_throughput(self):
+        baseline = make_result([1.0] * 10, [1.0] * 10, [1.0])
+        mine = make_result([1.0] * 10, [1.0] * 10, [1.0])
+        mine.per_priority[Priority.LOW].dropped = 10  # 50% served
+        assert mine.normalized_throughput(Priority.LOW, baseline) == \
+            pytest.approx(0.5)
+
+    def test_utilizations(self):
+        result = make_result([1.0], [1.0], [500.0, 800.0], provisioned=1000.0)
+        assert result.peak_utilization == pytest.approx(0.8)
+        assert result.mean_utilization == pytest.approx(0.65)
+
+    def test_max_swing_fraction(self):
+        result = make_result([1.0], [1.0], [500.0, 700.0, 600.0],
+                             provisioned=1000.0)
+        assert result.max_swing_fraction(2.0) == pytest.approx(0.2)
+
+    def test_brake_count_surfaces(self):
+        result = make_result([1.0], [1.0], [1.0], brakes=3)
+        assert result.power_brake_events == 3

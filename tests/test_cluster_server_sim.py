@@ -1,0 +1,168 @@
+"""Per-server simulation state: slots, phases, clocks, brakes."""
+
+import pytest
+
+from repro.cluster.server_sim import ServerPowerModel, ServerSim
+from repro.errors import ConfigurationError, SimulationError
+from repro.gpu.specs import A100_80GB
+from repro.workloads.requests import SampledRequest
+from repro.workloads.spec import CHAT, Priority
+
+
+def make_request(arrival=0.0, inputs=2048, outputs=256):
+    return SampledRequest(
+        arrival_time=arrival,
+        workload=CHAT,
+        priority=Priority.HIGH,
+        input_tokens=inputs,
+        output_tokens=outputs,
+    )
+
+
+@pytest.fixture()
+def server():
+    return ServerSim(server_id="s0", priority=Priority.HIGH)
+
+
+class TestServerPowerModel:
+    def test_idle_power(self):
+        model = ServerPowerModel()
+        idle = model.server_power(0.0, 1.0)
+        assert idle == pytest.approx(8 * 80 + model.host.power(0.0))
+
+    def test_power_scale_raises_dynamic_only(self):
+        base = ServerPowerModel()
+        scaled = ServerPowerModel(power_scale=1.05)
+        assert scaled.server_power(0.0, 1.0) == base.server_power(0.0, 1.0)
+        assert scaled.server_power(0.6, 1.0) > base.server_power(0.6, 1.0)
+
+    def test_brake_ratio(self):
+        model = ServerPowerModel()
+        assert model.brake_ratio == pytest.approx(288.0 / 1410.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerPowerModel(power_scale=0.0)
+
+
+class TestSlots:
+    def test_starts_idle(self, server):
+        assert server.is_idle
+        assert server.current_activity() == 0.0
+
+    def test_start_request_occupies_slot(self, server):
+        server.start_request(0.0, make_request())
+        assert server.n_active == 1
+        assert not server.is_idle
+        assert server.has_free_slot
+
+    def test_concurrency_limit(self, server):
+        for _ in range(server.concurrency):
+            server.start_request(0.0, make_request())
+        assert not server.has_free_slot
+        with pytest.raises(SimulationError):
+            server.start_request(0.0, make_request())
+
+    def test_buffer_available_only_when_full(self, server):
+        assert not server.can_buffer  # idle servers take slots directly
+        for _ in range(server.concurrency):
+            server.start_request(0.0, make_request())
+        assert server.can_buffer
+        server.buffered = make_request()
+        assert not server.can_buffer
+
+    def test_take_buffered(self, server):
+        request = make_request()
+        server.buffered = request
+        assert server.take_buffered() is request
+        assert server.take_buffered() is None
+
+
+class TestPhases:
+    def test_prompt_then_token_then_done(self, server):
+        slot = server.start_request(0.0, make_request())
+        assert server.slots[slot].in_prompt
+        next_end = server.advance_phase(1.0, slot)
+        assert next_end is not None
+        assert not server.slots[slot].in_prompt
+        assert server.advance_phase(next_end, slot) is None
+        assert server.n_active == 0
+
+    def test_advance_unknown_slot_rejected(self, server):
+        with pytest.raises(SimulationError):
+            server.advance_phase(0.0, 42)
+
+    def test_prompt_activity_dominates(self, server):
+        slot_a = server.start_request(0.0, make_request())
+        server.advance_phase(1.0, slot_a)  # a now decoding
+        decode_activity = server.current_activity()
+        server.start_request(1.0, make_request())  # b in prompt
+        assert server.current_activity() > decode_activity
+
+    def test_decode_activity_rises_with_occupancy(self, server):
+        slots = [server.start_request(0.0, make_request()) for _ in range(3)]
+        for slot in slots:
+            server.advance_phase(1.0, slot)
+        three = server.current_activity()
+        server.advance_phase(100.0, slots[0])
+        server.advance_phase(100.0, slots[1])
+        one = server.current_activity()
+        assert one < three
+
+
+class TestClockChanges:
+    def test_clock_change_rescales_remaining_work(self, server):
+        slot = server.start_request(0.0, make_request())
+        original_end = server.slots[slot].phase_end
+        rescheduled = server.apply_clock(0.0, 0.5)
+        assert slot in rescheduled
+        # Prompt is fully compute-bound: remaining time doubles at half clock.
+        assert rescheduled[slot] == pytest.approx(2 * original_end)
+
+    def test_partial_progress_preserved(self, server):
+        slot = server.start_request(0.0, make_request())
+        end = server.slots[slot].phase_end
+        halfway = end / 2
+        rescheduled = server.apply_clock(halfway, 0.5)
+        expected = halfway + 2 * (end - halfway)
+        assert rescheduled[slot] == pytest.approx(expected)
+
+    def test_noop_clock_change_reschedules_nothing(self, server):
+        server.start_request(0.0, make_request())
+        assert server.apply_clock(0.0, 1.0) == {}
+
+    def test_version_bumped_on_reschedule(self, server):
+        slot = server.start_request(0.0, make_request())
+        version = server.slots[slot].version
+        server.apply_clock(0.0, 0.8)
+        assert server.slots[slot].version == version + 1
+
+    def test_invalid_ratio_rejected(self, server):
+        with pytest.raises(ConfigurationError):
+            server.apply_clock(0.0, 0.0)
+
+    def test_clock_lowers_power(self, server):
+        server.start_request(0.0, make_request())
+        free = server.current_power()
+        server.apply_clock(0.0, 0.787)  # POLCA's deep LP cap
+        assert server.current_power() < free
+
+
+class TestBrake:
+    def test_brake_overrides_clock(self, server):
+        server.apply_clock(0.0, 0.9)
+        server.apply_brake(0.0, True)
+        assert server.effective_ratio == pytest.approx(288.0 / 1410.0)
+        server.apply_brake(0.0, False)
+        assert server.effective_ratio == pytest.approx(0.9)
+
+    def test_brake_rescales_all_slots(self, server):
+        slots = [server.start_request(0.0, make_request()) for _ in range(2)]
+        rescheduled = server.apply_brake(0.0, True)
+        assert set(rescheduled) == set(slots)
+
+    def test_brake_power_collapse(self, server):
+        server.start_request(0.0, make_request())
+        free = server.current_power()
+        server.apply_brake(0.0, True)
+        assert server.current_power() < 0.6 * free

@@ -1,0 +1,112 @@
+"""Control actions and latency-aware actuation."""
+
+import pytest
+
+from repro.control.actions import ActionKind, ControlAction
+from repro.control.actuator import (
+    Actuator,
+    InBandActuator,
+    OobActuator,
+    UPS_CAPPING_DEADLINE_S,
+)
+from repro.errors import ConfigurationError
+
+
+TARGETS = frozenset({"row0/r0/s0", "row0/r0/s1"})
+
+
+class TestControlAction:
+    def test_frequency_lock_requires_value(self):
+        action = ControlAction.frequency_lock(TARGETS, 1275.0, "T1")
+        assert action.kind is ActionKind.FREQUENCY_LOCK
+        assert action.value == 1275.0
+        with pytest.raises(ConfigurationError):
+            ControlAction(ActionKind.FREQUENCY_LOCK, TARGETS, None)
+
+    def test_brake_takes_no_value(self):
+        action = ControlAction.power_brake(TARGETS)
+        assert action.value is None
+        with pytest.raises(ConfigurationError):
+            ControlAction(ActionKind.POWER_BRAKE, TARGETS, 100.0)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControlAction.power_brake(frozenset())
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControlAction.power_cap(TARGETS, -1.0)
+
+    def test_constructors_cover_kinds(self):
+        assert ControlAction.frequency_unlock(TARGETS).kind \
+            is ActionKind.FREQUENCY_UNLOCK
+        assert ControlAction.power_cap(TARGETS, 325.0).kind \
+            is ActionKind.POWER_CAP
+        assert ControlAction.brake_release(TARGETS).kind \
+            is ActionKind.BRAKE_RELEASE
+
+
+class TestActuator:
+    def test_oob_latencies_match_table2(self):
+        actuator = OobActuator()
+        assert actuator.latency_for(ActionKind.FREQUENCY_LOCK) == 40.0
+        assert actuator.latency_for(ActionKind.POWER_BRAKE) == 5.0
+
+    def test_only_brake_meets_ups_deadline_oob(self):
+        """Section 6.2: only the brake beats the 10 s UPS deadline OOB."""
+        actuator = OobActuator()
+        assert actuator.meets_ups_deadline(ActionKind.POWER_BRAKE)
+        assert not actuator.meets_ups_deadline(ActionKind.FREQUENCY_LOCK)
+        assert not actuator.meets_ups_deadline(ActionKind.POWER_CAP)
+        assert UPS_CAPPING_DEADLINE_S == 10.0
+
+    def test_in_band_meets_deadline_everywhere(self):
+        actuator = InBandActuator()
+        assert all(
+            actuator.meets_ups_deadline(kind) for kind in ActionKind
+        )
+
+    def test_action_lands_after_latency(self):
+        actuator = OobActuator()
+        actuator.issue(0.0, ControlAction.frequency_lock(TARGETS, 1275.0))
+        assert actuator.effective(39.9) == []
+        landed = actuator.effective(40.0)
+        assert len(landed) == 1
+        assert landed[0].action.value == 1275.0
+        assert actuator.in_flight_count == 0
+
+    def test_landing_order_sorted_by_time(self):
+        actuator = OobActuator()
+        actuator.issue(0.0, ControlAction.power_brake(TARGETS))     # t=5
+        actuator.issue(0.0, ControlAction.frequency_lock(TARGETS, 1110.0))
+        landed = actuator.effective(100.0)
+        assert [a.action.kind for a in landed] == [
+            ActionKind.POWER_BRAKE, ActionKind.FREQUENCY_LOCK,
+        ]
+
+    def test_next_effective_time(self):
+        actuator = OobActuator()
+        assert actuator.next_effective_time() is None
+        actuator.issue(10.0, ControlAction.power_brake(TARGETS))
+        assert actuator.next_effective_time() == 15.0
+
+    def test_silent_failures_recorded_but_not_applied(self):
+        actuator = OobActuator(silent_failure_rate=0.5, seed=0)
+        for _ in range(100):
+            actuator.issue(0.0, ControlAction.frequency_lock(TARGETS, 1110.0))
+        failed = sum(1 for a in actuator.history if a.failed_silently)
+        assert 20 < failed < 80
+        assert actuator.in_flight_count == 100 - failed
+
+    def test_missing_latency_rejected(self):
+        actuator = Actuator(latencies={})
+        with pytest.raises(ConfigurationError):
+            actuator.latency_for(ActionKind.POWER_CAP)
+
+    def test_invalid_failure_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Actuator(latencies={}, silent_failure_rate=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Actuator(latencies={ActionKind.POWER_CAP: -1.0})

@@ -1,0 +1,82 @@
+"""The Section 6.6 baseline policies."""
+
+import pytest
+
+from repro.cluster.policy_base import GroupCaps
+from repro.core.baselines import (
+    NoCapPolicy,
+    SingleThresholdAllPolicy,
+    SingleThresholdLowPriPolicy,
+    all_policies,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSingleThresholdLowPri:
+    def test_caps_lp_directly_to_deep_clock(self):
+        """No gradual reduction — straight to 1110 MHz (why it misses the
+        low-priority SLOs, Section 6.6)."""
+        policy = SingleThresholdLowPriPolicy()
+        caps = policy.desired_caps(0.90)
+        assert caps.low_clock_mhz == 1110.0
+        assert caps.high_clock_mhz is None
+
+    def test_hysteresis(self):
+        policy = SingleThresholdLowPriPolicy()
+        policy.desired_caps(0.90)
+        assert policy.desired_caps(0.86).low_clock_mhz == 1110.0
+        assert policy.desired_caps(0.83) == GroupCaps.uncapped()
+
+    def test_below_threshold_uncapped(self):
+        assert SingleThresholdLowPriPolicy().desired_caps(0.70) == \
+            GroupCaps.uncapped()
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SingleThresholdLowPriPolicy(threshold=1.5)
+
+
+class TestSingleThresholdAll:
+    def test_caps_both_groups_aggressively(self):
+        policy = SingleThresholdAllPolicy()
+        caps = policy.desired_caps(0.90)
+        assert caps.low_clock_mhz == 1110.0
+        assert caps.high_clock_mhz == 1110.0
+
+    def test_reset(self):
+        policy = SingleThresholdAllPolicy()
+        policy.desired_caps(0.95)
+        policy.reset()
+        assert policy.desired_caps(0.86) == GroupCaps.uncapped()
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SingleThresholdAllPolicy(threshold=0.0)
+
+
+class TestNoCap:
+    def test_never_caps(self):
+        policy = NoCapPolicy()
+        for utilization in (0.5, 0.9, 0.99, 1.2):
+            assert policy.desired_caps(utilization) == GroupCaps.uncapped()
+
+    def test_still_carries_the_brake(self):
+        """All baselines include the brake fallback (Section 6.6)."""
+        policy = NoCapPolicy()
+        assert policy.wants_brake(1.0)
+
+
+class TestRegistry:
+    def test_four_policies_of_figure17(self):
+        policies = all_policies()
+        assert set(policies) == {
+            "POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap",
+        }
+
+    def test_factories_produce_fresh_instances(self):
+        factory = all_policies()["POLCA"]
+        assert factory() is not factory()
+
+    def test_names_match_keys(self):
+        for name, factory in all_policies().items():
+            assert factory().name == name

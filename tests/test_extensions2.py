@@ -1,0 +1,230 @@
+"""Second extension wave: phase splitting, workload-aware caps, the
+standalone controller, and the beyond-LLMs vision workload."""
+
+import pytest
+
+from repro.cluster.policy_base import GroupCaps
+from repro.control.actions import ActionKind
+from repro.control.actuator import InBandActuator
+from repro.core.controller import PolcaController
+from repro.core.policy import DualThresholdPolicy
+from repro.core.splitting import (
+    plan_split_deployment,
+    plan_unsplit_deployment,
+    split_power_saving,
+)
+from repro.core.workload_aware import (
+    deepest_safe_cap,
+    latency_stretch,
+    uniform_vs_aware_reclaim,
+    workload_aware_plan,
+)
+from repro.errors import ConfigurationError
+from repro.models.vision import VisionServingModel
+from repro.workloads.spec import SEARCH, SUMMARIZE
+
+
+class TestPhaseSplitting:
+    def test_split_saves_provisioned_power(self):
+        """Section 5.2's payoff: only the token pool needs capping, so
+        the split deployment provisions less power for the same load."""
+        saving = split_power_saving()
+        assert 0.10 < saving < 0.40
+
+    def test_transfer_overhead_is_sub_second(self):
+        """'Promising given the high-bandwidth Infiniband interconnects'
+        — KV transfer is a small fraction of a multi-second request."""
+        deployment = plan_split_deployment()
+        assert 0.0 < deployment.transfer_seconds < 1.0
+        assert deployment.latency_increase < 0.15
+
+    def test_pools_scale_with_load(self):
+        small = plan_split_deployment(request_rate=1.0)
+        large = plan_split_deployment(request_rate=4.0)
+        assert large.total_servers > small.total_servers
+        assert large.provisioned_power_w > small.provisioned_power_w
+
+    def test_token_pool_dominates_server_count(self):
+        """Decode time >> prompt time, so the token pool is bigger."""
+        deployment = plan_split_deployment()
+        assert deployment.token_servers > deployment.prompt_servers
+
+    def test_unsplit_has_no_transfer(self):
+        deployment = plan_unsplit_deployment()
+        assert deployment.transfer_seconds == 0.0
+        assert deployment.token_servers == 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_split_deployment(request_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            plan_unsplit_deployment(request_rate=-1.0)
+
+
+class TestWorkloadAware:
+    def test_stretch_zero_at_max_clock(self):
+        assert latency_stretch(SEARCH, 1410.0) == pytest.approx(0.0)
+
+    def test_stretch_grows_as_clock_drops(self):
+        assert latency_stretch(SEARCH, 1110.0) > latency_stretch(
+            SEARCH, 1275.0
+        )
+
+    def test_deepest_cap_respects_budget(self):
+        plan = deepest_safe_cap(SUMMARIZE, slo_budget=0.05)
+        assert plan.latency_stretch <= 0.05
+        deeper_stretch = latency_stretch(
+            SUMMARIZE, plan.cap_clock_mhz - 45.0
+        ) if plan.cap_clock_mhz > 1110.0 else 1.0
+        assert deeper_stretch > 0.05 or plan.cap_clock_mhz == 1110.0
+
+    def test_tight_budget_means_shallow_cap(self):
+        tight = deepest_safe_cap(SEARCH, slo_budget=0.01)
+        loose = deepest_safe_cap(SEARCH, slo_budget=0.10)
+        assert tight.cap_clock_mhz >= loose.cap_clock_mhz
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            deepest_safe_cap(SEARCH, slo_budget=-0.01)
+
+    def test_plan_covers_the_mix(self):
+        plans = workload_aware_plan()
+        assert set(plans) == {"Summarize", "Search", "Chat"}
+        # Low-priority Summarize tolerates a deeper cap than Search.
+        assert plans["Summarize"].cap_clock_mhz <= \
+            plans["Search"].cap_clock_mhz
+
+    def test_aware_reclaims_more_than_uniform(self):
+        """Section 6.7's claim: workload-specific profiles get more
+        power savings at the same SLO impact."""
+        comparison = uniform_vs_aware_reclaim()
+        assert comparison["aware_reclaim"] >= comparison["uniform_reclaim"]
+        assert comparison["aware_reclaim"] > 0.0
+
+
+class TestPolcaController:
+    def make_controller(self, **kwargs):
+        defaults = dict(
+            policy=DualThresholdPolicy(),
+            provisioned_power_w=200_000.0,
+            low_priority_servers=frozenset({"s0", "s1"}),
+            high_priority_servers=frozenset({"s2", "s3"}),
+            actuator=InBandActuator(),
+            refresh_interval_s=0.0,  # guardrail exercised separately
+        )
+        defaults.update(kwargs)
+        return PolcaController(**defaults)
+
+    def test_quiet_signal_issues_nothing(self):
+        controller = self.make_controller()
+        issued = controller.run_over_signal(lambda t: 100_000.0, 0.0, 60.0)
+        assert issued == []
+        assert controller.commanded_caps == GroupCaps.uncapped()
+
+    def test_t1_crossing_caps_low_priority(self):
+        controller = self.make_controller()
+        issued = controller.run_over_signal(lambda t: 165_000.0, 0.0, 10.0)
+        assert len(issued) == 1
+        action = issued[0].action
+        assert action.kind is ActionKind.FREQUENCY_LOCK
+        assert action.value == 1275.0
+        assert action.targets == frozenset({"s0", "s1"})
+
+    def test_deduplicates_repeat_commands(self):
+        controller = self.make_controller()
+        issued = controller.run_over_signal(lambda t: 165_000.0, 0.0, 120.0)
+        assert len(issued) == 1  # commanded once despite 60 ticks
+
+    def test_uncap_after_power_recedes(self):
+        controller = self.make_controller()
+
+        def signal(t):
+            return 165_000.0 if t < 60.0 else 120_000.0  # 0.825 -> 0.60
+
+        issued = controller.run_over_signal(signal, 0.0, 200.0)
+        kinds = [a.action.kind for a in issued]
+        assert kinds == [ActionKind.FREQUENCY_LOCK,
+                         ActionKind.FREQUENCY_UNLOCK]
+
+    def test_brake_on_breaker_threat(self):
+        controller = self.make_controller()
+        issued = controller.run_over_signal(lambda t: 205_000.0, 0.0, 10.0)
+        assert any(a.action.kind is ActionKind.POWER_BRAKE for a in issued)
+        assert controller.brake_engaged
+        assert controller.brake_events == 1
+
+    def test_brake_releases(self):
+        controller = self.make_controller()
+
+        def signal(t):
+            return 205_000.0 if t < 20.0 else 150_000.0
+
+        issued = controller.run_over_signal(signal, 0.0, 120.0)
+        kinds = [a.action.kind for a in issued]
+        assert ActionKind.BRAKE_RELEASE in kinds
+        assert not controller.brake_engaged
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_controller(provisioned_power_w=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make_controller(low_priority_servers=frozenset())
+        with pytest.raises(ConfigurationError):
+            self.make_controller(refresh_interval_s=-1.0)
+
+    def test_refresh_guardrail_reissues_caps(self):
+        """Section 3.3: OOB commands can be silently dropped, so the
+        controller periodically re-issues the desired state."""
+        controller = self.make_controller(refresh_interval_s=60.0)
+        issued = controller.run_over_signal(lambda t: 165_000.0, 0.0, 200.0)
+        # Initial command plus refreshes at ~60 s intervals.
+        assert len(issued) >= 3
+        assert all(a.action.value == 1275.0 for a in issued)
+
+    def test_refresh_survives_silent_failure(self):
+        """A dropped cap is repaired by the next refresh cycle."""
+        from repro.control.actuator import OobActuator
+        lossy = OobActuator(silent_failure_rate=0.7, seed=4)
+        controller = self.make_controller(
+            actuator=lossy, refresh_interval_s=60.0
+        )
+        controller.run_over_signal(lambda t: 165_000.0, 0.0, 1200.0)
+        # Despite 70% silent loss, at least one command landed.
+        landed = lossy.effective(10_000.0)
+        assert len(landed) >= 1
+
+    def test_refresh_idle_when_uncapped(self):
+        controller = self.make_controller(refresh_interval_s=60.0)
+        issued = controller.run_over_signal(lambda t: 100_000.0, 0.0, 400.0)
+        assert issued == []
+
+
+class TestVisionWorkload:
+    def test_stable_power(self):
+        """Section 6.7: vision inference has no phase structure."""
+        model = VisionServingModel()
+        assert model.power_stability() == 1.0
+
+    def test_power_below_llm_prompt_spikes(self):
+        model = VisionServingModel()
+        assert model.power() < 400.0  # below TDP, no spikes
+
+    def test_frequency_lever_still_works(self):
+        """'They can still reclaim power from frequency scaling for small
+        performance loss.'"""
+        tradeoff = VisionServingModel().frequency_tradeoff(1100.0)
+        assert tradeoff["power_reduction"] > tradeoff["performance_reduction"]
+        assert tradeoff["power_reduction"] > 0.15
+
+    def test_latency_scaling(self):
+        model = VisionServingModel()
+        assert model.latency(0.5) < 2 * model.latency(1.0)
+        assert model.latency(0.5) > model.latency(1.0)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VisionServingModel(activity=0.0)
+        with pytest.raises(ConfigurationError):
+            VisionServingModel(base_latency_s=0.0)
+        with pytest.raises(ConfigurationError):
+            VisionServingModel().latency(0.0)

@@ -1,0 +1,68 @@
+"""Power-brake state machine: latency, idempotence, event counting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.brake import BrakeState, PowerBrake, DEFAULT_BRAKE_LATENCY_S
+from repro.gpu.specs import A100_80GB
+
+
+def test_default_latency_matches_table2():
+    assert DEFAULT_BRAKE_LATENCY_S == 5.0
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ConfigurationError):
+        PowerBrake(A100_80GB, latency_s=-1.0)
+
+
+class TestLifecycle:
+    def test_starts_released(self):
+        brake = PowerBrake(A100_80GB)
+        assert brake.state(0.0) is BrakeState.RELEASED
+        assert not brake.is_engaged(0.0)
+
+    def test_engage_takes_effect_after_latency(self):
+        brake = PowerBrake(A100_80GB)
+        brake.engage(10.0)
+        assert brake.state(12.0) is BrakeState.ENGAGING
+        assert not brake.is_engaged(14.9)
+        assert brake.is_engaged(15.0)
+
+    def test_clock_ceiling_drops_only_once_engaged(self):
+        brake = PowerBrake(A100_80GB)
+        brake.engage(0.0)
+        assert brake.clock_ceiling_mhz(1.0) == A100_80GB.max_sm_clock_mhz
+        assert brake.clock_ceiling_mhz(6.0) == A100_80GB.brake_clock_mhz
+
+    def test_release_restores_immediately(self):
+        brake = PowerBrake(A100_80GB)
+        brake.engage(0.0)
+        assert brake.is_engaged(6.0)
+        brake.release()
+        assert not brake.is_engaged(7.0)
+        assert brake.clock_ceiling_mhz(7.0) == A100_80GB.max_sm_clock_mhz
+
+
+class TestEventCounting:
+    def test_distinct_engagements_counted(self):
+        brake = PowerBrake(A100_80GB)
+        brake.engage(0.0)
+        brake.release()
+        brake.engage(100.0)
+        assert brake.engage_count == 2
+
+    def test_reengage_while_pending_is_idempotent(self):
+        """Figure 18 counts distinct brake events, not repeated commands."""
+        brake = PowerBrake(A100_80GB)
+        brake.engage(0.0)
+        brake.engage(1.0)
+        brake.engage(2.0)
+        assert brake.engage_count == 1
+
+    def test_reengage_while_engaged_is_idempotent(self):
+        brake = PowerBrake(A100_80GB)
+        brake.engage(0.0)
+        assert brake.is_engaged(10.0)
+        brake.engage(11.0)
+        assert brake.engage_count == 1

@@ -1,0 +1,88 @@
+"""Reactive power capping: overshoot, convergence, hysteresis."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PowerCapError
+from repro.gpu.capping import ReactivePowerCap
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB
+
+MODEL = GpuPowerModel(A100_80GB)
+
+
+def make_cap(cap_w=325.0, **kwargs):
+    return ReactivePowerCap(MODEL, cap_w=cap_w, **kwargs)
+
+
+class TestConfiguration:
+    def test_defaults_to_tdp(self):
+        cap = ReactivePowerCap(MODEL)
+        assert cap.cap_w == A100_80GB.tdp_w
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(PowerCapError):
+            make_cap(cap_w=50.0)
+
+    def test_invalid_convergence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cap(convergence=0.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cap(sample_interval=0.0)
+
+
+class TestReactiveBehaviour:
+    def test_first_observation_overshoots(self):
+        """A sudden spike exceeds the cap before the loop reacts (Fig 9b)."""
+        cap = make_cap()
+        first = cap.observe(0.0, 1.0)
+        assert first > cap.cap_w
+
+    def test_converges_below_cap_under_sustained_load(self):
+        cap = make_cap()
+        power = 0.0
+        for step in range(100):
+            power = cap.observe(step * cap.sample_interval, 1.0)
+        assert power <= cap.cap_w + 1.0
+
+    def test_throttle_releases_when_load_drops(self):
+        cap = make_cap()
+        for step in range(100):
+            cap.observe(step * cap.sample_interval, 1.0)
+        throttled = cap.throttle_clock_mhz
+        assert throttled < A100_80GB.max_sm_clock_mhz
+        t0 = 100 * cap.sample_interval
+        for step in range(200):
+            cap.observe(t0 + step * cap.sample_interval, 0.2)
+        assert cap.throttle_clock_mhz > throttled
+
+    def test_low_activity_untouched(self):
+        """Power troughs are not raised or clipped (Insight 3)."""
+        cap = make_cap()
+        power = cap.observe(0.0, 0.2)
+        assert power == pytest.approx(MODEL.power(0.2, 1410.0))
+
+    def test_between_samples_state_is_held(self):
+        cap = make_cap(sample_interval=1.0)
+        cap.observe(0.0, 1.0)
+        clock_after_first = cap.throttle_clock_mhz
+        cap.observe(0.5, 1.0)  # before the next control instant
+        assert cap.throttle_clock_mhz == clock_after_first
+
+    def test_reset_restores_full_clock(self):
+        cap = make_cap()
+        for step in range(50):
+            cap.observe(step * cap.sample_interval, 1.0)
+        cap.reset()
+        assert cap.throttle_clock_mhz == A100_80GB.max_sm_clock_mhz
+
+
+class TestSteadyState:
+    def test_steady_state_power_meets_cap(self):
+        cap = make_cap()
+        assert cap.steady_state_power(1.0) == pytest.approx(325.0)
+
+    def test_steady_state_below_cap_when_not_binding(self):
+        cap = make_cap(cap_w=390.0)
+        assert cap.steady_state_power(0.4) < 390.0

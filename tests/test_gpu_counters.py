@@ -1,0 +1,111 @@
+"""Synthetic GPU counters and the Figure 7 correlation structure."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlations_with
+from repro.errors import ConfigurationError
+from repro.gpu.counters import COUNTER_NAMES, CounterSynthesizer, GpuCounterTrace
+
+
+@pytest.fixture()
+def synthesizer():
+    return CounterSynthesizer(seed=7)
+
+
+class TestSynthesis:
+    def test_all_counters_present(self, synthesizer):
+        trace = synthesizer.prompt_phase(200)
+        assert set(trace.counters) == set(COUNTER_NAMES)
+
+    def test_lengths_consistent(self, synthesizer):
+        trace = synthesizer.token_phase(123)
+        assert len(trace) == 123
+
+    def test_too_few_samples_rejected(self, synthesizer):
+        with pytest.raises(ConfigurationError):
+            synthesizer.prompt_phase(1)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CounterSynthesizer(interval=0.0)
+
+    def test_prompt_power_exceeds_token_power(self, synthesizer):
+        prompt = synthesizer.prompt_phase(400)
+        token = synthesizer.token_phase(400)
+        assert prompt.counters["power"].mean() > token.counters["power"].mean()
+
+    def test_deterministic_for_seed(self):
+        a = CounterSynthesizer(seed=3).prompt_phase(100)
+        b = CounterSynthesizer(seed=3).prompt_phase(100)
+        assert np.allclose(a.counters["power"], b.counters["power"])
+
+
+class TestFigure7Structure:
+    def test_prompt_phase_correlations(self, synthesizer):
+        trace = synthesizer.prompt_phase(800)
+        against_power = correlations_with("power", trace.counters)
+        assert against_power["sm_activity"] > 0.7
+        assert against_power["tensor_core_activity"] > 0.7
+        assert against_power["gpu_utilization"] > 0.7
+        assert against_power["memory_utilization"] < -0.5
+        assert abs(against_power["pcie_transmit"]) < 0.3
+
+    def test_token_phase_uncorrelated(self, synthesizer):
+        trace = synthesizer.token_phase(800)
+        against_power = correlations_with("power", trace.counters)
+        assert all(abs(value) < 0.25 for value in against_power.values())
+
+
+class TestLagAndAlignment:
+    def test_lag_delays_counter(self, synthesizer):
+        trace = synthesizer.prompt_phase(200)
+        lagged = trace.lagged("sm_activity", 5)
+        assert np.allclose(
+            lagged.counters["sm_activity"][5:],
+            trace.counters["sm_activity"][:-5],
+        )
+
+    def test_negative_lag_rejected(self, synthesizer):
+        with pytest.raises(ConfigurationError):
+            synthesizer.prompt_phase(50).lagged("power", -1)
+
+    def test_unknown_counter_rejected(self, synthesizer):
+        trace = synthesizer.prompt_phase(50)
+        with pytest.raises(ConfigurationError):
+            trace.lagged("nope", 1)
+        with pytest.raises(ConfigurationError):
+            trace.aligned("nope")
+
+    def test_alignment_recovers_lagged_correlation(self, synthesizer):
+        """The Section 3.4 lag-alignment step restores the correlation."""
+        trace = synthesizer.prompt_phase(800)
+        original = correlations_with("power", trace.counters)[
+            "tensor_core_activity"
+        ]
+        lagged = trace.lagged("tensor_core_activity", 4)
+        degraded = correlations_with("power", lagged.counters)[
+            "tensor_core_activity"
+        ]
+        realigned = lagged.aligned("tensor_core_activity")
+        recovered = correlations_with("power", realigned.counters)[
+            "tensor_core_activity"
+        ]
+        assert degraded < original
+        assert recovered > degraded
+        assert recovered == pytest.approx(original, abs=0.1)
+
+    def test_zero_lag_alignment_is_noop(self, synthesizer):
+        trace = synthesizer.prompt_phase(300)
+        aligned = trace.aligned("sm_activity")
+        assert np.allclose(
+            aligned.counters["sm_activity"], trace.counters["sm_activity"]
+        )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpuCounterTrace(
+                phase="prompt",
+                interval=0.1,
+                counters={"a": np.zeros(3), "b": np.zeros(4)},
+            )

@@ -1,0 +1,94 @@
+"""SimulatedGpu: knob layering and performance scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyError, PowerCapError
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.specs import A100_80GB
+
+
+@pytest.fixture()
+def gpu():
+    return SimulatedGpu(A100_80GB)
+
+
+class TestFrequencyLock:
+    def test_lock_reduces_power(self, gpu):
+        uncapped = gpu.power(0.0, 1.0)
+        gpu.lock_frequency(1100.0)
+        assert gpu.power(0.0, 1.0) < uncapped
+
+    def test_unlock_restores(self, gpu):
+        gpu.lock_frequency(1100.0)
+        gpu.unlock_frequency()
+        assert gpu.frequency_lock_mhz is None
+        assert gpu.effective_clock_mhz(0.0) == A100_80GB.max_sm_clock_mhz
+
+    def test_invalid_clock_rejected(self, gpu):
+        with pytest.raises(FrequencyError):
+            gpu.lock_frequency(5000.0)
+
+
+class TestPowerCap:
+    def test_cap_limits_steady_power(self, gpu):
+        gpu.set_power_cap(325.0)
+        power = 0.0
+        for step in range(100):
+            power = gpu.power(step * 0.05, 1.0)
+        assert power <= 326.0
+
+    def test_invalid_cap_rejected(self, gpu):
+        with pytest.raises(PowerCapError):
+            gpu.set_power_cap(10.0)
+
+    def test_clear_cap(self, gpu):
+        gpu.set_power_cap(325.0)
+        gpu.clear_power_cap()
+        assert gpu.power_cap_w is None
+
+    def test_cap_and_lock_take_minimum(self, gpu):
+        gpu.set_power_cap(390.0)
+        gpu.lock_frequency(1100.0)
+        # The 1.1 GHz lock draws less than the 390 W cap would allow.
+        locked_only = SimulatedGpu(A100_80GB)
+        locked_only.lock_frequency(1100.0)
+        assert gpu.power(0.0, 1.0) <= locked_only.power(0.0, 1.0) + 1e-9
+
+
+class TestBrakeDominates:
+    def test_brake_overrides_lock(self, gpu):
+        gpu.lock_frequency(1275.0)
+        gpu.brake.engage(0.0)
+        assert gpu.effective_clock_mhz(10.0) == A100_80GB.brake_clock_mhz
+
+    def test_brake_power_is_minimal(self, gpu):
+        gpu.brake.engage(0.0)
+        braked = gpu.power(10.0, 1.0)
+        assert braked < gpu.power_model.power(1.0, 600.0)
+
+
+class TestPerformanceScale:
+    def test_full_clock_scale_is_one(self, gpu):
+        assert gpu.performance_scale(1.0) == pytest.approx(1.0)
+
+    def test_memory_bound_phase_insensitive(self, gpu):
+        gpu.lock_frequency(1100.0)
+        assert gpu.performance_scale(0.0) == pytest.approx(1.0)
+
+    def test_compute_bound_phase_scales_with_clock(self, gpu):
+        gpu.lock_frequency(1100.0)
+        expected = 1100.0 / 1410.0
+        assert gpu.performance_scale(1.0) == pytest.approx(expected)
+
+    def test_mixed_phase_between_extremes(self, gpu):
+        gpu.lock_frequency(1100.0)
+        mixed = gpu.performance_scale(0.5)
+        assert gpu.performance_scale(1.0) < mixed < 1.0
+
+    def test_invalid_fraction_rejected(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.performance_scale(1.5)
+
+    def test_invalid_activity_rejected(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.power(0.0, 2.0)

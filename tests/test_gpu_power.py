@@ -1,0 +1,100 @@
+"""The DVFS power model (P = idle + a * dyn * (f/fmax)^alpha)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB
+
+MODEL = GpuPowerModel(A100_80GB)
+F_MAX = A100_80GB.max_sm_clock_mhz
+
+
+class TestPowerCurve:
+    def test_idle_at_zero_activity(self):
+        assert MODEL.power(0.0, F_MAX) == A100_80GB.idle_w
+
+    def test_transient_peak_at_full_activity(self):
+        assert MODEL.power(1.0, F_MAX) == A100_80GB.transient_peak_w
+
+    def test_full_activity_exceeds_tdp(self):
+        # Insight 1/4: peaks go beyond TDP.
+        assert MODEL.power(1.0, F_MAX) > A100_80GB.tdp_w
+
+    def test_activity_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.power(1.2, F_MAX)
+        with pytest.raises(ConfigurationError):
+            MODEL.power(-0.1, F_MAX)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=210.0, max_value=1410.0))
+    def test_power_between_idle_and_peak(self, activity, clock):
+        power = MODEL.power(activity, clock)
+        assert A100_80GB.idle_w <= power <= A100_80GB.transient_peak_w + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=1.0))
+    def test_power_monotone_in_clock(self, activity):
+        low = MODEL.power(activity, 1100.0)
+        high = MODEL.power(activity, 1410.0)
+        assert low < high
+
+    @given(st.floats(min_value=300.0, max_value=1410.0))
+    def test_power_monotone_in_activity(self, clock):
+        assert MODEL.power(0.3, clock) < MODEL.power(0.9, clock)
+
+
+class TestInversion:
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=500.0, max_value=1410.0))
+    def test_activity_for_power_roundtrip(self, activity, clock):
+        power = MODEL.power(activity, clock)
+        recovered = MODEL.activity_for_power(power, clock)
+        assert recovered == pytest.approx(activity, rel=1e-9)
+
+    def test_unreachable_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.activity_for_power(600.0, F_MAX)
+        with pytest.raises(ConfigurationError):
+            MODEL.activity_for_power(50.0, F_MAX)
+
+
+class TestThrottleClock:
+    def test_cap_above_power_leaves_max_clock(self):
+        # At activity 0.5 the GPU draws ~272 W; a 350 W cap never binds.
+        assert MODEL.throttle_clock_for_cap(0.5, 350.0) == F_MAX
+
+    def test_binding_cap_meets_cap_exactly(self):
+        clock = MODEL.throttle_clock_for_cap(1.0, 325.0)
+        assert clock < F_MAX
+        assert MODEL.power(1.0, clock) == pytest.approx(325.0)
+
+    def test_cap_below_idle_floors_at_min_clock(self):
+        # Frequency throttling cannot reclaim idle power.
+        clock = MODEL.throttle_clock_for_cap(1.0, 100.0)
+        assert clock == A100_80GB.min_sm_clock_mhz
+
+    @given(st.floats(min_value=0.3, max_value=1.0),
+           st.floats(min_value=150.0, max_value=400.0))
+    def test_throttled_power_never_exceeds_cap_or_uncapped(self, activity, cap):
+        clock = MODEL.throttle_clock_for_cap(activity, cap)
+        power = MODEL.power(activity, clock)
+        uncapped = MODEL.power(activity, F_MAX)
+        floor = MODEL.power(activity, A100_80GB.min_sm_clock_mhz)
+        assert power <= max(cap, floor) + 1e-6
+        assert power <= uncapped + 1e-9
+
+
+class TestPeakPowerReduction:
+    def test_no_reduction_at_max_clock(self):
+        assert MODEL.peak_power_reduction(1.0, F_MAX) == 0.0
+
+    def test_reduction_at_1p1ghz_near_20pct(self):
+        # Figure 10's x-axis spans ~0-20%+ over the 1.1-1.4 GHz range.
+        reduction = MODEL.peak_power_reduction(1.0, 1100.0)
+        assert 0.15 < reduction < 0.30
+
+    @given(st.floats(min_value=400.0, max_value=1409.0))
+    def test_reduction_positive_below_max(self, clock):
+        assert MODEL.peak_power_reduction(1.0, clock) > 0.0

@@ -1,0 +1,85 @@
+"""GPU specifications and their paper-anchored constants."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import FrequencyError, ModelNotFoundError, PowerCapError
+from repro.gpu.specs import A100_40GB, A100_80GB, H100_80GB, GpuSpec, gpu_spec
+
+
+class TestPaperConstants:
+    def test_a100_tdp_is_400w(self):
+        assert A100_80GB.tdp_w == 400.0
+        assert A100_40GB.tdp_w == 400.0
+
+    def test_a100_clock_ladder_matches_paper(self):
+        # Section 6.5: base frequency 1275 MHz; Table 5: brake 288 MHz.
+        assert A100_80GB.max_sm_clock_mhz == 1410.0
+        assert A100_80GB.base_sm_clock_mhz == 1275.0
+        assert A100_80GB.brake_clock_mhz == 288.0
+
+    def test_idle_power_is_about_20pct_of_tdp(self):
+        # Figure 4: Flan-T5 troughs at ~20% of TDP, i.e. GPU idle.
+        assert A100_80GB.idle_w / A100_80GB.tdp_w == pytest.approx(0.2)
+
+    def test_transient_peak_exceeds_tdp(self):
+        # Insights 1 and 4: peaks reach or exceed TDP.
+        for spec in (A100_40GB, A100_80GB, H100_80GB):
+            assert spec.transient_peak_w > spec.tdp_w
+
+    def test_80gb_has_more_bandwidth_than_40gb(self):
+        assert A100_80GB.memory_bandwidth > A100_40GB.memory_bandwidth
+
+    def test_h100_is_the_bigger_part(self):
+        assert H100_80GB.tdp_w > A100_80GB.tdp_w
+        assert H100_80GB.peak_flops["fp16"] > A100_80GB.peak_flops["fp16"]
+        assert "fp8" in H100_80GB.peak_flops
+
+
+class TestValidation:
+    def test_validate_clock_accepts_range(self):
+        assert A100_80GB.validate_clock(1275.0) == 1275.0
+
+    def test_validate_clock_accepts_brake_clock(self):
+        assert A100_80GB.validate_clock(288.0) == 288.0
+
+    def test_validate_clock_rejects_out_of_range(self):
+        with pytest.raises(FrequencyError):
+            A100_80GB.validate_clock(2000.0)
+        with pytest.raises(FrequencyError):
+            A100_80GB.validate_clock(100.0)
+
+    def test_validate_power_cap_range(self):
+        assert A100_80GB.validate_power_cap(325.0) == 325.0
+        with pytest.raises(PowerCapError):
+            A100_80GB.validate_power_cap(50.0)
+        with pytest.raises(PowerCapError):
+            A100_80GB.validate_power_cap(500.0)
+
+    def test_lockable_range_property(self):
+        lo, hi = A100_80GB.lockable_clock_range_mhz
+        assert (lo, hi) == (210.0, 1410.0)
+
+    def test_inconsistent_power_ladder_rejected(self):
+        with pytest.raises(PowerCapError):
+            dataclasses.replace(A100_80GB, idle_w=500.0)
+
+    def test_inconsistent_clock_ladder_rejected(self):
+        with pytest.raises(FrequencyError):
+            dataclasses.replace(A100_80GB, brake_clock_mhz=1400.0)
+
+    def test_inconsistent_cap_range_rejected(self):
+        with pytest.raises(PowerCapError):
+            dataclasses.replace(
+                A100_80GB, min_power_cap_w=500.0, max_power_cap_w=400.0
+            )
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert gpu_spec("A100-80GB") is A100_80GB
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ModelNotFoundError, match="A100-80GB"):
+            gpu_spec("V100")

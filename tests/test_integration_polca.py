@@ -1,0 +1,137 @@
+"""End-to-end POLCA integration: the paper's headline claims.
+
+These tests run the full pipeline — production-style trace, synthetic
+request generation, discrete-event simulation, POLCA control — over 30
+simulated hours (one full daily peak) and assert the paper's evaluation
+shape: 30% more servers, zero brakes, SLO-compliant latency, the Table 4
+inference column, and the policy comparison ordering.
+"""
+
+import pytest
+
+from repro.core import (
+    DualThresholdPolicy,
+    NoCapPolicy,
+    SingleThresholdAllPolicy,
+    evaluate_slos,
+    select_thresholds,
+)
+from repro.workloads.spec import Priority
+
+
+class TestBaselineCluster:
+    def test_peak_utilization_near_79pct(self, baseline_result):
+        """Table 4: inference cluster peaks at ~79% of provisioned power."""
+        assert baseline_result.peak_utilization == pytest.approx(0.79, abs=0.04)
+
+    def test_substantial_headroom(self, baseline_result):
+        """Insight 9: ~21% headroom (vs ~3% for training)."""
+        headroom = 1.0 - baseline_result.peak_utilization
+        assert headroom > 0.15
+
+    def test_diurnal_mean_well_below_peak(self, baseline_result):
+        assert baseline_result.mean_utilization < \
+            baseline_result.peak_utilization - 0.10
+
+    def test_short_term_stability(self, baseline_result):
+        """Table 4: inference swings (9% in 2 s) are far below training's
+        37.5%."""
+        assert baseline_result.max_swing_fraction(2.0) < 0.20
+        assert baseline_result.max_swing_fraction(2.0) < 0.375 / 2
+
+    def test_no_brakes_without_oversubscription(self, baseline_result):
+        assert baseline_result.power_brake_events == 0
+
+
+class TestPolcaHeadline:
+    def test_zero_power_brakes_at_30pct(self, polca_30pct_result):
+        """The headline: 30% more servers with no power brakes."""
+        assert polca_30pct_result.power_brake_events == 0
+
+    def test_peak_stays_under_the_breaker(self, polca_30pct_result):
+        assert polca_30pct_result.peak_utilization < 1.0
+
+    def test_all_slos_met(self, polca_30pct_result, baseline_result):
+        report = evaluate_slos(polca_30pct_result, baseline_result)
+        assert report.meets(Priority.HIGH)
+        assert report.meets(Priority.LOW)
+        assert report.all_met
+
+    def test_hp_barely_affected(self, polca_30pct_result, baseline_result):
+        """Figure 13b: high-priority p50 within 1%."""
+        normalized = polca_30pct_result.normalized_latencies(
+            Priority.HIGH, baseline_result
+        )
+        assert normalized["p50"] < 1.01
+
+    def test_lp_degrades_more_than_hp(self, polca_30pct_result,
+                                      baseline_result):
+        """POLCA's whole point: reclaim from low priority first."""
+        lp = polca_30pct_result.normalized_latencies(
+            Priority.LOW, baseline_result
+        )
+        hp = polca_30pct_result.normalized_latencies(
+            Priority.HIGH, baseline_result
+        )
+        assert lp["p50"] >= hp["p50"]
+
+    def test_throughput_loss_under_2pct(self, polca_30pct_result,
+                                        baseline_result):
+        """Figure 14: LP throughput declines < 2%, HP unaffected."""
+        for priority in Priority:
+            ratio = polca_30pct_result.normalized_throughput(
+                priority, baseline_result
+            )
+            assert ratio > 0.98
+
+    def test_capping_did_happen(self, polca_30pct_result):
+        assert polca_30pct_result.capping_actions > 0
+
+
+class TestOversubscriptionLimit:
+    def test_brakes_appear_beyond_the_cliff(self, harness):
+        """Figure 13: pushing well past the selected level causes brakes."""
+        result = harness.run(DualThresholdPolicy(), added_fraction=0.45)
+        assert result.power_brake_events > 0
+
+
+class TestThresholdSelectionRoundTrip:
+    def test_historical_trace_recommends_paper_like_thresholds(
+        self, baseline_result
+    ):
+        utilization = baseline_result.power_series.normalized(
+            baseline_result.provisioned_power_w
+        )
+        recommendation = select_thresholds(utilization)
+        # Our simulated short-term spikes run somewhat larger than the
+        # production trace's 11.8%, so the recommended T2 lands at or a
+        # little below the paper's 89%.
+        assert 0.70 <= recommendation.thresholds.t2 <= 0.95
+        assert recommendation.thresholds.t1 < recommendation.thresholds.t2
+
+
+class TestPolicyOrdering:
+    def test_1thresh_all_hurts_hp_more_than_polca(self, harness,
+                                                  baseline_result,
+                                                  polca_30pct_result):
+        """Figure 17: 1-Thresh-All breaches HP SLOs that POLCA protects."""
+        aggressive = harness.run(SingleThresholdAllPolicy(),
+                                 added_fraction=0.30)
+        hp_aggressive = aggressive.normalized_latencies(
+            Priority.HIGH, baseline_result
+        )
+        hp_polca = polca_30pct_result.normalized_latencies(
+            Priority.HIGH, baseline_result
+        )
+        assert hp_aggressive["p99"] > hp_polca["p99"]
+
+    def test_nocap_brakes_when_power_grows_5pct(self, harness):
+        """Figure 18: No-cap is defenceless against workload power creep
+        at 30% oversubscription, while POLCA stays brake-free or nearly
+        so."""
+        nocap = harness.run(NoCapPolicy(), added_fraction=0.30,
+                            power_scale=1.05)
+        polca = harness.run(DualThresholdPolicy(), added_fraction=0.30,
+                            power_scale=1.05)
+        assert nocap.power_brake_events > 0
+        assert polca.power_brake_events <= nocap.power_brake_events

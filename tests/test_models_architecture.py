@@ -1,0 +1,109 @@
+"""Transformer FLOP/byte arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.architecture import ArchitectureKind, TransformerArchitecture
+from repro.models.datatypes import FP16, FP32
+from repro.units import billions
+
+
+@pytest.fixture()
+def bloom():
+    return TransformerArchitecture(
+        kind=ArchitectureKind.DECODER, n_params=billions(176),
+        n_layers=70, hidden_size=14336, n_heads=112,
+    )
+
+
+class TestConstruction:
+    def test_head_dim(self, bloom):
+        assert bloom.head_dim == 128
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransformerArchitecture(ArchitectureKind.DECODER, 0, 1, 8, 1)
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransformerArchitecture(ArchitectureKind.DECODER, 1e9, 10, 100, 3)
+
+
+class TestFlops:
+    def test_forward_flops_is_2x_params(self, bloom):
+        assert bloom.forward_flops_per_token() == pytest.approx(2 * 176e9)
+
+    def test_prompt_flops_superlinear_in_tokens(self, bloom):
+        """The attention term bends latency upward past long prompts
+        (Figure 8b)."""
+        short = bloom.prompt_flops(1024, 1)
+        long = bloom.prompt_flops(8192, 1)
+        assert long > 8 * short  # superlinear, not proportional
+
+    def test_prompt_flops_linear_in_batch(self, bloom):
+        assert bloom.prompt_flops(1024, 4) == pytest.approx(
+            4 * bloom.prompt_flops(1024, 1)
+        )
+
+    def test_token_flops_grow_with_context(self, bloom):
+        assert bloom.token_flops(1, 8192) > bloom.token_flops(1, 512)
+
+    def test_invalid_tokens_rejected(self, bloom):
+        with pytest.raises(ConfigurationError):
+            bloom.prompt_flops(0, 1)
+        with pytest.raises(ConfigurationError):
+            bloom.prompt_flops(128, 0)
+
+    @given(st.integers(min_value=1, max_value=8192),
+           st.integers(min_value=1, max_value=16))
+    def test_prompt_flops_positive(self, tokens, batch):
+        arch = TransformerArchitecture(
+            ArchitectureKind.DECODER, billions(13), 40, 5120, 40
+        )
+        assert arch.prompt_flops(tokens, batch) > 0
+
+
+class TestBytes:
+    def test_weight_bytes_by_dtype(self, bloom):
+        assert bloom.weight_bytes(FP16) == pytest.approx(352e9)
+        assert bloom.weight_bytes(FP32) == pytest.approx(704e9)
+
+    def test_kv_cache_grows_linearly(self, bloom):
+        per_token = bloom.kv_cache_bytes_per_token(FP16)
+        assert bloom.kv_cache_bytes(FP16, 1000, 2) == pytest.approx(
+            2000 * per_token
+        )
+
+    def test_token_read_bytes_include_weights_once(self, bloom):
+        reads = bloom.token_read_bytes(FP16, 2048, 4)
+        assert reads == pytest.approx(
+            bloom.weight_bytes(FP16) + bloom.kv_cache_bytes(FP16, 2048, 4)
+        )
+
+
+class TestFitsOn:
+    def test_bloom_fp16_fits_on_8x80gb(self, bloom):
+        assert bloom.fits_on(FP16, 8 * 80e9)
+
+    def test_bloom_fp16_does_not_fit_on_4x80gb(self, bloom):
+        assert not bloom.fits_on(FP16, 4 * 80e9)
+
+    def test_kv_dtype_override_changes_footprint(self):
+        """bitsandbytes keeps the KV cache FP16 when weights are INT8."""
+        from repro.models.datatypes import INT8
+        llama70 = TransformerArchitecture(
+            ArchitectureKind.DECODER, billions(70), 80, 8192, 64
+        )
+        # One 80 GB GPU: INT8 weights fit only if KV were also INT8.
+        loose = llama70.fits_on(INT8, 80e9, kv_dtype=INT8)
+        strict = llama70.fits_on(INT8, 80e9, kv_dtype=FP16)
+        assert loose and not strict
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_fits_monotone_in_memory(self, n_gpus):
+        arch = TransformerArchitecture(
+            ArchitectureKind.DECODER, billions(70), 80, 8192, 64
+        )
+        if arch.fits_on(FP16, n_gpus * 80e9):
+            assert arch.fits_on(FP16, (n_gpus + 1) * 80e9)

@@ -1,0 +1,50 @@
+"""Weight datatypes and kernel-efficiency trade-offs (Insight 6)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.datatypes import FP8, FP16, FP32, INT8, DType, dtype_by_name
+
+
+class TestProperties:
+    def test_bytes_per_param_ordering(self):
+        assert FP32.bytes_per_param > FP16.bytes_per_param > 0
+        assert INT8.bytes_per_param == FP8.bytes_per_param == 1.0
+
+    def test_fp16_has_best_kernels(self):
+        # Section 4.2: FP16 is fastest due to optimized tensor-core kernels.
+        assert FP16.kernel_efficiency == 1.0
+        assert FP16.kernel_efficiency > FP32.kernel_efficiency
+        assert FP16.kernel_efficiency > INT8.kernel_efficiency
+
+    def test_int8_kernels_are_poor(self):
+        # bitsandbytes dequantization overhead (Section 4.2).
+        assert INT8.kernel_efficiency < 0.5
+
+    def test_fp16_draws_the_most_peak_power(self):
+        assert FP16.peak_activity_bonus >= FP32.peak_activity_bonus
+        assert FP16.peak_activity_bonus >= INT8.peak_activity_bonus
+
+
+class TestValidation:
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DType(name="bad", bytes_per_param=0.0, kernel_efficiency=1.0)
+
+    def test_efficiency_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DType(name="bad", bytes_per_param=2.0, kernel_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            DType(name="bad", bytes_per_param=2.0, kernel_efficiency=0.0)
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,expected", [
+        ("fp32", FP32), ("fp16", FP16), ("int8", INT8), ("fp8", FP8),
+    ])
+    def test_by_name(self, name, expected):
+        assert dtype_by_name(name) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="fp16"):
+            dtype_by_name("bf16")

@@ -1,0 +1,108 @@
+"""Inference requests and phase timelines."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import A100_80GB
+from repro.models.inference import (
+    InferenceRequest,
+    PhaseSegment,
+    request_timeline,
+)
+from repro.models.registry import get_model
+
+
+def bloom_request(**overrides):
+    defaults = dict(model_name="BLOOM-176B", input_tokens=2048,
+                    output_tokens=256, batch_size=1)
+    defaults.update(overrides)
+    return InferenceRequest(**defaults)
+
+
+class TestInferenceRequest:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bloom_request(input_tokens=0)
+        with pytest.raises(ConfigurationError):
+            bloom_request(output_tokens=0)
+        with pytest.raises(ConfigurationError):
+            bloom_request(batch_size=0)
+
+    def test_with_sizes_replaces_selectively(self):
+        request = bloom_request()
+        changed = request.with_sizes(input_tokens=4096)
+        assert changed.input_tokens == 4096
+        assert changed.output_tokens == request.output_tokens
+        assert changed.model_name == request.model_name
+
+
+class TestPhaseSegment:
+    def test_compute_bound_duration_scales_inversely(self):
+        segment = PhaseSegment("prompt", 1.0, 0.9, compute_fraction=1.0)
+        assert segment.duration_at(0.5) == pytest.approx(2.0)
+
+    def test_memory_bound_duration_unchanged(self):
+        segment = PhaseSegment("token", 1.0, 0.5, compute_fraction=0.0)
+        assert segment.duration_at(0.5) == pytest.approx(1.0)
+
+    def test_mixed_sensitivity(self):
+        segment = PhaseSegment("token", 1.0, 0.5, compute_fraction=0.2)
+        assert segment.duration_at(0.5) == pytest.approx(1.2)
+
+    def test_invalid_clock_ratio_rejected(self):
+        segment = PhaseSegment("token", 1.0, 0.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            segment.duration_at(0.0)
+
+
+class TestRequestTimeline:
+    def test_two_phases_in_order(self):
+        timeline = request_timeline(
+            get_model("BLOOM-176B"), A100_80GB, bloom_request()
+        )
+        assert [seg.phase for seg in timeline.segments] == ["prompt", "token"]
+
+    def test_prompt_is_the_peak(self):
+        """Insight 4: the spike is the prompt, the plateau is the token."""
+        timeline = request_timeline(
+            get_model("BLOOM-176B"), A100_80GB, bloom_request()
+        )
+        prompt, token = timeline.segments
+        assert prompt.activity > token.activity
+        assert timeline.peak_activity() == prompt.activity
+
+    def test_token_phase_is_longer(self):
+        timeline = request_timeline(
+            get_model("BLOOM-176B"), A100_80GB, bloom_request()
+        )
+        prompt, token = timeline.segments
+        assert token.duration_seconds > prompt.duration_seconds
+
+    def test_mean_activity_near_token_level(self):
+        timeline = request_timeline(
+            get_model("BLOOM-176B"), A100_80GB, bloom_request(output_tokens=1024)
+        )
+        token = timeline.segments[1]
+        assert timeline.mean_activity() == pytest.approx(
+            token.activity, abs=0.05
+        )
+
+    def test_total_stretches_under_lock(self):
+        timeline = request_timeline(
+            get_model("BLOOM-176B"), A100_80GB, bloom_request()
+        )
+        assert timeline.total_seconds(0.8) > timeline.total_seconds(1.0)
+
+    def test_mismatched_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            request_timeline(
+                get_model("OPT-30B"), A100_80GB, bloom_request()
+            )
+
+    def test_prompt_fully_compute_bound_token_weakly(self):
+        spec = get_model("BLOOM-176B")
+        timeline = request_timeline(spec, A100_80GB, bloom_request())
+        prompt, token = timeline.segments
+        assert prompt.compute_fraction == 1.0
+        assert token.compute_fraction == \
+            spec.calibration.token_clock_sensitivity

@@ -1,0 +1,133 @@
+"""Roofline latency model: phase boundedness and clock scaling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import A100_80GB
+from repro.models.datatypes import FP16, FP32, INT8
+from repro.models.performance import PhaseLatency, RooflineLatencyModel
+from repro.models.registry import get_model
+
+
+@pytest.fixture()
+def bloom_model():
+    return RooflineLatencyModel(model=get_model("BLOOM-176B"), gpu=A100_80GB)
+
+
+class TestPhaseLatency:
+    def test_total_and_fraction(self):
+        phases = PhaseLatency(prompt_seconds=1.0, token_seconds=3.0,
+                              overhead_seconds=0.0)
+        assert phases.total_seconds == 4.0
+        assert phases.prompt_fraction == 0.25
+
+
+class TestPromptPhase:
+    def test_prompt_scales_with_input(self, bloom_model):
+        assert bloom_model.prompt_latency(4096) > \
+            2 * bloom_model.prompt_latency(2048) * 0.9
+
+    def test_prompt_is_compute_bound(self, bloom_model):
+        """Prompt latency scales inversely with the SM clock."""
+        full = bloom_model.prompt_latency(2048, clock_ratio=1.0)
+        locked = bloom_model.prompt_latency(2048, clock_ratio=0.5)
+        assert locked == pytest.approx(2 * full)
+
+    def test_invalid_clock_ratio_rejected(self, bloom_model):
+        with pytest.raises(ConfigurationError):
+            bloom_model.prompt_latency(1024, clock_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            bloom_model.prompt_latency(1024, clock_ratio=1.5)
+
+
+class TestTokenPhase:
+    def test_token_is_weakly_clock_sensitive(self, bloom_model):
+        """Token sampling is bandwidth-bound: halving the clock costs far
+        less than 2x (Insight 7's mechanism)."""
+        full = bloom_model.token_latency(clock_ratio=1.0)
+        locked = bloom_model.token_latency(clock_ratio=0.5)
+        assert locked < 1.4 * full
+
+    def test_bloom_decode_rate_plausible(self, bloom_model):
+        """BLOOM-176B on 8xA100 decodes on the order of tens of ms/token."""
+        per_token = bloom_model.token_latency(context_tokens=1024)
+        assert 0.01 < per_token < 0.1
+
+    def test_throughput_inverse_of_latency(self, bloom_model):
+        throughput = bloom_model.throughput_tokens_per_second(4, 1024)
+        assert throughput == pytest.approx(
+            4 / bloom_model.token_latency(4, 1024)
+        )
+
+
+class TestRequestLatency:
+    def test_token_phase_dominates(self, bloom_model):
+        """Output tokens dominate latency (Figure 8f is linear in output)."""
+        phases = bloom_model.request_latency(2048, 512)
+        assert phases.prompt_fraction < 0.25
+
+    def test_latency_linear_in_output(self, bloom_model):
+        short = bloom_model.request_latency(1024, 256)
+        long = bloom_model.request_latency(1024, 1024)
+        ratio = long.token_seconds / short.token_seconds
+        assert 3.5 < ratio < 4.6  # linear modulo KV-cache context growth
+
+    def test_zero_output_rejected(self, bloom_model):
+        with pytest.raises(ConfigurationError):
+            bloom_model.request_latency(1024, 0)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=128, max_value=8192),
+           st.integers(min_value=1, max_value=2048),
+           st.floats(min_value=0.5, max_value=1.0))
+    def test_latency_monotone_in_clock(self, inputs, outputs, ratio):
+        model = RooflineLatencyModel(model=get_model("Llama2-70B"),
+                                     gpu=A100_80GB)
+        fast = model.request_latency(inputs, outputs, clock_ratio=1.0)
+        slow = model.request_latency(inputs, outputs, clock_ratio=ratio)
+        assert slow.total_seconds >= fast.total_seconds - 1e-12
+
+
+class TestDatatypes:
+    def test_fp16_faster_than_fp32(self):
+        """Section 4.2: FP16 is fastest (optimized tensor-core kernels)."""
+        model = get_model("Llama2-70B")
+        fp16 = RooflineLatencyModel(model=model, gpu=A100_80GB, dtype=FP16,
+                                    n_gpus=4)
+        fp32 = RooflineLatencyModel(model=model, gpu=A100_80GB, dtype=FP32,
+                                    n_gpus=4)
+        assert fp16.request_latency(2048, 256).total_seconds < \
+            fp32.request_latency(2048, 256).total_seconds
+
+    def test_int8_slower_than_fp16_despite_smaller_weights(self):
+        """bitsandbytes INT8 kernels are poorly optimized (Section 4.2)."""
+        model = get_model("Llama2-70B")
+        fp16 = RooflineLatencyModel(model=model, gpu=A100_80GB, dtype=FP16,
+                                    n_gpus=2)
+        int8 = RooflineLatencyModel(model=model, gpu=A100_80GB, dtype=INT8,
+                                    n_gpus=2)
+        assert int8.request_latency(2048, 256).total_seconds > \
+            fp16.request_latency(2048, 256).total_seconds
+
+    def test_missing_flops_entry_rejected(self):
+        import dataclasses
+        gpu = dataclasses.replace(A100_80GB, peak_flops={"fp16": 3.12e14})
+        model = RooflineLatencyModel(model=get_model("Llama2-13B"), gpu=gpu,
+                                     dtype=FP32)
+        with pytest.raises(ConfigurationError):
+            model.prompt_latency(1024)
+
+
+class TestConfigValidation:
+    def test_invalid_efficiencies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RooflineLatencyModel(model=get_model("Llama2-13B"),
+                                 gpu=A100_80GB, bandwidth_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            RooflineLatencyModel(model=get_model("Llama2-13B"),
+                                 gpu=A100_80GB, tp_efficiency=1.5)
+
+    def test_defaults_resolve_from_model(self, bloom_model):
+        assert bloom_model.effective_n_gpus == 8
+        assert bloom_model.effective_dtype is FP16

@@ -1,0 +1,84 @@
+"""Phase activity profiles (the power side of Figure 8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.datatypes import FP16, INT8
+from repro.models.power_profile import PhasePowerProfile, TOKEN_ACTIVITY_CEILING
+from repro.models.registry import MODEL_ZOO, get_model
+
+
+@pytest.fixture()
+def bloom_profile():
+    return PhasePowerProfile(model=get_model("BLOOM-176B"))
+
+
+class TestPromptActivity:
+    def test_rises_with_input_size(self, bloom_profile):
+        """Figure 8a: peak power drastically increases with input size."""
+        assert bloom_profile.prompt_activity(8192) > \
+            bloom_profile.prompt_activity(256)
+
+    def test_batch_multiplies_effective_tokens(self, bloom_profile):
+        """Figure 8c: batch raises peak like a larger prompt."""
+        assert bloom_profile.prompt_activity(512, batch_size=8) == \
+            pytest.approx(bloom_profile.prompt_activity(4096, batch_size=1))
+
+    def test_saturates_at_model_maximum(self, bloom_profile):
+        huge = bloom_profile.prompt_activity(100_000)
+        cal = get_model("BLOOM-176B").calibration
+        assert huge <= cal.prompt_activity_max + 1e-9
+
+    def test_larger_models_spike_higher(self):
+        """Figure 8a: BLOOM shows the largest peaks, Flan-T5 the smallest
+        of the five inference models."""
+        bloom = PhasePowerProfile(model=get_model("BLOOM-176B"))
+        flan = PhasePowerProfile(model=get_model("Flan-T5-XXL"))
+        assert bloom.prompt_activity(4096) > flan.prompt_activity(4096)
+
+    def test_invalid_inputs_rejected(self, bloom_profile):
+        with pytest.raises(ConfigurationError):
+            bloom_profile.prompt_activity(0)
+        with pytest.raises(ConfigurationError):
+            bloom_profile.prompt_activity(128, 0)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_always_in_unit_interval(self, tokens):
+        profile = PhasePowerProfile(model=get_model("Llama2-70B"))
+        assert 0.0 <= profile.prompt_activity(tokens) <= 1.0
+
+
+class TestTokenActivity:
+    def test_below_prompt_activity(self, bloom_profile):
+        """Insight 4: token phases draw less power than prompt phases."""
+        assert bloom_profile.token_activity() < \
+            bloom_profile.prompt_activity(2048)
+
+    def test_gradual_batch_increase(self, bloom_profile):
+        """Figure 8c: mean power rises gradually with batch size."""
+        a1 = bloom_profile.token_activity(1)
+        a16 = bloom_profile.token_activity(16)
+        assert a1 < a16 < a1 + 0.15
+
+    def test_ceiling_enforced(self):
+        for spec in MODEL_ZOO.values():
+            profile = PhasePowerProfile(model=spec)
+            assert profile.token_activity(1024) <= TOKEN_ACTIVITY_CEILING
+
+    def test_idle_activity_is_zero(self, bloom_profile):
+        assert bloom_profile.idle_activity() == 0.0
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_monotone_in_batch(self, batch):
+        profile = PhasePowerProfile(model=get_model("OPT-30B"))
+        assert profile.token_activity(batch + 1) >= profile.token_activity(batch)
+
+
+class TestDatatypeEffect:
+    def test_int8_reduces_prompt_activity(self):
+        """Section 4.2: quantized kernels drive the chip less hard."""
+        model = get_model("Llama2-70B")
+        fp16 = PhasePowerProfile(model=model, dtype=FP16)
+        int8 = PhasePowerProfile(model=model, dtype=INT8)
+        assert int8.prompt_activity(2048) < fp16.prompt_activity(2048)

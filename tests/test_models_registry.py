@@ -1,0 +1,109 @@
+"""The Table 3 model zoo."""
+
+import pytest
+
+from repro.errors import ModelNotFoundError
+from repro.models.architecture import ArchitectureKind
+from repro.models.registry import (
+    INFERENCE_FIGURE_MODELS,
+    MODEL_ZOO,
+    TRAINING_FIGURE_MODELS,
+    get_model,
+    inference_models,
+    training_models,
+)
+
+
+#: Table 3, verbatim: model -> (#params, #inference GPUs, inference-only).
+TABLE3 = {
+    "RoBERTa-355M": (355e6, 1, False),
+    "Llama2-13B": (13e9, 1, True),
+    "Llama2-70B": (70e9, 4, True),
+    "GPT-NeoX-20B": (20e9, 2, False),
+    "OPT-30B": (30e9, 4, True),
+    "BLOOM-176B": (176e9, 8, True),
+    "Flan-T5-XXL": (11e9, 1, False),
+}
+
+
+class TestTable3:
+    def test_zoo_contains_exactly_table3(self):
+        assert set(MODEL_ZOO) == set(TABLE3)
+
+    @pytest.mark.parametrize("name", sorted(TABLE3))
+    def test_params_and_gpus_match(self, name):
+        params, gpus, inference_only = TABLE3[name]
+        spec = get_model(name)
+        assert spec.n_params == pytest.approx(params)
+        assert spec.n_inference_gpus == gpus
+        assert spec.trainable == (not inference_only)
+
+    def test_architecture_kinds(self):
+        assert get_model("RoBERTa-355M").architecture.kind \
+            is ArchitectureKind.ENCODER
+        assert get_model("BLOOM-176B").architecture.kind \
+            is ArchitectureKind.DECODER
+        assert get_model("Flan-T5-XXL").architecture.kind \
+            is ArchitectureKind.ENCODER_DECODER
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ModelNotFoundError, match="BLOOM-176B"):
+            get_model("GPT-5")
+
+
+class TestCalibration:
+    def test_trainable_models_have_training_profiles(self):
+        for spec in MODEL_ZOO.values():
+            assert (spec.training is not None) == spec.trainable
+
+    def test_training_phase_fractions_sum_to_one(self):
+        for spec in MODEL_ZOO.values():
+            if spec.training is None:
+                continue
+            total = (spec.training.forward_fraction
+                     + spec.training.backward_fraction
+                     + spec.training.sync_fraction)
+            assert total == pytest.approx(1.0)
+
+    def test_figure4_trough_ordering(self):
+        """RoBERTa troughs high, GPT-NeoX mid, Flan-T5 at idle."""
+        roberta = get_model("RoBERTa-355M").training
+        neox = get_model("GPT-NeoX-20B").training
+        flan = get_model("Flan-T5-XXL").training
+        assert roberta.trough_activity > neox.trough_activity \
+            > flan.trough_activity
+        assert flan.trough_activity == 0.0
+
+    def test_figure10a_sensitivity_ordering(self):
+        """BLOOM most clock-sensitive, GPT-NeoX least (Figure 10a)."""
+        sensitivities = {
+            name: spec.calibration.token_clock_sensitivity
+            for name, spec in MODEL_ZOO.items()
+        }
+        assert sensitivities["BLOOM-176B"] == max(
+            sensitivities[name] for name in INFERENCE_FIGURE_MODELS
+        )
+        assert sensitivities["GPT-NeoX-20B"] == min(
+            sensitivities[name] for name in INFERENCE_FIGURE_MODELS
+        )
+
+    def test_prompt_activity_ranges_valid(self):
+        for spec in MODEL_ZOO.values():
+            cal = spec.calibration
+            assert 0 < cal.prompt_activity_min < cal.prompt_activity_max <= 1.0
+            assert 0 < cal.token_activity_base < cal.prompt_activity_max
+
+    def test_params_per_gpu(self):
+        assert get_model("BLOOM-176B").params_per_gpu == pytest.approx(22e9)
+
+
+class TestFigureModelSets:
+    def test_inference_figure_models(self):
+        names = [spec.name for spec in inference_models()]
+        assert names == list(INFERENCE_FIGURE_MODELS)
+        assert "BLOOM-176B" in names and "RoBERTa-355M" not in names
+
+    def test_training_figure_models(self):
+        names = [spec.name for spec in training_models()]
+        assert names == list(TRAINING_FIGURE_MODELS)
+        assert all(get_model(name).trainable for name in names)

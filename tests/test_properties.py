@@ -1,0 +1,187 @@
+"""Cross-module property-based tests on the library's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.policy_base import GroupCaps
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+from repro.core.baselines import NoCapPolicy
+from repro.core.policy import DualThresholdPolicy
+from repro.gpu.power import GpuPowerModel
+from repro.gpu.specs import A100_80GB
+from repro.models.inference import InferenceRequest, request_timeline
+from repro.models.registry import MODEL_ZOO, get_model
+from repro.workloads.requests import RequestSampler
+
+
+# ---------------------------------------------------------------------------
+# Policy invariants
+# ---------------------------------------------------------------------------
+class TestPolicyProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.2), min_size=1,
+                    max_size=100))
+    def test_level_always_in_range(self, utilizations):
+        policy = DualThresholdPolicy()
+        for index, utilization in enumerate(utilizations):
+            policy.desired_caps(utilization, now=2.0 * index)
+            assert 0 <= policy.level <= 3
+
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.2), min_size=1,
+                    max_size=100))
+    def test_caps_consistent_with_level(self, utilizations):
+        policy = DualThresholdPolicy()
+        for index, utilization in enumerate(utilizations):
+            caps = policy.desired_caps(utilization, now=2.0 * index)
+            if policy.level == 0:
+                assert caps == GroupCaps.uncapped()
+            if policy.level >= 2:
+                assert caps.low_clock_mhz == 1110.0
+            if policy.level == 3:
+                assert caps.high_clock_mhz == 1305.0
+            else:
+                assert caps.high_clock_mhz is None
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.2), min_size=1,
+                    max_size=60))
+    def test_deterministic_replay(self, utilizations):
+        a, b = DualThresholdPolicy(), DualThresholdPolicy()
+        for index, utilization in enumerate(utilizations):
+            assert a.desired_caps(utilization, 2.0 * index) == \
+                b.desired_caps(utilization, 2.0 * index)
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=0.0, max_value=0.74))
+    def test_low_utilization_never_caps(self, utilization):
+        policy = DualThresholdPolicy()
+        assert policy.desired_caps(utilization, 0.0) == GroupCaps.uncapped()
+
+
+# ---------------------------------------------------------------------------
+# Timeline / power invariants across the model zoo
+# ---------------------------------------------------------------------------
+class TestTimelineProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(sorted(MODEL_ZOO)),
+        st.integers(min_value=64, max_value=8192),
+        st.integers(min_value=16, max_value=2048),
+    )
+    def test_timeline_durations_positive_and_phase_ordering(
+        self, model_name, inputs, outputs
+    ):
+        spec = get_model(model_name)
+        timeline = request_timeline(
+            spec, A100_80GB,
+            InferenceRequest(model_name, inputs, outputs),
+        )
+        prompt, token = timeline.segments
+        assert prompt.duration_seconds > 0
+        assert token.duration_seconds > 0
+        assert prompt.activity > token.activity  # Insight 4, always
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(sorted(MODEL_ZOO)),
+        st.floats(min_value=0.3, max_value=1.0),
+    )
+    def test_locking_never_speeds_up_or_raises_power(self, model_name, ratio):
+        spec = get_model(model_name)
+        timeline = request_timeline(
+            spec, A100_80GB, InferenceRequest(model_name, 1024, 128),
+        )
+        assert timeline.total_seconds(ratio) >= \
+            timeline.total_seconds(1.0) - 1e-12
+        power_model = GpuPowerModel(A100_80GB)
+        clock = ratio * A100_80GB.max_sm_clock_mhz
+        for segment in timeline.segments:
+            assert power_model.power(segment.activity, clock) <= \
+                power_model.power(segment.activity,
+                                  A100_80GB.max_sm_clock_mhz) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Simulator conservation laws
+# ---------------------------------------------------------------------------
+def _poisson_requests(rate, duration, seed):
+    rng = np.random.default_rng(seed)
+    sampler = RequestSampler(seed=seed)
+    t, arrivals = 0.0, []
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= duration:
+            break
+        arrivals.append(t)
+    return sampler.sample_many(arrivals)
+
+
+class TestSimulatorConservation:
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=2.0),
+           st.integers(min_value=0, max_value=1000))
+    def test_requests_conserved(self, rate, seed):
+        """Every offered request is either served or dropped."""
+        requests = _poisson_requests(rate, 240.0, seed)
+        config = ClusterConfig(n_base_servers=6, seed=seed)
+        result = ClusterSimulator(config, NoCapPolicy()).run(requests, 240.0)
+        accounted = sum(
+            m.served + m.dropped for m in result.per_priority.values()
+        )
+        assert accounted == len(requests)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_power_within_physical_bounds(self, seed):
+        requests = _poisson_requests(0.5, 240.0, seed)
+        config = ClusterConfig(n_base_servers=6, seed=seed)
+        simulator = ClusterSimulator(config, NoCapPolicy())
+        result = simulator.run(requests, 240.0)
+        model = simulator.servers[0].power_model
+        floor = config.n_servers * model.server_power(0.0, 1.0)
+        ceiling = config.n_servers * model.server_power(1.0, 1.0)
+        assert result.power_series.trough() >= floor - 1e-6
+        assert result.power_series.peak() <= ceiling + 1e-6
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_latencies_nonnegative_and_finite(self, seed):
+        requests = _poisson_requests(0.5, 240.0, seed)
+        config = ClusterConfig(n_base_servers=6, seed=seed)
+        result = ClusterSimulator(config, NoCapPolicy()).run(requests, 240.0)
+        for metrics in result.per_priority.values():
+            for latency in metrics.latencies:
+                assert 0.0 < latency < 1e5
+
+
+# ---------------------------------------------------------------------------
+# Capping can only slow the cluster down, never break accounting
+# ---------------------------------------------------------------------------
+class TestCappingMonotonicity:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_polca_never_loses_requests(self, seed):
+        requests = _poisson_requests(1.0, 400.0, seed)
+        config = ClusterConfig(n_base_servers=6, seed=seed)
+        capped = ClusterSimulator(config, DualThresholdPolicy()).run(
+            requests, 400.0
+        )
+        accounted = sum(
+            m.served + m.dropped for m in capped.per_priority.values()
+        )
+        assert accounted == len(requests)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_polca_power_never_exceeds_uncapped_peak(self, seed):
+        requests = _poisson_requests(1.0, 400.0, seed)
+        config = ClusterConfig(n_base_servers=6, seed=seed)
+        free = ClusterSimulator(config, NoCapPolicy()).run(requests, 400.0)
+        capped = ClusterSimulator(config, DualThresholdPolicy()).run(
+            requests, 400.0
+        )
+        # Identical load; capping may shift power in time but the capped
+        # run's peak cannot exceed the uncapped ceiling by more than the
+        # telemetry sampling jitter.
+        assert capped.power_series.peak() <= \
+            free.power_series.peak() * 1.05

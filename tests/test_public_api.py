@@ -1,0 +1,61 @@
+"""Public API surface: exports resolve and stay importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.characterization",
+    "repro.cluster",
+    "repro.control",
+    "repro.core",
+    "repro.datacenter",
+    "repro.gpu",
+    "repro.models",
+    "repro.server",
+    "repro.telemetry",
+    "repro.training",
+    "repro.workloads",
+]
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_root_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, (
+            f"{module_name}.{name} in __all__ but missing"
+        )
+
+
+def test_headline_objects_reachable_from_root():
+    # A user should be able to run the headline experiment from the root
+    # namespace alone.
+    assert repro.DualThresholdPolicy
+    assert repro.EvaluationHarness
+    assert repro.get_model("BLOOM-176B").n_inference_gpus == 8
+    assert repro.A100_80GB.tdp_w == 400.0
+    assert repro.POLCA_DEFAULTS.t1 == 0.80
+
+
+def test_docstrings_on_public_api():
+    """Every public item carries documentation."""
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        item = getattr(repro, name)
+        assert getattr(item, "__doc__", None), f"{name} lacks a docstring"

@@ -1,0 +1,140 @@
+"""DGX server model: component budgets, power aggregation, derating."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.server.components import (
+    ComponentBudget,
+    DGX_A100_BUDGET,
+    DGX_H100_BUDGET,
+)
+from repro.server.dgx import DgxServer, HostPowerModel
+from repro.server.fleet import sample_fleet_peaks
+
+
+class TestComponentBudget:
+    def test_dgx_a100_rated_6500w(self):
+        """Section 5: 'the rated power for the DGX-A100 machine is 6500W'."""
+        assert DGX_A100_BUDGET.total_w == 6500.0
+
+    def test_gpu_share_about_half(self):
+        """Figure 3: ~50% of provisioned power goes to the GPUs."""
+        assert DGX_A100_BUDGET.fraction("gpus") == pytest.approx(0.49, abs=0.02)
+
+    def test_fan_share_about_quarter(self):
+        """Section 5: 'server fans constitute nearly 25% of the server
+        power'."""
+        assert DGX_A100_BUDGET.fraction("fans") == pytest.approx(0.25, abs=0.01)
+
+    def test_fractions_sum_to_one(self):
+        assert sum(DGX_A100_BUDGET.fractions().values()) == pytest.approx(1.0)
+        assert sum(DGX_H100_BUDGET.fractions().values()) == pytest.approx(1.0)
+
+    def test_h100_budget_matches_rating(self):
+        """Section 6.7: DGX-H100 is a 10.2 kW machine."""
+        assert DGX_H100_BUDGET.total_w == pytest.approx(10200.0)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DGX_A100_BUDGET.fraction("psu")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComponentBudget(name="bad", components={})
+        with pytest.raises(ConfigurationError):
+            ComponentBudget(name="bad", components={"gpus": -1.0})
+
+
+class TestHostPowerModel:
+    def test_host_is_weakly_load_following(self):
+        """Insight 8: GPUs dominate the variable portion of server power."""
+        host = HostPowerModel()
+        swing = host.power(1.0) - host.power(0.0)
+        gpu_swing = 8 * (465.0 - 80.0)
+        assert swing < 0.1 * gpu_swing
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HostPowerModel().power(1.5)
+
+
+class TestDgxServer:
+    @pytest.fixture()
+    def server(self):
+        return DgxServer()
+
+    def test_peak_below_rating(self, server):
+        """Section 5: observed peak never exceeded 5700 W on a 6500 W
+        machine."""
+        assert server.peak_power_w < 5700.0
+        assert server.derating_headroom_w() >= 800.0
+
+    def test_gpu_share_of_drawn_power_about_60pct(self, server):
+        """Figure 11 observation (1): GPUs are ~60% of drawn power."""
+        activity = 0.55  # token-phase serving level
+        gpu = server.gpu_power(0.0, [activity] * 8)
+        total = server.server_power_uniform(0.0, activity)
+        assert gpu / total == pytest.approx(0.60, abs=0.05)
+
+    def test_gpu_peak_exceeds_gpu_tdp_total(self, server):
+        """Figure 11 observation (2): peak GPU power exceeds the server
+        GPU TDP (by up to ~500 W)."""
+        peak_gpu = server.gpu_power(0.0, [1.0] * 8)
+        excess = peak_gpu - server.gpu_tdp_total_w
+        assert 0 < excess <= 550.0
+
+    def test_activity_count_must_match(self, server):
+        with pytest.raises(ConfigurationError):
+            server.gpu_power(0.0, [0.5] * 4)
+
+    def test_knob_fanout(self, server):
+        server.lock_all_frequencies(1275.0)
+        assert all(g.frequency_lock_mhz == 1275.0 for g in server.gpus)
+        server.unlock_all_frequencies()
+        assert all(g.frequency_lock_mhz is None for g in server.gpus)
+        server.set_all_power_caps(350.0)
+        assert all(g.power_cap_w == 350.0 for g in server.gpus)
+        server.clear_all_power_caps()
+        assert all(g.power_cap_w is None for g in server.gpus)
+
+    def test_brake_fanout(self, server):
+        server.engage_brake(0.0)
+        assert all(g.brake.is_engaged(10.0) for g in server.gpus)
+        server.release_brake()
+        assert not any(g.brake.is_engaged(11.0) for g in server.gpus)
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DgxServer(n_gpus=0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_server_power_monotone_in_activity(self, activity):
+        server = DgxServer()
+        low = server.server_power_uniform(0.0, activity * 0.5)
+        high = server.server_power_uniform(0.0, activity)
+        assert low <= high + 1e-9
+
+
+class TestFleet:
+    def test_figure11_observations(self):
+        samples = sample_fleet_peaks(n_servers=200, seed=1)
+        server = DgxServer()
+        normalized = [s.normalized(server) for s in samples]
+        gpu_peaks = [s.peak_gpu_power_w for s in normalized]
+        server_peaks = [s.peak_server_power_w for s in normalized]
+        # (2) GPU peaks exceed the GPU TDP for most heavily loaded servers.
+        assert max(gpu_peaks) > 1.0
+        # (3) server peak correlates with GPU peak.
+        from repro.analysis.correlation import pearson
+        assert pearson(gpu_peaks, server_peaks) > 0.8
+        # (4) normalized GPU peak spans a smaller range than server peak.
+        gpu_range = max(gpu_peaks) - min(gpu_peaks)
+        server_range = max(server_peaks) - min(server_peaks)
+        assert server_range > gpu_range * 0.8
+        # (1) GPUs are the majority of drawn power.
+        assert all(0.5 < s.mean_gpu_share < 0.75 for s in samples)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_fleet_peaks(n_servers=0)

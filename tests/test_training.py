@@ -1,0 +1,145 @@
+"""Training power: iteration shapes, knob trade-offs, cluster patterns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import A100_40GB
+from repro.models.registry import get_model
+from repro.training.capping import frequency_lock_tradeoff, power_cap_tradeoff
+from repro.training.cluster import TrainingClusterModel
+from repro.training.iteration import TrainingIterationModel
+
+
+@pytest.fixture()
+def flan():
+    return TrainingIterationModel(get_model("Flan-T5-XXL"), noise_std=0.0)
+
+
+@pytest.fixture()
+def roberta():
+    return TrainingIterationModel(get_model("RoBERTa-355M"), noise_std=0.0)
+
+
+class TestIterationModel:
+    def test_inference_only_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingIterationModel(get_model("BLOOM-176B"))
+
+    def test_segments_cover_iteration(self, flan):
+        total = sum(seg.duration_fraction for seg in flan.segments())
+        assert total == pytest.approx(1.0)
+
+    def test_figure4_peak_levels(self, flan, roberta):
+        """GPT-NeoX/Flan-T5 exceed TDP; RoBERTa stays below (Insight 1)."""
+        tdp = A100_40GB.tdp_w
+        assert flan.peak_power_w() > tdp
+        assert roberta.peak_power_w() < tdp
+
+    def test_figure4_trough_levels(self, flan, roberta):
+        """Flan-T5 drops to idle; RoBERTa stays at ~75% of TDP."""
+        assert flan.trough_power_w() == pytest.approx(A100_40GB.idle_w)
+        assert roberta.trough_power_w() / A100_40GB.tdp_w == pytest.approx(
+            0.75, abs=0.06
+        )
+
+    def test_power_series_spans_iterations(self, flan):
+        series = flan.power_series(n_iterations=3)
+        expected = 3 * flan.iteration_seconds(1.0)
+        assert series.duration == pytest.approx(expected, abs=0.2)
+
+    def test_power_series_periodicity(self, roberta):
+        """Big power swings repeat every iteration (Insight 2)."""
+        series = roberta.power_series(n_iterations=4)
+        swing = series.peak() - series.trough()
+        assert swing > 0.15 * A100_40GB.tdp_w
+
+    def test_frequency_lock_stretches_iteration(self, flan):
+        assert flan.iteration_seconds(0.8) > flan.iteration_seconds(1.0)
+
+    def test_clock_sensitivity_uses_compute_fraction(self, flan):
+        c = flan.model.training.compute_fraction
+        expected = flan.model.training.iteration_seconds * ((1 - c) + c / 0.8)
+        assert flan.iteration_seconds(0.8) == pytest.approx(expected)
+
+    def test_both_knobs_at_once_rejected(self, flan):
+        with pytest.raises(ConfigurationError):
+            flan.power_series(frequency_lock_mhz=1100.0, power_cap_w=325.0)
+
+    def test_invalid_clock_ratio_rejected(self, flan):
+        with pytest.raises(ConfigurationError):
+            flan.iteration_seconds(0.0)
+
+    def test_activity_pattern_repeats(self, flan):
+        period = flan.iteration_seconds(1.0)
+        assert flan.activity_at(0.1) == flan.activity_at(0.1 + period)
+
+
+class TestKnobTradeoffs:
+    def test_figure5a_shape(self, flan):
+        """~22% peak-power reduction for ~10% throughput (Section 4.1)."""
+        points = frequency_lock_tradeoff(flan, [1100.0])
+        assert points[0].peak_power_reduction == pytest.approx(0.22, abs=0.04)
+        assert points[0].performance_reduction == pytest.approx(0.10, abs=0.04)
+
+    def test_frequency_curves_monotone(self, flan):
+        points = frequency_lock_tradeoff(flan, [1400, 1300, 1200, 1100])
+        reductions = [p.peak_power_reduction for p in points]
+        perfs = [p.performance_reduction for p in points]
+        assert reductions == sorted(reductions)
+        assert perfs == sorted(perfs)
+
+    def test_power_capping_leaves_troughs(self, flan):
+        """Insight 3: capping clips peaks without touching troughs."""
+        points = power_cap_tradeoff(flan, [400, 350, 300])
+        assert all(p.trough_power_reduction == pytest.approx(0.0)
+                   for p in points)
+        assert all(p.peak_power_reduction > 0 for p in points)
+
+    def test_frequency_locking_lowers_troughs_when_nonidle(self, roberta):
+        """RoBERTa's trough is active work, so locking lowers it too."""
+        points = frequency_lock_tradeoff(roberta, [1100.0])
+        assert points[0].trough_power_reduction > 0.05
+
+    def test_capping_is_reactive_hence_variable(self, flan):
+        a = power_cap_tradeoff(flan, [340.0], seed=1)[0]
+        b = power_cap_tradeoff(flan, [340.0], seed=2)[0]
+        assert a.performance_reduction != b.performance_reduction
+
+    def test_empty_sweeps_rejected(self, flan):
+        with pytest.raises(ConfigurationError):
+            frequency_lock_tradeoff(flan, [])
+        with pytest.raises(ConfigurationError):
+            power_cap_tradeoff(flan, [])
+
+
+class TestTrainingCluster:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return TrainingClusterModel(seed=0).stats()
+
+    def test_table4_peak_utilization(self, stats):
+        assert stats.peak_utilization == pytest.approx(0.97, abs=0.02)
+
+    def test_table4_swing_2s(self, stats):
+        assert stats.max_swing_2s == pytest.approx(0.375, abs=0.06)
+
+    def test_headroom_about_3pct(self, stats):
+        assert stats.headroom == pytest.approx(0.03, abs=0.02)
+
+    def test_training_has_high_mean_utilization(self, stats):
+        """Table 4: training has high peak AND average draw."""
+        assert stats.mean_utilization > 0.8
+
+    def test_frequency_lock_reduces_cluster_power(self):
+        cluster = TrainingClusterModel(n_servers=8, seed=0)
+        free = cluster.power_series(duration_s=20.0)
+        locked = cluster.power_series(duration_s=20.0, clock_ratio=0.8)
+        assert locked.peak() < free.peak()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingClusterModel(n_servers=0)
+        with pytest.raises(ConfigurationError):
+            TrainingClusterModel(model=get_model("OPT-30B"))
+        with pytest.raises(ConfigurationError):
+            TrainingClusterModel().power_series(duration_s=0.0)

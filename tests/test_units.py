@@ -1,0 +1,37 @@
+"""Unit-conversion helpers."""
+
+from repro import units
+
+
+def test_power_conversions_roundtrip():
+    assert units.kilowatts(6.5) == 6500.0
+    assert units.watts_to_kilowatts(6500.0) == 6.5
+
+
+def test_frequency_conversions():
+    assert units.gigahertz(1.41) == 1410.0
+    assert units.megahertz_to_ghz(1275.0) == 1.275
+
+
+def test_memory_and_bandwidth():
+    assert units.gigabytes(80) == 80e9
+    assert units.gigabytes_per_second(2039) == 2.039e12
+
+
+def test_compute_units():
+    assert units.teraflops(312) == 3.12e14
+    assert units.billions(176) == 176e9
+    assert units.millions(355) == 355e6
+
+
+def test_time_units_compose():
+    assert units.minutes(1) == 60.0
+    assert units.hours(1) == 60 * units.minutes(1)
+    assert units.days(1) == 24 * units.hours(1)
+    assert units.weeks(1) == 7 * units.days(1)
+    assert units.milliseconds(100) == 0.1
+
+
+def test_week_constant_matches_paper_trace_length():
+    # The paper's trace spans six weeks (June 21 - August 2, 2023).
+    assert units.weeks(6) == 6 * 7 * 86400
