@@ -1,0 +1,122 @@
+"""Fault-injection study: POLCA on an unreliable substrate.
+
+The paper's robustness check (Section 6.6) perturbs the power model by
++5%. This study extends it to the fault surface a real deployment sees
+(Section 3.3 notes OOB interfaces "may sometimes fail without signaling
+completion or errors"):
+
+1. Run POLCA at 30% oversubscription on a *perfect* substrate.
+2. Re-run the identical trace under an adversarial fault plan —
+   telemetry dropouts and noise, silent/late actuation failures, a
+   server crash — and compare breaker exposure and SLO impact.
+3. Sweep the silent-actuation-failure rate to show the verify/re-issue
+   layer holding the longest over-budget excursion under the 40 s OOB
+   window.
+4. Black out the row telemetry entirely for two minutes and watch the
+   controller degrade to safe caps, then to the brake.
+
+Run:  python examples/fault_injection_study.py
+"""
+
+from repro import DualThresholdPolicy, EvaluationHarness, FaultPlan, Priority
+from repro.faults import (
+    ActuationFaultSpec,
+    ChurnSpec,
+    ReliabilityConfig,
+    ServerChurnEvent,
+    TelemetryFaultSpec,
+)
+from repro.units import hours
+
+
+def main() -> None:
+    # 24 hours covers one full diurnal peak (~hour 16), where POLCA
+    # actually caps — and where faults actually bite.
+    harness = EvaluationHarness(duration_s=hours(24), seed=0)
+    policy = DualThresholdPolicy()
+
+    # --- 1. The fault-free reference. ----------------------------------
+    print("== POLCA at 30% oversubscription, perfect substrate ==")
+    clean = harness.run(policy, added_fraction=0.30)
+    print(f"brakes: {clean.power_brake_events}, "
+          f"caps: {clean.capping_actions}, "
+          f"over budget: {clean.robustness.time_at_risk_s:.1f} s")
+
+    # --- 2. The adversarial plan. --------------------------------------
+    plan = FaultPlan.adversarial(seed=1)
+    print("\n== Same trace under the adversarial fault plan ==")
+    print(f"plan: {plan.telemetry.dropouts_per_hour:.0f} dropouts/h "
+          f"(~{plan.telemetry.dropout_duration_s:.0f} s each), "
+          f"noise {plan.telemetry.noise_std:.0%}, "
+          f"{plan.actuation.silent_failure_rate:.0%} silent command "
+          f"failures, {len(plan.churn.events)} scheduled server crash")
+    faulty = harness.run(policy, added_fraction=0.30, fault_plan=plan)
+    report = faulty.robustness
+    for line in report.summary_lines():
+        print(f"  {line}")
+    print(f"time at risk: {report.time_at_risk_fraction():.2%} of the run")
+    print(f"longest over-budget excursion: "
+          f"{report.longest_overbudget_s:.1f} s "
+          f"({'within' if report.longest_overbudget_s <= 40.0 else 'BEYOND'}"
+          f" the 40 s OOB window)")
+    print(f"all faults accounted: {report.all_faults_accounted}")
+    print("SLO impact vs the fault-free run:")
+    impact = report.slo_impact(faulty, clean)
+    for priority in Priority:
+        ratios = impact[priority.value]
+        print(f"  {priority.value:>4}: p50 {ratios['p50']:.3f}x, "
+              f"p99 {ratios['p99']:.3f}x")
+
+    # --- 3. Silent-failure-rate sweep. ---------------------------------
+    print("\n== Verify/re-issue vs silent actuation failures ==")
+    print(f"{'fail rate':>9} {'issued':>7} {'detected':>9} "
+          f"{'recovered':>9} {'abandoned':>9} {'worst excursion':>15}")
+    for rate in (0.1, 0.3):
+        swept = harness.run(
+            policy, added_fraction=0.30,
+            fault_plan=FaultPlan(
+                actuation=ActuationFaultSpec(silent_failure_rate=rate),
+                seed=2,
+            ),
+        )
+        r = swept.robustness
+        print(f"{rate:9.0%} {r.commands_issued:7d} {r.failures_detected:9d} "
+              f"{r.commands_recovered:9d} {r.commands_unrecovered:9d} "
+              f"{r.longest_overbudget_s:13.1f} s")
+
+    # --- 4. Total telemetry blackout. ----------------------------------
+    print("\n== 120 s row-telemetry blackout at the daily peak ==")
+    blackout = harness.run(
+        policy, added_fraction=0.30,
+        fault_plan=FaultPlan(telemetry=TelemetryFaultSpec(
+            dropout_windows=((hours(16), hours(16) + 120.0),),
+        )),
+        reliability=ReliabilityConfig(
+            fallback_after_ticks=5, brake_after_stale_s=10.0
+        ),
+    )
+    r = blackout.robustness
+    print(f"max consecutive missed ticks: {r.max_missed_ticks}")
+    print(f"fallback entries: {r.fallback_entries} "
+          f"(safe caps), staleness brakes: {r.fallback_brakes}")
+    print(f"over budget while dark: {r.time_at_risk_s:.1f} s "
+          f"(longest {r.longest_overbudget_s:.1f} s)")
+
+    # --- 5. Churn only: dropped work is ledgered. ----------------------
+    print("\n== One server crash at the hour-16 peak, back an hour later ==")
+    churned = harness.run(
+        policy, added_fraction=0.30,
+        fault_plan=FaultPlan(churn=ChurnSpec(events=(
+            ServerChurnEvent(server_index=0, fail_at_s=hours(16),
+                             recover_at_s=hours(17)),
+        ))),
+    )
+    r = churned.robustness
+    print(f"crashes: {r.server_failures}, recoveries: {r.server_recoveries}, "
+          f"requests lost: {r.requests_lost_to_churn}")
+    print(f"served vs clean run: {churned.total_served} / "
+          f"{clean.total_served}")
+
+
+if __name__ == "__main__":
+    main()

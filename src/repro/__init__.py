@@ -20,8 +20,8 @@ Quickstart::
 Subpackages: :mod:`repro.gpu`, :mod:`repro.models`, :mod:`repro.server`,
 :mod:`repro.telemetry`, :mod:`repro.control`, :mod:`repro.datacenter`,
 :mod:`repro.training`, :mod:`repro.workloads`, :mod:`repro.cluster`,
-:mod:`repro.core` (POLCA), :mod:`repro.characterization`,
-:mod:`repro.analysis`.
+:mod:`repro.core` (POLCA), :mod:`repro.faults` (fault injection),
+:mod:`repro.characterization`, :mod:`repro.analysis`.
 """
 
 from repro.errors import (
@@ -59,6 +59,12 @@ from repro.core import (
     evaluate_slos,
     select_thresholds,
 )
+from repro.faults import (
+    FaultPlan,
+    ReliabilityConfig,
+    RobustnessReport,
+    ServerChurnEvent,
+)
 from repro.workloads import (
     Priority,
     ProductionTraceModel,
@@ -79,6 +85,7 @@ __all__ = [
     "DgxServer",
     "DualThresholdPolicy",
     "EvaluationHarness",
+    "FaultPlan",
     "FrequencyError",
     "GpuSpec",
     "H100_80GB",
@@ -92,8 +99,11 @@ __all__ = [
     "PowerCapError",
     "Priority",
     "ProductionTraceModel",
+    "ReliabilityConfig",
     "ReproError",
+    "RobustnessReport",
     "RooflineLatencyModel",
+    "ServerChurnEvent",
     "SimulatedGpu",
     "SimulationError",
     "SimulationResult",

@@ -9,8 +9,14 @@ buffer per server to simulate queueing delays".
 
 The simulator advances arrival, phase-transition, telemetry, and actuation
 events over a row of simulated BLOOM-176B servers; a pluggable power policy
-(POLCA or a baseline) observes the 2-second row telemetry and issues
-frequency caps (40 s OOB latency) or power brakes (5 s).
+(POLCA or a baseline) observes the 2-second row telemetry through a
+:class:`~repro.telemetry.base.SampledInterface` and issues frequency caps
+(40 s OOB latency) or power brakes (5 s) through a
+:class:`~repro.control.actuator.Actuator`. A
+:class:`~repro.faults.FaultPlan` on the config makes those interfaces
+unreliable (dropout, noise, silent/late commands, server churn); the
+hardened control loop verifies and re-issues commands and degrades to
+safe caps when its telemetry goes dark.
 """
 
 from repro.cluster.events import EventQueue

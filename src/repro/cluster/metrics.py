@@ -8,12 +8,15 @@ through 18 need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.analysis.stats import LatencySummary, summarize_latencies
 from repro.analysis.timeseries import TimeSeries, max_swing
 from repro.errors import ConfigurationError
 from repro.workloads.spec import Priority
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.report import RobustnessReport
 
 
 @dataclass
@@ -67,6 +70,9 @@ class SimulationResult:
             Search, Chat) for workload-level SLO analysis.
         total_energy_j: Exact row energy over the run (server power is
             piecewise constant between events, so the integral is exact).
+        robustness: Fault ledger and breaker-exposure summary of the run
+            (populated by the simulator; trivially mostly-zero when no
+            fault plan was active).
     """
 
     per_priority: Dict[Priority, PriorityMetrics]
@@ -77,6 +83,7 @@ class SimulationResult:
     duration_s: float
     per_workload: Dict[str, PriorityMetrics] = field(default_factory=dict)
     total_energy_j: float = 0.0
+    robustness: Optional["RobustnessReport"] = None
 
     def latency_summary(self, priority: Priority) -> LatencySummary:
         """Latency summary for one tier."""

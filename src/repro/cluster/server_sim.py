@@ -120,6 +120,7 @@ class ServerSim:
     concurrency: int = DEFAULT_CONCURRENCY
     clock_ratio: float = 1.0
     braked: bool = False
+    failed: bool = False
     buffered: Optional[SampledRequest] = None
 
     def __post_init__(self) -> None:
@@ -157,13 +158,18 @@ class ServerSim:
 
     @property
     def has_free_slot(self) -> bool:
-        """True when a concurrency slot is available."""
-        return len(self.slots) < self.concurrency
+        """True when a concurrency slot is available (never on a failed
+        server — the router must not place work on a crashed box)."""
+        return not self.failed and len(self.slots) < self.concurrency
 
     @property
     def can_buffer(self) -> bool:
         """True when all slots are busy but the one-slot buffer is free."""
-        return not self.has_free_slot and self.buffered is None
+        return (
+            not self.failed
+            and len(self.slots) >= self.concurrency
+            and self.buffered is None
+        )
 
     def current_activity(self) -> float:
         """GPU activity right now.
@@ -186,7 +192,9 @@ class ServerSim:
         return self._token_activity[min(self.n_active, self.concurrency)]
 
     def current_power(self) -> float:
-        """Instantaneous server power in watts."""
+        """Instantaneous server power in watts (zero while crashed)."""
+        if self.failed:
+            return 0.0
         return self.power_model.server_power(
             self.current_activity(), self.effective_ratio
         )
@@ -200,6 +208,8 @@ class ServerSim:
         Raises:
             SimulationError: If no slot is free.
         """
+        if self.failed:
+            raise SimulationError(f"{self.server_id}: server is failed")
         if not self.has_free_slot:
             raise SimulationError(f"{self.server_id}: no free slot")
         timeline = request_timeline(
@@ -248,6 +258,42 @@ class ServerSim:
         """Pop the buffered request, if any."""
         request, self.buffered = self.buffered, None
         return request
+
+    # ------------------------------------------------------------------
+    # Server churn (fault injection)
+    # ------------------------------------------------------------------
+    def fail(self, now: float) -> List[SampledRequest]:
+        """Crash the server: drop every in-flight and buffered request.
+
+        Returns the dropped requests (slot order, buffered last) so the
+        simulator can account them; the server contributes zero power and
+        accepts no work until :meth:`recover`. Commanded clock/brake
+        state is retained — the management plane keeps applying row-wide
+        commands to the slot, so a recovering server rejoins with the
+        current configuration.
+
+        Raises:
+            SimulationError: If the server is already failed.
+        """
+        if self.failed:
+            raise SimulationError(f"{self.server_id}: already failed")
+        dropped = [active.request for active in self.slots.values()]
+        if self.buffered is not None:
+            dropped.append(self.buffered)
+        self.slots.clear()
+        self.buffered = None
+        self.failed = True
+        return dropped
+
+    def recover(self, now: float) -> None:
+        """Rejoin the row idle, with the currently commanded clock state.
+
+        Raises:
+            SimulationError: If the server is not failed.
+        """
+        if not self.failed:
+            raise SimulationError(f"{self.server_id}: not failed")
+        self.failed = False
 
     # ------------------------------------------------------------------
     # Clock changes

@@ -7,17 +7,37 @@ policy:
   priority-aware load balancer, and execute as prompt+token phase
   segments whose durations stretch under frequency caps;
 * the row power — a running sum over piecewise-constant server powers —
-  is observed every 2 s (Table 2) and fed to the policy;
-* frequency-cap commands land after the 40 s OOB latency; power brakes
-  engage after 5 s and force every GPU to 288 MHz until power recedes.
+  is observed every 2 s (Table 2) through a
+  :class:`~repro.telemetry.base.SampledInterface` and fed to the policy;
+* frequency-cap and brake commands are issued through a
+  :class:`~repro.control.actuator.Actuator` (40 s OOB / 5 s brake
+  latency, Table 2) rather than landing by fiat.
 
-The simulator is deterministic for a fixed seed and request trace.
+Because the telemetry and actuation paths are real interfaces, a
+:class:`~repro.faults.FaultPlan` can make them lie: dropped or frozen
+samples, noise and spikes, silently failed or late commands, and server
+churn. The control loop is hardened accordingly (Section 3.3's
+"may sometimes fail without signaling completion or errors"):
+
+* every command carries a verify-after deadline; unacknowledged commands
+  are re-issued with capped exponential backoff;
+* when telemetry goes stale beyond a configurable threshold the
+  controller falls back to conservative safe caps, and engages the brake
+  if the outage outlasts the UPS deadline;
+* a :class:`~repro.faults.RobustnessReport` ledgers every injected fault
+  against what was detected and recovered, plus the exact time the true
+  row power spent above the breaker budget.
+
+With no fault plan (or an all-zeros one) every fault path is inert and
+the simulator is bit-identical to the original POLCA reproduction. The
+simulator is deterministic for a fixed seed, plan, and request trace.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,8 +47,15 @@ from repro.cluster.loadbalancer import LoadBalancer, split_servers
 from repro.cluster.metrics import PriorityMetrics, SimulationResult
 from repro.cluster.policy_base import GroupCaps, PowerPolicy
 from repro.cluster.server_sim import ServerPowerModel, ServerSim
+from repro.control.actions import ActionKind, ControlAction
+from repro.control.actuator import Actuator
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector, TelemetryFate
+from repro.faults.plan import FaultPlan
+from repro.faults.reliability import ReliabilityConfig
+from repro.faults.report import OverBudgetTracker, RobustnessReport
 from repro.gpu.specs import A100_80GB
+from repro.telemetry.base import SampledInterface
 from repro.telemetry.smbpbi import SMBPBI_ACTUATION_LATENCY_S
 from repro.workloads.requests import SampledRequest
 from repro.workloads.spec import Priority
@@ -54,6 +81,9 @@ class ClusterConfig:
         power_scale: GPU dynamic-power multiplier (1.05 = the "+5%"
             robustness scenario of Section 6.6).
         seed: RNG seed for load-balancer tie-breaking.
+        fault_plan: Faults to inject during the run; ``None`` (or an
+            all-zeros plan) leaves every interface perfect.
+        reliability: Reliable-command and graceful-degradation knobs.
     """
 
     n_base_servers: int = 40
@@ -66,14 +96,33 @@ class ClusterConfig:
     brake_hold_s: float = 60.0
     power_scale: float = 1.0
     seed: int = 0
+    fault_plan: Optional[FaultPlan] = None
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
 
     def __post_init__(self) -> None:
         if self.n_base_servers <= 0:
             raise ConfigurationError("n_base_servers must be positive")
         if self.added_fraction < 0:
             raise ConfigurationError("added_fraction cannot be negative")
+        if self.provisioned_per_server_w <= 0:
+            raise ConfigurationError(
+                "provisioned_per_server_w must be positive"
+            )
+        if not 0.0 <= self.low_priority_fraction <= 1.0:
+            raise ConfigurationError(
+                "low_priority_fraction must be within [0, 1], got "
+                f"{self.low_priority_fraction}"
+            )
         if self.telemetry_interval_s <= 0:
-            raise ConfigurationError("telemetry interval must be positive")
+            raise ConfigurationError("telemetry_interval_s must be positive")
+        if self.oob_latency_s < 0:
+            raise ConfigurationError("oob_latency_s cannot be negative")
+        if self.brake_latency_s < 0:
+            raise ConfigurationError("brake_latency_s cannot be negative")
+        if self.brake_hold_s < 0:
+            raise ConfigurationError("brake_hold_s cannot be negative")
+        if self.power_scale <= 0:
+            raise ConfigurationError("power_scale must be positive")
 
     @property
     def n_servers(self) -> int:
@@ -111,7 +160,28 @@ class ClusterSimulator:
             p: [i for i, s in enumerate(self.servers) if s.priority is p]
             for p in Priority
         }
+        self._ids_by_priority: Dict[Priority, frozenset] = {
+            p: frozenset(self.servers[i].server_id for i in indices)
+            for p, indices in self._index_by_priority.items()
+        }
+        self._all_ids = frozenset(s.server_id for s in self.servers)
         self.balancer = LoadBalancer(self.servers, seed=config.seed)
+
+    # ------------------------------------------------------------------
+    def _build_actuator(self, plan: FaultPlan) -> Actuator:
+        """The row's OOB command pipeline, with the plan's unreliability."""
+        return Actuator(
+            latencies={
+                ActionKind.FREQUENCY_LOCK: self.config.oob_latency_s,
+                ActionKind.FREQUENCY_UNLOCK: self.config.oob_latency_s,
+                ActionKind.POWER_CAP: self.config.oob_latency_s,
+                ActionKind.POWER_UNCAP: self.config.oob_latency_s,
+                ActionKind.POWER_BRAKE: self.config.brake_latency_s,
+                ActionKind.BRAKE_RELEASE: self.config.brake_latency_s,
+            },
+            silent_failure_rate=plan.actuation.silent_failure_rate,
+            seed=plan.seed + 1,
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -130,6 +200,38 @@ class ClusterSimulator:
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
         self.policy.reset()
+        config = self.config
+        reliability = config.reliability
+        plan = config.fault_plan if config.fault_plan is not None \
+            else FaultPlan.none()
+        injector = FaultInjector(
+            plan, duration_s=duration_s, n_servers=config.n_servers
+        )
+        interface = SampledInterface(
+            name="row-telemetry",
+            interval=config.telemetry_interval_s,
+            in_band=False,
+            delay=plan.telemetry.delay_s,
+            noise_std=plan.telemetry.noise_std,
+            seed=plan.seed,
+        )
+        actuator = self._build_actuator(plan)
+        # With a perfect actuation path (no silent failures, no extra
+        # delays) every command provably lands by its spec latency, so
+        # the verify deadline would always pass: elide it. This also
+        # keeps the event stream — and hence the float summation order
+        # of the exact energy integral — bit-identical to the original
+        # fault-free simulator.
+        verify_commands = (
+            plan.actuation.silent_failure_rate > 0.0
+            or plan.actuation.delay_prob > 0.0
+        )
+        report = RobustnessReport(
+            duration_s=duration_s,
+            telemetry_dropout_windows=injector.dropout_window_count,
+        )
+        tracker = OverBudgetTracker(budget_w=config.provisioned_power_w)
+
         queue = EventQueue()
         metrics = {p: PriorityMetrics() for p in Priority}
         workload_metrics: Dict[str, PriorityMetrics] = {}
@@ -154,20 +256,48 @@ class ClusterSimulator:
                 workload_metrics[name] = PriorityMetrics()
             return workload_metrics[name]
 
-        # Actuation bookkeeping.
+        # Actuation bookkeeping. Cap commands are generation-stamped per
+        # priority group and brake commands version-stamped, so verify
+        # and re-issue events can tell whether they have been superseded
+        # — and so a utilization spike during a pending brake release can
+        # cancel the release outright.
         commanded = GroupCaps.uncapped()
+        cap_generation: Dict[Priority, int] = {p: 0 for p in Priority}
         capping_actions = 0
         brake_state = "off"  # off | pending_on | on | pending_off
+        brake_version = 0
         brake_engaged_at = -float("inf")
         brake_events = 0
+
+        # Telemetry-health state for graceful degradation.
+        stale_ticks = 0
+        identical_run = 0
+        last_observed: Optional[float] = None
+        in_fallback = False
+        fallback_entered_at = 0.0
 
         server_index = {s.server_id: i for i, s in enumerate(self.servers)}
 
         for request in requests:
             if request.arrival_time < duration_s:
                 queue.push(request.arrival_time, ("arrival", request))
-        for tick in np.arange(0.0, duration_s, self.config.telemetry_interval_s):
-            queue.push(float(tick), ("tick",))
+        # Integer-indexed tick schedule: i * interval carries no
+        # accumulated float error on long traces (unlike a +=-style or
+        # np.arange cursor).
+        n_ticks = int(math.ceil(duration_s / config.telemetry_interval_s))
+        for i in range(n_ticks):
+            tick = i * config.telemetry_interval_s
+            if tick >= duration_s:
+                break
+            queue.push(tick, ("tick",))
+        for churn in injector.churn_events:
+            queue.push(churn.fail_at_s, ("server_fail", churn.server_index))
+            if churn.recover_at_s is not None \
+                    and churn.recover_at_s < duration_s:
+                queue.push(
+                    churn.recover_at_s,
+                    ("server_recover", churn.server_index),
+                )
 
         def schedule_slot(index: int, slot: int) -> None:
             server = self.servers[index]
@@ -183,9 +313,151 @@ class ClusterSimulator:
             refresh_power(index)
             schedule_slot(index, slot)
 
+        # --------------------------------------------------------------
+        # The reliable-command layer: every issue schedules a landing
+        # (unless the interface silently drops it) plus a verify event;
+        # failed verifies re-issue with capped exponential backoff.
+        # --------------------------------------------------------------
+        def issue_cap(
+            now: float,
+            priority: Priority,
+            clock_mhz: Optional[float],
+            generation: int,
+            attempts: int,
+        ) -> None:
+            targets = self._ids_by_priority[priority]
+            if clock_mhz is None:
+                action = ControlAction.frequency_unlock(targets)
+            else:
+                action = ControlAction.frequency_lock(targets, clock_mhz)
+            record = actuator.issue(now, action)
+            report.commands_issued += 1
+            extra = injector.actuation_extra_delay()
+            if record.failed_silently:
+                report.silent_actuation_failures += 1
+            else:
+                queue.push(
+                    record.effective_at + extra,
+                    ("cap", priority, clock_mhz, generation),
+                )
+            if verify_commands:
+                queue.push(
+                    now + actuator.latency_for(action.kind)
+                    + reliability.verify_margin_s,
+                    ("verify_cap", priority, clock_mhz, generation,
+                     attempts),
+                )
+
+        def issue_brake(
+            now: float, want_on: bool, version: int, attempts: int
+        ) -> None:
+            kind = ActionKind.POWER_BRAKE if want_on \
+                else ActionKind.BRAKE_RELEASE
+            record = actuator.issue(
+                now, ControlAction(kind, self._all_ids)
+            )
+            report.commands_issued += 1
+            extra = injector.actuation_extra_delay()
+            if record.failed_silently:
+                report.silent_actuation_failures += 1
+            else:
+                queue.push(
+                    record.effective_at + extra,
+                    ("brake_on" if want_on else "brake_off", version),
+                )
+            if verify_commands:
+                queue.push(
+                    now + actuator.latency_for(kind)
+                    + reliability.verify_margin_s,
+                    ("verify_brake", want_on, version, attempts),
+                )
+
+        def engage_brake(now: float) -> None:
+            nonlocal brake_state, brake_version
+            brake_state = "pending_on"
+            brake_version += 1
+            issue_brake(now, True, brake_version, 0)
+
+        def command_caps(now: float, desired: GroupCaps) -> None:
+            nonlocal commanded, capping_actions
+            if desired.low_clock_mhz != commanded.low_clock_mhz:
+                cap_generation[Priority.LOW] += 1
+                issue_cap(
+                    now, Priority.LOW, desired.low_clock_mhz,
+                    cap_generation[Priority.LOW], 0,
+                )
+                capping_actions += 1
+            if desired.high_clock_mhz != commanded.high_clock_mhz:
+                cap_generation[Priority.HIGH] += 1
+                issue_cap(
+                    now, Priority.HIGH, desired.high_clock_mhz,
+                    cap_generation[Priority.HIGH], 0,
+                )
+                capping_actions += 1
+            commanded = desired
+
+        def control_step(now: float, observed_power: float) -> None:
+            nonlocal brake_state, brake_version, brake_engaged_at
+            nonlocal brake_events
+            utilization = observed_power / config.provisioned_power_w
+            # --- Brake safety logic (all policies carry the brake).
+            if brake_state in ("off", "pending_off") \
+                    and self.policy.wants_brake(utilization):
+                if brake_state == "pending_off":
+                    # A spike while the release is in flight: cancel the
+                    # pending release (the stamped brake_off event is now
+                    # stale) — the brake never disengages, so this is not
+                    # a new engagement.
+                    brake_version += 1
+                    brake_state = "on"
+                else:
+                    brake_events += 1
+                    engage_brake(now)
+            elif (
+                brake_state == "on"
+                and now - brake_engaged_at >= config.brake_hold_s
+                and self.policy.brake_release_ok(utilization)
+            ):
+                brake_state = "pending_off"
+                brake_version += 1
+                issue_brake(now, False, brake_version, 0)
+            # --- Frequency-capping policy.
+            command_caps(now, self.policy.desired_caps(utilization, now))
+
+        def deliver_observation(now: float, value: float) -> None:
+            nonlocal stale_ticks, identical_run, last_observed, in_fallback
+            if reliability.detect_frozen and last_observed is not None \
+                    and value == last_observed:
+                identical_run += 1
+            else:
+                identical_run = 0
+            last_observed = value
+            if reliability.detect_frozen \
+                    and identical_run >= reliability.frozen_after_ticks:
+                # A sensor repeating itself verbatim is as good as dark.
+                stale_ticks += 1
+                return
+            stale_ticks = 0
+            in_fallback = False
+            control_step(now, value)
+
+        clock_denominator = A100_80GB.max_sm_clock_mhz
+
+        def group_cap_applied(
+            priority: Priority, clock_mhz: Optional[float]
+        ) -> bool:
+            ratio = 1.0 if clock_mhz is None \
+                else clock_mhz / clock_denominator
+            return all(
+                math.isclose(self.servers[i].clock_ratio, ratio)
+                for i in self._index_by_priority[priority]
+            )
+
         while queue:
             now, event = queue.pop()
-            total_energy += row_power * (now - last_event_time)
+            dt = now - last_event_time
+            total_energy += row_power * dt
+            tracker.account(row_power, dt)
             last_event_time = now
             kind = event[0]
 
@@ -229,40 +501,50 @@ class ClusterSimulator:
 
             elif kind == "tick":
                 power_samples.append(row_power)
-                utilization = row_power / self.config.provisioned_power_w
-                # --- Brake safety logic (all policies carry the brake).
-                if brake_state == "off" and self.policy.wants_brake(utilization):
-                    brake_events += 1
-                    brake_state = "pending_on"
-                    queue.push(now + self.config.brake_latency_s, ("brake_on",))
-                elif (
-                    brake_state == "on"
-                    and now - brake_engaged_at >= self.config.brake_hold_s
-                    and self.policy.brake_release_ok(utilization)
-                ):
-                    brake_state = "pending_off"
-                    queue.push(now + self.config.brake_latency_s, ("brake_off",))
-                # --- Frequency-capping policy.
-                desired = self.policy.desired_caps(utilization, now)
-                if desired.low_clock_mhz != commanded.low_clock_mhz:
-                    queue.push(
-                        now + self.config.oob_latency_s,
-                        ("cap", Priority.LOW, desired.low_clock_mhz),
-                    )
-                    capping_actions += 1
-                if desired.high_clock_mhz != commanded.high_clock_mhz:
-                    queue.push(
-                        now + self.config.oob_latency_s,
-                        ("cap", Priority.HIGH, desired.high_clock_mhz),
-                    )
-                    capping_actions += 1
-                commanded = desired
+                sample = interface.read(now, lambda _t: row_power)
+                fate = injector.telemetry_fate(now)
+                if fate is TelemetryFate.DROPPED:
+                    stale_ticks += 1
+                elif fate is TelemetryFate.FROZEN and last_observed is None:
+                    stale_ticks += 1  # nothing to repeat yet: a dropout
+                else:
+                    if fate is TelemetryFate.FROZEN:
+                        value = last_observed
+                    else:
+                        value = injector.perturb_sample(sample.value)
+                    if sample.time <= now:
+                        deliver_observation(now, value)
+                    else:
+                        queue.push(sample.time, ("obs", value))
+                # --- Graceful degradation on persistent staleness.
+                if stale_ticks > report.max_missed_ticks:
+                    report.max_missed_ticks = stale_ticks
+                if stale_ticks >= reliability.fallback_after_ticks:
+                    if not in_fallback:
+                        in_fallback = True
+                        fallback_entered_at = now
+                        report.fallback_entries += 1
+                        command_caps(now, GroupCaps(
+                            low_clock_mhz=reliability.safe_low_clock_mhz,
+                            high_clock_mhz=reliability.safe_high_clock_mhz,
+                        ))
+                    elif (
+                        brake_state == "off"
+                        and now - fallback_entered_at
+                        >= reliability.brake_after_stale_s
+                    ):
+                        brake_events += 1
+                        report.fallback_brakes += 1
+                        engage_brake(now)
+
+            elif kind == "obs":
+                deliver_observation(now, event[1])
 
             elif kind == "cap":
                 priority, clock_mhz = event[1], event[2]
                 ratio = 1.0
                 if clock_mhz is not None:
-                    ratio = clock_mhz / A100_80GB.max_sm_clock_mhz
+                    ratio = clock_mhz / clock_denominator
                 for index in self._index_by_priority[priority]:
                     server = self.servers[index]
                     rescheduled = server.apply_clock(now, ratio)
@@ -270,8 +552,34 @@ class ClusterSimulator:
                     for slot in rescheduled:
                         schedule_slot(index, slot)
 
+            elif kind == "verify_cap":
+                priority, clock_mhz, generation, attempts = event[1:]
+                if generation != cap_generation[priority]:
+                    continue  # superseded by a newer command
+                if group_cap_applied(priority, clock_mhz):
+                    report.commands_verified += 1
+                    if attempts > 0:
+                        report.commands_recovered += 1
+                    continue
+                report.failures_detected += 1
+                if attempts >= reliability.max_retries:
+                    report.commands_unrecovered += 1
+                    continue
+                queue.push(
+                    now + reliability.backoff_s(attempts + 1),
+                    ("reissue_cap", priority, clock_mhz, generation,
+                     attempts + 1),
+                )
+
+            elif kind == "reissue_cap":
+                priority, clock_mhz, generation, attempts = event[1:]
+                if generation != cap_generation[priority]:
+                    continue
+                report.reissues += 1
+                issue_cap(now, priority, clock_mhz, generation, attempts)
+
             elif kind == "brake_on":
-                if brake_state != "pending_on":
+                if brake_state != "pending_on" or event[1] != brake_version:
                     continue
                 brake_state = "on"
                 brake_engaged_at = now
@@ -282,7 +590,7 @@ class ClusterSimulator:
                         schedule_slot(index, slot)
 
             elif kind == "brake_off":
-                if brake_state != "pending_off":
+                if brake_state != "pending_off" or event[1] != brake_version:
                     continue
                 brake_state = "off"
                 for index in range(len(self.servers)):
@@ -291,21 +599,75 @@ class ClusterSimulator:
                     for slot in rescheduled:
                         schedule_slot(index, slot)
 
+            elif kind == "verify_brake":
+                want_on, version, attempts = event[1], event[2], event[3]
+                if version != brake_version:
+                    continue  # superseded (including cancelled releases)
+                if all(s.braked == want_on for s in self.servers):
+                    report.commands_verified += 1
+                    if attempts > 0:
+                        report.commands_recovered += 1
+                    continue
+                report.failures_detected += 1
+                if attempts >= reliability.max_retries:
+                    report.commands_unrecovered += 1
+                    continue
+                queue.push(
+                    now + reliability.backoff_s(attempts + 1),
+                    ("reissue_brake", want_on, version, attempts + 1),
+                )
+
+            elif kind == "reissue_brake":
+                want_on, version, attempts = event[1], event[2], event[3]
+                if version != brake_version:
+                    continue
+                report.reissues += 1
+                issue_brake(now, want_on, version, attempts)
+
+            elif kind == "server_fail":
+                index = event[1]
+                server = self.servers[index]
+                if server.failed:
+                    continue
+                for request in server.fail(now):
+                    metrics[request.priority].dropped += 1
+                    workload_tier(request.workload.name).dropped += 1
+                    report.requests_lost_to_churn += 1
+                report.server_failures += 1
+                refresh_power(index)
+
+            elif kind == "server_recover":
+                index = event[1]
+                server = self.servers[index]
+                if not server.failed:
+                    continue
+                server.recover(now)
+                report.server_recoveries += 1
+                refresh_power(index)
+
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
 
+        report.telemetry_dropped_ticks = injector.dropped_ticks
+        report.telemetry_frozen_ticks = injector.frozen_ticks
+        report.telemetry_spikes = injector.spikes_injected
+        report.delayed_actuations = injector.delayed_actuations
+        report.time_at_risk_s = tracker.time_at_risk_s
+        report.longest_overbudget_s = tracker.longest_overbudget_s
+
         series = TimeSeries(
             start=0.0,
-            interval=self.config.telemetry_interval_s,
+            interval=config.telemetry_interval_s,
             values=np.asarray(power_samples),
         )
         return SimulationResult(
             per_priority=metrics,
             power_series=series,
-            provisioned_power_w=self.config.provisioned_power_w,
+            provisioned_power_w=config.provisioned_power_w,
             power_brake_events=brake_events,
             capping_actions=capping_actions,
             duration_s=duration_s,
             per_workload=workload_metrics,
             total_energy_j=total_energy,
+            robustness=report,
         )

@@ -29,6 +29,8 @@ from repro.cluster.simulator import ClusterConfig, ClusterSimulator
 from repro.core.baselines import NoCapPolicy, all_policies
 from repro.core.policy import DualThresholdPolicy, PolcaThresholds
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.faults.reliability import ReliabilityConfig
 from repro.units import days
 from repro.workloads.requests import SampledRequest
 from repro.workloads.spec import Priority
@@ -95,6 +97,8 @@ class EvaluationHarness:
         added_fraction: float,
         power_scale: float = 1.0,
         low_priority_fraction: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> ClusterConfig:
         """Build the simulator configuration for one run."""
         return ClusterConfig(
@@ -108,6 +112,10 @@ class EvaluationHarness:
             ),
             power_scale=power_scale,
             seed=self.seed,
+            fault_plan=fault_plan,
+            reliability=(
+                ReliabilityConfig() if reliability is None else reliability
+            ),
         )
 
     def run(
@@ -116,10 +124,21 @@ class EvaluationHarness:
         added_fraction: float = 0.0,
         power_scale: float = 1.0,
         low_priority_fraction: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> SimulationResult:
-        """Run one policy at one oversubscription level."""
+        """Run one policy at one oversubscription level.
+
+        A ``fault_plan`` makes the run's telemetry/actuation/server
+        substrate unreliable (the robustness extension); the request
+        trace and everything else stay identical, so the result is
+        directly comparable against the fault-free run.
+        """
         simulator = ClusterSimulator(
-            self.config(added_fraction, power_scale, low_priority_fraction),
+            self.config(
+                added_fraction, power_scale, low_priority_fraction,
+                fault_plan=fault_plan, reliability=reliability,
+            ),
             policy,
         )
         return simulator.run(self.requests_for(added_fraction), self.duration_s)

@@ -1,0 +1,253 @@
+"""Declarative fault plans for the cluster simulator.
+
+The paper's central constraint (Section 3.3, Tables 1-2) is that cloud GPU
+power control runs over interfaces that are slow *and unreliable*: OOB
+commands "may sometimes fail without signaling completion or errors", and
+row telemetry is a sampled, delayed view of a fast-moving signal. A
+:class:`FaultPlan` describes every fault the simulator can inject —
+telemetry dropout/freeze windows, Gaussian and spike noise, silent or
+delayed actuations, and server fail/recover churn — as a deterministic,
+seeded schedule, so a robustness experiment is exactly reproducible.
+
+An all-zeros plan (``FaultPlan.none()``) injects nothing and leaves the
+simulator bit-identical to the fault-free POLCA reproduction; the
+:meth:`FaultPlan.adversarial` preset is the documented worst-case scenario
+used by ``benchmarks/test_ext_fault_tolerance.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+Window = Tuple[float, float]
+
+
+def _validate_windows(name: str, windows: Tuple[Window, ...]) -> None:
+    for window in windows:
+        if len(window) != 2 or window[1] <= window[0] or window[0] < 0:
+            raise ConfigurationError(
+                f"{name}: window {window} must be (start, end) with "
+                f"0 <= start < end"
+            )
+
+
+@dataclass(frozen=True)
+class TelemetryFaultSpec:
+    """Faults on the row power telemetry path.
+
+    Attributes:
+        noise_std: Gaussian measurement noise as a fraction of the reading
+            (Section 6.6's power-model error, applied to the sensor).
+        spike_prob: Per-delivered-sample probability of a spurious spike.
+        spike_magnitude: Spike size as a fraction of the reading (signed
+            direction is drawn from the plan seed).
+        delay_s: Reporting delay between observation and availability.
+        dropout_windows: Explicit ``(start, end)`` windows during which no
+            sample reaches the controller.
+        dropouts_per_hour: Rate of additional randomly placed dropout
+            windows (Poisson process on the plan seed).
+        dropout_duration_s: Mean duration of a random dropout window.
+        freeze_windows: Explicit windows during which the sensor repeats
+            its last good reading instead of a fresh one.
+        freezes_per_hour: Rate of additional random freeze windows.
+        freeze_duration_s: Mean duration of a random freeze window.
+    """
+
+    noise_std: float = 0.0
+    spike_prob: float = 0.0
+    spike_magnitude: float = 0.5
+    delay_s: float = 0.0
+    dropout_windows: Tuple[Window, ...] = ()
+    dropouts_per_hour: float = 0.0
+    dropout_duration_s: float = 30.0
+    freeze_windows: Tuple[Window, ...] = ()
+    freezes_per_hour: float = 0.0
+    freeze_duration_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "noise_std", "spike_prob", "spike_magnitude", "delay_s",
+            "dropouts_per_hour", "dropout_duration_s",
+            "freezes_per_hour", "freeze_duration_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"telemetry.{name} cannot be negative")
+        if self.spike_prob > 1.0:
+            raise ConfigurationError("telemetry.spike_prob must be in [0, 1]")
+        _validate_windows("telemetry.dropout_windows", self.dropout_windows)
+        _validate_windows("telemetry.freeze_windows", self.freeze_windows)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when this spec injects nothing."""
+        return (
+            self.noise_std == 0.0
+            and self.spike_prob == 0.0
+            and self.delay_s == 0.0
+            and not self.dropout_windows
+            and self.dropouts_per_hour == 0.0
+            and not self.freeze_windows
+            and self.freezes_per_hour == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class ActuationFaultSpec:
+    """Faults on the OOB command path (Section 3.3's unreliability).
+
+    Attributes:
+        silent_failure_rate: Probability any single command vanishes
+            without signaling completion or error.
+        delay_prob: Probability a command is delayed beyond its spec
+            latency (it still lands, late).
+        extra_delay_s: Mean beyond-spec delay for delayed commands
+            (exponential, on the plan seed).
+    """
+
+    silent_failure_rate: float = 0.0
+    delay_prob: float = 0.0
+    extra_delay_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.silent_failure_rate < 1.0:
+            raise ConfigurationError(
+                "actuation.silent_failure_rate must be in [0, 1)"
+            )
+        if not 0.0 <= self.delay_prob <= 1.0:
+            raise ConfigurationError("actuation.delay_prob must be in [0, 1]")
+        if self.extra_delay_s < 0:
+            raise ConfigurationError(
+                "actuation.extra_delay_s cannot be negative"
+            )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when this spec injects nothing."""
+        return self.silent_failure_rate == 0.0 and self.delay_prob == 0.0
+
+
+@dataclass(frozen=True)
+class ServerChurnEvent:
+    """One scheduled server failure (and optional recovery).
+
+    Attributes:
+        server_index: Index of the server within the row.
+        fail_at_s: Simulation time the server crashes; its in-flight and
+            buffered requests are dropped and its power contribution
+            disappears.
+        recover_at_s: Time the server rejoins idle, or ``None`` for a
+            permanent loss.
+    """
+
+    server_index: int
+    fail_at_s: float
+    recover_at_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.server_index < 0:
+            raise ConfigurationError("churn.server_index cannot be negative")
+        if self.fail_at_s < 0:
+            raise ConfigurationError("churn.fail_at_s cannot be negative")
+        if self.recover_at_s is not None and self.recover_at_s <= self.fail_at_s:
+            raise ConfigurationError(
+                "churn.recover_at_s must be after fail_at_s"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Server fail/recover churn.
+
+    Attributes:
+        events: Explicit scheduled failures.
+        failures_per_hour: Rate of additional random failures (Poisson on
+            the plan seed, uniformly spread over the servers).
+        mean_downtime_s: Mean downtime of a random failure (exponential).
+    """
+
+    events: Tuple[ServerChurnEvent, ...] = ()
+    failures_per_hour: float = 0.0
+    mean_downtime_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.failures_per_hour < 0:
+            raise ConfigurationError(
+                "churn.failures_per_hour cannot be negative"
+            )
+        if self.mean_downtime_s <= 0:
+            raise ConfigurationError("churn.mean_downtime_s must be positive")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when this spec injects nothing."""
+        return not self.events and self.failures_per_hour == 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the simulator may inject during one run.
+
+    Attributes:
+        telemetry: Sensor-path faults.
+        actuation: Command-path faults.
+        churn: Server fail/recover events.
+        seed: Seed for every stochastic schedule in the plan; the same
+            plan + seed always injects the identical fault sequence.
+    """
+
+    telemetry: TelemetryFaultSpec = field(default_factory=TelemetryFaultSpec)
+    actuation: ActuationFaultSpec = field(default_factory=ActuationFaultSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    seed: int = 0
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.telemetry.is_trivial
+            and self.actuation.is_trivial
+            and self.churn.is_trivial
+        )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The all-zeros plan: the simulator behaves exactly fault-free."""
+        return cls()
+
+    @classmethod
+    def adversarial(cls, seed: int = 0) -> "FaultPlan":
+        """The documented worst-case plan of the fault-tolerance study.
+
+        Combines 30 s telemetry dropout windows with measurement noise, a
+        10% silent actuation failure rate, occasionally late commands, and
+        one server crash mid-run (see EXPERIMENTS.md, "Fault tolerance").
+        """
+        return cls(
+            telemetry=TelemetryFaultSpec(
+                noise_std=0.02,
+                spike_prob=0.002,
+                spike_magnitude=0.3,
+                dropouts_per_hour=2.0,
+                dropout_duration_s=30.0,
+                freezes_per_hour=1.0,
+                freeze_duration_s=20.0,
+            ),
+            actuation=ActuationFaultSpec(
+                silent_failure_rate=0.10,
+                delay_prob=0.05,
+                extra_delay_s=20.0,
+            ),
+            churn=ChurnSpec(
+                events=(
+                    ServerChurnEvent(
+                        server_index=0,
+                        fail_at_s=3600.0,
+                        recover_at_s=3600.0 + 1800.0,
+                    ),
+                ),
+            ),
+            seed=seed,
+        )

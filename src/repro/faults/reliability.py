@@ -1,0 +1,94 @@
+"""The reliable-command layer and graceful-degradation knobs.
+
+POLCA's answer to Section 3.3's silent OOB failures is procedural, not
+architectural: every command carries a verify-after deadline (re-read the
+commanded state through telemetry once the spec latency has elapsed), and
+unacknowledged commands are re-issued with capped exponential backoff.
+Likewise, a controller whose sensor goes dark cannot keep flying the last
+reading: after ``fallback_after_ticks`` consecutive missed samples it
+drops into a conservative safe-cap state, and if the outage outlasts the
+UPS deadline it engages the power brake — the only actuator fast enough
+to protect the breaker blind (Section 6.2).
+
+:class:`ReliabilityConfig` packages those knobs; the defaults are a no-op
+on a fault-free run (verification always succeeds, staleness never
+accumulates), which keeps the hardened simulator bit-identical to the
+original POLCA reproduction under an all-zeros fault plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.actuator import UPS_CAPPING_DEADLINE_S
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs of the reliable-command layer and stale-telemetry fallback.
+
+    Attributes:
+        verify_margin_s: Extra wait after a command's spec latency before
+            its effect is verified through telemetry (one telemetry tick
+            by default, so the post-landing reading exists).
+        retry_base_s: Backoff before the first re-issue of an
+            unacknowledged command.
+        retry_cap_s: Upper bound on the exponential backoff.
+        max_retries: Re-issues attempted before a command is abandoned
+            (recorded as unrecovered in the robustness report).
+        fallback_after_ticks: Consecutive missed telemetry ticks before
+            the controller enters the conservative safe-cap state.
+        brake_after_stale_s: Continuous staleness (beyond fallback entry)
+            after which the brake is engaged; defaults to the 10 s UPS
+            deadline of Section 6.2.
+        safe_low_clock_mhz: Low-priority cap commanded in the fallback
+            state (POLCA's deepest LP cap).
+        safe_high_clock_mhz: High-priority cap commanded in the fallback
+            state (POLCA's near-free HP cap).
+        detect_frozen: Treat runs of identical readings as staleness.
+            Off by default — an idle row legitimately reports a constant
+            power, so freeze detection is only sound when the deployment
+            expects frozen-sensor faults.
+        frozen_after_ticks: Identical consecutive readings counted as
+            frozen when ``detect_frozen`` is on.
+    """
+
+    verify_margin_s: float = 2.0
+    retry_base_s: float = 2.0
+    retry_cap_s: float = 32.0
+    max_retries: int = 8
+    fallback_after_ticks: int = 5
+    brake_after_stale_s: float = UPS_CAPPING_DEADLINE_S
+    safe_low_clock_mhz: float = 1110.0
+    safe_high_clock_mhz: float = 1305.0
+    detect_frozen: bool = False
+    frozen_after_ticks: int = 10
+
+    def __post_init__(self) -> None:
+        if self.verify_margin_s < 0:
+            raise ConfigurationError("verify_margin_s cannot be negative")
+        if self.retry_base_s <= 0:
+            raise ConfigurationError("retry_base_s must be positive")
+        if self.retry_cap_s < self.retry_base_s:
+            raise ConfigurationError("retry_cap_s must be >= retry_base_s")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
+        if self.fallback_after_ticks < 1:
+            raise ConfigurationError("fallback_after_ticks must be >= 1")
+        if self.brake_after_stale_s < 0:
+            raise ConfigurationError("brake_after_stale_s cannot be negative")
+        if self.safe_low_clock_mhz <= 0 or self.safe_high_clock_mhz <= 0:
+            raise ConfigurationError("safe fallback clocks must be positive")
+        if self.frozen_after_ticks < 2:
+            raise ConfigurationError("frozen_after_ticks must be >= 2")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Capped exponential backoff before re-issue ``attempt`` (1-based).
+
+        Raises:
+            ConfigurationError: If ``attempt`` is not positive.
+        """
+        if attempt < 1:
+            raise ConfigurationError("backoff attempt must be >= 1")
+        return min(self.retry_cap_s, self.retry_base_s * 2.0 ** (attempt - 1))

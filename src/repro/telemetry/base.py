@@ -58,7 +58,7 @@ class SampledInterface:
     noise_std: float = 0.0
     seed: int = 0
     _rng: np.random.Generator = field(init=False, repr=False)
-    _next_sample: float = field(init=False, default=0.0)
+    _sample_index: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -96,10 +96,13 @@ class SampledInterface:
     def due_samples(self, until: float) -> List[float]:
         """Sample times that have become due up to ``until`` (stateful).
 
-        Used by the discrete-event simulator to schedule readings.
+        Used by the discrete-event simulator to schedule readings. Sample
+        times are ``index * interval`` from an integer cursor, so long
+        traces accumulate no floating-point drift (a ``+= interval``
+        cursor drifts by one ulp per step).
         """
         due: List[float] = []
-        while self._next_sample <= until:
-            due.append(self._next_sample)
-            self._next_sample += self.interval
+        while self._sample_index * self.interval <= until:
+            due.append(self._sample_index * self.interval)
+            self._sample_index += 1
         return due

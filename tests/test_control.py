@@ -98,6 +98,53 @@ class TestActuator:
         assert 20 < failed < 80
         assert actuator.in_flight_count == 100 - failed
 
+    def test_silent_failures_never_land(self):
+        """A dropped command stays in history but never becomes effective."""
+        actuator = OobActuator(silent_failure_rate=0.5, seed=1)
+        for _ in range(50):
+            actuator.issue(0.0, ControlAction.power_brake(TARGETS))
+        landed = actuator.effective(1000.0)
+        failed = sum(1 for a in actuator.history if a.failed_silently)
+        assert len(actuator.history) == 50
+        assert len(landed) == 50 - failed
+        assert not any(a.failed_silently for a in landed)
+        assert actuator.in_flight_count == 0
+
+    def test_effective_preserves_issue_order_on_ties(self):
+        """Commands landing at the same instant stay in issue order."""
+        actuator = OobActuator()
+        actuator.issue(0.0, ControlAction.frequency_lock(TARGETS, 1110.0))
+        actuator.issue(0.0, ControlAction.frequency_unlock(TARGETS))
+        actuator.issue(0.0, ControlAction.frequency_lock(TARGETS, 1305.0))
+        landed = actuator.effective(40.0)  # all tie at t=40
+        assert [a.action.kind for a in landed] == [
+            ActionKind.FREQUENCY_LOCK,
+            ActionKind.FREQUENCY_UNLOCK,
+            ActionKind.FREQUENCY_LOCK,
+        ]
+        assert [a.action.value for a in landed] == [1110.0, None, 1305.0]
+
+    def test_next_effective_time_after_partial_drain(self):
+        actuator = OobActuator()
+        actuator.issue(0.0, ControlAction.power_brake(TARGETS))        # t=5
+        actuator.issue(0.0, ControlAction.frequency_lock(TARGETS, 1110.0))
+        actuator.issue(20.0, ControlAction.brake_release(TARGETS))     # t=25
+        drained = actuator.effective(10.0)  # pops only the brake
+        assert [a.action.kind for a in drained] == [ActionKind.POWER_BRAKE]
+        assert actuator.next_effective_time() == 25.0
+        assert actuator.in_flight_count == 2
+        actuator.effective(100.0)
+        assert actuator.next_effective_time() is None
+
+    @pytest.mark.parametrize("kind", list(ActionKind))
+    def test_meets_ups_deadline_every_kind_oob(self, kind):
+        """OOB, exactly the brake pair beats the 10 s UPS deadline."""
+        actuator = OobActuator()
+        expected = kind in (
+            ActionKind.POWER_BRAKE, ActionKind.BRAKE_RELEASE,
+        )
+        assert actuator.meets_ups_deadline(kind) is expected
+
     def test_missing_latency_rejected(self):
         actuator = Actuator(latencies={})
         with pytest.raises(ConfigurationError):

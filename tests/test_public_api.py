@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.control",
     "repro.core",
     "repro.datacenter",
+    "repro.faults",
     "repro.gpu",
     "repro.models",
     "repro.server",
