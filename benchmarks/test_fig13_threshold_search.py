@@ -8,6 +8,7 @@ too early; 80-89% at 30% added servers is the selected operating point.
 from conftest import print_table
 
 from repro.core.policy import PolcaThresholds
+from repro.core.sweeps import threshold_search
 from repro.workloads.spec import Priority
 
 COMBOS = (
@@ -19,25 +20,17 @@ FRACTIONS = (0.10, 0.20, 0.30, 0.40)
 
 
 def reproduce_figure13(eval_cache):
-    baseline = eval_cache.baseline()
-    results = {}
-    for label, thresholds in COMBOS:
-        for fraction in FRACTIONS:
-            result = eval_cache.run(
-                "POLCA", added_fraction=fraction, thresholds=thresholds
-            )
-            results[(label, fraction)] = {
-                "lp_p50": result.normalized_latencies(
-                    Priority.LOW, baseline)["p50"],
-                "lp_p99": result.normalized_latencies(
-                    Priority.LOW, baseline)["p99"],
-                "hp_p50": result.normalized_latencies(
-                    Priority.HIGH, baseline)["p50"],
-                "hp_p99": result.normalized_latencies(
-                    Priority.HIGH, baseline)["p99"],
-                "brakes": result.power_brake_events,
-            }
-    return results
+    points = threshold_search(eval_cache.harness, COMBOS, FRACTIONS)
+    return {
+        key: {
+            "lp_p50": point.normalized_p50[Priority.LOW],
+            "lp_p99": point.normalized_p99[Priority.LOW],
+            "hp_p50": point.normalized_p50[Priority.HIGH],
+            "hp_p99": point.normalized_p99[Priority.HIGH],
+            "brakes": point.power_brake_events,
+        }
+        for key, point in points.items()
+    }
 
 
 def test_fig13_threshold_search(benchmark, eval_cache):

@@ -12,6 +12,10 @@ FRACTIONS = (0.10, 0.20, 0.30, 0.40)
 
 
 def reproduce_figure14(eval_cache):
+    eval_cache.prewarm(
+        {"policy_name": "POLCA", "added_fraction": fraction}
+        for fraction in FRACTIONS
+    )
     baseline = eval_cache.baseline()
     rows = {}
     for fraction in FRACTIONS:

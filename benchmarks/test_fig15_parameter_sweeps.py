@@ -16,6 +16,13 @@ LP_FRACTIONS = (0.75, 0.50, 0.25)
 
 
 def reproduce_figure15(eval_cache):
+    eval_cache.prewarm(
+        [
+            {"thresholds": PolcaThresholds(lp_t1_clock_mhz=clock)}
+            for clock in T1_CLOCKS
+        ]
+        + [{"low_priority_fraction": fraction} for fraction in LP_FRACTIONS]
+    )
     baseline = eval_cache.baseline()
     clock_sweep = {}
     for clock in T1_CLOCKS:

@@ -11,6 +11,11 @@ POLICIES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")
 
 
 def reproduce_figure18(eval_cache):
+    eval_cache.prewarm(
+        {"policy_name": name, "power_scale": scale}
+        for scale in (1.0, 1.05)
+        for name in POLICIES
+    )
     counts = {}
     for scale in (1.0, 1.05):
         for name in POLICIES:

@@ -1,0 +1,94 @@
+"""Sweep-engine performance: serial vs parallel wall-clock.
+
+Times a fixed Figure 13-shaped grid (threshold combos x oversubscription
+levels, plus the shared baseline) twice — serial, then with 4 workers —
+each against a fresh memo cache so both timings simulate every run. The
+measurements land in ``BENCH_sweeps.json`` at the repo root, which CI
+uploads as an artifact; the expected >= 2x speedup at 4 workers is
+asserted only on machines that actually have 4 cores.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.policy import PolcaThresholds
+from repro.core.sweeps import EvaluationHarness, threshold_search
+from repro.exec import fork_available
+from repro.units import hours
+
+COMBOS = (
+    ("75-85", PolcaThresholds(t1=0.75, t2=0.85)),
+    ("80-89", PolcaThresholds(t1=0.80, t2=0.89)),
+    ("85-95", PolcaThresholds(t1=0.85, t2=0.95)),
+)
+FRACTIONS = (0.10, 0.20, 0.30, 0.40)
+GRID_HOURS = float(os.environ.get("REPRO_PERF_GRID_HOURS", "6"))
+PARALLEL_WORKERS = 4
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweeps.json"
+
+
+def run_grid(workers: int) -> int:
+    """Run the full grid against a fresh cache; return unique run count."""
+    harness = EvaluationHarness(duration_s=hours(GRID_HOURS), seed=1)
+    points = threshold_search(harness, COMBOS, FRACTIONS, workers=workers)
+    assert len(points) == len(COMBOS) * len(FRACTIONS)
+    return harness.cache.stats["stores"]
+
+
+def test_perf_sweeps(benchmark):
+    if not fork_available():
+        pytest.skip("platform has no fork start method")
+
+    start = time.perf_counter()
+    serial_runs = run_grid(1)
+    serial_wall = time.perf_counter() - start
+
+    def parallel_grid():
+        return run_grid(PARALLEL_WORKERS)
+
+    parallel_runs = benchmark.pedantic(
+        parallel_grid, rounds=1, iterations=1
+    )
+    parallel_wall = benchmark.stats.stats.total
+
+    assert serial_runs == parallel_runs
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    report = {
+        "grid": {
+            "combos": [label for label, _ in COMBOS],
+            "added_fractions": list(FRACTIONS),
+            "simulated_hours": GRID_HOURS,
+            "unique_runs": serial_runs,
+        },
+        "serial": {
+            "workers": 1,
+            "wall_s": round(serial_wall, 3),
+            "runs_per_s": round(serial_runs / serial_wall, 3),
+        },
+        "parallel": {
+            "workers": PARALLEL_WORKERS,
+            "wall_s": round(parallel_wall, 3),
+            "runs_per_s": round(parallel_runs / parallel_wall, 3),
+        },
+        "speedup": round(speedup, 3),
+        "cpu_count": os.cpu_count(),
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n=== Sweep engine: {serial_runs} runs of a "
+          f"{GRID_HOURS:.0f}h grid ===")
+    print(f"serial:    {serial_wall:6.2f} s  "
+          f"({report['serial']['runs_per_s']:.2f} runs/s)")
+    print(f"workers={PARALLEL_WORKERS}: {parallel_wall:6.2f} s  "
+          f"({report['parallel']['runs_per_s']:.2f} runs/s)")
+    print(f"speedup:   {speedup:.2f}x  (report: {REPORT_PATH.name})")
+
+    benchmark.extra_info.update(report)
+    if (os.cpu_count() or 1) >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {PARALLEL_WORKERS} workers, "
+            f"got {speedup:.2f}x"
+        )

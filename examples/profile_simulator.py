@@ -1,0 +1,46 @@
+"""Profile the simulator hot path with ``repro.exec.profile``.
+
+Times one uncached cluster run end to end, then breaks it down with
+cProfile to show where the time goes (event-queue operations, per-server
+power refresh, request routing). This is the workflow that motivated the
+vectorized power batch and the heap-tuple event queue — run it before
+and after touching ``repro.cluster`` to see what a change buys.
+
+Run:  python examples/profile_simulator.py
+"""
+
+from repro.core.baselines import NoCapPolicy
+from repro.core.policy import DualThresholdPolicy
+from repro.exec import PolicySpec, RunSpec, execute_spec, profile_call, timed
+from repro.cluster.simulator import ClusterConfig
+from repro.units import hours
+
+
+def main() -> None:
+    config = ClusterConfig(n_base_servers=40, added_fraction=0.30, seed=1)
+    spec = RunSpec(
+        config=config, policy=PolicySpec("POLCA"), duration_s=hours(6)
+    )
+
+    # Warm the trace cache first so the profile isolates the simulator
+    # itself (trace synthesis runs once per process and is cached).
+    with timed() as elapsed:
+        from repro.exec import requests_for
+
+        requests_for(spec.trace_key())
+    print(f"trace synthesis (once per process): {elapsed():.2f} s")
+
+    result, report = profile_call(execute_spec, spec, top=10)
+    print(f"\nsimulated {result.duration_s / 3600:.0f} h of cluster time "
+          f"in {report.wall_s:.2f} s wall-clock")
+    print(f"power brake events: {result.power_brake_events}, "
+          f"capping actions: {result.capping_actions}")
+
+    print("\nhottest functions (by self time):")
+    for spot in report.top:
+        print(f"  {spot.tottime_s:7.3f} s  {spot.calls:>9} calls  "
+              f"{spot.function}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ Subpackages: :mod:`repro.gpu`, :mod:`repro.models`, :mod:`repro.server`,
 :mod:`repro.telemetry`, :mod:`repro.control`, :mod:`repro.datacenter`,
 :mod:`repro.training`, :mod:`repro.workloads`, :mod:`repro.cluster`,
 :mod:`repro.core` (POLCA), :mod:`repro.faults` (fault injection),
+:mod:`repro.exec` (parallel sweep execution + run memoization),
 :mod:`repro.characterization`, :mod:`repro.analysis`.
 """
 
@@ -58,6 +59,14 @@ from repro.core import (
     compare_policies,
     evaluate_slos,
     select_thresholds,
+    threshold_search,
+)
+from repro.exec import (
+    PolicySpec,
+    RunCache,
+    RunSpec,
+    SweepEngine,
+    default_workers,
 )
 from repro.faults import (
     FaultPlan,
@@ -96,6 +105,7 @@ __all__ = [
     "NoCapPolicy",
     "POLCA_DEFAULTS",
     "PolcaThresholds",
+    "PolicySpec",
     "PowerCapError",
     "Priority",
     "ProductionTraceModel",
@@ -103,6 +113,9 @@ __all__ = [
     "ReproError",
     "RobustnessReport",
     "RooflineLatencyModel",
+    "RunCache",
+    "RunSpec",
+    "SweepEngine",
     "ServerChurnEvent",
     "SimulatedGpu",
     "SimulationError",
@@ -115,8 +128,10 @@ __all__ = [
     "TraceError",
     "added_servers_sweep",
     "compare_policies",
+    "default_workers",
     "evaluate_slos",
     "get_model",
     "select_thresholds",
+    "threshold_search",
     "__version__",
 ]

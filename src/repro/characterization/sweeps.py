@@ -13,9 +13,10 @@ and the request latency while varying one knob at a time:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.exec import parallel_map
 from repro.gpu.power import GpuPowerModel
 from repro.gpu.specs import A100_80GB, GpuSpec
 from repro.models.inference import InferenceRequest, request_timeline
@@ -82,11 +83,19 @@ def _sweep_point(
     )
 
 
+def _sweep_point_task(
+    task: Tuple[LlmSpec, GpuSpec, str, InferenceRequest]
+) -> ConfigSweepPoint:
+    """Unpack one sweep task (module-level so it pickles into workers)."""
+    return _sweep_point(*task)
+
+
 def config_sweep(
     model_name: str,
     knob: str,
     values: Sequence[int] = (),
     gpu: GpuSpec = A100_80GB,
+    workers: Optional[int] = 1,
 ) -> List[ConfigSweepPoint]:
     """Sweep one knob for one model (one group of Figure 8 bars).
 
@@ -95,6 +104,8 @@ def config_sweep(
         knob: ``"input"``, ``"batch"``, or ``"output"``.
         values: Knob values; defaults to the figure's axis values.
         gpu: GPU type (A100-80GB in the paper's inference machine).
+        workers: Process fan-out for the points (1 = serial in-process;
+            ``None`` = one per core). Point order is preserved.
 
     Raises:
         ConfigurationError: On an unknown knob.
@@ -122,4 +133,5 @@ def config_sweep(
         raise ConfigurationError(
             f"unknown knob {knob!r}; expected input/batch/output"
         )
-    return [_sweep_point(model, gpu, knob, request) for request in requests]
+    tasks = [(model, gpu, knob, request) for request in requests]
+    return parallel_map(_sweep_point_task, tasks, workers=workers)

@@ -3,31 +3,31 @@
 Events are ``(time, sequence, payload)`` triples on a binary heap; the
 monotonically increasing sequence number breaks time ties deterministically
 (insertion order), which keeps simulations reproducible across runs.
+
+Entries are plain tuples rather than objects: heap sifting compares
+``(time, sequence)`` with tuple comparison in C, and because the sequence
+number is unique the payload is never compared. This is the hottest data
+structure in the simulator (hundreds of thousands of comparisons per run),
+and tuples cut its cost by several times over a ``__lt__``-carrying class.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    sequence: int
-    payload: Any = field(compare=False)
-
-
-@dataclass
 class EventQueue:
     """Time-ordered event queue with deterministic tie-breaking."""
 
-    _heap: List[_Entry] = field(default_factory=list)
-    _sequence: int = 0
-    _last_popped: float = float("-inf")
+    __slots__ = ("_heap", "_sequence", "_last_popped")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._sequence = 0
+        self._last_popped = float("-inf")
 
     def push(self, time: float, payload: Any) -> None:
         """Schedule ``payload`` at ``time``.
@@ -40,7 +40,7 @@ class EventQueue:
                 f"scheduling event at {time} before current time "
                 f"{self._last_popped}"
             )
-        heapq.heappush(self._heap, _Entry(time, self._sequence, payload))
+        heappush(self._heap, (time, self._sequence, payload))
         self._sequence += 1
 
     def pop(self) -> Tuple[float, Any]:
@@ -51,15 +51,15 @@ class EventQueue:
         """
         if not self._heap:
             raise SimulationError("pop from empty event queue")
-        entry = heapq.heappop(self._heap)
-        self._last_popped = entry.time
-        return entry.time, entry.payload
+        time, _sequence, payload = heappop(self._heap)
+        self._last_popped = time
+        return time, payload
 
     def peek_time(self) -> Optional[float]:
         """Earliest scheduled time, or ``None`` when empty."""
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -63,10 +63,25 @@ class LoadBalancer:
         capping in Figure 14).
         """
         pool = self._pools[priority]
-        candidates = [s for s in pool if s.has_free_slot]
-        if candidates:
-            least = min(s.n_active for s in candidates)
-            best = [s for s in candidates if s.n_active == least]
+        # Single pass, attribute access inlined: this runs once per
+        # arrival and dominated the routing cost as three comprehensions.
+        # `best` collects pool-ordered least-loaded candidates, exactly as
+        # the equivalent filter-then-min construction would, so the RNG
+        # draw sequence (one draw per routed request) is unchanged.
+        least = -1
+        best: List[ServerSim] = []
+        for server in pool:
+            if server.failed:
+                continue
+            n_active = len(server.slots)
+            if n_active >= server.concurrency:
+                continue
+            if least < 0 or n_active < least:
+                least = n_active
+                best = [server]
+            elif n_active == least:
+                best.append(server)
+        if best:
             return best[int(self._rng.integers(len(best)))]
         free_buffer = [s for s in pool if s.can_buffer]
         if free_buffer:

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.gpu.specs import A100_80GB, GpuSpec
@@ -31,6 +33,45 @@ from repro.workloads.spec import Priority
 
 #: Concurrency slots per server (continuous batching depth).
 DEFAULT_CONCURRENCY = 4
+
+#: Entry cap on the shared timeline memo cache (below).
+_TIMELINE_CACHE_MAX = 1 << 18
+
+# Request timelines depend only on (model, gpu, input_tokens,
+# output_tokens) and their expansion is pure roofline math — the single
+# most expensive piece of starting a request. Sweeps replay the same
+# request trace under many policies/configurations, so memoizing the
+# segments process-wide makes every run after the first skip the roofline
+# work entirely. Keys are object identities with strong references held
+# (so ids cannot be recycled); values are immutable segment tuples shared
+# between runs.
+_timeline_cache: Dict[Tuple[int, int, int, int], Tuple[PhaseSegment, ...]] = {}
+_timeline_cache_refs: Dict[int, object] = {}
+
+
+def cached_timeline_segments(
+    model: LlmSpec, gpu: GpuSpec, input_tokens: int, output_tokens: int
+) -> Tuple[PhaseSegment, ...]:
+    """Memoized phase segments for a (model, gpu, request-size) triple."""
+    key = (id(model), id(gpu), input_tokens, output_tokens)
+    segments = _timeline_cache.get(key)
+    if segments is None:
+        if len(_timeline_cache) >= _TIMELINE_CACHE_MAX:
+            _timeline_cache.clear()
+        timeline = request_timeline(
+            model,
+            gpu,
+            InferenceRequest(
+                model_name=model.name,
+                input_tokens=input_tokens,
+                output_tokens=output_tokens,
+            ),
+        )
+        segments = tuple(timeline.segments)
+        _timeline_cache[key] = segments
+        _timeline_cache_refs[id(model)] = model
+        _timeline_cache_refs[id(gpu)] = gpu
+    return segments
 
 
 @dataclass(frozen=True)
@@ -69,19 +110,47 @@ class ServerPowerModel:
         load = min(1.0, per_gpu_dynamic / dynamic_range)
         return gpu_total + self.host.power(load)
 
+    def server_power_batch(
+        self, activities: Sequence[float], clock_ratio: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`server_power` for many servers at one clock.
+
+        Used by the simulator's group-wide refreshes (cap and brake
+        landings touch a whole priority pool at once). Performs the exact
+        same elementwise IEEE operations as the scalar path, so results
+        are bit-identical per server.
+        """
+        acts = np.asarray(activities, dtype=np.float64)
+        dynamic_range = self.gpu.transient_peak_w - self.gpu.idle_w
+        powed = clock_ratio ** self.gpu.dvfs_alpha
+        per_gpu_dynamic = ((acts * dynamic_range) * powed) * self.power_scale
+        gpu_total = self.n_gpus * (self.gpu.idle_w + per_gpu_dynamic)
+        load = np.minimum(1.0, per_gpu_dynamic / dynamic_range)
+        host = self.host
+        host_power = (
+            (host.cpu_idle_w + (host.cpu_busy_w - host.cpu_idle_w) * load)
+            + (host.fan_idle_w + (host.fan_max_w - host.fan_idle_w) * load)
+            + host.other_w
+        )
+        return gpu_total + host_power
+
     @property
     def brake_ratio(self) -> float:
         """Clock ratio imposed by the power brake."""
         return self.gpu.brake_clock_mhz / self.gpu.max_sm_clock_mhz
 
 
-@dataclass
+@dataclass(slots=True)
 class ActiveRequest:
     """Bookkeeping for one request occupying a concurrency slot.
 
+    Slotted: tens of thousands of these are created per simulated day and
+    their attributes are read in the inner event loop.
+
     Attributes:
         request: The sampled request being served.
-        segments: Its phase segments (prompt, token).
+        segments: Its phase segments (prompt, token); often a shared
+            tuple from the process-wide timeline memo cache.
         phase_index: Index of the segment currently running.
         phase_end: Absolute time the current phase finishes at the
             server's current effective clock.
@@ -89,7 +158,7 @@ class ActiveRequest:
     """
 
     request: SampledRequest
-    segments: List[PhaseSegment]
+    segments: Sequence[PhaseSegment]
     phase_index: int
     phase_end: float
     version: int = 0
@@ -100,7 +169,7 @@ class ActiveRequest:
         return self.segments[self.phase_index].phase == "prompt"
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerSim:
     """One inference server inside the cluster simulator.
 
@@ -122,6 +191,11 @@ class ServerSim:
     braked: bool = False
     failed: bool = False
     buffered: Optional[SampledRequest] = None
+    slots: Dict[int, ActiveRequest] = field(init=False, repr=False)
+    _spec: GpuSpec = field(init=False, repr=False)
+    _profile: PhasePowerProfile = field(init=False, repr=False)
+    _next_slot: int = field(init=False, repr=False)
+    _token_activity: List[float] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.concurrency <= 0:
@@ -212,16 +286,9 @@ class ServerSim:
             raise SimulationError(f"{self.server_id}: server is failed")
         if not self.has_free_slot:
             raise SimulationError(f"{self.server_id}: no free slot")
-        timeline = request_timeline(
-            self.model,
-            self._spec,
-            InferenceRequest(
-                model_name=self.model.name,
-                input_tokens=request.input_tokens,
-                output_tokens=request.output_tokens,
-            ),
+        segments = cached_timeline_segments(
+            self.model, self._spec, request.input_tokens, request.output_tokens
         )
-        segments = timeline.segments
         slot = self._next_slot
         self._next_slot += 1
         self.slots[slot] = ActiveRequest(

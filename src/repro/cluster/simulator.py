@@ -143,9 +143,10 @@ class ClusterSimulator:
     def __init__(self, config: ClusterConfig, policy: PowerPolicy) -> None:
         self.config = config
         self.policy = policy
-        power_model = ServerPowerModel(
+        self.power_model = ServerPowerModel(
             gpu=A100_80GB, power_scale=config.power_scale
         )
+        power_model = self.power_model
         server_ids = [f"s{i}" for i in range(config.n_servers)]
         assignment = split_servers(server_ids, config.low_priority_fraction)
         self.servers: List[ServerSim] = [
@@ -235,7 +236,6 @@ class ClusterSimulator:
         queue = EventQueue()
         metrics = {p: PriorityMetrics() for p in Priority}
         workload_metrics: Dict[str, PriorityMetrics] = {}
-        power_samples: List[float] = []
 
         # Running row power; server powers are piecewise constant, which
         # also makes the energy integral exact: accumulate power x dt at
@@ -250,6 +250,39 @@ class ClusterSimulator:
             new_power = self.servers[index].current_power()
             row_power += new_power - server_power[index]
             server_power[index] = new_power
+
+        def refresh_group(indices: Sequence[int]) -> None:
+            """Refresh many servers at once (cap/brake landings).
+
+            The power formula is evaluated vectorized per effective-clock
+            group (bit-identical per server to the scalar path), while the
+            running row-power updates keep the original per-index
+            summation order so the energy integral is unchanged.
+            """
+            nonlocal row_power
+            new_power: Dict[int, float] = {}
+            by_ratio: Dict[float, List[int]] = {}
+            for index in indices:
+                server = self.servers[index]
+                if server.failed:
+                    new_power[index] = 0.0
+                else:
+                    by_ratio.setdefault(server.effective_ratio, []).append(
+                        index
+                    )
+            for ratio, members in by_ratio.items():
+                activities = [
+                    self.servers[i].current_activity() for i in members
+                ]
+                powers = self.power_model.server_power_batch(
+                    activities, ratio
+                )
+                for i, power in zip(members, powers.tolist()):
+                    new_power[i] = power
+            for index in indices:
+                power = new_power[index]
+                row_power += power - server_power[index]
+                server_power[index] = power
 
         def workload_tier(name: str) -> PriorityMetrics:
             if name not in workload_metrics:
@@ -285,11 +318,17 @@ class ClusterSimulator:
         # accumulated float error on long traces (unlike a +=-style or
         # np.arange cursor).
         n_ticks = int(math.ceil(duration_s / config.telemetry_interval_s))
+        scheduled_ticks = 0
         for i in range(n_ticks):
             tick = i * config.telemetry_interval_s
             if tick >= duration_s:
                 break
             queue.push(tick, ("tick",))
+            scheduled_ticks += 1
+        # The tick count is known up front: accumulate power samples into
+        # a preallocated array instead of growing a list and converting.
+        power_samples = np.empty(scheduled_ticks, dtype=np.float64)
+        sample_cursor = 0
         for churn in injector.churn_events:
             queue.push(churn.fail_at_s, ("server_fail", churn.server_index))
             if churn.recover_at_s is not None \
@@ -500,7 +539,8 @@ class ClusterSimulator:
                     refresh_power(index)
 
             elif kind == "tick":
-                power_samples.append(row_power)
+                power_samples[sample_cursor] = row_power
+                sample_cursor += 1
                 sample = interface.read(now, lambda _t: row_power)
                 fate = injector.telemetry_fate(now)
                 if fate is TelemetryFate.DROPPED:
@@ -545,10 +585,13 @@ class ClusterSimulator:
                 ratio = 1.0
                 if clock_mhz is not None:
                     ratio = clock_mhz / clock_denominator
-                for index in self._index_by_priority[priority]:
-                    server = self.servers[index]
-                    rescheduled = server.apply_clock(now, ratio)
-                    refresh_power(index)
+                indices = self._index_by_priority[priority]
+                group_rescheduled = [
+                    self.servers[index].apply_clock(now, ratio)
+                    for index in indices
+                ]
+                refresh_group(indices)
+                for index, rescheduled in zip(indices, group_rescheduled):
                     for slot in rescheduled:
                         schedule_slot(index, slot)
 
@@ -583,9 +626,13 @@ class ClusterSimulator:
                     continue
                 brake_state = "on"
                 brake_engaged_at = now
-                for index in range(len(self.servers)):
-                    rescheduled = self.servers[index].apply_brake(now, True)
-                    refresh_power(index)
+                all_indices = range(len(self.servers))
+                group_rescheduled = [
+                    self.servers[index].apply_brake(now, True)
+                    for index in all_indices
+                ]
+                refresh_group(all_indices)
+                for index, rescheduled in zip(all_indices, group_rescheduled):
                     for slot in rescheduled:
                         schedule_slot(index, slot)
 
@@ -593,9 +640,13 @@ class ClusterSimulator:
                 if brake_state != "pending_off" or event[1] != brake_version:
                     continue
                 brake_state = "off"
-                for index in range(len(self.servers)):
-                    rescheduled = self.servers[index].apply_brake(now, False)
-                    refresh_power(index)
+                all_indices = range(len(self.servers))
+                group_rescheduled = [
+                    self.servers[index].apply_brake(now, False)
+                    for index in all_indices
+                ]
+                refresh_group(all_indices)
+                for index, rescheduled in zip(all_indices, group_rescheduled):
                     for slot in rescheduled:
                         schedule_slot(index, slot)
 
@@ -658,7 +709,7 @@ class ClusterSimulator:
         series = TimeSeries(
             start=0.0,
             interval=config.telemetry_interval_s,
-            values=np.asarray(power_samples),
+            values=power_samples[:sample_cursor],
         )
         return SimulationResult(
             per_priority=metrics,

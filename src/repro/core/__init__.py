@@ -43,6 +43,7 @@ from repro.core.sweeps import (
     SweepPoint,
     added_servers_sweep,
     compare_policies,
+    threshold_search,
 )
 
 __all__ = [
@@ -72,6 +73,7 @@ __all__ = [
     "plan_unsplit_deployment",
     "select_thresholds",
     "split_power_saving",
+    "threshold_search",
     "uniform_vs_aware_reclaim",
     "workload_aware_plan",
 ]

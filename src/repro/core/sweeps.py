@@ -11,6 +11,12 @@ server count — the point of oversubscription is to serve *more* inference
 under the same breaker budget, and Figure 16 accordingly shows the same
 diurnal pattern "with a higher power offset".
 
+Runs are executed through :class:`~repro.exec.engine.SweepEngine`: every
+sweep batches its grid (including the shared uncapped baseline) into one
+call, so duplicated points are simulated exactly once per harness, and a
+``workers`` argument fans independent runs out over processes. Parallel
+output is bit-identical to serial output — see :mod:`repro.exec`.
+
 Simulated durations are configurable: the paper uses a six-week trace;
 the benchmarks default to shorter windows (the dynamics that matter —
 diurnal peaks, capping responses, brake avoidance — play out within a
@@ -20,7 +26,7 @@ couple of days).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.timeseries import TimeSeries
 from repro.cluster.metrics import SimulationResult
@@ -29,16 +35,21 @@ from repro.cluster.simulator import ClusterConfig, ClusterSimulator
 from repro.core.baselines import NoCapPolicy, all_policies
 from repro.core.policy import DualThresholdPolicy, PolcaThresholds
 from repro.errors import ConfigurationError
+from repro.exec import (
+    PolicySpec,
+    RunCache,
+    RunSpec,
+    SweepEngine,
+    TraceKey,
+    policy_spec_for,
+)
+from repro.exec import traces as _traces
 from repro.faults.plan import FaultPlan
 from repro.faults.reliability import ReliabilityConfig
 from repro.units import days
 from repro.workloads.requests import SampledRequest
 from repro.workloads.spec import Priority
-from repro.workloads.tracegen import (
-    INFERENCE_PROVISIONED_PER_SERVER_W,
-    ProductionTraceModel,
-    SyntheticTraceGenerator,
-)
+from repro.workloads.tracegen import INFERENCE_PROVISIONED_PER_SERVER_W
 
 
 @dataclass
@@ -51,6 +62,9 @@ class EvaluationHarness:
         provisioned_per_server_w: Breaker budget per designed slot.
         low_priority_fraction: Server split between priority pools.
         seed: Seed shared by trace generation and simulation.
+        workers: Default process fan-out for sweeps run through this
+            harness (1 = serial; individual sweeps can override).
+        cache: The run memo cache shared by every sweep on this harness.
     """
 
     n_base_servers: int = 40
@@ -58,39 +72,34 @@ class EvaluationHarness:
     provisioned_per_server_w: float = INFERENCE_PROVISIONED_PER_SERVER_W
     low_priority_fraction: float = 0.5
     seed: int = 0
-    _trace: Optional[TimeSeries] = field(init=False, default=None)
-    _requests_cache: Dict[int, List[SampledRequest]] = field(
-        init=False, default_factory=dict
-    )
-    _baseline: Optional[SimulationResult] = field(init=False, default=None)
+    workers: int = 1
+    cache: RunCache = field(default_factory=RunCache, repr=False)
 
     def utilization_trace(self) -> TimeSeries:
         """The production-style target utilization trace (cached)."""
-        if self._trace is None:
-            self._trace = ProductionTraceModel(seed=self.seed).generate(
-                duration_s=self.duration_s
-            )
-        return self._trace
+        return _traces.utilization_trace(self.seed, self.duration_s)
+
+    def trace_key(self, added_fraction: float) -> TraceKey:
+        """The request-trace cache key for one oversubscription level."""
+        n_total = self.n_base_servers + int(round(
+            self.n_base_servers * added_fraction
+        ))
+        return TraceKey(
+            seed=self.seed,
+            n_servers=n_total,
+            provisioned_per_server_w=self.provisioned_per_server_w,
+            duration_s=self.duration_s,
+        )
 
     def requests_for(self, added_fraction: float) -> List[SampledRequest]:
         """The request trace for a deployment with added servers (cached).
 
         Load scales with the deployed server count so per-server
-        utilization stays on the production pattern.
+        utilization stays on the production pattern. The cache is shared
+        process-wide (:mod:`repro.exec.traces`), so harnesses describing
+        the same deployment share one trace.
         """
-        n_total = self.n_base_servers + int(round(
-            self.n_base_servers * added_fraction
-        ))
-        if n_total not in self._requests_cache:
-            generator = SyntheticTraceGenerator(
-                n_servers=n_total,
-                provisioned_per_server_w=self.provisioned_per_server_w,
-                seed=self.seed,
-            )
-            synthetic = generator.generate(self.utilization_trace())
-            synthetic.validate()
-            self._requests_cache[n_total] = synthetic.requests
-        return self._requests_cache[n_total]
+        return _traces.requests_for(self.trace_key(added_fraction))
 
     def config(
         self,
@@ -118,6 +127,32 @@ class EvaluationHarness:
             ),
         )
 
+    def spec(
+        self,
+        policy: PolicySpec,
+        added_fraction: float = 0.0,
+        power_scale: float = 1.0,
+        low_priority_fraction: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+    ) -> RunSpec:
+        """Describe one run of this harness as an engine-executable spec."""
+        return RunSpec(
+            config=self.config(
+                added_fraction, power_scale, low_priority_fraction,
+                fault_plan=fault_plan, reliability=reliability,
+            ),
+            policy=policy,
+            duration_s=self.duration_s,
+        )
+
+    def engine(self, workers: Optional[int] = None) -> SweepEngine:
+        """A sweep engine over this harness's shared memo cache."""
+        return SweepEngine(
+            workers=self.workers if workers is None else workers,
+            cache=self.cache,
+        )
+
     def run(
         self,
         policy: PowerPolicy,
@@ -127,13 +162,24 @@ class EvaluationHarness:
         fault_plan: Optional[FaultPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
     ) -> SimulationResult:
-        """Run one policy at one oversubscription level.
+        """Run one policy at one oversubscription level (memoized).
+
+        Recognized policy configurations (the four named policies, plus
+        any POLCA thresholds) go through the engine's memo cache — asking
+        twice simulates once, and results are shared with the batched
+        sweeps below. Custom policy objects are simulated directly.
 
         A ``fault_plan`` makes the run's telemetry/actuation/server
         substrate unreliable (the robustness extension); the request
         trace and everything else stay identical, so the result is
         directly comparable against the fault-free run.
         """
+        policy_spec = policy_spec_for(policy)
+        if policy_spec is not None:
+            return self.engine().run(self.spec(
+                policy_spec, added_fraction, power_scale,
+                low_priority_fraction, fault_plan, reliability,
+            ))
         simulator = ClusterSimulator(
             self.config(
                 added_fraction, power_scale, low_priority_fraction,
@@ -145,9 +191,11 @@ class EvaluationHarness:
 
     def baseline(self) -> SimulationResult:
         """The normalization baseline: default servers, no capping (cached)."""
-        if self._baseline is None:
-            self._baseline = self.run(NoCapPolicy(), added_fraction=0.0)
-        return self._baseline
+        return self.run(NoCapPolicy(), added_fraction=0.0)
+
+    def baseline_spec(self) -> RunSpec:
+        """The baseline as a spec, for batching into sweep executions."""
+        return self.spec(PolicySpec("No-cap"), added_fraction=0.0)
 
 
 @dataclass(frozen=True)
@@ -169,44 +217,95 @@ class SweepPoint:
     power_brake_events: int
 
 
+def _sweep_point(
+    fraction: float, result: SimulationResult, baseline: SimulationResult
+) -> SweepPoint:
+    return SweepPoint(
+        added_fraction=fraction,
+        normalized_p50={
+            p: result.normalized_latencies(p, baseline)["p50"]
+            for p in Priority
+        },
+        normalized_p99={
+            p: result.normalized_latencies(p, baseline)["p99"]
+            for p in Priority
+        },
+        normalized_throughput={
+            p: result.normalized_throughput(p, baseline)
+            for p in Priority
+        },
+        power_brake_events=result.power_brake_events,
+    )
+
+
 def added_servers_sweep(
     harness: EvaluationHarness,
     thresholds: PolcaThresholds,
     added_fractions: Sequence[float],
+    workers: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[SweepPoint]:
     """Sweep oversubscription levels for one threshold configuration.
 
     This is the engine behind Figure 13 (one subplot per threshold pair)
-    and Figure 14 (throughput for the selected configuration).
+    and Figure 14 (throughput for the selected configuration). The whole
+    grid — baseline included — executes as one batch; pass ``workers`` to
+    fan it out over processes. A ``fault_plan`` applies to the sweep
+    points only; the normalization baseline stays fault-free.
 
     Raises:
         ConfigurationError: If no sweep points are given.
     """
     if not added_fractions:
         raise ConfigurationError("need at least one added_fraction")
-    baseline = harness.baseline()
-    points: List[SweepPoint] = []
+    specs = [harness.baseline_spec()]
     for fraction in added_fractions:
-        result = harness.run(
-            DualThresholdPolicy(thresholds), added_fraction=fraction
-        )
-        points.append(SweepPoint(
+        specs.append(harness.spec(
+            PolicySpec("POLCA", thresholds),
             added_fraction=fraction,
-            normalized_p50={
-                p: result.normalized_latencies(p, baseline)["p50"]
-                for p in Priority
-            },
-            normalized_p99={
-                p: result.normalized_latencies(p, baseline)["p99"]
-                for p in Priority
-            },
-            normalized_throughput={
-                p: result.normalized_throughput(p, baseline)
-                for p in Priority
-            },
-            power_brake_events=result.power_brake_events,
+            fault_plan=fault_plan,
         ))
-    return points
+    results = harness.engine(workers).run_specs(specs)
+    baseline = results[0]
+    return [
+        _sweep_point(fraction, result, baseline)
+        for fraction, result in zip(added_fractions, results[1:])
+    ]
+
+
+def threshold_search(
+    harness: EvaluationHarness,
+    combos: Sequence[Tuple[str, PolcaThresholds]],
+    added_fractions: Sequence[float],
+    workers: Optional[int] = None,
+) -> Dict[Tuple[str, float], SweepPoint]:
+    """The full Figure 13 grid: every threshold pair at every level.
+
+    Batches the entire ``combos x added_fractions`` product (plus the
+    shared baseline) into a single engine execution, keyed by
+    ``(combo_label, added_fraction)`` in the returned mapping.
+
+    Raises:
+        ConfigurationError: If no combos or no sweep points are given.
+    """
+    if not combos or not added_fractions:
+        raise ConfigurationError(
+            "need at least one threshold combo and one added_fraction"
+        )
+    keys: List[Tuple[str, float]] = []
+    specs = [harness.baseline_spec()]
+    for label, thresholds in combos:
+        for fraction in added_fractions:
+            keys.append((label, fraction))
+            specs.append(harness.spec(
+                PolicySpec("POLCA", thresholds), added_fraction=fraction
+            ))
+    results = harness.engine(workers).run_specs(specs)
+    baseline = results[0]
+    return {
+        (label, fraction): _sweep_point(fraction, result, baseline)
+        for (label, fraction), result in zip(keys, results[1:])
+    }
 
 
 @dataclass(frozen=True)
@@ -231,34 +330,48 @@ def compare_policies(
     harness: EvaluationHarness,
     added_fraction: float = 0.30,
     power_scales: Sequence[float] = (1.0, 1.05),
+    workers: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[PolicyComparison]:
     """Run every policy (and +5% power variants) at 30% oversubscription.
 
     Reproduces Figures 17 and 18: the four policies under the standard
-    workload and under uniformly 5%-more-power-intensive workloads.
+    workload and under uniformly 5%-more-power-intensive workloads. The
+    whole grid executes as one batch; pass ``workers`` to fan it out.
+    A ``fault_plan`` applies to the compared runs only; the baseline
+    stays fault-free.
     """
-    baseline = harness.baseline()
-    comparisons: List[PolicyComparison] = []
+    labels: List[str] = []
+    specs = [harness.baseline_spec()]
     for scale in power_scales:
-        suffix = "" if scale == 1.0 else f"+{round((scale - 1) * 100)}%"
-        for name, factory in all_policies().items():
-            result = harness.run(
-                factory(), added_fraction=added_fraction, power_scale=scale
-            )
-            comparisons.append(PolicyComparison(
-                policy_name=name + suffix,
-                normalized_p50={
-                    p: result.normalized_latencies(p, baseline)["p50"]
-                    for p in Priority
-                },
-                normalized_p99={
-                    p: result.normalized_latencies(p, baseline)["p99"]
-                    for p in Priority
-                },
-                normalized_max={
-                    p: result.normalized_latencies(p, baseline)["max"]
-                    for p in Priority
-                },
-                power_brake_events=result.power_brake_events,
+        pct = (scale - 1.0) * 100.0
+        suffix = "" if scale == 1.0 else f"{pct:+g}%"
+        for name in all_policies():
+            labels.append(name + suffix)
+            specs.append(harness.spec(
+                PolicySpec(name),
+                added_fraction=added_fraction,
+                power_scale=scale,
+                fault_plan=fault_plan,
             ))
+    results = harness.engine(workers).run_specs(specs)
+    baseline = results[0]
+    comparisons: List[PolicyComparison] = []
+    for label, result in zip(labels, results[1:]):
+        comparisons.append(PolicyComparison(
+            policy_name=label,
+            normalized_p50={
+                p: result.normalized_latencies(p, baseline)["p50"]
+                for p in Priority
+            },
+            normalized_p99={
+                p: result.normalized_latencies(p, baseline)["p99"]
+                for p in Priority
+            },
+            normalized_max={
+                p: result.normalized_latencies(p, baseline)["max"]
+                for p in Priority
+            },
+            power_brake_events=result.power_brake_events,
+        ))
     return comparisons

@@ -1,0 +1,101 @@
+"""The content-hash-keyed run memo cache.
+
+Keys are :meth:`RunSpec.digest` values, so any two sweeps that describe
+the same run — the shared uncapped baseline, a duplicated grid point, a
+re-executed benchmark — hit the same entry regardless of who asks.
+The in-memory layer is always on; pass ``cache_dir`` to add a
+JSON-per-entry on-disk layer that survives processes (invalidate it by
+deleting the directory; digests also embed a schema version, so stale
+entries after an incompatible change are ignored, not mis-read).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.cluster.metrics import SimulationResult
+from repro.exec.codec import result_from_dict, result_to_dict
+
+
+class RunCache:
+    """Two-layer (memory + optional disk) memo cache for run results.
+
+    Attributes:
+        cache_dir: On-disk layer location, or ``None`` for memory-only.
+        hits: Lookups answered from memory.
+        disk_hits: Lookups answered from disk (then promoted to memory).
+        misses: Lookups that found nothing.
+        stores: Results written into the cache.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self._memory: Dict[str, SimulationResult] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, digest: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[SimulationResult]:
+        """Look a digest up; ``None`` on a miss."""
+        result = self._memory.get(digest)
+        if result is not None:
+            self.hits += 1
+            return result
+        if self.cache_dir is not None:
+            path = self._path(digest)
+            if path.exists():
+                try:
+                    data = json.loads(path.read_text())
+                    result = result_from_dict(data)
+                except (ValueError, KeyError, TypeError):
+                    result = None  # stale/corrupt entry: treat as a miss
+                if result is not None:
+                    self._memory[digest] = result
+                    self.disk_hits += 1
+                    return result
+        self.misses += 1
+        return None
+
+    def put(self, digest: str, result: SimulationResult) -> None:
+        """Store a result under its digest (memory, then disk if on)."""
+        self._memory[digest] = result
+        self.stores += 1
+        if self.cache_dir is not None:
+            path = self._path(digest)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(result_to_dict(result)))
+            os.replace(tmp, path)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer (and the disk layer when ``disk=True``)."""
+        self._memory.clear()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._memory
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self._memory),
+        }

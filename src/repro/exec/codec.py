@@ -1,0 +1,110 @@
+"""JSON (de)serialization of :class:`SimulationResult`.
+
+Backs the on-disk layer of the run memo cache. Floats survive the round
+trip exactly (``json`` emits shortest-round-trip representations), so a
+result loaded from disk is value-identical to the freshly simulated one
+— which keeps cached sweeps bit-identical to uncached ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.analysis.timeseries import TimeSeries
+from repro.cluster.metrics import PriorityMetrics, SimulationResult
+from repro.errors import ConfigurationError
+from repro.faults.report import RobustnessReport
+from repro.workloads.spec import Priority
+
+#: Bump when the serialized layout changes; mismatched entries are
+#: treated as cache misses rather than decoded wrongly.
+SCHEMA_VERSION = 1
+
+
+def _metrics_to_dict(metrics: PriorityMetrics) -> Dict[str, Any]:
+    return {
+        "latencies": list(metrics.latencies),
+        "served": metrics.served,
+        "dropped": metrics.dropped,
+    }
+
+
+def _metrics_from_dict(data: Dict[str, Any]) -> PriorityMetrics:
+    return PriorityMetrics(
+        latencies=[float(v) for v in data["latencies"]],
+        served=int(data["served"]),
+        dropped=int(data["dropped"]),
+    )
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Encode a simulation result as JSON-serializable primitives."""
+    robustness = None
+    if result.robustness is not None:
+        robustness = {
+            f.name: getattr(result.robustness, f.name)
+            for f in fields(result.robustness)
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "per_priority": {
+            priority.value: _metrics_to_dict(metrics)
+            for priority, metrics in result.per_priority.items()
+        },
+        "power_series": {
+            "start": result.power_series.start,
+            "interval": result.power_series.interval,
+            "values": result.power_series.values.tolist(),
+        },
+        "provisioned_power_w": result.provisioned_power_w,
+        "power_brake_events": result.power_brake_events,
+        "capping_actions": result.capping_actions,
+        "duration_s": result.duration_s,
+        "per_workload": {
+            name: _metrics_to_dict(metrics)
+            for name, metrics in result.per_workload.items()
+        },
+        "total_energy_j": result.total_energy_j,
+        "robustness": robustness,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Decode a result encoded by :func:`result_to_dict`.
+
+    Raises:
+        ConfigurationError: On a schema-version mismatch.
+    """
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"cached result schema {data.get('schema')!r} does not match "
+            f"{SCHEMA_VERSION}"
+        )
+    series = data["power_series"]
+    robustness = None
+    if data.get("robustness") is not None:
+        robustness = RobustnessReport(**data["robustness"])
+    return SimulationResult(
+        per_priority={
+            Priority(value): _metrics_from_dict(metrics)
+            for value, metrics in data["per_priority"].items()
+        },
+        power_series=TimeSeries(
+            start=float(series["start"]),
+            interval=float(series["interval"]),
+            values=np.asarray(series["values"], dtype=np.float64),
+        ),
+        provisioned_power_w=float(data["provisioned_power_w"]),
+        power_brake_events=int(data["power_brake_events"]),
+        capping_actions=int(data["capping_actions"]),
+        duration_s=float(data["duration_s"]),
+        per_workload={
+            name: _metrics_from_dict(metrics)
+            for name, metrics in data["per_workload"].items()
+        },
+        total_energy_j=float(data["total_energy_j"]),
+        robustness=robustness,
+    )

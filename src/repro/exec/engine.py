@@ -1,0 +1,169 @@
+"""The parallel sweep executor.
+
+:class:`SweepEngine` takes a batch of :class:`RunSpec`\\ s, answers what
+it can from the memo cache, deduplicates the rest by content digest, and
+fans the unique misses out over a ``ProcessPoolExecutor``. Results come
+back in input order, so callers are oblivious to scheduling.
+
+Parallel output is bit-identical to serial output by construction: every
+run is an independently seeded simulation executed by the same
+:func:`~repro.exec.runspec.execute_spec` code path, and result ordering
+is fixed by the spec list, not by completion time. ``fork`` is used for
+worker start-up (cheap, inherits warm caches); on platforms without it
+the engine falls back to in-process serial execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.cluster.metrics import SimulationResult
+from repro.errors import ConfigurationError
+from repro.exec.cache import RunCache
+from repro.exec.runspec import RunSpec, execute_spec
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """``os.cpu_count() - 1`` (at least 1): leave a core for the parent."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def fork_available() -> bool:
+    """Whether this platform supports ``fork`` worker start-up."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+) -> List[R]:
+    """Order-preserving map over a process pool (serial fallback).
+
+    Generic fan-out for embarrassingly parallel pure functions (the
+    characterization sweeps use it). ``fn`` must be a picklable
+    module-level callable. Falls back to an in-process ``map`` for
+    ``workers=1``, single-item inputs, and platforms without ``fork``.
+    """
+    materialized = list(items)
+    n_workers = default_workers() if workers is None else max(1, workers)
+    n_workers = min(n_workers, len(materialized))
+    if n_workers <= 1 or not fork_available():
+        return [fn(item) for item in materialized]
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=context
+    ) as pool:
+        return list(pool.map(fn, materialized))
+
+
+@dataclass
+class ExecutionStats:
+    """What one :meth:`SweepEngine.run_specs` call actually did.
+
+    Attributes:
+        requested: Specs in the batch.
+        unique: Distinct content digests among them.
+        cache_hits: Answered from the memo cache (duplicates within the
+            batch count here too — they are simulated once).
+        simulated: Runs actually executed.
+        workers_used: Pool size (1 = in-process serial).
+        wall_s: Wall-clock for the batch.
+    """
+
+    requested: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    workers_used: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def runs_per_second(self) -> float:
+        """Simulated runs per wall-clock second (0 when nothing ran)."""
+        if self.simulated == 0 or self.wall_s <= 0:
+            return 0.0
+        return self.simulated / self.wall_s
+
+
+@dataclass
+class SweepEngine:
+    """Executes batches of runs with memoization and process fan-out.
+
+    Attributes:
+        workers: Pool size; ``None`` means ``os.cpu_count() - 1``; ``1``
+            forces the serial in-process path.
+        cache: The run memo cache (a private in-memory one by default —
+            pass a shared instance to memoize across sweeps).
+    """
+
+    workers: Optional[int] = None
+    cache: RunCache = field(default_factory=RunCache)
+    last_stats: Optional[ExecutionStats] = field(
+        init=False, default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.workers is None:
+            self.workers = default_workers()
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """Execute (or recall) a single run."""
+        return self.run_specs([spec])[0]
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Execute a batch; results match the order of ``specs``.
+
+        Duplicated specs (same content digest) are simulated once; cached
+        digests are not simulated at all.
+        """
+        start = time.perf_counter()
+        digests = [spec.digest() for spec in specs]
+        resolved: dict = {}
+        pending: List[Tuple[str, RunSpec]] = []
+        for digest, spec in zip(digests, specs):
+            if digest in resolved or any(d == digest for d, _ in pending):
+                continue
+            cached = self.cache.get(digest)
+            if cached is not None:
+                resolved[digest] = cached
+            else:
+                pending.append((digest, spec))
+        workers_used = 1
+        if pending:
+            n_workers = min(self.workers, len(pending))
+            if n_workers <= 1 or not fork_available():
+                for digest, spec in pending:
+                    resolved[digest] = execute_spec(spec)
+            else:
+                workers_used = n_workers
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=n_workers, mp_context=context
+                ) as pool:
+                    outputs = pool.map(
+                        execute_spec, [spec for _, spec in pending]
+                    )
+                    for (digest, _), result in zip(pending, outputs):
+                        resolved[digest] = result
+            for digest, _ in pending:
+                self.cache.put(digest, resolved[digest])
+        self.last_stats = ExecutionStats(
+            requested=len(specs),
+            unique=len(set(digests)),
+            cache_hits=len(specs) - len(pending),
+            simulated=len(pending),
+            workers_used=workers_used,
+            wall_s=time.perf_counter() - start,
+        )
+        return [resolved[digest] for digest in digests]

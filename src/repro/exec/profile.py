@@ -1,0 +1,118 @@
+"""Lightweight profiling helpers for the simulator hot path.
+
+:func:`profile_call` wraps a callable in :mod:`cProfile` and distills
+the result into a small, printable :class:`ProfileReport`; :func:`timed`
+is a bare ``perf_counter`` context manager for quick wall-clock checks.
+Used by ``examples/profile_simulator.py`` and handy whenever a sweep
+feels slower than it should.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One function's share of a profiled call.
+
+    Attributes:
+        function: ``file:line(name)`` as formatted by :mod:`pstats`.
+        calls: Primitive call count.
+        tottime_s: Time spent in the function itself.
+        cumtime_s: Time including everything it called.
+    """
+
+    function: str
+    calls: int
+    tottime_s: float
+    cumtime_s: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """The distilled outcome of one profiled call.
+
+    Attributes:
+        wall_s: End-to-end wall-clock of the call.
+        top: Hottest functions, by total (self) time.
+        text: The full ``pstats`` table for the same entries.
+    """
+
+    wall_s: float
+    top: Tuple[HotSpot, ...]
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def profile_call(
+    fn: Callable[..., Any], *args: Any, top: int = 15, **kwargs: Any
+) -> Tuple[Any, ProfileReport]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns:
+        ``(result, report)`` — the callable's return value and the
+        distilled profile, hottest ``top`` functions by self time.
+    """
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    wall_s = time.perf_counter() - start
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(pstats.SortKey.TIME).print_stats(top)
+
+    hotspots: List[HotSpot] = []
+    for func, (primitive_calls, _total_calls, tottime, cumtime, _callers) in (
+        sorted(
+            stats.stats.items(),  # type: ignore[attr-defined]
+            key=lambda item: item[1][2],
+            reverse=True,
+        )[:top]
+    ):
+        filename, line, name = func
+        hotspots.append(
+            HotSpot(
+                function=f"{filename}:{line}({name})",
+                calls=primitive_calls,
+                tottime_s=tottime,
+                cumtime_s=cumtime,
+            )
+        )
+    report = ProfileReport(
+        wall_s=wall_s, top=tuple(hotspots), text=buffer.getvalue()
+    )
+    return result, report
+
+
+@contextmanager
+def timed(label: str = "elapsed") -> Iterator[Callable[[], float]]:
+    """Wall-clock a block; yields a callable returning seconds so far.
+
+    >>> with timed() as elapsed:
+    ...     do_work()
+    >>> elapsed()  # seconds, frozen at block exit
+    """
+    start = time.perf_counter()
+    end: List[float] = []
+
+    def elapsed() -> float:
+        return (end[0] if end else time.perf_counter()) - start
+
+    try:
+        yield elapsed
+    finally:
+        end.append(time.perf_counter())

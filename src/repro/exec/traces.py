@@ -1,0 +1,115 @@
+"""Process-wide, bounded caches for the synthetic trace pipeline.
+
+Trace generation is deterministic in ``(seed, n_servers, provisioned
+power, duration)``, so request traces can be shared by *key* rather than
+by object: every harness, sweep, and worker process asking for the same
+deployment gets the identical (cached) trace. This replaces the old
+per-harness ``_requests_cache`` dict, which grew without bound and could
+not share work between harness instances — and it is what lets
+:class:`~repro.exec.runspec.RunSpec` stay cheaply picklable: specs carry
+the key, and each worker process materializes (and then reuses) the
+trace locally.
+
+Both caches are small LRUs: a sweep touches a handful of deployment
+sizes, so a few entries give a 100% hit rate while keeping long-lived
+processes bounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.timeseries import TimeSeries
+from repro.errors import ConfigurationError
+from repro.workloads.requests import SampledRequest
+from repro.workloads.tracegen import (
+    INFERENCE_PROVISIONED_PER_SERVER_W,
+    ProductionTraceModel,
+    SyntheticTraceGenerator,
+)
+
+#: Entries kept per cache; a Figure 13-18 grid needs at most a handful.
+_MAX_TRACES = 16
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Everything the request-trace synthesis depends on.
+
+    Attributes:
+        seed: Trace-generation seed (shared with the simulation seed by
+            the evaluation harness).
+        n_servers: Deployed server count; offered load scales with it.
+        provisioned_per_server_w: Breaker budget per designed slot.
+        duration_s: Trace duration in seconds.
+    """
+
+    seed: int
+    n_servers: int
+    provisioned_per_server_w: float = INFERENCE_PROVISIONED_PER_SERVER_W
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError("n_servers must be positive")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+
+
+_utilization_traces: "OrderedDict[Tuple[int, float], TimeSeries]" = (
+    OrderedDict()
+)
+_request_traces: "OrderedDict[TraceKey, List[SampledRequest]]" = OrderedDict()
+
+
+def utilization_trace(seed: int, duration_s: float) -> TimeSeries:
+    """The production-style target utilization trace (cached by key)."""
+    key = (seed, duration_s)
+    cached = _utilization_traces.get(key)
+    if cached is not None:
+        _utilization_traces.move_to_end(key)
+        return cached
+    trace = ProductionTraceModel(seed=seed).generate(duration_s=duration_s)
+    _utilization_traces[key] = trace
+    while len(_utilization_traces) > _MAX_TRACES:
+        _utilization_traces.popitem(last=False)
+    return trace
+
+
+def requests_for(key: TraceKey) -> List[SampledRequest]:
+    """The MAPE-validated request trace for one deployment (cached).
+
+    Load scales with the deployed server count so per-server utilization
+    stays on the production pattern.
+    """
+    cached = _request_traces.get(key)
+    if cached is not None:
+        _request_traces.move_to_end(key)
+        return cached
+    generator = SyntheticTraceGenerator(
+        n_servers=key.n_servers,
+        provisioned_per_server_w=key.provisioned_per_server_w,
+        seed=key.seed,
+    )
+    synthetic = generator.generate(utilization_trace(key.seed, key.duration_s))
+    synthetic.validate()
+    _request_traces[key] = synthetic.requests
+    while len(_request_traces) > _MAX_TRACES:
+        _request_traces.popitem(last=False)
+    return synthetic.requests
+
+
+def cache_sizes() -> Dict[str, int]:
+    """Current entry counts (observability for tests and tuning)."""
+    return {
+        "utilization_traces": len(_utilization_traces),
+        "request_traces": len(_request_traces),
+    }
+
+
+def clear_caches() -> None:
+    """Drop every cached trace (mainly for tests)."""
+    _utilization_traces.clear()
+    _request_traces.clear()

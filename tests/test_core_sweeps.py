@@ -83,3 +83,12 @@ class TestComparePolicies:
         for comparison in comparisons:
             assert comparison.power_brake_events >= 0
             assert set(comparison.normalized_max) == set(Priority)
+
+    def test_fractional_scale_labels_exact(self, small_harness):
+        """+2.5% must not be mislabeled as +2% (or +3%) by rounding."""
+        comparisons = compare_policies(
+            small_harness, added_fraction=0.1, power_scales=(1.025, 0.95)
+        )
+        names = {c.policy_name for c in comparisons}
+        assert "POLCA+2.5%" in names
+        assert "POLCA-5%" in names

@@ -1,0 +1,216 @@
+"""Run memoization: digests, the memo cache, and shared-work accounting."""
+
+import pytest
+
+from repro.cluster.simulator import ClusterConfig
+from repro.core.policy import POLCA_DEFAULTS, PolcaThresholds
+from repro.core.sweeps import (
+    EvaluationHarness,
+    added_servers_sweep,
+    compare_policies,
+)
+from repro.errors import ConfigurationError
+from repro.exec import (
+    PolicySpec,
+    RunCache,
+    RunSpec,
+    SweepEngine,
+    execute_spec,
+    policy_spec_for,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.exec import traces
+from repro.exec.profile import profile_call, timed
+from repro.units import hours
+
+
+def small_spec(seed: int = 1, added_fraction: float = 0.0,
+               policy: str = "No-cap") -> RunSpec:
+    return RunSpec(
+        config=ClusterConfig(
+            n_base_servers=10, added_fraction=added_fraction, seed=seed
+        ),
+        policy=PolicySpec(policy),
+        duration_s=hours(2),
+    )
+
+
+class TestDigests:
+    def test_digest_is_stable_across_instances(self):
+        assert small_spec().digest() == small_spec().digest()
+
+    def test_digest_distinguishes_every_knob(self):
+        base = small_spec()
+        assert base.digest() != small_spec(seed=2).digest()
+        assert base.digest() != small_spec(added_fraction=0.30).digest()
+        assert base.digest() != small_spec(policy="POLCA").digest()
+
+    def test_polca_thresholds_normalize(self):
+        explicit = RunSpec(
+            config=ClusterConfig(n_base_servers=10, seed=1),
+            policy=PolicySpec("POLCA", POLCA_DEFAULTS),
+            duration_s=hours(2),
+        )
+        implicit = RunSpec(
+            config=ClusterConfig(n_base_servers=10, seed=1),
+            policy=PolicySpec("POLCA"),
+            duration_s=hours(2),
+        )
+        assert explicit.digest() == implicit.digest()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec("Round-Robin")
+
+    def test_thresholds_only_for_polca(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec("No-cap", PolcaThresholds())
+
+
+class TestPolicyRecognition:
+    def test_named_policies_round_trip(self):
+        from repro.core.baselines import all_policies
+
+        for name, factory in all_policies().items():
+            spec = policy_spec_for(factory())
+            assert spec is not None and spec.name == name
+
+    def test_custom_thresholds_recognized(self):
+        from repro.core.policy import DualThresholdPolicy
+
+        thresholds = PolcaThresholds(t1=0.7, t2=0.8)
+        spec = policy_spec_for(DualThresholdPolicy(thresholds))
+        assert spec is not None and spec.thresholds == thresholds
+
+    def test_unrecognized_policy_returns_none(self):
+        from repro.core.baselines import SingleThresholdAllPolicy
+
+        class Custom(SingleThresholdAllPolicy):
+            pass
+
+        assert policy_spec_for(Custom()) is None
+
+
+class TestRunCache:
+    def test_engine_memoizes(self):
+        engine = SweepEngine(workers=1)
+        spec = small_spec()
+        first = engine.run(spec)
+        assert engine.last_stats.simulated == 1
+        second = engine.run(spec)
+        assert second is first
+        assert engine.last_stats.simulated == 0
+        assert engine.last_stats.cache_hits == 1
+
+    def test_in_batch_duplicates_simulated_once(self):
+        engine = SweepEngine(workers=1)
+        results = engine.run_specs([small_spec(), small_spec()])
+        assert engine.last_stats.requested == 2
+        assert engine.last_stats.unique == 1
+        assert engine.last_stats.simulated == 1
+        assert results[0] is results[1]
+
+    def test_disk_cache_round_trips(self, tmp_path):
+        spec = small_spec()
+        writer = SweepEngine(workers=1, cache=RunCache(cache_dir=tmp_path))
+        original = writer.run(spec)
+        # A fresh process would start with an empty memory layer; a new
+        # cache over the same directory stands in for that here.
+        reader = SweepEngine(workers=1, cache=RunCache(cache_dir=tmp_path))
+        recalled = reader.run(spec)
+        assert reader.last_stats.simulated == 0
+        assert reader.cache.disk_hits == 1
+        assert (
+            recalled.power_series.values == original.power_series.values
+        ).all()
+        assert recalled.total_energy_j == original.total_energy_j
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        spec = small_spec()
+        cache = RunCache(cache_dir=tmp_path)
+        SweepEngine(workers=1, cache=cache).run(spec)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{not json")
+        fresh = RunCache(cache_dir=tmp_path)
+        assert fresh.get(spec.digest()) is None
+
+
+class TestSharedBaseline:
+    def test_baseline_simulated_once_across_sweeps(self):
+        harness = EvaluationHarness(
+            n_base_servers=10, duration_s=hours(2), seed=1
+        )
+        added_servers_sweep(harness, PolcaThresholds(), [0.0, 0.30])
+        stores_after_sweep = harness.cache.stores
+        compare_policies(harness, added_fraction=0.30, power_scales=(1.0,))
+        # The comparison reuses the sweep's baseline: only the three
+        # policies not already simulated (POLCA@30 is shared too) are new.
+        assert harness.cache.stores == stores_after_sweep + 3
+
+    def test_harness_run_hits_sweep_cache(self):
+        from repro.core.policy import DualThresholdPolicy
+
+        harness = EvaluationHarness(
+            n_base_servers=10, duration_s=hours(2), seed=1
+        )
+        points = added_servers_sweep(harness, PolcaThresholds(), [0.30])
+        del points
+        stores = harness.cache.stores
+        harness.run(DualThresholdPolicy(), added_fraction=0.30)
+        assert harness.cache.stores == stores
+
+
+class TestCodec:
+    def test_round_trip_is_value_identical(self):
+        original = execute_spec(small_spec(policy="POLCA",
+                                           added_fraction=0.30))
+        decoded = result_from_dict(result_to_dict(original))
+        assert (
+            decoded.power_series.values == original.power_series.values
+        ).all()
+        assert decoded.power_series.interval == original.power_series.interval
+        assert decoded.total_energy_j == original.total_energy_j
+        assert decoded.capping_actions == original.capping_actions
+        assert decoded.power_brake_events == original.power_brake_events
+        assert decoded.duration_s == original.duration_s
+        for priority, metrics in original.per_priority.items():
+            assert decoded.per_priority[priority].latencies == \
+                metrics.latencies
+            assert decoded.per_priority[priority].served == metrics.served
+            assert decoded.per_priority[priority].dropped == metrics.dropped
+
+    def test_schema_mismatch_rejected(self):
+        encoded = result_to_dict(execute_spec(small_spec()))
+        encoded["schema"] = -1
+        with pytest.raises(ConfigurationError):
+            result_from_dict(encoded)
+
+
+class TestTraceCache:
+    def test_traces_shared_by_key(self):
+        key = traces.TraceKey(seed=1, n_servers=10, duration_s=hours(2))
+        assert traces.requests_for(key) is traces.requests_for(key)
+
+    def test_trace_cache_is_bounded(self):
+        for seed in range(traces._MAX_TRACES + 4):
+            traces.utilization_trace(seed=seed + 1000, duration_s=hours(2))
+        assert traces.cache_sizes()["utilization_traces"] <= \
+            traces._MAX_TRACES
+
+
+class TestProfileHelpers:
+    def test_profile_call_returns_result_and_hotspots(self):
+        result, report = profile_call(sum, range(1000), top=5)
+        assert result == sum(range(1000))
+        assert report.wall_s >= 0
+        assert len(report.top) <= 5
+        assert all(spot.tottime_s >= 0 for spot in report.top)
+        assert "cumtime" in report.text
+
+    def test_timed_freezes_at_block_exit(self):
+        with timed() as elapsed:
+            during = elapsed()
+        after = elapsed()
+        assert during >= 0
+        assert after == elapsed()

@@ -1,0 +1,135 @@
+"""Parallel execution is bit-identical to serial execution.
+
+The engine's whole contract is that ``workers`` is a pure throughput
+knob: every sweep result — power series, energy integral, latency lists,
+event counters — must match the serial run to the last bit, on multiple
+seeds and with fault injection active. These tests compare live runs
+(two engines, two worker settings), never stored goldens.
+"""
+
+import pytest
+
+from repro.core.policy import PolcaThresholds
+from repro.core.sweeps import (
+    EvaluationHarness,
+    added_servers_sweep,
+    compare_policies,
+    threshold_search,
+)
+from repro.exec import fork_available
+from repro.faults.plan import FaultPlan
+from repro.units import hours
+from repro.workloads.spec import Priority
+
+SEEDS = (1, 2)
+FRACTIONS = (0.0, 0.30)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+
+def make_harness(seed: int, workers: int) -> EvaluationHarness:
+    return EvaluationHarness(
+        n_base_servers=10, duration_s=hours(2), seed=seed, workers=workers
+    )
+
+
+def assert_points_identical(serial_points, parallel_points):
+    assert len(serial_points) == len(parallel_points)
+    for serial, parallel in zip(serial_points, parallel_points):
+        assert serial.added_fraction == parallel.added_fraction
+        for priority in Priority:
+            assert serial.normalized_p50[priority] == \
+                parallel.normalized_p50[priority]
+            assert serial.normalized_p99[priority] == \
+                parallel.normalized_p99[priority]
+            assert serial.normalized_throughput[priority] == \
+                parallel.normalized_throughput[priority]
+        assert serial.power_brake_events == parallel.power_brake_events
+
+
+class TestSweepParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_added_servers_sweep_bit_identical(self, seed):
+        serial = added_servers_sweep(
+            make_harness(seed, workers=1), PolcaThresholds(), FRACTIONS
+        )
+        parallel = added_servers_sweep(
+            make_harness(seed, workers=2), PolcaThresholds(), FRACTIONS
+        )
+        assert_points_identical(serial, parallel)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sweep_with_faults_bit_identical(self, seed):
+        plan = FaultPlan.adversarial(seed=seed)
+        serial = added_servers_sweep(
+            make_harness(seed, workers=1), PolcaThresholds(), FRACTIONS,
+            fault_plan=plan,
+        )
+        parallel = added_servers_sweep(
+            make_harness(seed, workers=2), PolcaThresholds(), FRACTIONS,
+            fault_plan=plan,
+        )
+        assert_points_identical(serial, parallel)
+
+    def test_threshold_search_bit_identical(self):
+        combos = (
+            ("80-89", PolcaThresholds(t1=0.80, t2=0.89)),
+            ("85-95", PolcaThresholds(t1=0.85, t2=0.95)),
+        )
+        serial = threshold_search(
+            make_harness(1, workers=1), combos, FRACTIONS
+        )
+        parallel = threshold_search(
+            make_harness(1, workers=2), combos, FRACTIONS
+        )
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert_points_identical([serial[key]], [parallel[key]])
+
+
+class TestComparisonParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compare_policies_bit_identical(self, seed):
+        serial = compare_policies(
+            make_harness(seed, workers=1), added_fraction=0.30,
+            power_scales=(1.0, 1.05),
+        )
+        parallel = compare_policies(
+            make_harness(seed, workers=2), added_fraction=0.30,
+            power_scales=(1.0, 1.05),
+        )
+        assert len(serial) == len(parallel)
+        for s, p in zip(serial, parallel):
+            assert s.policy_name == p.policy_name
+            for priority in Priority:
+                assert s.normalized_p50[priority] == \
+                    p.normalized_p50[priority]
+                assert s.normalized_p99[priority] == \
+                    p.normalized_p99[priority]
+                assert s.normalized_max[priority] == \
+                    p.normalized_max[priority]
+            assert s.power_brake_events == p.power_brake_events
+
+    def test_raw_results_bit_identical(self):
+        """The underlying series/counters match, not just the summaries."""
+        serial_h = make_harness(1, workers=1)
+        parallel_h = make_harness(1, workers=3)
+        spec = serial_h.spec(
+            serial_h.baseline_spec().policy, added_fraction=0.0
+        )
+        serial = serial_h.engine().run_specs(
+            [spec, serial_h.spec(serial_h.baseline_spec().policy, 0.30)]
+        )
+        parallel = parallel_h.engine().run_specs(
+            [spec, parallel_h.spec(parallel_h.baseline_spec().policy, 0.30)]
+        )
+        for s, p in zip(serial, parallel):
+            assert (s.power_series.values == p.power_series.values).all()
+            assert s.total_energy_j == p.total_energy_j
+            assert s.capping_actions == p.capping_actions
+            assert s.power_brake_events == p.power_brake_events
+            for priority in Priority:
+                assert s.per_priority[priority].latencies == \
+                    p.per_priority[priority].latencies
