@@ -3,11 +3,32 @@
 Paper: POLCA incurs zero brakes under the standard workload and the
 fewest when workloads become 5% more power-intensive; No-cap relies on
 the brake entirely and racks up orders of magnitude more events.
+
+Alongside the figure, this module records a short Figure 18-style run —
+a 2 h window at the daily peak, No-cap, +5% power, 30% oversubscription,
+the scenario where the brake does all the work — to ``TRACE_fig18.jsonl``
+at the repo root, which CI uploads as an artifact; the trace is
+cross-checked against the run's own ``SimulationResult`` before it is
+accepted.
 """
+
+from pathlib import Path
 
 from conftest import print_table
 
+from repro import NoCapPolicy
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+from repro.obs import JsonlRecorder, cross_check, summarize_trace
+from repro.units import hours
+from repro.workloads.tracegen import (
+    ProductionTraceModel,
+    SyntheticTraceGenerator,
+)
+
 POLICIES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")
+
+TRACE_PATH = Path(__file__).resolve().parent.parent / "TRACE_fig18.jsonl"
+TRACE_HOURS = 2.0
 
 
 def reproduce_figure18(eval_cache):
@@ -44,3 +65,49 @@ def test_fig18_power_brakes(benchmark, eval_cache):
         counts[f"{name}+5%"] for name in POLICIES
     )
     benchmark.extra_info.update(counts)
+
+
+def test_fig18_trace_artifact(benchmark):
+    """Record the brake-heavy Figure 18 scenario to TRACE_fig18.jsonl.
+
+    A 2 h window of the production pattern centered on the daily peak
+    (``peak_hour=0.5``), replayed against No-cap at +5% power and 30%
+    oversubscription — the corner of Figure 18 where the brake does all
+    the work — streamed through a ``JsonlRecorder``. The artifact is
+    only kept if ``cross_check`` re-derives every result counter from
+    it, and the recorded run must be bit-identical to an unrecorded one.
+    """
+    n_base, added_fraction = 40, 0.30
+    deployed = int(round(n_base * (1 + added_fraction)))
+
+    def record_trace():
+        utilization = ProductionTraceModel(peak_hour=0.5, seed=1).generate(
+            duration_s=hours(TRACE_HOURS)
+        )
+        synthetic = SyntheticTraceGenerator(
+            n_servers=deployed, seed=1
+        ).generate(utilization)
+        synthetic.validate()
+        config = ClusterConfig(
+            n_base_servers=n_base, added_fraction=added_fraction,
+            power_scale=1.05, seed=1,
+        )
+        with JsonlRecorder(str(TRACE_PATH)) as recorder:
+            traced = ClusterSimulator(config, NoCapPolicy(), recorder).run(
+                synthetic.requests, hours(TRACE_HOURS)
+            )
+        bare = ClusterSimulator(config, NoCapPolicy()).run(
+            synthetic.requests, hours(TRACE_HOURS)
+        )
+        return traced, bare
+
+    traced, bare = benchmark.pedantic(record_trace, rounds=1, iterations=1)
+    assert traced.power_brake_events > 0
+    cross_check(str(TRACE_PATH), traced).require_ok()
+    assert traced.power_brake_events == bare.power_brake_events
+    assert traced.total_energy_j == bare.total_energy_j
+    assert traced.total_served == bare.total_served
+    print(f"\n=== Figure 18 trace artifact — {TRACE_PATH.name} "
+          f"({TRACE_HOURS:.0f} h No-cap+5% at 30% oversubscription) ===")
+    for line in summarize_trace(str(TRACE_PATH)):
+        print(f"  {line}")

@@ -22,7 +22,8 @@ Subpackages: :mod:`repro.gpu`, :mod:`repro.models`, :mod:`repro.server`,
 :mod:`repro.training`, :mod:`repro.workloads`, :mod:`repro.cluster`,
 :mod:`repro.core` (POLCA), :mod:`repro.faults` (fault injection),
 :mod:`repro.exec` (parallel sweep execution + run memoization),
-:mod:`repro.characterization`, :mod:`repro.analysis`.
+:mod:`repro.obs` (trace recording, metrics, trace-vs-result
+cross-checking), :mod:`repro.characterization`, :mod:`repro.analysis`.
 """
 
 from repro.errors import (
@@ -74,6 +75,14 @@ from repro.faults import (
     RobustnessReport,
     ServerChurnEvent,
 )
+from repro.obs import (
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    TraceRecorder,
+    cross_check,
+    summarize_trace,
+)
 from repro.workloads import (
     Priority,
     ProductionTraceModel,
@@ -99,10 +108,13 @@ __all__ = [
     "GpuSpec",
     "H100_80GB",
     "InferenceRequest",
+    "JsonlRecorder",
     "LlmSpec",
     "MODEL_ZOO",
+    "MemoryRecorder",
     "ModelNotFoundError",
     "NoCapPolicy",
+    "NullRecorder",
     "POLCA_DEFAULTS",
     "PolcaThresholds",
     "PolicySpec",
@@ -126,12 +138,15 @@ __all__ = [
     "TABLE6_MIX",
     "TelemetryError",
     "TraceError",
+    "TraceRecorder",
     "added_servers_sweep",
     "compare_policies",
+    "cross_check",
     "default_workers",
     "evaluate_slos",
     "get_model",
     "select_thresholds",
+    "summarize_trace",
     "threshold_search",
     "__version__",
 ]

@@ -83,7 +83,14 @@ class LoadBalancer:
                 best.append(server)
         if best:
             return best[int(self._rng.integers(len(best)))]
-        free_buffer = [s for s in pool if s.can_buffer]
+        # Buffer fallback. Skip failed servers explicitly: a request
+        # buffered on a dead server would vanish from the served/dropped
+        # accounting entirely. (``can_buffer`` also rejects failed
+        # servers, but the invariant belongs to routing — keeping the
+        # filter here means a future ``can_buffer`` change cannot
+        # silently lose requests, and the candidate list is unchanged,
+        # so the RNG draw sequence is identical.)
+        free_buffer = [s for s in pool if not s.failed and s.can_buffer]
         if free_buffer:
             return free_buffer[int(self._rng.integers(len(free_buffer)))]
         return None

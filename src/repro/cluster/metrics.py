@@ -8,7 +8,7 @@ through 18 need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.analysis.stats import LatencySummary, summarize_latencies
 from repro.analysis.timeseries import TimeSeries, max_swing
@@ -73,6 +73,11 @@ class SimulationResult:
         robustness: Fault ledger and breaker-exposure summary of the run
             (populated by the simulator; trivially mostly-zero when no
             fault plan was active).
+        observability: Metrics-registry snapshot (counters, gauges,
+            histograms) of an instrumented run; ``None`` when the run
+            used the default :class:`~repro.obs.recorder.NullRecorder`.
+            See :func:`repro.obs.metrics.aggregate_snapshots` for
+            merging these across a sweep.
     """
 
     per_priority: Dict[Priority, PriorityMetrics]
@@ -84,6 +89,7 @@ class SimulationResult:
     per_workload: Dict[str, PriorityMetrics] = field(default_factory=dict)
     total_energy_j: float = 0.0
     robustness: Optional["RobustnessReport"] = None
+    observability: Optional[Dict[str, Any]] = None
 
     def latency_summary(self, priority: Priority) -> LatencySummary:
         """Latency summary for one tier."""

@@ -58,6 +58,10 @@ def cached_timeline_segments(
     if segments is None:
         if len(_timeline_cache) >= _TIMELINE_CACHE_MAX:
             _timeline_cache.clear()
+            # The strong-ref dict exists only to pin ids used as cache
+            # keys; once those keys are gone it must be dropped too, or
+            # it grows without bound across huge sweeps.
+            _timeline_cache_refs.clear()
         timeline = request_timeline(
             model,
             gpu,

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -55,6 +55,8 @@ from repro.faults.plan import FaultPlan
 from repro.faults.reliability import ReliabilityConfig
 from repro.faults.report import OverBudgetTracker, RobustnessReport
 from repro.gpu.specs import A100_80GB
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.telemetry.base import SampledInterface
 from repro.telemetry.smbpbi import SMBPBI_ACTUATION_LATENCY_S
 from repro.workloads.requests import SampledRequest
@@ -138,11 +140,26 @@ class ClusterConfig:
 
 
 class ClusterSimulator:
-    """Runs one policy against one request trace on one row."""
+    """Runs one policy against one request trace on one row.
 
-    def __init__(self, config: ClusterConfig, policy: PowerPolicy) -> None:
+    Pass a :class:`~repro.obs.recorder.TraceRecorder` to capture the
+    run's event stream (control decisions, cap/brake lifecycles,
+    fallback windows, churn, serves and drops) and a metrics snapshot in
+    ``SimulationResult.observability``. The default is the shared
+    :data:`~repro.obs.recorder.NULL_RECORDER`: every hook point is
+    guarded by ``recorder.enabled``, so an unrecorded run builds no
+    event payloads and stays bit-identical to an uninstrumented one.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        policy: PowerPolicy,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> None:
         self.config = config
         self.policy = policy
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.power_model = ServerPowerModel(
             gpu=A100_80GB, power_scale=config.power_scale
         )
@@ -232,6 +249,34 @@ class ClusterSimulator:
             telemetry_dropout_windows=injector.dropout_window_count,
         )
         tracker = OverBudgetTracker(budget_w=config.provisioned_power_w)
+
+        # Observability. ``recording`` guards every hook point below, so
+        # with the default NullRecorder no event payload or metric update
+        # ever happens and the run is bit-identical to an uninstrumented
+        # one. Recorders observe only: they never touch simulator state,
+        # RNG streams, or the float summation order.
+        recorder = self.recorder
+        recording = recorder.enabled
+        obs: Optional[MetricsRegistry] = None
+        if recording:
+            obs = MetricsRegistry()
+            # Pre-register the counters cross_check compares so they are
+            # present in the snapshot even when they end at zero.
+            for _name in (
+                "requests.served",
+                "requests.dropped",
+                "requests.lost_to_churn",
+                "brake.engagements",
+                "commands.cap_actions",
+                "commands.issued",
+                "commands.reissues",
+                "fallback.entries",
+                "telemetry.faults",
+                "churn.failures",
+                "churn.recoveries",
+            ):
+                obs.counter(_name)
+            util_hist = obs.histogram("control.utilization")
 
         queue = EventQueue()
         metrics = {p: PriorityMetrics() for p in Priority}
@@ -372,6 +417,14 @@ class ClusterSimulator:
             record = actuator.issue(now, action)
             report.commands_issued += 1
             extra = injector.actuation_extra_delay()
+            if recording:
+                obs.counter("commands.issued").inc()
+                recorder.emit({
+                    "t": now, "kind": "cap_issue",
+                    "priority": priority.value, "clock_mhz": clock_mhz,
+                    "generation": generation, "attempts": attempts,
+                    "silent": record.failed_silently,
+                })
             if record.failed_silently:
                 report.silent_actuation_failures += 1
             else:
@@ -397,6 +450,14 @@ class ClusterSimulator:
             )
             report.commands_issued += 1
             extra = injector.actuation_extra_delay()
+            if recording:
+                obs.counter("commands.issued").inc()
+                recorder.emit({
+                    "t": now, "kind": "brake_issue",
+                    "want_on": want_on, "version": version,
+                    "attempts": attempts,
+                    "silent": record.failed_silently,
+                })
             if record.failed_silently:
                 report.silent_actuation_failures += 1
             else:
@@ -411,10 +472,16 @@ class ClusterSimulator:
                     ("verify_brake", want_on, version, attempts),
                 )
 
-        def engage_brake(now: float) -> None:
+        def engage_brake(now: float, source: str = "policy") -> None:
             nonlocal brake_state, brake_version
             brake_state = "pending_on"
             brake_version += 1
+            if recording:
+                obs.counter("brake.engagements").inc()
+                recorder.emit({
+                    "t": now, "kind": "brake_request",
+                    "source": source, "version": brake_version,
+                })
             issue_brake(now, True, brake_version, 0)
 
         def command_caps(now: float, desired: GroupCaps) -> None:
@@ -426,6 +493,8 @@ class ClusterSimulator:
                     cap_generation[Priority.LOW], 0,
                 )
                 capping_actions += 1
+                if recording:
+                    obs.counter("commands.cap_actions").inc()
             if desired.high_clock_mhz != commanded.high_clock_mhz:
                 cap_generation[Priority.HIGH] += 1
                 issue_cap(
@@ -433,12 +502,22 @@ class ClusterSimulator:
                     cap_generation[Priority.HIGH], 0,
                 )
                 capping_actions += 1
+                if recording:
+                    obs.counter("commands.cap_actions").inc()
             commanded = desired
 
         def control_step(now: float, observed_power: float) -> None:
             nonlocal brake_state, brake_version, brake_engaged_at
             nonlocal brake_events
             utilization = observed_power / config.provisioned_power_w
+            if recording:
+                util_hist.observe(utilization)
+                recorder.emit({
+                    "t": now, "kind": "control",
+                    "utilization": utilization,
+                    "observed_power_w": observed_power,
+                    "brake_state": brake_state,
+                })
             # --- Brake safety logic (all policies carry the brake).
             if brake_state in ("off", "pending_off") \
                     and self.policy.wants_brake(utilization):
@@ -449,6 +528,11 @@ class ClusterSimulator:
                     # a new engagement.
                     brake_version += 1
                     brake_state = "on"
+                    if recording:
+                        recorder.emit({
+                            "t": now, "kind": "brake_cancel_release",
+                            "version": brake_version,
+                        })
                 else:
                     brake_events += 1
                     engage_brake(now)
@@ -459,6 +543,11 @@ class ClusterSimulator:
             ):
                 brake_state = "pending_off"
                 brake_version += 1
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "brake_release_request",
+                        "version": brake_version,
+                    })
                 issue_brake(now, False, brake_version, 0)
             # --- Frequency-capping policy.
             command_caps(now, self.policy.desired_caps(utilization, now))
@@ -477,7 +566,10 @@ class ClusterSimulator:
                 stale_ticks += 1
                 return
             stale_ticks = 0
-            in_fallback = False
+            if in_fallback:
+                in_fallback = False
+                if recording:
+                    recorder.emit({"t": now, "kind": "fallback_exit"})
             control_step(now, value)
 
         clock_denominator = A100_80GB.max_sm_clock_mhz
@@ -494,9 +586,19 @@ class ClusterSimulator:
 
         while queue:
             now, event = queue.pop()
-            dt = now - last_event_time
-            total_energy += row_power * dt
-            tracker.account(row_power, dt)
+            # Energy and breaker exposure integrate over [0, duration_s]
+            # only. In-flight requests still drain after duration_s (and
+            # their latencies count, per the docstring), but that drain
+            # is outside the reported window, so the integral clamps.
+            if now <= duration_s:
+                dt = now - last_event_time
+            elif last_event_time < duration_s:
+                dt = duration_s - last_event_time
+            else:
+                dt = 0.0
+            if dt > 0.0:
+                total_energy += row_power * dt
+                tracker.account(row_power, dt)
             last_event_time = now
             kind = event[0]
 
@@ -506,6 +608,14 @@ class ClusterSimulator:
                 if server is None:
                     metrics[request.priority].dropped += 1
                     workload_tier(request.workload.name).dropped += 1
+                    if recording:
+                        obs.counter("requests.dropped").inc()
+                        recorder.emit({
+                            "t": now, "kind": "drop",
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "reason": "saturated",
+                        })
                     continue
                 index = server_index[server.server_id]
                 if server.has_free_slot:
@@ -532,6 +642,15 @@ class ClusterSimulator:
                 by_workload = workload_tier(finished.workload.name)
                 by_workload.served += 1
                 by_workload.latencies.append(now - finished.arrival_time)
+                if recording:
+                    obs.counter("requests.served").inc()
+                    recorder.emit({
+                        "t": now, "kind": "serve",
+                        "priority": finished.priority.value,
+                        "workload": finished.workload.name,
+                        "latency_s": now - finished.arrival_time,
+                        "server": server.server_id,
+                    })
                 queued = server.take_buffered()
                 if queued is not None:
                     start_on(now, index, queued)
@@ -543,6 +662,12 @@ class ClusterSimulator:
                 sample_cursor += 1
                 sample = interface.read(now, lambda _t: row_power)
                 fate = injector.telemetry_fate(now)
+                if recording and fate is not TelemetryFate.OK:
+                    obs.counter("telemetry.faults").inc()
+                    recorder.emit({
+                        "t": now, "kind": "telemetry_fault",
+                        "fate": fate.value,
+                    })
                 if fate is TelemetryFate.DROPPED:
                     stale_ticks += 1
                 elif fate is TelemetryFate.FROZEN and last_observed is None:
@@ -564,6 +689,12 @@ class ClusterSimulator:
                         in_fallback = True
                         fallback_entered_at = now
                         report.fallback_entries += 1
+                        if recording:
+                            obs.counter("fallback.entries").inc()
+                            recorder.emit({
+                                "t": now, "kind": "fallback_enter",
+                                "stale_ticks": stale_ticks,
+                            })
                         command_caps(now, GroupCaps(
                             low_clock_mhz=reliability.safe_low_clock_mhz,
                             high_clock_mhz=reliability.safe_high_clock_mhz,
@@ -575,13 +706,19 @@ class ClusterSimulator:
                     ):
                         brake_events += 1
                         report.fallback_brakes += 1
-                        engage_brake(now)
+                        engage_brake(now, source="fallback")
 
             elif kind == "obs":
                 deliver_observation(now, event[1])
 
             elif kind == "cap":
                 priority, clock_mhz = event[1], event[2]
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "cap_land",
+                        "priority": priority.value, "clock_mhz": clock_mhz,
+                        "generation": event[3],
+                    })
                 ratio = 1.0
                 if clock_mhz is not None:
                     ratio = clock_mhz / clock_denominator
@@ -603,9 +740,25 @@ class ClusterSimulator:
                     report.commands_verified += 1
                     if attempts > 0:
                         report.commands_recovered += 1
+                    if recording:
+                        recorder.emit({
+                            "t": now, "kind": "cap_verify",
+                            "priority": priority.value,
+                            "generation": generation,
+                            "attempts": attempts,
+                            "ok": True, "abandoned": False,
+                        })
                     continue
                 report.failures_detected += 1
-                if attempts >= reliability.max_retries:
+                abandoned = attempts >= reliability.max_retries
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "cap_verify",
+                        "priority": priority.value,
+                        "generation": generation, "attempts": attempts,
+                        "ok": False, "abandoned": abandoned,
+                    })
+                if abandoned:
                     report.commands_unrecovered += 1
                     continue
                 queue.push(
@@ -619,6 +772,13 @@ class ClusterSimulator:
                 if generation != cap_generation[priority]:
                     continue
                 report.reissues += 1
+                if recording:
+                    obs.counter("commands.reissues").inc()
+                    recorder.emit({
+                        "t": now, "kind": "cap_reissue",
+                        "priority": priority.value, "clock_mhz": clock_mhz,
+                        "generation": generation, "attempts": attempts,
+                    })
                 issue_cap(now, priority, clock_mhz, generation, attempts)
 
             elif kind == "brake_on":
@@ -626,6 +786,11 @@ class ClusterSimulator:
                     continue
                 brake_state = "on"
                 brake_engaged_at = now
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "brake_land",
+                        "on": True, "version": event[1],
+                    })
                 all_indices = range(len(self.servers))
                 group_rescheduled = [
                     self.servers[index].apply_brake(now, True)
@@ -640,6 +805,11 @@ class ClusterSimulator:
                 if brake_state != "pending_off" or event[1] != brake_version:
                     continue
                 brake_state = "off"
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "brake_land",
+                        "on": False, "version": event[1],
+                    })
                 all_indices = range(len(self.servers))
                 group_rescheduled = [
                     self.servers[index].apply_brake(now, False)
@@ -658,9 +828,24 @@ class ClusterSimulator:
                     report.commands_verified += 1
                     if attempts > 0:
                         report.commands_recovered += 1
+                    if recording:
+                        recorder.emit({
+                            "t": now, "kind": "brake_verify",
+                            "want_on": want_on, "version": version,
+                            "attempts": attempts,
+                            "ok": True, "abandoned": False,
+                        })
                     continue
                 report.failures_detected += 1
-                if attempts >= reliability.max_retries:
+                abandoned = attempts >= reliability.max_retries
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "brake_verify",
+                        "want_on": want_on, "version": version,
+                        "attempts": attempts,
+                        "ok": False, "abandoned": abandoned,
+                    })
+                if abandoned:
                     report.commands_unrecovered += 1
                     continue
                 queue.push(
@@ -673,6 +858,13 @@ class ClusterSimulator:
                 if version != brake_version:
                     continue
                 report.reissues += 1
+                if recording:
+                    obs.counter("commands.reissues").inc()
+                    recorder.emit({
+                        "t": now, "kind": "brake_reissue",
+                        "want_on": want_on, "version": version,
+                        "attempts": attempts,
+                    })
                 issue_brake(now, want_on, version, attempts)
 
             elif kind == "server_fail":
@@ -680,11 +872,29 @@ class ClusterSimulator:
                 server = self.servers[index]
                 if server.failed:
                     continue
-                for request in server.fail(now):
+                dropped_requests = server.fail(now)
+                for request in dropped_requests:
                     metrics[request.priority].dropped += 1
                     workload_tier(request.workload.name).dropped += 1
                     report.requests_lost_to_churn += 1
+                    if recording:
+                        obs.counter("requests.dropped").inc()
+                        obs.counter("requests.lost_to_churn").inc()
+                        recorder.emit({
+                            "t": now, "kind": "drop",
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "reason": "churn",
+                            "server": server.server_id,
+                        })
                 report.server_failures += 1
+                if recording:
+                    obs.counter("churn.failures").inc()
+                    recorder.emit({
+                        "t": now, "kind": "server_fail",
+                        "server": server.server_id, "index": index,
+                        "dropped": len(dropped_requests),
+                    })
                 refresh_power(index)
 
             elif kind == "server_recover":
@@ -694,6 +904,12 @@ class ClusterSimulator:
                     continue
                 server.recover(now)
                 report.server_recoveries += 1
+                if recording:
+                    obs.counter("churn.recoveries").inc()
+                    recorder.emit({
+                        "t": now, "kind": "server_recover",
+                        "server": server.server_id, "index": index,
+                    })
                 refresh_power(index)
 
             else:  # pragma: no cover - defensive
@@ -711,6 +927,16 @@ class ClusterSimulator:
             interval=config.telemetry_interval_s,
             values=power_samples[:sample_cursor],
         )
+        observability: Optional[Dict[str, Any]] = None
+        if recording:
+            obs.counter("telemetry.ticks").inc(sample_cursor)
+            if sample_cursor:
+                obs.gauge("power.peak_row_w").set(
+                    float(power_samples[:sample_cursor].max())
+                )
+            obs.gauge("power.provisioned_w").set(config.provisioned_power_w)
+            obs.gauge("energy.total_j").set(total_energy)
+            observability = obs.snapshot()
         return SimulationResult(
             per_priority=metrics,
             power_series=series,
@@ -721,4 +947,5 @@ class ClusterSimulator:
             per_workload=workload_metrics,
             total_energy_j=total_energy,
             robustness=report,
+            observability=observability,
         )

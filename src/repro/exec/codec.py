@@ -20,8 +20,9 @@ from repro.faults.report import RobustnessReport
 from repro.workloads.spec import Priority
 
 #: Bump when the serialized layout changes; mismatched entries are
-#: treated as cache misses rather than decoded wrongly.
-SCHEMA_VERSION = 1
+#: treated as cache misses rather than decoded wrongly. Version 2 adds
+#: the ``observability`` metrics snapshot.
+SCHEMA_VERSION = 2
 
 
 def _metrics_to_dict(metrics: PriorityMetrics) -> Dict[str, Any]:
@@ -69,6 +70,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         },
         "total_energy_j": result.total_energy_j,
         "robustness": robustness,
+        "observability": result.observability,
     }
 
 
@@ -107,4 +109,5 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
         },
         total_energy_j=float(data["total_energy_j"]),
         robustness=robustness,
+        observability=data.get("observability"),
     )

@@ -26,9 +26,28 @@ from repro.cluster.metrics import SimulationResult
 from repro.errors import ConfigurationError
 from repro.exec.cache import RunCache
 from repro.exec.runspec import RunSpec, execute_spec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Wall-time histogram buckets for individual simulator runs (seconds).
+RUN_WALL_BUCKETS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _execute_timed(spec: RunSpec) -> Tuple[SimulationResult, float, int]:
+    """Worker entry point used when the engine records a trace.
+
+    Returns the result plus the per-run wall time and the executing
+    worker's pid, so the parent can emit ``engine_run`` events without
+    recorders having to be picklable into workers.
+    """
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - start, os.getpid()
 
 
 def default_workers() -> int:
@@ -103,10 +122,27 @@ class SweepEngine:
             forces the serial in-process path.
         cache: The run memo cache (a private in-memory one by default —
             pass a shared instance to memoize across sweeps).
+        recorder: Trace sink for engine-level events (per-run wall time,
+            cache hit/miss, worker pid, digest, batch summaries). The
+            default :data:`~repro.obs.recorder.NULL_RECORDER` records
+            nothing and adds no overhead. Engine events carry no ``t``
+            key — they are wall-clock, not simulation-time. Recording
+            happens in the parent process only; to trace *inside* a
+            simulation, run :class:`~repro.cluster.simulator
+            .ClusterSimulator` directly with a recorder.
+        metrics: A registry that accumulates across every
+            ``run_specs`` call this engine serves (only populated while
+            ``recorder.enabled``), complementing the per-run
+            ``SimulationResult.observability`` snapshots that
+            :func:`~repro.obs.metrics.aggregate_snapshots` merges.
     """
 
     workers: Optional[int] = None
     cache: RunCache = field(default_factory=RunCache)
+    recorder: TraceRecorder = NULL_RECORDER
+    metrics: MetricsRegistry = field(
+        default_factory=MetricsRegistry, repr=False
+    )
     last_stats: Optional[ExecutionStats] = field(
         init=False, default=None, repr=False
     )
@@ -128,6 +164,7 @@ class SweepEngine:
         digests are not simulated at all.
         """
         start = time.perf_counter()
+        recording = self.recorder.enabled
         digests = [spec.digest() for spec in specs]
         resolved: dict = {}
         pending: List[Tuple[str, RunSpec]] = []
@@ -137,6 +174,10 @@ class SweepEngine:
             cached = self.cache.get(digest)
             if cached is not None:
                 resolved[digest] = cached
+                if recording:
+                    self.recorder.emit({
+                        "kind": "engine_cache_hit", "digest": digest,
+                    })
             else:
                 pending.append((digest, spec))
         workers_used = 1
@@ -144,21 +185,41 @@ class SweepEngine:
             n_workers = min(self.workers, len(pending))
             if n_workers <= 1 or not fork_available():
                 for digest, spec in pending:
-                    resolved[digest] = execute_spec(spec)
+                    if recording:
+                        run_start = time.perf_counter()
+                        result = execute_spec(spec)
+                        self._record_run(
+                            digest,
+                            time.perf_counter() - run_start,
+                            os.getpid(),
+                        )
+                        resolved[digest] = result
+                    else:
+                        resolved[digest] = execute_spec(spec)
             else:
                 workers_used = n_workers
                 context = multiprocessing.get_context("fork")
                 with ProcessPoolExecutor(
                     max_workers=n_workers, mp_context=context
                 ) as pool:
-                    outputs = pool.map(
-                        execute_spec, [spec for _, spec in pending]
-                    )
-                    for (digest, _), result in zip(pending, outputs):
-                        resolved[digest] = result
+                    if recording:
+                        timed = pool.map(
+                            _execute_timed, [spec for _, spec in pending]
+                        )
+                        for (digest, _), (result, wall_s, worker) in zip(
+                            pending, timed
+                        ):
+                            self._record_run(digest, wall_s, worker)
+                            resolved[digest] = result
+                    else:
+                        outputs = pool.map(
+                            execute_spec, [spec for _, spec in pending]
+                        )
+                        for (digest, _), result in zip(pending, outputs):
+                            resolved[digest] = result
             for digest, _ in pending:
                 self.cache.put(digest, resolved[digest])
-        self.last_stats = ExecutionStats(
+        stats = ExecutionStats(
             requested=len(specs),
             unique=len(set(digests)),
             cache_hits=len(specs) - len(pending),
@@ -166,4 +227,32 @@ class SweepEngine:
             workers_used=workers_used,
             wall_s=time.perf_counter() - start,
         )
+        self.last_stats = stats
+        if recording:
+            registry = self.metrics
+            registry.counter("engine.batches").inc()
+            registry.counter("engine.requested").inc(stats.requested)
+            registry.counter("engine.cache_hits").inc(stats.cache_hits)
+            self.recorder.emit({
+                "kind": "engine_batch",
+                "requested": stats.requested,
+                "unique": stats.unique,
+                "cache_hits": stats.cache_hits,
+                "simulated": stats.simulated,
+                "workers": stats.workers_used,
+                "wall_s": stats.wall_s,
+            })
         return [resolved[digest] for digest in digests]
+
+    def _record_run(self, digest: str, wall_s: float, worker: int) -> None:
+        """Ledger one executed spec into the trace and the registry."""
+        self.metrics.counter("engine.simulated").inc()
+        self.metrics.histogram(
+            "engine.run_wall_s", RUN_WALL_BUCKETS
+        ).observe(wall_s)
+        self.recorder.emit({
+            "kind": "engine_run",
+            "digest": digest,
+            "wall_s": wall_s,
+            "worker": worker,
+        })

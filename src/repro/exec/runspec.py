@@ -30,8 +30,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.policy import PolcaThresholds
 
 #: Bump to invalidate every digest (and hence on-disk cache entry) when
-#: simulator semantics change incompatibly.
-DIGEST_VERSION = 1
+#: simulator semantics change incompatibly. Version 2: the energy and
+#: breaker-exposure integrals clamp at ``duration_s`` instead of
+#: covering the post-duration drain of in-flight requests.
+DIGEST_VERSION = 2
 
 #: Policy factory names the engine can build (``all_policies()`` keys).
 POLICY_NAMES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")

@@ -1,0 +1,84 @@
+"""repro.obs — observability for the simulator and the sweep engine.
+
+The paper's argument is made of *visible* power behaviour: per-row
+telemetry series (Figure 16), cap/brake event timelines (Figure 18),
+and the controller's view of both under faults. This package records
+that behaviour from live runs without perturbing them:
+
+* :class:`~repro.obs.recorder.TraceRecorder` sinks — in-memory, JSONL,
+  CSV — receive structured events from hook points threaded through
+  :class:`~repro.cluster.simulator.ClusterSimulator` (control decisions,
+  cap/brake issue→land→verify lifecycles, fallback entry/exit, churn,
+  request drops) and :class:`~repro.exec.engine.SweepEngine` (per-run
+  wall time, cache hits, worker ids, digests). The default
+  :data:`~repro.obs.recorder.NULL_RECORDER` reports ``enabled = False``
+  and every hook is guarded by that flag, so an uninstrumented run is
+  bit-identical to the pre-observability simulator;
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges,
+  and histograms is snapshotted into
+  ``SimulationResult.observability`` for instrumented runs and can be
+  aggregated across a sweep with
+  :func:`~repro.obs.metrics.aggregate_snapshots`;
+* :mod:`repro.obs.analyze` reconstructs brake/cap timelines from a
+  trace and :func:`~repro.obs.analyze.cross_check`\\ s every reported
+  counter against the event stream, making the trace a self-validating
+  artifact (``examples/trace_inspect.py`` renders it).
+"""
+
+from repro.obs.analyze import (
+    BrakeSpan,
+    CapCommand,
+    CheckItem,
+    CrossCheckReport,
+    brake_timeline,
+    cap_timeline,
+    cross_check,
+    fallback_windows,
+    load_events,
+    summarize_trace,
+    utilization_points,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    aggregate_snapshots,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    CsvRecorder,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    read_jsonl,
+)
+
+__all__ = [
+    "BrakeSpan",
+    "CapCommand",
+    "CheckItem",
+    "Counter",
+    "CrossCheckReport",
+    "CsvRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonlRecorder",
+    "MemoryRecorder",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceEvent",
+    "TraceRecorder",
+    "aggregate_snapshots",
+    "brake_timeline",
+    "cap_timeline",
+    "cross_check",
+    "fallback_windows",
+    "load_events",
+    "read_jsonl",
+    "summarize_trace",
+    "utilization_points",
+]

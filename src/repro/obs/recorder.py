@@ -1,0 +1,214 @@
+"""Trace recorders: where instrumentation events go.
+
+A :class:`TraceRecorder` receives structured events — plain dicts with a
+``kind`` key and, for simulator events, a simulation-time ``t`` — from
+the cluster simulator's hook points and from the sweep engine. The
+contract that makes the layer safe to leave compiled in everywhere:
+
+* recorders only *observe*; they never touch simulator state, draw from
+  its RNG streams, or reorder its float arithmetic, so an instrumented
+  run is bit-identical to an uninstrumented one;
+* the :class:`NullRecorder` singleton reports ``enabled = False`` and
+  every hook point is guarded by that flag, so a run without recording
+  never even builds an event payload.
+
+Concrete sinks: :class:`MemoryRecorder` (in-process analysis),
+:class:`JsonlRecorder` (one JSON object per line — the interchange
+format :mod:`repro.obs.analyze` and ``examples/trace_inspect.py``
+consume), and :class:`CsvRecorder` (spreadsheet-friendly flat file).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Event payloads are plain dicts: ``{"kind": ..., "t": ..., **fields}``.
+TraceEvent = Dict[str, Any]
+
+
+class TraceRecorder:
+    """Base class for trace sinks.
+
+    Attributes:
+        enabled: Hook points skip payload construction entirely when this
+            is ``False`` (the :class:`NullRecorder` fast path).
+    """
+
+    enabled: bool = True
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event. Must not mutate ``event`` observably."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resources (idempotent)."""
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullRecorder(TraceRecorder):
+    """The no-op recorder: ``enabled = False``, events are discarded.
+
+    Hook points guard on ``enabled``, so a simulation handed this
+    recorder performs no event construction at all and stays
+    bit-identical to one that was never instrumented.
+    """
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - guarded
+        pass
+
+
+#: Shared no-op instance used as the default recorder everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+def _normalize_kinds(
+    kinds: Optional[Iterable[str]],
+) -> Optional[FrozenSet[str]]:
+    if kinds is None:
+        return None
+    normalized = frozenset(kinds)
+    if not normalized:
+        raise ConfigurationError("kinds filter cannot be empty")
+    return normalized
+
+
+class MemoryRecorder(TraceRecorder):
+    """Keeps events in a list for in-process analysis.
+
+    Attributes:
+        events: Every recorded event, in emission order.
+        kinds: Optional filter; events of other kinds are discarded.
+            Note that :func:`repro.obs.analyze.cross_check` needs the
+            full event stream — filter only for targeted inspection.
+    """
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.kinds = _normalize_kinds(kinds)
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.kinds is not None and event.get("kind") not in self.kinds:
+            return
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlRecorder(TraceRecorder):
+    """Streams events to a JSON-Lines file (one object per line).
+
+    Floats are serialized with ``repr``-exact round-tripping (the
+    :mod:`json` default), so a trace read back by
+    :func:`read_jsonl` carries the exact simulated values.
+
+    Attributes:
+        path: Destination file (truncated on open).
+        kinds: Optional kind filter (see :class:`MemoryRecorder`).
+    """
+
+    def __init__(
+        self, path: str, kinds: Optional[Iterable[str]] = None
+    ) -> None:
+        self.path = str(path)
+        self.kinds = _normalize_kinds(kinds)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.kinds is not None and event.get("kind") not in self.kinds:
+            return
+        if self._handle is None:
+            raise ConfigurationError(
+                f"JsonlRecorder({self.path!r}) is closed"
+            )
+        self._handle.write(json.dumps(event, sort_keys=True))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CsvRecorder(TraceRecorder):
+    """Writes events as ``t,kind,payload`` CSV rows.
+
+    The payload column holds the remaining event fields as a JSON
+    object, which keeps the schema stable across heterogeneous event
+    kinds while staying loadable in a spreadsheet.
+
+    Attributes:
+        path: Destination file (truncated on open).
+        kinds: Optional kind filter (see :class:`MemoryRecorder`).
+    """
+
+    def __init__(
+        self, path: str, kinds: Optional[Iterable[str]] = None
+    ) -> None:
+        self.path = str(path)
+        self.kinds = _normalize_kinds(kinds)
+        self._handle = open(self.path, "w", encoding="utf-8", newline="")
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(["t", "kind", "payload"])
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.kinds is not None and event.get("kind") not in self.kinds:
+            return
+        if self._handle is None:
+            raise ConfigurationError(f"CsvRecorder({self.path!r}) is closed")
+        payload = {
+            key: value for key, value in event.items()
+            if key not in ("t", "kind")
+        }
+        self._writer.writerow([
+            event.get("t", ""),
+            event.get("kind", ""),
+            json.dumps(payload, sort_keys=True),
+        ])
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load a trace written by :class:`JsonlRecorder`.
+
+    Raises:
+        ConfigurationError: If a line is not a JSON object.
+    """
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: invalid trace line: {exc}"
+                ) from None
+            if not isinstance(event, dict):
+                raise ConfigurationError(
+                    f"{path}:{lineno}: trace events must be JSON objects"
+                )
+            events.append(event)
+    return events

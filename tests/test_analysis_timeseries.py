@@ -37,6 +37,35 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             TimeSeries.from_function(lambda t: t, 1.0, 1.0, 0.1)
 
+    def test_from_function_never_samples_at_or_past_end(self):
+        # Regression: np.arange with a float step can overshoot and emit
+        # a sample at t >= end when (end - start) / interval rounds up,
+        # e.g. arange(0, 1.0, 1/3) yields 4 samples with the last at
+        # 1.0000000000000002.
+        for start, end, interval in [
+            (0.0, 0.3, 0.1),
+            (0.0, 1.0, 1.0 / 3.0),
+            (0.0, 3600.0, 2.0),
+            (5.0, 5.7, 0.1),
+        ]:
+            ts = TimeSeries.from_function(lambda t: t, start, end, interval)
+            assert len(ts) > 0
+            assert ts.times[-1] < end, (start, end, interval)
+            expected = int(np.ceil((end - start) / interval))
+            while expected > 0 and \
+                    start + (expected - 1) * interval >= end:
+                expected -= 1
+            assert len(ts) == expected
+
+    def test_from_function_timestamps_are_integer_indexed(self):
+        # start + k * interval exactly, not an accumulated running sum.
+        ts = TimeSeries.from_function(lambda t: 0.0, 0.0, 100.0, 0.1)
+        assert ts.times[-1] == 0.0 + 999 * 0.1
+
+    def test_from_function_non_positive_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries.from_function(lambda t: t, 0.0, 1.0, 0.0)
+
 
 class TestAggregates:
     def test_peak_mean_trough(self):
@@ -69,6 +98,22 @@ class TestTransforms:
     def test_rolling_mean_window_of_one_is_identity(self):
         ts = series([1, 2, 3])
         assert np.allclose(ts.rolling_mean(1.0).values, ts.values)
+
+    def test_rolling_mean_matches_scalar_loop_bitwise(self):
+        # The cumsum formulation must reproduce the original per-sample
+        # loop bit-for-bit (Figure 16 smoothing feeds published numbers).
+        rng = np.random.default_rng(16)
+        values = rng.uniform(0.0, 6000.0, size=2048)
+        ts = series(values, interval=2.0)
+        for window_s in (2.0, 8.0, 60.0, 5000.0):
+            window = max(1, int(round(window_s / ts.interval)))
+            cumsum = np.concatenate(([0.0], np.cumsum(values)))
+            expected = np.empty_like(values)
+            for i in range(values.size):
+                lo = max(0, i + 1 - window)
+                expected[i] = (cumsum[i + 1] - cumsum[lo]) / (i + 1 - lo)
+            got = ts.rolling_mean(window_s).values
+            assert np.array_equal(got, expected), window_s
 
     def test_downsample(self):
         ts = series([1, 2, 3, 4, 5], interval=0.1)

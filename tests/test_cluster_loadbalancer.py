@@ -94,3 +94,44 @@ class TestRouting:
         balancer = LoadBalancer(make_servers(3, 2), seed=0)
         assert len(balancer.pool(Priority.LOW)) == 3
         assert len(balancer.pool(Priority.HIGH)) == 2
+
+
+class TestRoutingUnderChurn:
+    """A failed server must be invisible to routing — in the slot pass
+    AND the buffer fallback. A request handed to a dead server would
+    vanish from the served/dropped ledgers."""
+
+    def test_failed_server_never_routed_to(self):
+        servers = make_servers(n_low=3, n_high=1)
+        servers[1].fail(0.0)
+        balancer = LoadBalancer(servers, seed=0)
+        for _ in range(50):
+            chosen = balancer.route(Priority.LOW)
+            assert chosen is not None
+            assert not chosen.failed
+
+    def test_buffer_fallback_skips_failed_servers(self):
+        # Every live LP server is slot-saturated, so routing must take
+        # the buffer fallback — and must only consider live buffers.
+        servers = make_servers(n_low=3, n_high=1)
+        fill(servers[0])
+        fill(servers[2])
+        servers[1].fail(0.0)
+        balancer = LoadBalancer(servers, seed=0)
+        for _ in range(50):
+            chosen = balancer.route(Priority.LOW)
+            assert chosen is not None
+            assert not chosen.failed
+            assert chosen.can_buffer
+
+    def test_drops_when_only_failed_capacity_remains(self):
+        # The live servers are fully saturated (slots + buffer); the
+        # failed server's apparent capacity must not save the request.
+        servers = make_servers(n_low=2, n_high=1)
+        fill(servers[0])
+        servers[0].buffered = SampledRequest(
+            0.0, CHAT, Priority.LOW, 512, 128
+        )
+        servers[1].fail(0.0)
+        balancer = LoadBalancer(servers, seed=0)
+        assert balancer.route(Priority.LOW) is None

@@ -19,6 +19,7 @@ FAST_SCRIPTS = [
     "training_power.py",
     "datatype_study.py",
     "phase_aware_serving.py",
+    "trace_inspect.py",
 ]
 
 

@@ -14,9 +14,11 @@ SUBPACKAGES = [
     "repro.control",
     "repro.core",
     "repro.datacenter",
+    "repro.exec",
     "repro.faults",
     "repro.gpu",
     "repro.models",
+    "repro.obs",
     "repro.server",
     "repro.telemetry",
     "repro.training",
