@@ -11,8 +11,6 @@ caps shave a little more.
 
 from conftest import print_table
 
-from repro.workloads.spec import Priority
-
 
 def reproduce_energy(eval_cache):
     baseline = eval_cache.baseline()

@@ -9,7 +9,11 @@ a 2 h window at the daily peak, No-cap, +5% power, 30% oversubscription,
 the scenario where the brake does all the work — to ``TRACE_fig18.jsonl``
 at the repo root, which CI uploads as an artifact; the trace is
 cross-checked against the run's own ``SimulationResult`` before it is
-accepted.
+accepted. The run carries the live alert engine (teed with the JSONL
+sink), must produce at least one brake-storm incident — this *is* the
+brake-storm scenario — and its metrics + incident snapshot is exported
+as an OpenMetrics textfile, ``METRICS_fig18.prom``, uploaded next to
+the trace.
 """
 
 from pathlib import Path
@@ -18,7 +22,15 @@ from conftest import print_table
 
 from repro import NoCapPolicy
 from repro.cluster.simulator import ClusterConfig, ClusterSimulator
-from repro.obs import JsonlRecorder, cross_check, summarize_trace
+from repro.obs import (
+    AlertEngine,
+    JsonlRecorder,
+    TeeRecorder,
+    cross_check,
+    incident_table,
+    summarize_trace,
+    write_textfile,
+)
 from repro.units import hours
 from repro.workloads.tracegen import (
     ProductionTraceModel,
@@ -28,6 +40,7 @@ from repro.workloads.tracegen import (
 POLICIES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")
 
 TRACE_PATH = Path(__file__).resolve().parent.parent / "TRACE_fig18.jsonl"
+METRICS_PATH = Path(__file__).resolve().parent.parent / "METRICS_fig18.prom"
 TRACE_HOURS = 2.0
 
 
@@ -73,9 +86,12 @@ def test_fig18_trace_artifact(benchmark):
     A 2 h window of the production pattern centered on the daily peak
     (``peak_hour=0.5``), replayed against No-cap at +5% power and 30%
     oversubscription — the corner of Figure 18 where the brake does all
-    the work — streamed through a ``JsonlRecorder``. The artifact is
-    only kept if ``cross_check`` re-derives every result counter from
-    it, and the recorded run must be bit-identical to an unrecorded one.
+    the work — streamed through a ``JsonlRecorder`` teed with the live
+    ``AlertEngine``. The artifact is only kept if ``cross_check``
+    re-derives every result counter from it, the recorded run must be
+    bit-identical to an unrecorded one, and the scenario must trip at
+    least one brake-storm incident, exported (with the run's metrics)
+    as the ``METRICS_fig18.prom`` OpenMetrics artifact.
     """
     n_base, added_fraction = 40, 0.30
     deployed = int(round(n_base * (1 + added_fraction)))
@@ -92,7 +108,9 @@ def test_fig18_trace_artifact(benchmark):
             n_base_servers=n_base, added_fraction=added_fraction,
             power_scale=1.05, seed=1,
         )
-        with JsonlRecorder(str(TRACE_PATH)) as recorder:
+        alerts = AlertEngine()
+        with JsonlRecorder(str(TRACE_PATH)) as sink:
+            recorder = TeeRecorder([sink, alerts])
             traced = ClusterSimulator(config, NoCapPolicy(), recorder).run(
                 synthetic.requests, hours(TRACE_HOURS)
             )
@@ -107,7 +125,21 @@ def test_fig18_trace_artifact(benchmark):
     assert traced.power_brake_events == bare.power_brake_events
     assert traced.total_energy_j == bare.total_energy_j
     assert traced.total_served == bare.total_served
+    # The brake-storm rule must fire on the brake-storm scenario, and
+    # the incidents must have landed in the result's snapshot.
+    incidents = traced.observability["incidents"]
+    storms = [i for i in incidents if i["rule"] == "brake-storm"]
+    assert storms, f"no brake-storm incident in {incidents!r}"
+    metrics_text = write_textfile(
+        str(METRICS_PATH), traced.observability,
+        labels={"figure": "18", "scenario": "nocap_hot_30"},
+    )
+    assert metrics_text.endswith("# EOF\n")
+    assert "repro_incidents_total" in metrics_text
     print(f"\n=== Figure 18 trace artifact — {TRACE_PATH.name} "
           f"({TRACE_HOURS:.0f} h No-cap+5% at 30% oversubscription) ===")
     for line in summarize_trace(str(TRACE_PATH)):
+        print(f"  {line}")
+    print(f"\n=== Live incidents — exported to {METRICS_PATH.name} ===")
+    for line in incident_table(incidents):
         print(f"  {line}")

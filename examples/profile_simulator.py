@@ -9,8 +9,6 @@ and after touching ``repro.cluster`` to see what a change buys.
 Run:  python examples/profile_simulator.py
 """
 
-from repro.core.baselines import NoCapPolicy
-from repro.core.policy import DualThresholdPolicy
 from repro.exec import PolicySpec, RunSpec, execute_spec, profile_call, timed
 from repro.cluster.simulator import ClusterConfig
 from repro.units import hours

@@ -12,7 +12,6 @@ from repro import (
     DgxServer,
     DualThresholdPolicy,
     EvaluationHarness,
-    InferenceRequest,
     Priority,
     RooflineLatencyModel,
     SimulatedGpu,

@@ -6,31 +6,41 @@ requests, server churn — to a ``TraceRecorder`` (see ``repro.obs``). This
 tool renders such a trace for a human:
 
 * ``python examples/trace_inspect.py trace.jsonl`` summarizes a recorded
-  JSONL trace and reconstructs its brake and fallback timelines.
+  JSONL trace and reconstructs its brake and fallback timelines
+  (``--kinds control,serve`` restricts the summary to those kinds).
+* ``python examples/trace_inspect.py diff a.jsonl b.jsonl`` compares two
+  traces event by event and reports the *first* divergent event — tick,
+  kind, field, and both values (exit code 1 when they diverge, 0 when
+  identical) — the one-command root-cause tool for two runs that should
+  have been bit-identical.
 * ``python examples/trace_inspect.py`` (no argument) records a fresh demo
   trace from a short faulted run, writes it next to the working
   directory (or ``--out``), renders it, and then *cross-checks* it: every
   counter in the run's ``SimulationResult`` is re-derived from the event
   stream and compared (two independent accounting paths that must agree).
 
-Run:  python examples/trace_inspect.py [trace.jsonl] [--out demo.jsonl]
+Run:  python examples/trace_inspect.py [diff A B | trace.jsonl] [--out f]
 """
 
 import argparse
 import os
+import sys
 import tempfile
 
 import numpy as np
 
 from repro.cluster.simulator import ClusterConfig, ClusterSimulator
 from repro.core.policy import DualThresholdPolicy
+from repro.errors import ReproError
 from repro.faults import FaultPlan, ReliabilityConfig, TelemetryFaultSpec
 from repro.obs import (
     JsonlRecorder,
     brake_timeline,
     cap_timeline,
     cross_check,
+    diff_traces,
     fallback_windows,
+    format_divergence,
     load_events,
     summarize_trace,
 )
@@ -117,35 +127,76 @@ def demo(out_path: str) -> None:
     print("every counter re-derived from the trace matches the result")
 
 
-def main() -> None:
+def diff_main(argv) -> int:
+    """The ``diff`` subcommand: first divergent event of two traces."""
     parser = argparse.ArgumentParser(
-        description="Summarize a simulator JSONL trace, or record and "
-                    "cross-check a demo trace when no path is given."
+        prog="trace_inspect.py diff",
+        description="Localize the first divergent event between two "
+                    "JSONL traces (exit 0: identical, 1: divergent).",
     )
-    parser.add_argument(
-        "trace", nargs="?", default=None,
-        help="path to a JSONL trace recorded with JsonlRecorder",
+    parser.add_argument("trace_a", help="first JSONL trace")
+    parser.add_argument("trace_b", help="second JSONL trace")
+    args = parser.parse_args(argv)
+    divergence = diff_traces(
+        load_events(args.trace_a), load_events(args.trace_b)
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="where the demo trace is written (default: a temp file)",
-    )
-    args = parser.parse_args()
+    for line in format_divergence(
+        divergence, label_a=args.trace_a, label_b=args.trace_b
+    ):
+        print(line)
+    return 0 if divergence is None else 1
 
-    if args.trace is not None:
-        render(load_events(args.trace))
-        return
 
-    if args.out is not None:
-        demo(args.out)
-        return
-    handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="trace_demo_")
-    os.close(handle)
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
     try:
-        demo(path)
-    finally:
-        os.unlink(path)
+        if argv and argv[0] == "diff":
+            return diff_main(argv[1:])
+
+        parser = argparse.ArgumentParser(
+            description="Summarize a simulator JSONL trace, or record "
+                        "and cross-check a demo trace when no path is "
+                        "given. Use the 'diff' subcommand to compare "
+                        "two traces."
+        )
+        parser.add_argument(
+            "trace", nargs="?", default=None,
+            help="path to a JSONL trace recorded with JsonlRecorder",
+        )
+        parser.add_argument(
+            "--kinds", default=None,
+            help="comma-separated event kinds to keep when summarizing",
+        )
+        parser.add_argument(
+            "--out", default=None,
+            help="where the demo trace is written (default: a temp file)",
+        )
+        args = parser.parse_args(argv)
+
+        if args.trace is not None:
+            events = load_events(args.trace)
+            if args.kinds is not None:
+                keep = {k.strip() for k in args.kinds.split(",") if k.strip()}
+                events = [e for e in events if e.get("kind") in keep]
+            render(events)
+            return 0
+
+        if args.out is not None:
+            demo(args.out)
+            return 0
+        handle, path = tempfile.mkstemp(
+            suffix=".jsonl", prefix="trace_demo_"
+        )
+        os.close(handle)
+        try:
+            demo(path)
+        finally:
+            os.unlink(path)
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -76,11 +76,18 @@ from repro.faults import (
     ServerChurnEvent,
 )
 from repro.obs import (
+    AlertEngine,
+    Incident,
     JsonlRecorder,
     MemoryRecorder,
     NullRecorder,
+    StreamMonitor,
+    TeeRecorder,
     TraceRecorder,
     cross_check,
+    default_rules,
+    diff_traces,
+    render_openmetrics,
     summarize_trace,
 )
 from repro.workloads import (
@@ -96,6 +103,7 @@ __all__ = [
     "A100_40GB",
     "A100_80GB",
     "ActuationError",
+    "AlertEngine",
     "CapacityError",
     "ClusterConfig",
     "ClusterSimulator",
@@ -107,6 +115,7 @@ __all__ = [
     "FrequencyError",
     "GpuSpec",
     "H100_80GB",
+    "Incident",
     "InferenceRequest",
     "JsonlRecorder",
     "LlmSpec",
@@ -134,17 +143,22 @@ __all__ = [
     "SimulationResult",
     "SingleThresholdAllPolicy",
     "SingleThresholdLowPriPolicy",
+    "StreamMonitor",
     "SyntheticTraceGenerator",
     "TABLE6_MIX",
+    "TeeRecorder",
     "TelemetryError",
     "TraceError",
     "TraceRecorder",
     "added_servers_sweep",
     "compare_policies",
     "cross_check",
+    "default_rules",
     "default_workers",
+    "diff_traces",
     "evaluate_slos",
     "get_model",
+    "render_openmetrics",
     "select_thresholds",
     "summarize_trace",
     "threshold_search",

@@ -145,10 +145,16 @@ class ClusterSimulator:
     Pass a :class:`~repro.obs.recorder.TraceRecorder` to capture the
     run's event stream (control decisions, cap/brake lifecycles,
     fallback windows, churn, serves and drops) and a metrics snapshot in
-    ``SimulationResult.observability``. The default is the shared
-    :data:`~repro.obs.recorder.NULL_RECORDER`: every hook point is
-    guarded by ``recorder.enabled``, so an unrecorded run builds no
-    event payloads and stays bit-identical to an uninstrumented one.
+    ``SimulationResult.observability``. Live consumers — a
+    :class:`~repro.obs.stream.StreamMonitor`, an
+    :class:`~repro.obs.alerts.AlertEngine`, or a
+    :class:`~repro.obs.stream.TeeRecorder` composing them with storage
+    sinks — attach the same way and additionally contribute their
+    sections (stream values, incidents) to the snapshot. The default is
+    the shared :data:`~repro.obs.recorder.NULL_RECORDER`: every hook
+    point is guarded by ``recorder.enabled``, so an unrecorded run
+    builds no event payloads and stays bit-identical to an
+    uninstrumented one.
     """
 
     def __init__(
@@ -937,6 +943,17 @@ class ClusterSimulator:
             obs.gauge("power.provisioned_w").set(config.provisioned_power_w)
             obs.gauge("energy.total_j").set(total_energy)
             observability = obs.snapshot()
+            # Live consumers (alert engines, stream monitors — possibly
+            # teed with storage sinks) settle their window state at the
+            # end of the recorded stream and contribute their own
+            # sections (incidents, stream values) next to the metrics
+            # snapshot. Plain sinks return None and nothing changes.
+            recorder.finalize(duration_s)
+            extra = recorder.observability_snapshot()
+            if extra:
+                for key, value in extra.items():
+                    if key not in observability:
+                        observability[key] = value
         return SimulationResult(
             per_priority=metrics,
             power_series=series,

@@ -33,7 +33,7 @@ from repro.cluster.metrics import SimulationResult
 from repro.cluster.policy_base import PowerPolicy
 from repro.cluster.simulator import ClusterConfig, ClusterSimulator
 from repro.core.baselines import NoCapPolicy, all_policies
-from repro.core.policy import DualThresholdPolicy, PolcaThresholds
+from repro.core.policy import PolcaThresholds
 from repro.errors import ConfigurationError
 from repro.exec import (
     PolicySpec,

@@ -21,8 +21,12 @@ from repro.workloads.spec import Priority
 
 #: Bump when the serialized layout changes; mismatched entries are
 #: treated as cache misses rather than decoded wrongly. Version 2 adds
-#: the ``observability`` metrics snapshot.
-SCHEMA_VERSION = 2
+#: the ``observability`` metrics snapshot. Version 3 extends
+#: ``observability`` with the live layer's sections — ``incidents`` /
+#: ``alerts`` (see :mod:`repro.obs.alerts`) and ``stream``
+#: (:class:`~repro.obs.stream.StreamMonitor` probe values) — and makes
+#: gauges nullable (explicit unset state).
+SCHEMA_VERSION = 3
 
 
 def _metrics_to_dict(metrics: PriorityMetrics) -> Dict[str, Any]:

@@ -26,6 +26,7 @@ from repro.cluster.metrics import SimulationResult
 from repro.errors import ConfigurationError
 from repro.exec.cache import RunCache
 from repro.exec.runspec import RunSpec, execute_spec
+from repro.obs.export import write_textfile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
@@ -123,7 +124,9 @@ class SweepEngine:
         cache: The run memo cache (a private in-memory one by default —
             pass a shared instance to memoize across sweeps).
         recorder: Trace sink for engine-level events (per-run wall time,
-            cache hit/miss, worker pid, digest, batch summaries). The
+            cache hit/miss, worker pid, digest, batch summaries, and a
+            live ``engine_progress`` feed — runs done, cache hits, ETA
+            — emitted as each run completes). The
             default :data:`~repro.obs.recorder.NULL_RECORDER` records
             nothing and adds no overhead. Engine events carry no ``t``
             key — they are wall-clock, not simulation-time. Recording
@@ -181,10 +184,11 @@ class SweepEngine:
             else:
                 pending.append((digest, spec))
         workers_used = 1
+        batch_hits = len(specs) - len(pending)
         if pending:
             n_workers = min(self.workers, len(pending))
             if n_workers <= 1 or not fork_available():
-                for digest, spec in pending:
+                for done, (digest, spec) in enumerate(pending, start=1):
                     if recording:
                         run_start = time.perf_counter()
                         result = execute_spec(spec)
@@ -194,6 +198,9 @@ class SweepEngine:
                             os.getpid(),
                         )
                         resolved[digest] = result
+                        self._record_progress(
+                            done, len(pending), batch_hits, start, 1
+                        )
                     else:
                         resolved[digest] = execute_spec(spec)
             else:
@@ -203,14 +210,20 @@ class SweepEngine:
                     max_workers=n_workers, mp_context=context
                 ) as pool:
                     if recording:
+                        # pool.map yields lazily in submission order, so
+                        # each arrival advances the live progress feed
+                        # while later runs are still executing.
                         timed = pool.map(
                             _execute_timed, [spec for _, spec in pending]
                         )
-                        for (digest, _), (result, wall_s, worker) in zip(
-                            pending, timed
-                        ):
+                        for done, ((digest, _), (result, wall_s, worker)) \
+                                in enumerate(zip(pending, timed), start=1):
                             self._record_run(digest, wall_s, worker)
                             resolved[digest] = result
+                            self._record_progress(
+                                done, len(pending), batch_hits, start,
+                                n_workers,
+                            )
                     else:
                         outputs = pool.map(
                             execute_spec, [spec for _, spec in pending]
@@ -256,3 +269,54 @@ class SweepEngine:
             "wall_s": wall_s,
             "worker": worker,
         })
+
+    def _record_progress(
+        self,
+        done: int,
+        total: int,
+        cache_hits: int,
+        batch_start: float,
+        workers: int,
+    ) -> None:
+        """Emit a live ``engine_progress`` event after each completed run.
+
+        The ETA extrapolates the batch's observed throughput
+        (completed runs over elapsed wall time — worker parallelism is
+        therefore already priced in) to the remaining runs. Long sweeps
+        stream these while still executing; a dashboard (or plain
+        ``tail -f`` on a JSONL sink) shows runs done, cache hits, and
+        time to completion without waiting for the batch to return.
+        """
+        elapsed = time.perf_counter() - batch_start
+        remaining = total - done
+        eta_s = (elapsed / done) * remaining if done else float("inf")
+        self.metrics.gauge("engine.progress_done").set(done)
+        self.recorder.emit({
+            "kind": "engine_progress",
+            "done": done,
+            "total": total,
+            "cache_hits": cache_hits,
+            "elapsed_s": elapsed,
+            "eta_s": eta_s,
+            "workers": workers,
+        })
+
+    def export_metrics(
+        self,
+        path: str,
+        labels: Optional[dict] = None,
+    ) -> str:
+        """Write this engine's metrics as an OpenMetrics textfile.
+
+        Renders the accumulated registry (batches, cache hits, per-run
+        wall-time histogram, progress) through
+        :func:`repro.obs.export.write_textfile`; returns the rendered
+        text. The registry only accumulates while the engine's recorder
+        is enabled, so pair this with any recorder (a
+        :class:`~repro.obs.recorder.MemoryRecorder` suffices) for a
+        populated export at the end of a long sweep.
+        """
+        return write_textfile(
+            path, self.metrics.snapshot(), prefix="repro_engine",
+            labels=labels,
+        )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 import enum
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -22,9 +22,33 @@ that behaviour from live runs without perturbing them:
 * :mod:`repro.obs.analyze` reconstructs brake/cap timelines from a
   trace and :func:`~repro.obs.analyze.cross_check`\\ s every reported
   counter against the event stream, making the trace a self-validating
-  artifact (``examples/trace_inspect.py`` renders it).
+  artifact (``examples/trace_inspect.py`` renders it);
+* the live layer (``repro.obs.live`` in the docs) consumes the same
+  stream *online*: :mod:`repro.obs.stream` provides per-event windowed
+  aggregators (:class:`~repro.obs.stream.Ewma`, rolling rates,
+  sliding-window max/quantile) behind a
+  :class:`~repro.obs.stream.StreamMonitor`, with
+  :class:`~repro.obs.stream.TeeRecorder` composing monitors with
+  storage sinks; :mod:`repro.obs.alerts` evaluates declarative
+  :class:`~repro.obs.alerts.AlertRule`\\ s (for-duration, hysteresis,
+  dedup) into :class:`~repro.obs.alerts.Incident` lifecycles that the
+  simulator snapshots into ``SimulationResult.observability``;
+  :mod:`repro.obs.export` renders snapshots as OpenMetrics text; and
+  :mod:`repro.obs.diff` localizes the first divergent event between
+  two traces (or results) for one-command root-causing.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    Incident,
+    RateRule,
+    SloViolationRule,
+    ThresholdRule,
+    default_rules,
+    incident_table,
+    merge_incident_snapshots,
+)
 from repro.obs.analyze import (
     BrakeSpan,
     CapCommand,
@@ -37,6 +61,17 @@ from repro.obs.analyze import (
     load_events,
     summarize_trace,
     utilization_points,
+)
+from repro.obs.diff import (
+    Divergence,
+    diff_results,
+    diff_traces,
+    format_divergence,
+)
+from repro.obs.export import (
+    render_openmetrics,
+    sanitize_metric_name,
+    write_textfile,
 )
 from repro.obs.metrics import (
     Counter,
@@ -55,30 +90,60 @@ from repro.obs.recorder import (
     TraceRecorder,
     read_jsonl,
 )
+from repro.obs.stream import (
+    Ewma,
+    RollingRate,
+    StreamMonitor,
+    TeeRecorder,
+    WindowMax,
+    WindowQuantile,
+)
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "BrakeSpan",
     "CapCommand",
     "CheckItem",
     "Counter",
     "CrossCheckReport",
     "CsvRecorder",
+    "Divergence",
+    "Ewma",
     "Gauge",
     "Histogram",
+    "Incident",
     "JsonlRecorder",
     "MemoryRecorder",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "RateRule",
+    "RollingRate",
+    "SloViolationRule",
+    "StreamMonitor",
+    "TeeRecorder",
+    "ThresholdRule",
     "TraceEvent",
     "TraceRecorder",
+    "WindowMax",
+    "WindowQuantile",
     "aggregate_snapshots",
     "brake_timeline",
     "cap_timeline",
     "cross_check",
+    "default_rules",
+    "diff_results",
+    "diff_traces",
     "fallback_windows",
+    "format_divergence",
+    "incident_table",
     "load_events",
+    "merge_incident_snapshots",
     "read_jsonl",
+    "render_openmetrics",
+    "sanitize_metric_name",
     "summarize_trace",
     "utilization_points",
+    "write_textfile",
 ]

@@ -1,0 +1,175 @@
+"""OpenMetrics / Prometheus text rendering of observability snapshots.
+
+Production power-management pipelines are operated through exporters:
+every server's telemetry daemon renders counters into a text format a
+scraper aggregates. This module does the same for the simulator's
+:class:`~repro.obs.metrics.MetricsRegistry` snapshots (and the alert
+engine's incident counters), producing the OpenMetrics text exposition
+format:
+
+* counters become ``<name>_total``, gauges plain samples, histograms
+  the ``_bucket{le=...}`` / ``_sum`` / ``_count`` family with
+  *cumulative* bucket counts and a ``+Inf`` bucket;
+* metric names are sanitized (``requests.served`` →
+  ``repro_requests_served``); an optional label set is stamped on every
+  sample (used by sweeps to distinguish runs);
+* output ends with ``# EOF`` per the OpenMetrics spec, and parses with
+  any Prometheus-compatible scraper.
+
+:func:`render_openmetrics` is pure; :func:`write_textfile` is the
+node-exporter-textfile-style convenience. The sweep engine exposes
+both through :meth:`~repro.exec.engine.SweepEngine.export_metrics`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "write_textfile",
+]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Turn a dotted registry name into a legal metric name.
+
+    Dots and other invalid characters become underscores; a leading
+    digit is prefixed with an underscore. With a ``prefix``, the two
+    are joined by an underscore (``repro`` + ``requests.served`` →
+    ``repro_requests_served``).
+
+    Raises:
+        ConfigurationError: If the result is empty.
+    """
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if prefix:
+        cleaned = f"{_INVALID_CHARS.sub('_', prefix)}_{cleaned}"
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    if not cleaned or not _NAME_OK.match(cleaned):
+        raise ConfigurationError(
+            f"cannot derive a metric name from {name!r}"
+        )
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_INVALID_CHARS.sub("_", key)}='
+        f'"{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def render_openmetrics(
+    snapshot: Optional[Dict[str, Any]],
+    prefix: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render an observability snapshot as OpenMetrics text.
+
+    ``snapshot`` is the dict stored at
+    ``SimulationResult.observability`` (or any
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`): the
+    ``counters`` / ``gauges`` / ``histograms`` sections render as their
+    metric families (unset gauges — value ``None`` — are skipped), and
+    if the snapshot carries an ``incidents`` section (see
+    :mod:`repro.obs.alerts`) it renders as
+    ``<prefix>_incidents_total{rule=...,severity=...}`` plus an
+    ``<prefix>_incidents_open`` gauge. ``None`` renders as an empty
+    (but still terminated) exposition.
+    """
+    labels = dict(labels or {})
+    label_text = _render_labels(labels)
+    lines: List[str] = []
+    snapshot = snapshot or {}
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total{label_text} {int(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue  # explicit unset state: nothing to expose
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{label_text} {_format_value(value)}")
+
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += int(count)
+            bucket_labels = _render_labels(
+                {**labels, "le": _format_value(bound)}
+            )
+            lines.append(f"{metric}_bucket{bucket_labels} {cumulative}")
+        inf_labels = _render_labels({**labels, "le": "+Inf"})
+        lines.append(f"{metric}_bucket{inf_labels} {int(data['count'])}")
+        lines.append(
+            f"{metric}_sum{label_text} {_format_value(data['sum'])}"
+        )
+        lines.append(f"{metric}_count{label_text} {int(data['count'])}")
+
+    incidents = snapshot.get("incidents")
+    if incidents is not None:
+        metric = sanitize_metric_name("incidents", prefix)
+        totals: Dict[tuple, int] = {}
+        open_count = 0
+        for incident in incidents:
+            key = (str(incident["rule"]), str(incident["severity"]))
+            totals[key] = totals.get(key, 0) + 1
+            if incident.get("resolved_at") is None:
+                open_count += 1
+        lines.append(f"# TYPE {metric} counter")
+        for (rule, severity), count in sorted(totals.items()):
+            incident_labels = _render_labels(
+                {**labels, "rule": rule, "severity": severity}
+            )
+            lines.append(f"{metric}_total{incident_labels} {count}")
+        open_metric = sanitize_metric_name("incidents_open", prefix)
+        lines.append(f"# TYPE {open_metric} gauge")
+        lines.append(f"{open_metric}{label_text} {open_count}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_textfile(
+    path: str,
+    snapshot: Optional[Dict[str, Any]],
+    prefix: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render ``snapshot`` and write it to ``path``; returns the text."""
+    text = render_openmetrics(snapshot, prefix=prefix, labels=labels)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

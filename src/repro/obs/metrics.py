@@ -37,12 +37,24 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time scalar metric (last write wins)."""
+    """A point-in-time scalar metric (last write wins).
+
+    A gauge that was never written holds ``value = None`` — an explicit
+    unset state, distinct from "set to 0.0" — and snapshots carry that
+    ``None`` through. This also makes :meth:`max` correct for
+    all-negative signals: the first observation seeds the maximum
+    instead of losing against an implicit 0.0.
+    """
 
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0.0
+        self.value: Optional[float] = None
+
+    @property
+    def is_set(self) -> bool:
+        """Whether the gauge has ever been written."""
+        return self.value is not None
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -50,7 +62,7 @@ class Gauge:
     def max(self, value: float) -> None:
         """Keep the running maximum of the observed values."""
         value = float(value)
-        if value > self.value:
+        if self.value is None or value > self.value:
             self.value = value
 
 
@@ -192,16 +204,18 @@ def aggregate_snapshots(
     """Merge metric snapshots from many runs into one.
 
     Counters and histogram buckets add; gauges keep their maximum (the
-    convention every gauge in this package follows is "peak observed").
-    ``None`` entries — uninstrumented runs — are skipped, so the result
-    aggregates exactly the instrumented subset of a sweep.
+    convention every gauge in this package follows is "peak observed"),
+    with never-written gauges (value ``None``) kept visible but never
+    outranking a run that did set them. ``None`` snapshot entries —
+    uninstrumented runs — are skipped, so the result aggregates exactly
+    the instrumented subset of a sweep.
 
     Raises:
         ConfigurationError: If two snapshots disagree on a histogram's
             bucket bounds.
     """
     counters: Dict[str, int] = {}
-    gauges: Dict[str, float] = {}
+    gauges: Dict[str, Optional[float]] = {}
     histograms: Dict[str, Dict[str, Any]] = {}
     merged_any = False
     for snapshot in snapshots:
@@ -211,7 +225,16 @@ def aggregate_snapshots(
         for name, value in snapshot.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + int(value)
         for name, value in snapshot.get("gauges", {}).items():
-            gauges[name] = max(gauges.get(name, float("-inf")), float(value))
+            if value is None:
+                # Unset in this run: keep the name visible, but let any
+                # run that did set the gauge win.
+                gauges.setdefault(name, None)
+                continue
+            previous = gauges.get(name)
+            gauges[name] = (
+                float(value) if previous is None
+                else max(previous, float(value))
+            )
         for name, data in snapshot.get("histograms", {}).items():
             existing = histograms.get(name)
             if existing is None:

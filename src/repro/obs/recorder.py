@@ -47,10 +47,32 @@ class TraceRecorder:
     def close(self) -> None:
         """Flush and release any underlying resources (idempotent)."""
 
+    def finalize(self, t_end: float) -> None:
+        """End-of-run hook: the stream is complete up to ``t_end``.
+
+        Called by the simulator (only while recording) before it
+        snapshots observability. Streaming consumers use it to settle
+        window state; plain sinks ignore it. Distinct from
+        :meth:`close`: a finalized recorder can still be read.
+        """
+
+    def observability_snapshot(self) -> Optional[Dict[str, Any]]:
+        """Extra JSON-serializable state for the run's observability.
+
+        Live consumers (alert engines, stream monitors) return a dict
+        that the simulator merges into
+        ``SimulationResult.observability`` next to the metrics
+        snapshot; plain sinks return ``None``.
+        """
+        return None
+
     def __enter__(self) -> "TraceRecorder":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        # Runs on exceptions too: a trace recorded up to a mid-run
+        # fault is flushed and closed, so the partial artifact stays
+        # valid JSONL/CSV (regression-tested in tests/test_obs.py).
         self.close()
 
 
@@ -133,8 +155,10 @@ class JsonlRecorder(TraceRecorder):
             raise ConfigurationError(
                 f"JsonlRecorder({self.path!r}) is closed"
             )
-        self._handle.write(json.dumps(event, sort_keys=True))
-        self._handle.write("\n")
+        # One write call per event: serialization happens (and can fail)
+        # before anything touches the file, so a fault mid-run never
+        # leaves a torn line behind.
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
         self.events_written += 1
 
     def close(self) -> None:

@@ -12,7 +12,6 @@ from repro.core.policy import DualThresholdPolicy
 from repro.errors import ConfigurationError
 from repro.faults import ChurnSpec, FaultPlan, ServerChurnEvent
 from repro.workloads.requests import RequestSampler
-from repro.workloads.spec import Priority
 
 
 def make_requests(rate, duration, seed=0):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster.server_sim import ServerPowerModel, ServerSim
 from repro.errors import ConfigurationError, SimulationError
-from repro.gpu.specs import A100_80GB
 from repro.workloads.requests import SampledRequest
 from repro.workloads.spec import CHAT, Priority
 

@@ -2,9 +2,14 @@
 
 The quickstart and POLCA walkthroughs simulate hours of cluster time, so
 they are exercised with reduced horizons by importing their modules and
-driving the cheap entry points; the fully fast scripts run as-is.
+driving the cheap entry points; the fully fast scripts run as-is. The
+``trace_inspect.py`` CLI additionally gets contract tests for its exit
+codes (0 = fine/identical, 1 = traces diverge, 2 = usage/IO error) and
+its summarize/diff modes.
 """
 
+import importlib.util
+import json
 import runpy
 import subprocess
 import sys
@@ -20,6 +25,7 @@ FAST_SCRIPTS = [
     "datatype_study.py",
     "phase_aware_serving.py",
     "trace_inspect.py",
+    "monitor_run.py",
 ]
 
 
@@ -45,3 +51,98 @@ def test_quickstart_sections_importable():
 def test_polca_example_importable():
     namespace = runpy.run_path(str(EXAMPLES / "polca_oversubscription.py"))
     assert "main" in namespace
+
+
+# ----------------------------------------------------------------------
+# trace_inspect.py CLI contract
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trace_inspect():
+    spec = importlib.util.spec_from_file_location(
+        "trace_inspect", EXAMPLES / "trace_inspect.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_trace(path, events):
+    path.write_text(
+        "".join(json.dumps(event) + "\n" for event in events)
+    )
+    return str(path)
+
+
+EVENTS = [
+    {"kind": "control", "t": 2.0, "utilization": 0.8},
+    {"kind": "serve", "t": 3.0, "latency_s": 1.0},
+]
+
+
+class TestTraceInspectCli:
+    def test_summarize_exits_zero(self, trace_inspect, tmp_path, capsys):
+        trace = write_trace(tmp_path / "a.jsonl", EVENTS)
+        assert trace_inspect.main([trace]) == 0
+        out = capsys.readouterr().out
+        assert "2 events spanning" in out
+        assert "control=1" in out and "serve=1" in out
+
+    def test_unknown_kind_filter_yields_empty_summary(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "a.jsonl", EVENTS)
+        assert trace_inspect.main([trace, "--kinds", "nonexistent"]) == 0
+        assert "0 events" in capsys.readouterr().out
+
+    def test_kind_filter_keeps_only_named_kinds(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "a.jsonl", EVENTS)
+        assert trace_inspect.main([trace, "--kinds", "serve"]) == 0
+        out = capsys.readouterr().out
+        assert "serve=1" in out and "control" not in out
+
+    def test_empty_trace_handled(self, trace_inspect, tmp_path, capsys):
+        trace = write_trace(tmp_path / "empty.jsonl", [])
+        assert trace_inspect.main([trace]) == 0
+        assert "0 events" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, trace_inspect, tmp_path, capsys):
+        code = trace_inspect.main([str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+
+    def test_invalid_trace_exits_two(self, trace_inspect, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert trace_inspect.main([str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_identical_exits_zero(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        b = write_trace(tmp_path / "b.jsonl", EVENTS)
+        assert trace_inspect.main(["diff", a, b]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_divergent_exits_one_and_names_the_field(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        changed = [dict(EVENTS[0]), dict(EVENTS[1], latency_s=9.0)]
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        b = write_trace(tmp_path / "b.jsonl", changed)
+        assert trace_inspect.main(["diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence at event [1]" in out
+        assert "field: latency_s" in out
+        assert "a.jsonl: 1.0" in out and "b.jsonl: 9.0" in out
+
+    def test_diff_missing_file_exits_two(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        a = write_trace(tmp_path / "a.jsonl", EVENTS)
+        code = trace_inspect.main(["diff", a, str(tmp_path / "no.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -7,7 +7,6 @@ from repro.core.phase_aware import compare_with_full_lock, phase_aware_outcome
 from repro.datacenter.derating import plan_derating
 from repro.errors import ConfigurationError, FrequencyError
 from repro.models.registry import get_model
-from repro.server.dgx import DgxServer
 from repro.training.smoothing import overlapped_profile, smoothing_sweep
 
 

@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.errors import FrequencyError, ModelNotFoundError, PowerCapError
-from repro.gpu.specs import A100_40GB, A100_80GB, H100_80GB, GpuSpec, gpu_spec
+from repro.gpu.specs import A100_40GB, A100_80GB, H100_80GB, gpu_spec
 
 
 class TestPaperConstants:

@@ -210,6 +210,38 @@ class TestRecorderSinks:
             "latency_s": 2.5
         }
 
+    def test_jsonl_survives_a_mid_run_fault(self, tmp_path):
+        """A trace recorded up to an exception is still valid JSONL."""
+        path = str(tmp_path / "faulted.jsonl")
+        with pytest.raises(RuntimeError, match="mid-run fault"):
+            with JsonlRecorder(path) as recorder:
+                recorder.emit({"kind": "serve", "t": 1.0, "latency_s": 2.0})
+                recorder.emit({"kind": "control", "t": 2.0,
+                               "utilization": 0.9})
+                raise RuntimeError("mid-run fault")
+        # __exit__ flushed and closed despite the exception ...
+        with pytest.raises(ConfigurationError):
+            recorder.emit({"kind": "serve", "t": 3.0})
+        # ... so the partial artifact parses completely.
+        events = read_jsonl(path)
+        assert [e["kind"] for e in events] == ["serve", "control"]
+        assert events[0]["latency_s"] == 2.0
+
+    def test_csv_survives_a_mid_run_fault(self, tmp_path):
+        path = str(tmp_path / "faulted.csv")
+        with pytest.raises(RuntimeError):
+            with CsvRecorder(path) as recorder:
+                recorder.emit({"kind": "serve", "t": 1.0, "latency_s": 2.0})
+                raise RuntimeError("mid-run fault")
+        import csv
+
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["t", "kind", "payload"]
+        assert rows[1][:2] == ["1.0", "serve"]
+        assert json.loads(rows[1][2]) == {"latency_s": 2.0}
+        assert len(rows) == 2  # nothing torn after the fault
+
     def test_simulation_trace_streams_to_jsonl(self, tmp_path):
         path = str(tmp_path / "run.jsonl")
         with JsonlRecorder(path) as recorder:
@@ -243,6 +275,48 @@ class TestMetricsRegistry:
         assert hist["counts"] == [1, 0, 1]
         assert hist["count"] == 2
         assert hist["min"] == 0.4 and hist["max"] == 1.5
+
+    def test_gauge_unset_state_is_explicit(self):
+        from repro.obs.metrics import Gauge
+
+        gauge = Gauge()
+        assert gauge.value is None
+        assert gauge.is_set is False
+        gauge.set(0.0)
+        assert gauge.is_set is True
+        assert gauge.value == 0.0  # set-to-zero != never-set
+
+    def test_gauge_max_seeds_from_all_negative_signals(self):
+        from repro.obs.metrics import Gauge
+
+        gauge = Gauge()
+        gauge.max(-5.0)
+        assert gauge.value == -5.0  # not clamped by an implicit 0.0
+        gauge.max(-3.0)
+        assert gauge.value == -3.0
+        gauge.max(-10.0)
+        assert gauge.value == -3.0
+
+    def test_unset_gauge_appears_in_snapshot_as_none(self):
+        registry = MetricsRegistry()
+        registry.gauge("touched").set(0.0)
+        registry.gauge("untouched")
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["touched"] == 0.0
+        assert snapshot["gauges"]["untouched"] is None
+
+    def test_aggregate_keeps_unset_gauges_without_outranking_set_ones(self):
+        a = MetricsRegistry()
+        a.gauge("peak")  # never written
+        a.gauge("floor").max(-4.0)
+        b = MetricsRegistry()
+        b.gauge("peak").set(-2.0)
+        b.gauge("floor")
+        merged = aggregate_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["gauges"]["peak"] == -2.0  # the set run wins
+        assert merged["gauges"]["floor"] == -4.0
+        only_unset = aggregate_snapshots([a.snapshot()])
+        assert only_unset["gauges"]["peak"] is None
 
     def test_counter_rejects_negative(self):
         with pytest.raises(ConfigurationError):
@@ -406,6 +480,57 @@ class TestEngineRecording:
         for a, b in zip(plain, recorded):
             assert a.total_energy_j == b.total_energy_j
             assert (a.power_series.values == b.power_series.values).all()
+
+    def test_engine_emits_live_progress_events(self):
+        recorder = MemoryRecorder()
+        engine = SweepEngine(workers=1, recorder=recorder)
+        specs = self.make_specs(seeds=(1, 2, 1))  # 2 unique + 1 dupe
+        engine.run_specs(specs)
+        progress = [
+            e for e in recorder.events if e["kind"] == "engine_progress"
+        ]
+        assert [e["done"] for e in progress] == [1, 2]
+        assert all(e["total"] == 2 for e in progress)
+        assert all(e["cache_hits"] == 1 for e in progress)
+        assert all(e["workers"] == 1 for e in progress)
+        elapsed = [e["elapsed_s"] for e in progress]
+        assert elapsed == sorted(elapsed)
+        assert progress[-1]["eta_s"] == 0.0  # batch complete
+        assert progress[0]["eta_s"] > 0.0
+        gauges = engine.metrics.snapshot()["gauges"]
+        assert gauges["engine.progress_done"] == 2.0
+
+    def test_parallel_engine_emits_progress_per_completion(self):
+        from repro.exec import fork_available
+
+        if not fork_available():
+            pytest.skip("platform has no fork start method")
+        recorder = MemoryRecorder()
+        engine = SweepEngine(workers=2, recorder=recorder)
+        engine.run_specs(self.make_specs(seeds=(1, 2)))
+        progress = [
+            e for e in recorder.events if e["kind"] == "engine_progress"
+        ]
+        assert [e["done"] for e in progress] == [1, 2]
+        assert all(e["workers"] == 2 for e in progress)
+
+    def test_engine_export_metrics_textfile(self, tmp_path):
+        import re
+
+        engine = SweepEngine(workers=1, recorder=MemoryRecorder())
+        engine.run_specs(self.make_specs(seeds=(1, 2)))
+        path = tmp_path / "engine.prom"
+        text = engine.export_metrics(
+            str(path), labels={"sweep": "unit"}
+        )
+        assert path.read_text(encoding="utf-8") == text
+        assert text.endswith("# EOF\n")
+        assert ('repro_engine_engine_simulated_total{sweep="unit"} 2'
+                in text)
+        assert re.search(
+            r'repro_engine_engine_run_wall_s_bucket'
+            r'\{le="\+Inf",sweep="unit"\} 2', text
+        )
 
     def test_parallel_engine_recording_matches_serial(self):
         from repro.exec import fork_available

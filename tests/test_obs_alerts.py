@@ -1,0 +1,364 @@
+"""Alerting semantics: for-duration, hysteresis, dedup, lifecycles.
+
+The rule engine is exercised on synthetic event streams where the
+expected incident timeline can be stated exactly, then against real
+simulator runs for determinism (live == replay) and for the snapshot
+path into ``SimulationResult.observability``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import result_from_dict, result_to_dict
+from repro.obs import AlertEngine, Incident, MemoryRecorder, TeeRecorder
+from repro.obs.alerts import (
+    RateRule,
+    SloViolationRule,
+    ThresholdRule,
+    default_rules,
+    incident_table,
+    merge_incident_snapshots,
+)
+from tests.test_obs import run_reference
+
+
+def control(t, utilization):
+    return {"kind": "control", "t": t, "utilization": utilization}
+
+
+def sustained_rule(**overrides):
+    params = dict(
+        kind="control", field="utilization",
+        above=1.0, for_s=30.0, clear_below=0.9,
+    )
+    params.update(overrides)
+    return ThresholdRule("over", **params)
+
+
+# ----------------------------------------------------------------------
+# Threshold rules: for-duration and hysteresis
+# ----------------------------------------------------------------------
+class TestThresholdRule:
+    def test_for_duration_requires_continuous_breach(self):
+        engine = AlertEngine([sustained_rule()])
+        # Breach at t=0..20, one in-range sample at t=25 resets the
+        # pending timer, then a fresh sustained breach from t=30.
+        for t, u in [(0, 1.05), (10, 1.2), (20, 1.1), (25, 0.5),
+                     (30, 1.1), (50, 1.15), (60, 1.2)]:
+            engine.emit(control(float(t), u))
+        assert len(engine.incidents) == 1
+        incident = engine.incidents[0]
+        assert incident.opened_at == 60.0
+        assert incident.breached_at == 30.0
+        assert incident.trigger_value == 1.2
+        assert incident.open
+
+    def test_too_short_breach_never_fires(self):
+        engine = AlertEngine([sustained_rule()])
+        for t, u in [(0, 1.5), (20, 1.5), (29, 1.5), (30, 0.5), (70, 0.5)]:
+            engine.emit(control(float(t), u))
+        assert engine.incidents == []
+
+    def test_hysteresis_holds_between_clear_and_fire_thresholds(self):
+        engine = AlertEngine([sustained_rule()])
+        for t, u in [(0, 1.2), (30, 1.2)]:
+            engine.emit(control(float(t), u))
+        assert len(engine.open_incidents) == 1
+        engine.emit(control(40.0, 0.95))  # below fire, above clear
+        assert len(engine.open_incidents) == 1
+        engine.emit(control(50.0, 0.85))  # at/below clear: resolves
+        incident = engine.incidents[0]
+        assert incident.resolved_at == 50.0
+        assert not incident.open
+        assert incident.duration_s == pytest.approx(20.0)
+
+    def test_dedup_updates_peak_instead_of_duplicating(self):
+        engine = AlertEngine([sustained_rule(for_s=0.0)])
+        engine.emit(control(0.0, 1.1))
+        engine.emit(control(5.0, 1.8))   # worse, while already open
+        engine.emit(control(10.0, 1.3))
+        assert len(engine.incidents) == 1
+        assert engine.incidents[0].peak_value == 1.8
+        # After resolving, a fresh breach opens a second incident.
+        engine.emit(control(20.0, 0.5))
+        engine.emit(control(30.0, 1.4))
+        assert len(engine.incidents) == 2
+        assert engine.incidents[0].resolved_at == 20.0
+        assert engine.incidents[1].opened_at == 30.0
+
+    def test_signal_persists_between_matching_events(self):
+        # The last utilization sample keeps counting toward for_s even
+        # while unrelated events arrive: the signal is piecewise
+        # constant, and any event advances the rule clock.
+        engine = AlertEngine([sustained_rule()])
+        engine.emit(control(0.0, 1.2))
+        engine.emit({"kind": "serve", "t": 35.0, "latency_s": 0.1})
+        assert len(engine.incidents) == 1
+        assert engine.incidents[0].opened_at == 35.0
+
+    def test_clear_above_fire_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sustained_rule(clear_below=1.5)
+
+
+# ----------------------------------------------------------------------
+# Rate rules (brake storms, flapping, churn)
+# ----------------------------------------------------------------------
+class TestRateRule:
+    def make_engine(self, **overrides):
+        params = dict(kind="brake_request", window_s=10.0, max_count=2)
+        params.update(overrides)
+        return AlertEngine([RateRule("storm", **params)])
+
+    def brake(self, t):
+        return {"kind": "brake_request", "t": t}
+
+    def test_fires_on_count_exceeding_max_within_window(self):
+        engine = self.make_engine()
+        engine.emit(self.brake(0.0))
+        engine.emit(self.brake(1.0))
+        assert engine.incidents == []  # 2 events == max_count: not yet
+        engine.emit(self.brake(2.0))
+        assert len(engine.incidents) == 1
+        assert engine.incidents[0].opened_at == 2.0
+        assert engine.incidents[0].trigger_value == 3.0
+
+    def test_spread_out_events_never_fire(self):
+        engine = self.make_engine()
+        for t in (0.0, 20.0, 40.0, 60.0):
+            engine.emit(self.brake(t))
+        assert engine.incidents == []
+
+    def test_finalize_resolves_once_the_window_drains(self):
+        engine = self.make_engine()
+        for t in (0.0, 1.0, 2.0):
+            engine.emit(self.brake(t))
+        assert len(engine.open_incidents) == 1
+        engine.finalize(50.0)  # window long empty by the end
+        assert engine.incidents[0].resolved_at == 50.0
+        assert engine.open_incidents == []
+
+    def test_still_breached_at_finalize_stays_open(self):
+        engine = self.make_engine()
+        for t in (0.0, 1.0, 2.0):
+            engine.emit(self.brake(t))
+        engine.finalize(5.0)  # all three still inside the window
+        assert engine.incidents[0].open
+
+    @pytest.mark.parametrize("overrides", [
+        dict(window_s=0.0),
+        dict(max_count=-1),
+        dict(clear_count=5),
+    ])
+    def test_invalid_parameters_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            self.make_engine(**overrides)
+
+
+# ----------------------------------------------------------------------
+# SLO violation-rate rule
+# ----------------------------------------------------------------------
+class TestSloViolationRule:
+    def make_engine(self, **overrides):
+        params = dict(
+            slo_latency_s=1.0, window_s=100.0, max_fraction=0.5,
+            min_samples=4,
+        )
+        params.update(overrides)
+        return AlertEngine([SloViolationRule("slo", **params)])
+
+    def serve(self, t, latency_s, priority="high"):
+        return {"kind": "serve", "t": t, "latency_s": latency_s,
+                "priority": priority}
+
+    def test_min_samples_gates_firing(self):
+        engine = self.make_engine()
+        for t in (0.0, 1.0, 2.0):
+            engine.emit(self.serve(t, 5.0))  # 100% violating, n=3 < 4
+        assert engine.incidents == []
+        engine.emit(self.serve(3.0, 5.0))
+        assert len(engine.incidents) == 1
+
+    def test_fraction_counts_only_window_serves(self):
+        engine = self.make_engine()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            engine.emit(self.serve(t, 0.1))  # healthy
+        engine.emit(self.serve(4.0, 5.0))   # 1/5 violating
+        assert engine.incidents == []
+        for t in (5.0, 6.0, 7.0, 8.0):
+            engine.emit(self.serve(t, 5.0))  # 5/9 violating > 0.5
+        assert len(engine.incidents) == 1
+
+    def test_priority_scope_filters_serves(self):
+        engine = self.make_engine(priority="low")
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+            engine.emit(self.serve(t, 9.0, priority="high"))
+        assert engine.incidents == []  # out-of-scope serves ignored
+        for t in (10.0, 11.0, 12.0, 13.0):
+            engine.emit(self.serve(t, 9.0, priority="low"))
+        assert len(engine.incidents) == 1
+
+    @pytest.mark.parametrize("overrides", [
+        dict(slo_latency_s=0.0),
+        dict(window_s=-1.0),
+        dict(max_fraction=1.5),
+        dict(clear_fraction=0.9),
+        dict(min_samples=0),
+    ])
+    def test_invalid_parameters_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            self.make_engine(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Engine lifecycle, validation, snapshots
+# ----------------------------------------------------------------------
+class TestAlertEngine:
+    def test_default_rules_cover_the_emergency_set(self):
+        names = {rule.name for rule in default_rules()}
+        assert names == {
+            "over-budget", "brake-storm", "fallback-flapping",
+            "cap-churn", "slo-violations",
+        }
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlertEngine([
+                RateRule("x", kind="serve", window_s=1.0, max_count=1),
+                RateRule("x", kind="drop", window_s=1.0, max_count=1),
+            ])
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name=""),
+        dict(name="x", severity="fatal"),
+        dict(name="x", for_s=-1.0),
+    ])
+    def test_base_rule_validation(self, kwargs):
+        params = dict(kind="control", field="utilization", above=1.0)
+        params.update(kwargs)
+        name = params.pop("name")
+        with pytest.raises(ConfigurationError):
+            ThresholdRule(name, **params)
+
+    def test_events_without_time_are_ignored(self):
+        engine = AlertEngine([sustained_rule(for_s=0.0)])
+        engine.emit({"kind": "control", "utilization": 5.0})  # no "t"
+        assert engine.incidents == []
+
+    def test_counts_and_snapshot_shape(self):
+        engine = AlertEngine([sustained_rule(for_s=0.0)])
+        engine.emit(control(0.0, 1.5))
+        engine.emit(control(10.0, 0.5))
+        engine.emit(control(20.0, 1.5))
+        counts = engine.counts()
+        assert counts["opened"] == 2
+        assert counts["resolved"] == 1
+        assert counts["open"] == 1
+        assert counts["by_rule"] == {"over": 2}
+        assert counts["by_severity"] == {"warning": 2}
+        snapshot = engine.observability_snapshot()
+        assert [i["rule"] for i in snapshot["incidents"]] == ["over", "over"]
+        assert snapshot["alerts"] == counts
+        json.dumps(snapshot)  # JSON-serializable by construction
+
+    def test_incident_round_trips_through_dict(self):
+        incident = Incident(
+            rule="over", severity="critical", opened_at=60.0,
+            breached_at=30.0, trigger_value=1.2, peak_value=1.8,
+            description="u > 1", resolved_at=90.0,
+        )
+        assert Incident.from_dict(incident.to_dict()) == incident
+        still_open = Incident.from_dict(
+            {**incident.to_dict(), "resolved_at": None}
+        )
+        assert still_open.open and still_open.duration_s is None
+
+    def test_replay_of_recorded_trace_matches_live(self):
+        trace = MemoryRecorder()
+        live = AlertEngine()
+        run_reference(
+            "nocap-stale-telemetry", recorder=TeeRecorder([trace, live]),
+        )
+        replayed = AlertEngine().replay(trace.events)
+        replayed.finalize(240.0)  # the simulator finalizes the live one
+        assert [i.to_dict() for i in replayed.incidents] == \
+            [i.to_dict() for i in live.incidents]
+
+    def test_two_identical_runs_yield_identical_incidents(self):
+        snapshots = []
+        for _ in range(2):
+            result = run_reference(
+                "nocap-power-scaled", recorder=AlertEngine()
+            )
+            snapshots.append(result.observability)
+        assert snapshots[0]["incidents"] == snapshots[1]["incidents"]
+        assert snapshots[0]["alerts"] == snapshots[1]["alerts"]
+
+    def test_incidents_survive_the_result_codec(self):
+        result = run_reference("nocap-stale-telemetry",
+                               recorder=AlertEngine())
+        decoded = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert decoded.observability["incidents"] == \
+            result.observability["incidents"]
+        assert decoded.observability["alerts"] == \
+            result.observability["alerts"]
+
+
+# ----------------------------------------------------------------------
+# Merging across sweeps and rendering
+# ----------------------------------------------------------------------
+class TestMergeAndRender:
+    def snapshot(self, *rules_and_resolved):
+        incidents = [
+            Incident(
+                rule=rule, severity=severity, opened_at=10.0,
+                breached_at=5.0, trigger_value=1.0, peak_value=2.0,
+                resolved_at=resolved,
+            ).to_dict()
+            for rule, severity, resolved in rules_and_resolved
+        ]
+        return {"incidents": incidents}
+
+    def test_merge_concatenates_and_rederives_counters(self):
+        merged = merge_incident_snapshots([
+            self.snapshot(("storm", "critical", None)),
+            None,
+            {"counters": {"requests.served": 3}},  # no incidents key
+            self.snapshot(("storm", "critical", 50.0),
+                          ("slo", "warning", None)),
+        ])
+        assert len(merged["incidents"]) == 3
+        assert merged["alerts"] == {
+            "opened": 3,
+            "resolved": 1,
+            "open": 2,
+            "by_rule": {"slo": 1, "storm": 2},
+            "by_severity": {"critical": 2, "warning": 1},
+        }
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_incident_snapshots([None, {"counters": {}}])
+        assert merged["incidents"] == []
+        assert merged["alerts"]["opened"] == 0
+
+    def test_incident_table_renders_objects_and_dicts(self):
+        incident = Incident(
+            rule="brake-storm", severity="critical", opened_at=146.0,
+            breached_at=146.0, trigger_value=3.0, peak_value=5.0,
+            description="too many brakes",
+        )
+        lines = incident_table([incident, incident.to_dict()])
+        assert lines[0].split() == [
+            "rule", "severity", "opened", "resolved", "peak", "condition",
+        ]
+        assert len(lines) == 4  # header, underline, two rows
+        for row in lines[2:]:
+            assert "brake-storm" in row and "open" in row
+
+    def test_incident_table_empty(self):
+        lines = incident_table([])
+        assert len(lines) == 2  # header and underline only

@@ -269,3 +269,47 @@ class TestLoadAndSummarize:
     def test_summarize_empty_trace(self):
         lines = summarize_trace([])
         assert lines[0].startswith("0 events")
+        assert "brake engagements: 0" in "\n".join(lines)
+
+    def test_summarize_engine_only_trace_has_no_time_span(self):
+        lines = summarize_trace([
+            {"kind": "engine_run", "digest": "abc", "wall_s": 0.5},
+            {"kind": "engine_batch", "requested": 1},
+        ])
+        assert lines[0] == "2 events (no simulation-time events)"
+        assert "engine_batch=1, engine_run=1" in lines[1]
+
+    def test_summarize_details_brakes_caps_and_fallbacks(self):
+        events = [
+            {"t": 1.0, "kind": "cap_issue", "priority": "low",
+             "generation": 1, "attempts": 0, "clock_mhz": 900.0},
+            {"t": 3.0, "kind": "cap_land", "priority": "low",
+             "generation": 1},
+            {"t": 4.0, "kind": "cap_reissue", "priority": "low",
+             "generation": 1},
+            {"t": 5.0, "kind": "cap_verify", "priority": "low",
+             "generation": 1, "ok": True},
+            {"t": 10.0, "kind": "fallback_enter"},
+            {"t": 20.0, "kind": "brake_request", "source": "fallback",
+             "version": 1},
+            {"t": 22.0, "kind": "brake_land", "on": True, "version": 1},
+        ]
+        text = "\n".join(summarize_trace(events))
+        assert "brake engagements: 1" in text
+        assert "fallback request t=20.0s" in text
+        assert "still engaged at end" in text
+        assert "cap commands: 1" in text
+        assert "900 MHz" in text
+        assert "1 reissue(s)" in text
+        assert "[verified]" in text
+        assert "stale-telemetry fallback windows: 1" in text
+        assert "t=10.0s .. end of run" in text
+
+    def test_summarize_uncapped_and_unlanded_commands(self):
+        events = [
+            {"t": 2.0, "kind": "cap_issue", "priority": "high",
+             "generation": 4, "attempts": 0, "clock_mhz": None},
+        ]
+        text = "\n".join(summarize_trace(events))
+        assert "uncap" in text
+        assert "never landed" in text

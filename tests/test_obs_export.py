@@ -1,0 +1,122 @@
+"""OpenMetrics rendering: format conformance and content fidelity.
+
+Every rendered exposition is validated line by line against the
+OpenMetrics text-format grammar (metric names, label syntax, the
+``# EOF`` terminator), and histogram bucket series are checked to be
+cumulative with a ``+Inf`` bucket equal to the total count — the two
+properties scrapers actually depend on.
+"""
+
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import AlertEngine, MemoryRecorder, render_openmetrics
+from repro.obs.export import sanitize_metric_name, write_textfile
+from tests.test_obs import run_reference
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABELS = r"\{[a-zA-Z0-9_]+=\"(?:[^\"\\]|\\.)*\"" \
+         r"(?:,[a-zA-Z0-9_]+=\"(?:[^\"\\]|\\.)*\")*\}"
+SAMPLE_LINE = re.compile(rf"^{NAME}(?:{LABELS})? \S+$")
+TYPE_LINE = re.compile(rf"^# TYPE {NAME} (counter|gauge|histogram)$")
+
+
+def assert_parseable(text):
+    """Every line is a TYPE comment, a sample, or the EOF terminator."""
+    lines = text.splitlines()
+    assert lines, "empty exposition"
+    assert lines[-1] == "# EOF"
+    assert text.endswith("# EOF\n")
+    for line in lines[:-1]:
+        assert TYPE_LINE.match(line) or SAMPLE_LINE.match(line), \
+            f"unparseable line: {line!r}"
+
+
+class TestSanitizeMetricName:
+    def test_dots_and_prefix(self):
+        assert sanitize_metric_name("requests.served", "repro") == \
+            "repro_requests_served"
+        assert sanitize_metric_name("plain") == "plain"
+
+    def test_invalid_characters_become_underscores(self):
+        assert sanitize_metric_name("a b-c/d") == "a_b_c_d"
+
+    def test_leading_digit_guarded(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sanitize_metric_name("")
+
+
+class TestRenderOpenMetrics:
+    def test_counters_get_the_total_suffix(self):
+        text = render_openmetrics({"counters": {"requests.served": 7}})
+        assert "# TYPE repro_requests_served counter" in text
+        assert "repro_requests_served_total 7" in text
+        assert_parseable(text)
+
+    def test_unset_gauges_are_skipped_set_gauges_render(self):
+        text = render_openmetrics({
+            "gauges": {"power.peak_row_w": 123.5, "never.set": None},
+        })
+        assert "repro_power_peak_row_w 123.5" in text
+        assert "never_set" not in text
+        assert_parseable(text)
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_openmetrics({
+            "histograms": {
+                "util": {
+                    "bounds": [0.5, 1.0], "counts": [3, 0, 2],
+                    "count": 5, "sum": 4.5, "min": 0.1, "max": 1.4,
+                },
+            },
+        })
+        assert 'repro_util_bucket{le="0.5"} 3' in text
+        assert 'repro_util_bucket{le="1.0"} 3' in text  # cumulative
+        assert 'repro_util_bucket{le="+Inf"} 5' in text
+        assert "repro_util_sum 4.5" in text
+        assert "repro_util_count 5" in text
+        assert_parseable(text)
+
+    def test_labels_are_sorted_and_escaped(self):
+        text = render_openmetrics(
+            {"counters": {"x": 1}},
+            labels={"b": 'say "hi"\n', "a": "back\\slash"},
+        )
+        assert ('repro_x_total{a="back\\\\slash",b="say \\"hi\\"\\n"} 1'
+                in text)
+        assert_parseable(text)
+
+    def test_incident_section_renders_counters_and_open_gauge(self):
+        engine = AlertEngine()
+        for t in (0.0, 1.0, 2.0):
+            engine.emit({"kind": "brake_request", "t": t})
+        text = render_openmetrics(engine.observability_snapshot())
+        assert ('repro_incidents_total{rule="brake-storm",'
+                'severity="critical"} 1' in text)
+        assert "repro_incidents_open 1" in text
+        assert_parseable(text)
+
+    def test_none_snapshot_is_an_empty_terminated_exposition(self):
+        assert render_openmetrics(None) == "# EOF\n"
+
+    def test_full_simulation_snapshot_is_parseable(self):
+        result = run_reference(
+            "polca-adversarial", recorder=MemoryRecorder()
+        )
+        text = render_openmetrics(
+            result.observability, labels={"run": "polca-adversarial"}
+        )
+        assert_parseable(text)
+        assert "repro_requests_served_total" \
+            f'{{run="polca-adversarial"}} {result.total_served}' in text
+
+    def test_write_textfile_writes_and_returns_the_text(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        text = write_textfile(str(path), {"counters": {"x": 1}})
+        assert path.read_text(encoding="utf-8") == text
+        assert_parseable(text)
