@@ -13,7 +13,12 @@ accepted. The run carries the live alert engine (teed with the JSONL
 sink), must produce at least one brake-storm incident — this *is* the
 brake-storm scenario — and its metrics + incident snapshot is exported
 as an OpenMetrics textfile, ``METRICS_fig18.prom``, uploaded next to
-the trace.
+the trace. The same trace is then attributed
+(:func:`repro.obs.attribute_run`): the brake intervals must charge at
+least one second of stall to at least one request, the decomposition
+must conserve exactly, and the span trees are exported as
+``PERFETTO_fig18.json`` (Chrome trace-event format, openable in
+Perfetto), the third uploaded artifact.
 """
 
 from pathlib import Path
@@ -26,9 +31,12 @@ from repro.obs import (
     AlertEngine,
     JsonlRecorder,
     TeeRecorder,
+    attribute_run,
     cross_check,
     incident_table,
     summarize_trace,
+    top_victims,
+    write_chrome_trace,
     write_textfile,
 )
 from repro.units import hours
@@ -41,6 +49,7 @@ POLICIES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")
 
 TRACE_PATH = Path(__file__).resolve().parent.parent / "TRACE_fig18.jsonl"
 METRICS_PATH = Path(__file__).resolve().parent.parent / "METRICS_fig18.prom"
+PERFETTO_PATH = Path(__file__).resolve().parent.parent / "PERFETTO_fig18.json"
 TRACE_HOURS = 2.0
 
 
@@ -136,6 +145,20 @@ def test_fig18_trace_artifact(benchmark):
     )
     assert metrics_text.endswith("# EOF\n")
     assert "repro_incidents_total" in metrics_text
+    # Causal attribution of the same trace: the brake storm must be
+    # *visible* as per-request stall seconds, conservation must be
+    # exact, and the span trees export as a valid Perfetto trace.
+    report = attribute_run(str(TRACE_PATH))
+    assert report.requests, "no attributable requests in the trace"
+    assert not report.conservation_violations
+    assert report.unfinished == 0
+    stalled = [
+        r for r in report.requests
+        if r.components_s["brake_stall"] >= 1.0
+    ]
+    assert stalled, "brake storm attributed <1 s stall to every request"
+    perfetto = write_chrome_trace(str(PERFETTO_PATH), str(TRACE_PATH))
+    assert perfetto["traceEvents"], "empty Perfetto export"
     print(f"\n=== Figure 18 trace artifact — {TRACE_PATH.name} "
           f"({TRACE_HOURS:.0f} h No-cap+5% at 30% oversubscription) ===")
     for line in summarize_trace(str(TRACE_PATH)):
@@ -143,3 +166,14 @@ def test_fig18_trace_artifact(benchmark):
     print(f"\n=== Live incidents — exported to {METRICS_PATH.name} ===")
     for line in incident_table(incidents):
         print(f"  {line}")
+    totals = report.totals_s()
+    print(f"\n=== Causal attribution — exported to {PERFETTO_PATH.name} "
+          f"({len(perfetto['traceEvents'])} trace events) ===")
+    print(f"  {len(stalled)} of {len(report.requests)} served requests "
+          f"stalled >= 1 s by the brake; "
+          f"brake total {totals['brake_stall']:.1f} s, "
+          f"excess energy {report.total_excess_energy_j:.0f} J")
+    for victim in top_victims(report, 5):
+        print(f"  r{victim.request_id:<6} "
+              f"[{victim.priority}/{victim.workload}] "
+              f"+{victim.excess_s:8.3f} s excess")

@@ -13,13 +13,22 @@ tool renders such a trace for a human:
   kind, field, and both values (exit code 1 when they diverge, 0 when
   identical) — the one-command root-cause tool for two runs that should
   have been bit-identical.
+* ``python examples/trace_inspect.py spans trace.jsonl`` reconstructs
+  per-request span trees (arrival → queue-wait → phases, each phase
+  annotated with the cap/brake rate intervals that repriced it) —
+  ``--request-id N`` prints one request (exit 1 when absent).
+* ``python examples/trace_inspect.py attrib trace.jsonl`` attributes
+  realized latency to queue-wait / service / cap / brake / fallback and
+  prints per-priority, per-workload, and per-action tables plus the
+  top victims (exit 1 when the trace carries no span events).
 * ``python examples/trace_inspect.py`` (no argument) records a fresh demo
   trace from a short faulted run, writes it next to the working
   directory (or ``--out``), renders it, and then *cross-checks* it: every
   counter in the run's ``SimulationResult`` is re-derived from the event
   stream and compared (two independent accounting paths that must agree).
 
-Run:  python examples/trace_inspect.py [diff A B | trace.jsonl] [--out f]
+Run:  python examples/trace_inspect.py \
+          [diff A B | spans T | attrib T | trace.jsonl] [--out f]
 """
 
 import argparse
@@ -35,6 +44,9 @@ from repro.errors import ReproError
 from repro.faults import FaultPlan, ReliabilityConfig, TelemetryFaultSpec
 from repro.obs import (
     JsonlRecorder,
+    SpanBuilder,
+    attribute_run,
+    attribution_table,
     brake_timeline,
     cap_timeline,
     cross_check,
@@ -42,7 +54,9 @@ from repro.obs import (
     fallback_windows,
     format_divergence,
     load_events,
+    render_span_tree,
     summarize_trace,
+    top_victims,
 )
 from repro.workloads.requests import RequestSampler
 
@@ -147,17 +161,111 @@ def diff_main(argv) -> int:
     return 0 if divergence is None else 1
 
 
+def spans_main(argv) -> int:
+    """The ``spans`` subcommand: per-request span trees from a trace."""
+    parser = argparse.ArgumentParser(
+        prog="trace_inspect.py spans",
+        description="Reconstruct per-request span trees (phases and "
+                    "cap/brake rate intervals) from a JSONL trace.",
+    )
+    parser.add_argument("trace", help="JSONL trace with span events")
+    parser.add_argument(
+        "--request-id", type=int, default=None,
+        help="print only this request's span (exit 1 when absent)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=10,
+        help="how many spans to print without --request-id (default 10)",
+    )
+    args = parser.parse_args(argv)
+    builder = SpanBuilder.from_source(args.trace)
+    if args.request_id is not None:
+        span = builder.get(args.request_id)
+        if span is None:
+            print(f"no span for request {args.request_id} in {args.trace}",
+                  file=sys.stderr)
+            return 1
+        for line in render_span_tree(span):
+            print(line)
+        return 0
+    spans = builder.build()
+    if not spans:
+        print(f"no span events in {args.trace} (recorded before the "
+              f"span layer, or filtered)", file=sys.stderr)
+        return 1
+    for span in spans[:max(args.limit, 0)]:
+        for line in render_span_tree(span):
+            print(line)
+        print()
+    if len(spans) > args.limit:
+        print(f"... {len(spans) - args.limit} more "
+              f"(--limit to see them, --request-id for one)")
+    return 0
+
+
+def attrib_main(argv) -> int:
+    """The ``attrib`` subcommand: causal latency/energy attribution."""
+    parser = argparse.ArgumentParser(
+        prog="trace_inspect.py attrib",
+        description="Decompose realized request latency into queue-wait "
+                    "/ service / cap / brake / fallback seconds, "
+                    "attributed to the responsible action.",
+    )
+    parser.add_argument("trace", help="JSONL trace with span events")
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many top victims to print (default 5)",
+    )
+    args = parser.parse_args(argv)
+    report = attribute_run(args.trace)
+    if not report.requests and not report.dropped:
+        print(f"no span events in {args.trace} (recorded before the "
+              f"span layer, or filtered)", file=sys.stderr)
+        return 1
+    totals = report.totals_s()
+    print(f"== Attribution: {len(report.requests)} served, "
+          f"{report.dropped} dropped, {report.unfinished} unfinished ==")
+    for component, seconds in totals.items():
+        print(f"  {component:<13} {seconds:12.3f} s")
+    print(f"  excess energy {report.total_excess_energy_j:12.1f} J")
+    conservation = "exact" if not report.conservation_violations else \
+        f"{len(report.conservation_violations)} VIOLATIONS"
+    print(f"  conservation  {conservation}")
+    for by in ("priority", "workload", "action"):
+        print(f"\n== By {by} ==")
+        for line in attribution_table(report, by=by):
+            print(f"  {line}")
+    victims = top_victims(report, max(args.top, 1))
+    if victims:
+        print(f"\n== Top {len(victims)} victims (excess seconds) ==")
+        for victim in victims:
+            worst = max(
+                victim.by_action_s.items(), key=lambda kv: kv[1]
+            )[0] if victim.by_action_s else "-"
+            print(f"  r{victim.request_id:<6} "
+                  f"[{victim.priority}/{victim.workload}] "
+                  f"+{victim.excess_s:8.3f} s  "
+                  f"(+{victim.excess_energy_j:9.1f} J)  worst: {worst}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     try:
         if argv and argv[0] == "diff":
             return diff_main(argv[1:])
+        if argv and argv[0] == "spans":
+            return spans_main(argv[1:])
+        if argv and argv[0] == "attrib":
+            return attrib_main(argv[1:])
 
         parser = argparse.ArgumentParser(
             description="Summarize a simulator JSONL trace, or record "
                         "and cross-check a demo trace when no path is "
-                        "given. Use the 'diff' subcommand to compare "
-                        "two traces."
+                        "given. Subcommands: 'diff' compares two "
+                        "traces; 'spans' renders per-request span "
+                        "trees; 'attrib' attributes latency and energy "
+                        "to cap/brake actions."
         )
         parser.add_argument(
             "trace", nargs="?", default=None,

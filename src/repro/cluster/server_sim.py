@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -329,6 +329,38 @@ class ServerSim:
         """Pop the buffered request, if any."""
         request, self.buffered = self.buffered, None
         return request
+
+    def slot_snapshot(self, slot: int) -> Dict[str, Any]:
+        """Recording payload for the phase currently running in a slot.
+
+        Everything the span layer (:mod:`repro.obs.spans`) needs to
+        reconstruct and counterfactual a phase: its name and index, the
+        effective clock ratio it starts under, its full-clock duration
+        and compute fraction (the inputs of
+        :meth:`~repro.models.inference.PhaseSegment.duration_at`), and
+        the planned end time. Read-only: observing a slot must not
+        perturb the simulation.
+
+        Raises:
+            SimulationError: If the slot is not active.
+        """
+        try:
+            active = self.slots[slot]
+        except KeyError:
+            raise SimulationError(
+                f"{self.server_id}: slot {slot} not active"
+            ) from None
+        segment = active.segments[active.phase_index]
+        return {
+            "server": self.server_id,
+            "slot": slot,
+            "phase": segment.phase,
+            "phase_index": active.phase_index,
+            "ratio": self.effective_ratio,
+            "full_clock_s": segment.duration_seconds,
+            "compute_fraction": segment.compute_fraction,
+            "planned_end": active.phase_end,
+        }
 
     # ------------------------------------------------------------------
     # Server churn (fault injection)

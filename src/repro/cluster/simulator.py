@@ -55,7 +55,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.reliability import ReliabilityConfig
 from repro.faults.report import OverBudgetTracker, RobustnessReport
 from repro.gpu.specs import A100_80GB
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.telemetry.base import SampledInterface
 from repro.telemetry.smbpbi import SMBPBI_ACTUATION_LATENCY_S
@@ -264,6 +264,7 @@ class ClusterSimulator:
         recorder = self.recorder
         recording = recorder.enabled
         obs: Optional[MetricsRegistry] = None
+        request_ids: Dict[int, int] = {}
         if recording:
             obs = MetricsRegistry()
             # Pre-register the counters cross_check compares so they are
@@ -283,6 +284,28 @@ class ClusterSimulator:
             ):
                 obs.counter(_name)
             util_hist = obs.histogram("control.utilization")
+            latency_hists = {
+                p: obs.histogram(
+                    f"latency.priority.{p.value}", LATENCY_BUCKETS
+                )
+                for p in Priority
+            }
+            # Requests are identified in the trace by arrival order;
+            # SampledRequest is frozen and id-stable for the run.
+            request_ids = {id(r): i for i, r in enumerate(requests)}
+            recorder.emit({
+                "t": 0.0, "kind": "run_meta",
+                "duration_s": duration_s,
+                "n_servers": config.n_servers,
+                "concurrency": self.servers[0].concurrency,
+                "provisioned_power_w": config.provisioned_power_w,
+                "idle_server_power_w":
+                    self.power_model.server_power(0.0, 1.0),
+                "brake_ratio": self.power_model.brake_ratio,
+                "servers": {
+                    s.server_id: s.priority.value for s in self.servers
+                },
+            })
 
         queue = EventQueue()
         metrics = {p: PriorityMetrics() for p in Priority}
@@ -402,6 +425,46 @@ class ClusterSimulator:
             slot = self.servers[index].start_request(now, request)
             refresh_power(index)
             schedule_slot(index, slot)
+            if recording:
+                emit_phase_start(now, index, slot)
+
+        # ------------------------------------------------------------
+        # Span lifecycle emission (observe-only; every call is guarded
+        # by ``recording``, so unrecorded runs never reach these).
+        # ------------------------------------------------------------
+        def emit_phase_start(now: float, index: int, slot: int) -> None:
+            server = self.servers[index]
+            active = server.slots.get(slot)
+            if active is None:
+                return
+            payload = server.slot_snapshot(slot)
+            payload["t"] = now
+            payload["kind"] = "phase_start"
+            payload["request_id"] = request_ids[id(active.request)]
+            recorder.emit(payload)
+
+        def emit_rescales(
+            now: float,
+            index: int,
+            rescheduled: Dict[int, float],
+            old_ratio: float,
+            cause: str,
+            stamp: Dict[str, Any],
+        ) -> None:
+            server = self.servers[index]
+            new_ratio = server.effective_ratio
+            for slot, new_end in rescheduled.items():
+                active = server.slots[slot]
+                event = {
+                    "t": now, "kind": "phase_rescale",
+                    "request_id": request_ids[id(active.request)],
+                    "server": server.server_id, "slot": slot,
+                    "phase": active.segments[active.phase_index].phase,
+                    "old_ratio": old_ratio, "new_ratio": new_ratio,
+                    "new_end": new_end, "cause": cause,
+                }
+                event.update(stamp)
+                recorder.emit(event)
 
         # --------------------------------------------------------------
         # The reliable-command layer: every issue schedules a landing
@@ -617,13 +680,34 @@ class ClusterSimulator:
                     if recording:
                         obs.counter("requests.dropped").inc()
                         recorder.emit({
+                            "t": now, "kind": "req_arrival",
+                            "request_id": request_ids[id(request)],
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "input_tokens": request.input_tokens,
+                            "output_tokens": request.output_tokens,
+                            "server": None, "queued": False,
+                        })
+                        recorder.emit({
                             "t": now, "kind": "drop",
+                            "request_id": request_ids[id(request)],
                             "priority": request.priority.value,
                             "workload": request.workload.name,
                             "reason": "saturated",
                         })
                     continue
                 index = server_index[server.server_id]
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "req_arrival",
+                        "request_id": request_ids[id(request)],
+                        "priority": request.priority.value,
+                        "workload": request.workload.name,
+                        "input_tokens": request.input_tokens,
+                        "output_tokens": request.output_tokens,
+                        "server": server.server_id,
+                        "queued": not server.has_free_slot,
+                    })
                 if server.has_free_slot:
                     start_on(now, index, request)
                 else:
@@ -640,6 +724,8 @@ class ClusterSimulator:
                 if next_end is not None:
                     refresh_power(index)
                     schedule_slot(index, slot)
+                    if recording:
+                        emit_phase_start(now, index, slot)
                     continue
                 # Request complete; the slot is free again.
                 tier = metrics[finished.priority]
@@ -650,11 +736,18 @@ class ClusterSimulator:
                 by_workload.latencies.append(now - finished.arrival_time)
                 if recording:
                     obs.counter("requests.served").inc()
+                    latency = now - finished.arrival_time
+                    latency_hists[finished.priority].observe(latency)
+                    obs.histogram(
+                        f"latency.workload.{finished.workload.name}",
+                        LATENCY_BUCKETS,
+                    ).observe(latency)
                     recorder.emit({
                         "t": now, "kind": "serve",
+                        "request_id": request_ids[id(finished)],
                         "priority": finished.priority.value,
                         "workload": finished.workload.name,
-                        "latency_s": now - finished.arrival_time,
+                        "latency_s": latency,
                         "server": server.server_id,
                     })
                 queued = server.take_buffered()
@@ -719,24 +812,38 @@ class ClusterSimulator:
 
             elif kind == "cap":
                 priority, clock_mhz = event[1], event[2]
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "cap_land",
-                        "priority": priority.value, "clock_mhz": clock_mhz,
-                        "generation": event[3],
-                    })
                 ratio = 1.0
                 if clock_mhz is not None:
                     ratio = clock_mhz / clock_denominator
                 indices = self._index_by_priority[priority]
+                old_ratios: Optional[List[float]] = None
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "cap_land",
+                        "priority": priority.value, "clock_mhz": clock_mhz,
+                        "generation": event[3], "ratio": ratio,
+                    })
+                    old_ratios = [
+                        self.servers[i].effective_ratio for i in indices
+                    ]
                 group_rescheduled = [
                     self.servers[index].apply_clock(now, ratio)
                     for index in indices
                 ]
                 refresh_group(indices)
-                for index, rescheduled in zip(indices, group_rescheduled):
+                for pos, (index, rescheduled) in enumerate(
+                    zip(indices, group_rescheduled)
+                ):
                     for slot in rescheduled:
                         schedule_slot(index, slot)
+                    if recording and rescheduled:
+                        emit_rescales(
+                            now, index, rescheduled, old_ratios[pos],
+                            cause="cap", stamp={
+                                "priority": priority.value,
+                                "generation": event[3],
+                            },
+                        )
 
             elif kind == "verify_cap":
                 priority, clock_mhz, generation, attempts = event[1:]
@@ -792,12 +899,16 @@ class ClusterSimulator:
                     continue
                 brake_state = "on"
                 brake_engaged_at = now
+                all_indices = range(len(self.servers))
+                old_ratios = None
                 if recording:
                     recorder.emit({
                         "t": now, "kind": "brake_land",
                         "on": True, "version": event[1],
                     })
-                all_indices = range(len(self.servers))
+                    old_ratios = [
+                        self.servers[i].effective_ratio for i in all_indices
+                    ]
                 group_rescheduled = [
                     self.servers[index].apply_brake(now, True)
                     for index in all_indices
@@ -806,17 +917,28 @@ class ClusterSimulator:
                 for index, rescheduled in zip(all_indices, group_rescheduled):
                     for slot in rescheduled:
                         schedule_slot(index, slot)
+                    if recording and rescheduled:
+                        emit_rescales(
+                            now, index, rescheduled, old_ratios[index],
+                            cause="brake", stamp={
+                                "version": event[1], "on": True,
+                            },
+                        )
 
             elif kind == "brake_off":
                 if brake_state != "pending_off" or event[1] != brake_version:
                     continue
                 brake_state = "off"
+                all_indices = range(len(self.servers))
+                old_ratios = None
                 if recording:
                     recorder.emit({
                         "t": now, "kind": "brake_land",
                         "on": False, "version": event[1],
                     })
-                all_indices = range(len(self.servers))
+                    old_ratios = [
+                        self.servers[i].effective_ratio for i in all_indices
+                    ]
                 group_rescheduled = [
                     self.servers[index].apply_brake(now, False)
                     for index in all_indices
@@ -825,6 +947,13 @@ class ClusterSimulator:
                 for index, rescheduled in zip(all_indices, group_rescheduled):
                     for slot in rescheduled:
                         schedule_slot(index, slot)
+                    if recording and rescheduled:
+                        emit_rescales(
+                            now, index, rescheduled, old_ratios[index],
+                            cause="brake", stamp={
+                                "version": event[1], "on": False,
+                            },
+                        )
 
             elif kind == "verify_brake":
                 want_on, version, attempts = event[1], event[2], event[3]
@@ -888,6 +1017,7 @@ class ClusterSimulator:
                         obs.counter("requests.lost_to_churn").inc()
                         recorder.emit({
                             "t": now, "kind": "drop",
+                            "request_id": request_ids[id(request)],
                             "priority": request.priority.value,
                             "workload": request.workload.name,
                             "reason": "churn",

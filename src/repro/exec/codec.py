@@ -25,8 +25,16 @@ from repro.workloads.spec import Priority
 #: ``observability`` with the live layer's sections — ``incidents`` /
 #: ``alerts`` (see :mod:`repro.obs.alerts`) and ``stream``
 #: (:class:`~repro.obs.stream.StreamMonitor` probe values) — and makes
-#: gauges nullable (explicit unset state).
-SCHEMA_VERSION = 3
+#: gauges nullable (explicit unset state). Version 4 adds the causal
+#: layer's ``spans`` / ``attribution`` sections
+#: (:mod:`repro.obs.spans`, :mod:`repro.obs.attribution`).
+SCHEMA_VERSION = 4
+
+#: Schema versions :func:`result_from_dict` can decode. Versions 2 and 3
+#: differ from 4 only by which ``observability`` sections exist, and
+#: every consumer of that dict treats missing sections as empty — so old
+#: cache entries and checked-in result snapshots stay loadable.
+COMPATIBLE_SCHEMAS = frozenset({2, 3, SCHEMA_VERSION})
 
 
 def _metrics_to_dict(metrics: PriorityMetrics) -> Dict[str, Any]:
@@ -84,10 +92,10 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
     Raises:
         ConfigurationError: On a schema-version mismatch.
     """
-    if data.get("schema") != SCHEMA_VERSION:
+    if data.get("schema") not in COMPATIBLE_SCHEMAS:
         raise ConfigurationError(
-            f"cached result schema {data.get('schema')!r} does not match "
-            f"{SCHEMA_VERSION}"
+            f"cached result schema {data.get('schema')!r} is not one of "
+            f"{sorted(COMPATIBLE_SCHEMAS)}"
         )
     series = data["power_series"]
     robustness = None

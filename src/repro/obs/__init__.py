@@ -35,7 +35,20 @@ that behaviour from live runs without perturbing them:
   simulator snapshots into ``SimulationResult.observability``;
   :mod:`repro.obs.export` renders snapshots as OpenMetrics text; and
   :mod:`repro.obs.diff` localizes the first divergent event between
-  two traces (or results) for one-command root-causing.
+  two traces (or results) for one-command root-causing;
+* the causal layer answers "*why* was this request slow":
+  :mod:`repro.obs.spans` folds the stream into per-request span trees
+  (arrival → queue-wait → prompt → token → completion/drop, each phase
+  carrying its cap/brake rate intervals) via the
+  :class:`~repro.obs.spans.SpanBuilder` recorder;
+  :mod:`repro.obs.attribution` computes exact (Fraction-arithmetic)
+  counterfactual full-clock latencies and decomposes realized latency
+  into queue-wait / service / cap-slowdown / brake-stall / fallback
+  seconds and excess energy, attributed to the specific cap generation
+  or brake version at fault (:func:`~repro.obs.attribution.attribute_run`,
+  :func:`~repro.obs.attribution.top_victims`); and
+  :func:`~repro.obs.export.render_chrome_trace` exports any trace in
+  the Chrome trace-event / Perfetto JSON format for visual inspection.
 """
 
 from repro.obs.alerts import (
@@ -62,6 +75,14 @@ from repro.obs.analyze import (
     summarize_trace,
     utilization_points,
 )
+from repro.obs.attribution import (
+    COMPONENTS,
+    AttributionReport,
+    RequestAttribution,
+    attribute_run,
+    attribution_table,
+    top_victims,
+)
 from repro.obs.diff import (
     Divergence,
     diff_results,
@@ -69,11 +90,14 @@ from repro.obs.diff import (
     format_divergence,
 )
 from repro.obs.export import (
+    render_chrome_trace,
     render_openmetrics,
     sanitize_metric_name,
+    write_chrome_trace,
     write_textfile,
 )
 from repro.obs.metrics import (
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -90,6 +114,14 @@ from repro.obs.recorder import (
     TraceRecorder,
     read_jsonl,
 )
+from repro.obs.spans import (
+    PhaseSpan,
+    RateInterval,
+    RequestSpan,
+    SpanBuilder,
+    build_spans,
+    render_span_tree,
+)
 from repro.obs.stream import (
     Ewma,
     RollingRate,
@@ -102,7 +134,9 @@ from repro.obs.stream import (
 __all__ = [
     "AlertEngine",
     "AlertRule",
+    "AttributionReport",
     "BrakeSpan",
+    "COMPONENTS",
     "CapCommand",
     "CheckItem",
     "Counter",
@@ -114,13 +148,19 @@ __all__ = [
     "Histogram",
     "Incident",
     "JsonlRecorder",
+    "LATENCY_BUCKETS",
     "MemoryRecorder",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "PhaseSpan",
+    "RateInterval",
     "RateRule",
+    "RequestAttribution",
+    "RequestSpan",
     "RollingRate",
     "SloViolationRule",
+    "SpanBuilder",
     "StreamMonitor",
     "TeeRecorder",
     "ThresholdRule",
@@ -129,7 +169,10 @@ __all__ = [
     "WindowMax",
     "WindowQuantile",
     "aggregate_snapshots",
+    "attribute_run",
+    "attribution_table",
     "brake_timeline",
+    "build_spans",
     "cap_timeline",
     "cross_check",
     "default_rules",
@@ -141,9 +184,13 @@ __all__ = [
     "load_events",
     "merge_incident_snapshots",
     "read_jsonl",
+    "render_chrome_trace",
     "render_openmetrics",
+    "render_span_tree",
     "sanitize_metric_name",
     "summarize_trace",
+    "top_victims",
     "utilization_points",
+    "write_chrome_trace",
     "write_textfile",
 ]

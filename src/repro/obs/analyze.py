@@ -451,6 +451,38 @@ def cross_check(
             result.capping_actions,
             counters.get("commands.cap_actions"),
         )
+    # --- Span/attribution audit (only when the trace carries spans;
+    # traces recorded before the span layer skip it). Conservation must
+    # hold *exactly*: per served request, the attributed components sum
+    # to the realized latency, and the realized latency re-derived from
+    # span boundaries equals the serve event's reported one, bitwise.
+    if any(e.get("kind") == "phase_start" for e in events):
+        # Local import: repro.obs.attribution builds on repro.obs.spans,
+        # which imports this module for load_events.
+        from repro.obs.attribution import attribute_run
+
+        attribution = attribute_run(events)
+        check(
+            "attribution.spans_served",
+            result.total_served,
+            len(attribution.requests),
+        )
+        check(
+            "attribution.spans_dropped",
+            sum(m.dropped for m in result.per_priority.values()),
+            attribution.dropped,
+        )
+        check("attribution.spans_unfinished", 0, attribution.unfinished)
+        check(
+            "attribution.conservation_violations",
+            0,
+            len(attribution.conservation_violations),
+        )
+        check(
+            "attribution.latency_mismatches",
+            0,
+            attribution.latency_mismatches,
+        )
     return CrossCheckReport(checks=checks)
 
 

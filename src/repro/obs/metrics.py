@@ -20,6 +20,13 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.25, 0.5, 0.625, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0, 1.05,
 )
 
+#: Bucket upper bounds (seconds) for request-latency histograms. Spans
+#: the BLOOM-176B latency range of Table 6/7 — sub-second Code requests
+#: up to multi-minute General completions under caps and brakes.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 300.0,
+)
+
 
 class Counter:
     """A monotonically increasing integer metric."""

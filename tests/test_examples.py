@@ -146,3 +146,83 @@ class TestTraceInspectCli:
         code = trace_inspect.main(["diff", a, str(tmp_path / "no.jsonl")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# trace_inspect.py spans / attrib subcommands
+# ----------------------------------------------------------------------
+class TestSpanAndAttribCli:
+    @pytest.fixture()
+    def span_trace(self, tmp_path):
+        from tests.test_obs_spans import simple_request_events
+
+        return write_trace(tmp_path / "spans.jsonl",
+                           simple_request_events())
+
+    def test_spans_renders_all_requests(
+        self, trace_inspect, span_trace, capsys
+    ):
+        assert trace_inspect.main(["spans", span_trace]) == 0
+        out = capsys.readouterr().out
+        assert "request 0 [low/Chat] - served" in out
+        assert "<- brake v1 (policy)" in out
+
+    def test_spans_request_id_found(
+        self, trace_inspect, span_trace, capsys
+    ):
+        code = trace_inspect.main(
+            ["spans", span_trace, "--request-id", "0"]
+        )
+        assert code == 0
+        assert "request 0" in capsys.readouterr().out
+
+    def test_spans_request_id_missing_exits_one(
+        self, trace_inspect, span_trace, capsys
+    ):
+        code = trace_inspect.main(
+            ["spans", span_trace, "--request-id", "42"]
+        )
+        assert code == 1
+        assert "no span for request 42" in capsys.readouterr().err
+
+    def test_spans_pre_span_trace_exits_one(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "old.jsonl", EVENTS)
+        assert trace_inspect.main(["spans", trace]) == 1
+        assert "no span events" in capsys.readouterr().err
+
+    def test_spans_missing_file_exits_two(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["spans", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_attrib_reports_components_and_victims(
+        self, trace_inspect, span_trace, capsys
+    ):
+        assert trace_inspect.main(["attrib", span_trace]) == 0
+        out = capsys.readouterr().out
+        assert "queue_wait" in out and "brake_stall" in out
+        assert "conservation  exact" in out
+        assert "Top 1 victims" in out
+        assert "excess energy" in out
+
+    def test_attrib_pre_span_trace_exits_one(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "old.jsonl", EVENTS)
+        assert trace_inspect.main(["attrib", trace]) == 1
+        assert "no span events" in capsys.readouterr().err
+
+    def test_attrib_missing_file_exits_two(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["attrib", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

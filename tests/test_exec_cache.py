@@ -186,6 +186,48 @@ class TestCodec:
         with pytest.raises(ConfigurationError):
             result_from_dict(encoded)
 
+    def test_schema_v2_snapshot_still_decodes(self):
+        """A checked-in schema-2 result file must stay loadable.
+
+        Version 2 predates the live-layer (incidents/alerts/stream) and
+        causal (spans/attribution) observability sections; consumers
+        treat the missing sections as empty, so the codec accepts the
+        old layout rather than invalidating every old cache entry.
+        """
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).parent / "data" / "result_v2.json"
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["schema"] == 2
+        decoded = result_from_dict(data)
+        assert decoded.total_served > 0
+        assert decoded.duration_s == data["duration_s"]
+        obs = decoded.observability
+        assert set(obs) == {"counters", "gauges", "histograms"}
+        assert "incidents" not in obs and "spans" not in obs
+        # The v2 metrics snapshot aggregates alongside current ones.
+        from repro.obs import aggregate_snapshots
+
+        merged = aggregate_snapshots([obs, None, obs])
+        assert merged["counters"] == {
+            name: 2 * value for name, value in obs["counters"].items()
+        }
+
+    def test_schema_v3_still_decodes(self):
+        encoded = result_to_dict(execute_spec(small_spec()))
+        encoded["schema"] = 3
+        decoded = result_from_dict(encoded)
+        assert decoded.duration_s == encoded["duration_s"]
+
+    def test_current_schema_is_v4(self):
+        from repro.exec.codec import SCHEMA_VERSION
+
+        assert SCHEMA_VERSION == 4
+        encoded = result_to_dict(execute_spec(small_spec()))
+        assert encoded["schema"] == 4
+
 
 class TestTraceCache:
     def test_traces_shared_by_key(self):

@@ -553,3 +553,77 @@ class TestEngineRecording:
         assert parallel.metrics.snapshot()["counters"][
             "engine.simulated"
         ] == 2
+
+
+# ----------------------------------------------------------------------
+# Serve-time latency histograms and span-layer parity
+# ----------------------------------------------------------------------
+class TestLatencyHistograms:
+    def test_snapshot_has_per_priority_and_per_workload_latency(self):
+        result = run_reference(
+            "polca-oversubscribed", recorder=MemoryRecorder()
+        )
+        histograms = result.observability["histograms"]
+        from repro.obs import LATENCY_BUCKETS
+
+        for priority in Priority:
+            data = histograms[f"latency.priority.{priority.value}"]
+            assert data["bounds"] == list(LATENCY_BUCKETS)
+            assert data["count"] == \
+                result.per_priority[priority].served
+            latencies = result.per_priority[priority].latencies
+            assert data["sum"] == pytest.approx(sum(latencies))
+            if latencies:
+                assert data["min"] == min(latencies)
+                assert data["max"] == max(latencies)
+        workload_names = {
+            name for name, metrics in result.per_workload.items()
+            if metrics.served
+        }
+        for name in workload_names:
+            data = histograms[f"latency.workload.{name}"]
+            assert data["count"] == result.per_workload[name].served
+
+    def test_latency_histograms_aggregate_across_runs(self):
+        first = run_reference("polca-default", recorder=MemoryRecorder())
+        second = run_reference(
+            "polca-oversubscribed", recorder=MemoryRecorder()
+        )
+        merged = aggregate_snapshots(
+            [first.observability, None, second.observability]
+        )
+        for priority in Priority:
+            name = f"latency.priority.{priority.value}"
+            merged_hist = merged["histograms"][name]
+            expected = (
+                first.observability["histograms"][name]["count"]
+                + second.observability["histograms"][name]["count"]
+            )
+            assert merged_hist["count"] == expected
+            assert merged_hist["counts"][-1] + sum(
+                merged_hist["counts"][:-1]
+            ) == expected
+
+    def test_uninstrumented_run_has_no_histograms(self):
+        result = run_reference("polca-default")
+        assert result.observability is None
+
+
+class TestSpanBuilderParity:
+    @pytest.mark.parametrize("name", sorted(REFERENCE_CONFIGS))
+    def test_span_recording_is_bit_identical_to_bare(self, name):
+        from repro.obs import SpanBuilder
+
+        bare = run_reference(name)
+        traced = run_reference(name, recorder=SpanBuilder())
+        assert_results_bit_identical(bare, traced)
+
+    @pytest.mark.parametrize("name", sorted(REFERENCE_CONFIGS))
+    def test_span_recording_matches_plain_recording(self, name):
+        from repro.obs import SpanBuilder, TeeRecorder
+
+        plain = run_reference(name, recorder=MemoryRecorder())
+        teed = run_reference(
+            name, recorder=TeeRecorder([MemoryRecorder(), SpanBuilder()])
+        )
+        assert_results_bit_identical(plain, teed)

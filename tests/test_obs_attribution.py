@@ -1,0 +1,265 @@
+"""Causal attribution: exact conservation, rankings, tables, energy.
+
+The hand-written stream (from ``test_obs_spans``) has a decomposition
+computable by hand, so the tests pin exact values. The simulator-driven
+tests check the conservation identity on full runs — exactly, not to a
+tolerance — and the :func:`cross_check` integration.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    COMPONENTS,
+    MemoryRecorder,
+    SpanBuilder,
+    TeeRecorder,
+    attribute_run,
+    attribution_table,
+    cross_check,
+    top_victims,
+)
+from tests.test_obs import REFERENCE_CONFIGS, run_reference
+from tests.test_obs_spans import simple_request_events
+
+
+#: The trace records 0.8 as a binary float; the exact arithmetic runs
+#: over Fraction(0.8) — the float's exact value — not 4/5.
+R8 = Fraction(0.8)
+#: service = 1.0 at full clock + 3.0 s at 0.8 + 1.0 s at 0.5 (cf = 1.0:
+#: ideal = actual * r).
+EXPECTED_SERVICE = 1 + 3 * R8 + Fraction(1, 2)
+EXPECTED_CAP = 3 * (1 - R8)
+EXPECTED_BRAKE = Fraction(1, 2)
+EXPECTED_EXCESS = EXPECTED_CAP + EXPECTED_BRAKE
+
+
+class TestHandComputedDecomposition:
+    """The simple stream, by hand (compute_fraction = 1.0):
+
+    realized = 6.0 - 1.0 = 5.0 s; queue_wait = 0.
+    [1.0, 2.0] @ 1.0 -> service 1.0
+    [2.0, 3.5] @ 0.8 -> service 1.5*0.8, cap_slowdown 1.5*0.2
+    [3.5, 4.5] @ 0.5 -> service 0.5, brake_stall 0.5
+    [4.5, 6.0] @ 0.8 -> service 1.5*0.8, cap_slowdown 1.5*0.2
+    (all over the *binary* value of 0.8, which the conservation identity
+    absorbs: the components still sum to exactly 5.)
+    """
+
+    def test_exact_components(self):
+        report = attribute_run(simple_request_events())
+        (request,) = report.requests
+        assert request.exact["queue_wait"] == 0
+        assert request.exact["service"] == EXPECTED_SERVICE
+        assert request.exact["cap_slowdown"] == EXPECTED_CAP
+        assert request.exact["brake_stall"] == EXPECTED_BRAKE
+        assert request.exact["fallback"] == 0
+        assert request.exact_realized == 5
+        assert request.conservation_error == 0
+        assert EXPECTED_SERVICE + EXPECTED_CAP + EXPECTED_BRAKE == 5
+
+    def test_counterfactual_and_excess(self):
+        report = attribute_run(simple_request_events())
+        (request,) = report.requests
+        assert request.exact_counterfactual == EXPECTED_SERVICE
+        assert request.exact_excess == EXPECTED_EXCESS
+        assert request.counterfactual_s == float(EXPECTED_SERVICE)
+        assert request.excess_s == float(EXPECTED_EXCESS)
+
+    def test_by_action_attribution(self):
+        report = attribute_run(simple_request_events())
+        (request,) = report.requests
+        assert set(request.by_action_s) == {
+            "cap low gen 1", "brake v1 (policy)",
+        }
+        assert request.by_action_s["cap low gen 1"] == float(EXPECTED_CAP)
+        assert request.by_action_s["brake v1 (policy)"] == 0.5
+
+    def test_excess_energy_is_slot_share_of_idle(self):
+        report = attribute_run(simple_request_events())
+        (request,) = report.requests
+        # run_meta: idle 250 W / concurrency 2 = 125 W per slot.
+        assert request.excess_energy_j == float(EXPECTED_EXCESS) * 125.0
+        assert report.total_excess_energy_j == request.excess_energy_j
+
+    def test_no_run_meta_means_no_energy(self):
+        events = simple_request_events()[1:]
+        report = attribute_run(events)
+        (request,) = report.requests
+        assert request.excess_energy_j == 0.0
+        assert request.exact_excess == EXPECTED_EXCESS
+
+    def test_fallback_component_from_brake_source(self):
+        events = simple_request_events()
+        for event in events:
+            if event["kind"] == "brake_request":
+                event["source"] = "fallback"
+        report = attribute_run(events)
+        (request,) = report.requests
+        assert request.exact["brake_stall"] == 0
+        assert request.exact["fallback"] == Fraction(1, 2)
+        assert request.conservation_error == 0
+
+    def test_fallback_component_from_tainted_cap(self):
+        events = simple_request_events()
+        events.insert(3, {"t": 1.5, "kind": "fallback_enter"})
+        report = attribute_run(events)
+        (request,) = report.requests
+        assert request.exact["cap_slowdown"] == 0
+        assert request.exact["fallback"] == EXPECTED_CAP
+        assert request.exact["brake_stall"] == EXPECTED_BRAKE
+
+    def test_dropped_and_unfinished_counted(self):
+        events = simple_request_events()[:3] + [
+            {"t": 4.0, "kind": "drop", "request_id": 0, "priority": "low",
+             "reason": "churn", "server": "s0"},
+            {"t": 5.0, "kind": "req_arrival", "request_id": 1,
+             "priority": "low", "workload": "Chat", "server": "s0",
+             "queued": False},
+            {"t": 5.0, "kind": "phase_start", "request_id": 1,
+             "server": "s0", "slot": 0, "phase": "prompt", "phase_index": 0,
+             "ratio": 1.0, "full_clock_s": 2.0, "compute_fraction": 1.0,
+             "planned_end": 7.0},
+        ]
+        report = attribute_run(events)
+        assert report.requests == []
+        assert report.dropped == 1
+        assert report.unfinished == 1
+
+    def test_latency_mismatch_detection(self):
+        events = simple_request_events()
+        events[-1]["latency_s"] = 4.999  # disagrees with end - arrival
+        report = attribute_run(events)
+        assert report.latency_mismatches == 1
+        events[-1]["latency_s"] = 5.0
+        assert attribute_run(events).latency_mismatches == 0
+
+    def test_pre_span_trace_yields_empty_report(self):
+        events = [
+            {"t": 1.0, "kind": "serve", "latency_s": 2.0},
+            {"t": 2.0, "kind": "cap_land", "priority": "low",
+             "generation": 1, "clock_mhz": 1100.0},
+        ]
+        report = attribute_run(events)
+        assert report.requests == [] and report.dropped == 0
+
+    def test_snapshot_shape(self):
+        snapshot = attribute_run(simple_request_events()).snapshot()
+        assert snapshot["requests"] == 1
+        assert snapshot["conservation_ok"] is True
+        assert set(snapshot["components_s"]) == set(COMPONENTS)
+        assert snapshot["top_victims"][0]["request_id"] == 0
+        import json
+
+        json.dumps(snapshot)
+
+
+class TestRankingAndTables:
+    def _two_request_report(self):
+        events = simple_request_events() + [
+            {"t": 10.0, "kind": "req_arrival", "request_id": 1,
+             "priority": "high", "workload": "Search", "server": "s0",
+             "queued": True},
+            {"t": 11.0, "kind": "phase_start", "request_id": 1,
+             "server": "s0", "slot": 1, "phase": "prompt", "phase_index": 0,
+             "ratio": 1.0, "full_clock_s": 1.0, "compute_fraction": 1.0,
+             "planned_end": 12.0},
+            {"t": 12.0, "kind": "serve", "request_id": 1,
+             "priority": "high", "workload": "Search", "latency_s": 2.0},
+        ]
+        return attribute_run(events)
+
+    def test_top_victims_ranking(self):
+        report = self._two_request_report()
+        victims = top_victims(report, 2)
+        assert [v.request_id for v in victims] == [0, 1]
+        assert top_victims(report, 1)[0].request_id == 0
+
+    def test_top_victims_rejects_nonpositive_n(self):
+        with pytest.raises(ConfigurationError):
+            top_victims(self._two_request_report(), 0)
+
+    def test_table_by_priority(self):
+        lines = attribution_table(self._two_request_report(), by="priority")
+        assert "p99_excess" in lines[0]
+        rows = {line.split()[0]: line for line in lines[1:]}
+        assert set(rows) == {"low", "high"}
+        # The high request ran at full clock: zero slowdown everywhere.
+        assert "0.000" in rows["high"]
+
+    def test_table_by_workload_and_action(self):
+        report = self._two_request_report()
+        workload_rows = attribution_table(report, by="workload")
+        assert {line.split()[0] for line in workload_rows[1:]} == {
+            "Chat", "Search",
+        }
+        action_rows = attribution_table(report, by="action")
+        assert action_rows[0].startswith("action")
+        assert any("cap low gen 1" in line for line in action_rows)
+
+    def test_table_rejects_unknown_dimension(self):
+        with pytest.raises(ConfigurationError):
+            attribution_table(self._two_request_report(), by="server")
+
+
+class TestSimulatorConservation:
+    @pytest.mark.parametrize("name", sorted(REFERENCE_CONFIGS))
+    def test_decomposition_conserves_exactly(self, name):
+        builder = SpanBuilder()
+        result = run_reference(name, recorder=builder)
+        report = attribute_run(builder)
+        assert report.unfinished == 0
+        assert report.latency_mismatches == 0
+        assert report.conservation_violations == []
+        assert len(report.requests) == result.total_served
+        for request in report.requests:
+            # Exact identity, not a tolerance.
+            total = sum(
+                (request.exact[name_] for name_ in COMPONENTS),
+                Fraction(0),
+            )
+            assert total == request.exact_realized
+            for component, value in request.exact.items():
+                assert value >= 0, (request.request_id, component)
+
+    def test_counterfactual_never_exceeds_realized(self):
+        builder = SpanBuilder()
+        run_reference("polca-adversarial", recorder=builder)
+        for request in attribute_run(builder).requests:
+            assert request.exact_counterfactual <= request.exact_realized
+            assert request.exact_excess >= 0
+
+    def test_cross_check_audits_attribution(self):
+        builder = SpanBuilder()
+        memory = MemoryRecorder()
+        result = run_reference(
+            "polca-oversubscribed", recorder=TeeRecorder([memory, builder])
+        )
+        report = cross_check(memory.events, result)
+        names = {check.name for check in report.checks}
+        assert {
+            "attribution.spans_served",
+            "attribution.spans_dropped",
+            "attribution.spans_unfinished",
+            "attribution.conservation_violations",
+            "attribution.latency_mismatches",
+        } <= names
+        report.require_ok()
+
+    def test_cross_check_skips_pre_span_traces(self):
+        memory = MemoryRecorder(kinds=["serve", "drop", "control"])
+        result = run_reference("polca-default", recorder=memory)
+        report = cross_check(memory.events, result)
+        names = {check.name for check in report.checks}
+        assert not any(name.startswith("attribution.") for name in names)
+
+    def test_brake_heavy_run_attributes_brake_stall(self):
+        builder = SpanBuilder()
+        run_reference("nocap-stale-telemetry", recorder=builder)
+        report = attribute_run(builder)
+        totals = report.totals_s()
+        assert totals["brake_stall"] + totals["fallback"] > 0
+        assert report.total_excess_s > 0
+        assert report.total_excess_energy_j > 0

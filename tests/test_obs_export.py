@@ -120,3 +120,113 @@ class TestRenderOpenMetrics:
         text = write_textfile(str(path), {"counters": {"x": 1}})
         assert path.read_text(encoding="utf-8") == text
         assert_parseable(text)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event (Perfetto) export
+# ----------------------------------------------------------------------
+class TestChromeTraceExport:
+    def _trace(self):
+        from repro.obs import SpanBuilder, render_chrome_trace
+
+        builder = SpanBuilder()
+        run_reference("polca-adversarial", recorder=builder)
+        return render_chrome_trace(builder)
+
+    def test_structure_and_required_keys(self):
+        trace = self._trace()
+        events = trace["traceEvents"]
+        assert events
+        assert trace["displayTimeUnit"] == "ms"
+        for event in events:
+            assert event["ph"] in ("M", "X", "i")
+            assert "pid" in event and "tid" in event and "ts" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            if event["ph"] == "i":
+                assert event["s"] in ("g", "t")
+
+    def test_per_track_timestamps_are_monotonic(self):
+        last = {}
+        for event in self._trace()["traceEvents"]:
+            if event["ph"] == "M":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(key, float("-inf"))
+            last[key] = event["ts"]
+
+    def test_every_server_has_a_named_process(self):
+        trace = self._trace()
+        named = {
+            event["args"]["name"]
+            for event in trace["traceEvents"] if event["ph"] == "M"
+        }
+        assert "row control" in named
+        phase_pids = {
+            event["pid"] for event in trace["traceEvents"]
+            if event["ph"] == "X" and event.get("cat") == "phase"
+        }
+        metadata_pids = {
+            event["pid"] for event in trace["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert phase_pids <= metadata_pids
+        assert 0 not in phase_pids  # pid 0 is the control row
+
+    def test_control_instants_on_pid_zero(self):
+        instants = [
+            event for event in self._trace()["traceEvents"]
+            if event["ph"] == "i" and event.get("cat") == "control"
+        ]
+        assert instants, "an adversarial run must land control actions"
+        assert all(event["pid"] == 0 for event in instants)
+        assert any(event["name"].startswith("cap ") for event in instants)
+
+    def test_json_round_trip(self, tmp_path):
+        import json
+
+        from repro.obs import MemoryRecorder as Memory
+        from repro.obs import write_chrome_trace
+
+        recorder = Memory()
+        run_reference("polca-default", recorder=recorder)
+        path = tmp_path / "trace.json"
+        trace = write_chrome_trace(str(path), recorder.events)
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle) == trace
+
+    def test_live_builder_and_replay_agree(self):
+        from repro.obs import (
+            MemoryRecorder as Memory,
+            SpanBuilder,
+            TeeRecorder,
+            render_chrome_trace,
+        )
+
+        builder = SpanBuilder()
+        memory = Memory()
+        run_reference(
+            "nocap-stale-telemetry",
+            recorder=TeeRecorder([memory, builder]),
+        )
+        assert render_chrome_trace(builder) == \
+            render_chrome_trace(memory.events)
+
+    def test_queued_request_gets_a_buffer_slice(self):
+        trace = self._trace()
+        queue_slices = [
+            event for event in trace["traceEvents"]
+            if event["ph"] == "X" and event.get("cat") == "queue"
+        ]
+        assert queue_slices
+        assert all(event["tid"] == 0 for event in queue_slices)
+        assert all(event["dur"] > 0 for event in queue_slices)
+
+    def test_rescale_instants_ride_their_phase_track(self):
+        trace = self._trace()
+        rescales = [
+            event for event in trace["traceEvents"]
+            if event["ph"] == "i" and event.get("cat") == "rescale"
+        ]
+        assert rescales, "an adversarial run must reprice phases"
+        assert all(event["tid"] >= 1 for event in rescales)
