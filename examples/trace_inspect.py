@@ -21,6 +21,11 @@ tool renders such a trace for a human:
   realized latency to queue-wait / service / cap / brake / fallback and
   prints per-priority, per-workload, and per-action tables plus the
   top victims (exit 1 when the trace carries no span events).
+* ``python examples/trace_inspect.py trips trace.jsonl`` renders the
+  power-delivery protection timeline — breaker trips (with the affected
+  subtree and lost capacity), emergency shed windows, deferrals, and
+  staged re-energization (exit 1 when the trace has no protection
+  events).
 * ``python examples/trace_inspect.py`` (no argument) records a fresh demo
   trace from a short faulted run, writes it next to the working
   directory (or ``--out``), renders it, and then *cross-checks* it: every
@@ -28,7 +33,7 @@ tool renders such a trace for a human:
   stream and compared (two independent accounting paths that must agree).
 
 Run:  python examples/trace_inspect.py \
-          [diff A B | spans T | attrib T | trace.jsonl] [--out f]
+          [diff A B | spans T | attrib T | trips T | trace.jsonl] [--out f]
 """
 
 import argparse
@@ -249,6 +254,75 @@ def attrib_main(argv) -> int:
     return 0
 
 
+def trips_main(argv) -> int:
+    """The ``trips`` subcommand: power-delivery protection timeline."""
+    parser = argparse.ArgumentParser(
+        prog="trace_inspect.py trips",
+        description="Render breaker trips, emergency shed windows, and "
+                    "staged re-energization from a JSONL trace of a "
+                    "protected run (exit 1 when the trace carries no "
+                    "protection events).",
+    )
+    parser.add_argument("trace", help="JSONL trace of a protected run")
+    args = parser.parse_args(argv)
+    events = load_events(args.trace)
+    kinds = (
+        "trip", "trip_risk", "shed_engage", "shed_release", "shed_defer",
+        "reenergize", "reenergize_done",
+    )
+    timeline = [e for e in events if e.get("kind") in kinds]
+    if not timeline:
+        print(f"no power-delivery protection events in {args.trace} "
+              f"(run had no ClusterConfig.protection, or the recorder "
+              f"filtered them)", file=sys.stderr)
+        return 1
+    trips = [e for e in timeline if e["kind"] == "trip"]
+    deferrals = [e for e in timeline if e["kind"] == "shed_defer"]
+    shed_drops = sum(
+        1 for e in events
+        if e.get("kind") == "drop" and e.get("reason") == "shed"
+    )
+    print(f"== Protection timeline: {len(trips)} trip(s), "
+          f"{len(deferrals)} deferral(s), {shed_drops} shed drop(s) ==")
+    for event in timeline:
+        t = float(event["t"])
+        kind = event["kind"]
+        if kind == "trip":
+            cascade = " CASCADE" if event.get("cascaded") else ""
+            print(f"  t={t:9.1f}s TRIP{cascade} {event['device']} "
+                  f"({event['device_level']}, "
+                  f"{float(event['capacity_w']):.0f} W limit, "
+                  f"overload x{float(event['overload']):.2f})")
+            print(f"               {event['servers_offline']} server(s) "
+                  f"offline, {event['dropped']} request(s) lost, "
+                  f"{float(event['offline_capacity_w']):.0f} W "
+                  f"({float(event['offline_fraction']):.1%}) of capacity "
+                  f"de-energized; restore at "
+                  f"t={float(event['restore_at']):.1f}s")
+        elif kind == "trip_risk":
+            state = "AT RISK" if event.get("at_risk") else "cleared"
+            print(f"  t={t:9.1f}s risk {state}: {event['device']} "
+                  f"accumulator {float(event['accumulator']):.2f} "
+                  f"(overload x{float(event['overload']):.2f})")
+        elif kind == "shed_engage":
+            print(f"  t={t:9.1f}s emergency shed ENGAGED "
+                  f"(low-priority dropped/deferred, safe caps applied)")
+        elif kind == "shed_release":
+            print(f"  t={t:9.1f}s emergency shed released")
+        elif kind == "shed_defer":
+            print(f"  t={t:9.1f}s deferred r{event['request_id']} "
+                  f"[{event['priority']}/{event['workload']}] "
+                  f"by {float(event['delay_s']):.0f}s "
+                  f"(deferral #{event['deferrals']})")
+        elif kind == "reenergize":
+            servers = ", ".join(event.get("servers") or []) or "none"
+            print(f"  t={t:9.1f}s re-energize {event['device']} "
+                  f"step {event['step']}: {servers}")
+        elif kind == "reenergize_done":
+            print(f"  t={t:9.1f}s {event['device']} fully re-energized")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     try:
@@ -258,6 +332,8 @@ def main(argv=None) -> int:
             return spans_main(argv[1:])
         if argv and argv[0] == "attrib":
             return attrib_main(argv[1:])
+        if argv and argv[0] == "trips":
+            return trips_main(argv[1:])
 
         parser = argparse.ArgumentParser(
             description="Summarize a simulator JSONL trace, or record "
@@ -265,7 +341,8 @@ def main(argv=None) -> int:
                         "given. Subcommands: 'diff' compares two "
                         "traces; 'spans' renders per-request span "
                         "trees; 'attrib' attributes latency and energy "
-                        "to cap/brake actions."
+                        "to cap/brake actions; 'trips' renders the "
+                        "power-delivery protection timeline."
         )
         parser.add_argument(
             "trace", nargs="?", default=None,

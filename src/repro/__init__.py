@@ -23,7 +23,9 @@ Subpackages: :mod:`repro.gpu`, :mod:`repro.models`, :mod:`repro.server`,
 :mod:`repro.core` (POLCA), :mod:`repro.faults` (fault injection),
 :mod:`repro.exec` (parallel sweep execution + run memoization),
 :mod:`repro.obs` (trace recording, metrics, trace-vs-result
-cross-checking), :mod:`repro.characterization`, :mod:`repro.analysis`.
+cross-checking), :mod:`repro.powerfail` (power-delivery fault domains:
+breaker-trip modeling, cascading failure, emergency shedding, staged
+recovery), :mod:`repro.characterization`, :mod:`repro.analysis`.
 """
 
 from repro.errors import (
@@ -56,6 +58,7 @@ from repro.core import (
     PolcaThresholds,
     SingleThresholdAllPolicy,
     SingleThresholdLowPriPolicy,
+    UnmanagedPolicy,
     added_servers_sweep,
     compare_policies,
     evaluate_slos,
@@ -90,6 +93,12 @@ from repro.obs import (
     render_openmetrics,
     summarize_trace,
 )
+from repro.powerfail import (
+    EmergencyConfig,
+    PowerFailReport,
+    ProtectionSpec,
+    TripCurve,
+)
 from repro.workloads import (
     Priority,
     ProductionTraceModel,
@@ -110,6 +119,7 @@ __all__ = [
     "ConfigurationError",
     "DgxServer",
     "DualThresholdPolicy",
+    "EmergencyConfig",
     "EvaluationHarness",
     "FaultPlan",
     "FrequencyError",
@@ -128,6 +138,8 @@ __all__ = [
     "PolcaThresholds",
     "PolicySpec",
     "PowerCapError",
+    "PowerFailReport",
+    "ProtectionSpec",
     "Priority",
     "ProductionTraceModel",
     "ReliabilityConfig",
@@ -146,10 +158,12 @@ __all__ = [
     "StreamMonitor",
     "SyntheticTraceGenerator",
     "TABLE6_MIX",
+    "TripCurve",
     "TeeRecorder",
     "TelemetryError",
     "TraceError",
     "TraceRecorder",
+    "UnmanagedPolicy",
     "added_servers_sweep",
     "compare_policies",
     "cross_check",

@@ -17,6 +17,7 @@ from repro.workloads.spec import Priority
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.report import RobustnessReport
+    from repro.powerfail.protection import PowerFailReport
 
 
 @dataclass
@@ -78,6 +79,9 @@ class SimulationResult:
             used the default :class:`~repro.obs.recorder.NullRecorder`.
             See :func:`repro.obs.metrics.aggregate_snapshots` for
             merging these across a sweep.
+        powerfail: Trip/shed/re-energization ledger of the power-
+            delivery protection layer (see :mod:`repro.powerfail`);
+            ``None`` when ``ClusterConfig.protection`` was unset.
     """
 
     per_priority: Dict[Priority, PriorityMetrics]
@@ -90,6 +94,7 @@ class SimulationResult:
     total_energy_j: float = 0.0
     robustness: Optional["RobustnessReport"] = None
     observability: Optional[Dict[str, Any]] = None
+    powerfail: Optional["PowerFailReport"] = None
 
     def latency_summary(self, priority: Priority) -> LatencySummary:
         """Latency summary for one tier."""

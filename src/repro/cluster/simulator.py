@@ -57,6 +57,8 @@ from repro.faults.report import OverBudgetTracker, RobustnessReport
 from repro.gpu.specs import A100_80GB
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+from repro.powerfail.protection import ProtectionRuntime
+from repro.powerfail.topology import PowerTopology, ProtectionSpec
 from repro.telemetry.base import SampledInterface
 from repro.telemetry.smbpbi import SMBPBI_ACTUATION_LATENCY_S
 from repro.workloads.requests import SampledRequest
@@ -86,6 +88,10 @@ class ClusterConfig:
         fault_plan: Faults to inject during the run; ``None`` (or an
             all-zeros plan) leaves every interface perfect.
         reliability: Reliable-command and graceful-degradation knobs.
+        protection: The power-delivery protection hierarchy (breakers,
+            trip curves, emergency shedding — see
+            :mod:`repro.powerfail`); ``None`` models infinite breaker
+            capacity and is bit-identical to the unprotected simulator.
     """
 
     n_base_servers: int = 40
@@ -100,6 +106,7 @@ class ClusterConfig:
     seed: int = 0
     fault_plan: Optional[FaultPlan] = None
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+    protection: Optional[ProtectionSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_base_servers <= 0:
@@ -255,6 +262,8 @@ class ClusterSimulator:
             telemetry_dropout_windows=injector.dropout_window_count,
         )
         tracker = OverBudgetTracker(budget_w=config.provisioned_power_w)
+        protection = config.protection
+        peak_server_w = self.power_model.server_power(1.0, 1.0)
 
         # Observability. ``recording`` guards every hook point below, so
         # with the default NullRecorder no event payload or metric update
@@ -283,6 +292,16 @@ class ClusterSimulator:
                 "churn.recoveries",
             ):
                 obs.counter(_name)
+            if protection is not None:
+                for _name in (
+                    "prot.trips",
+                    "prot.reenergizations",
+                    "shed.engagements",
+                    "requests.lost_to_trips",
+                    "requests.dropped_shed",
+                    "requests.deferred",
+                ):
+                    obs.counter(_name)
             util_hist = obs.histogram("control.utilization")
             latency_hists = {
                 p: obs.histogram(
@@ -319,11 +338,39 @@ class ClusterSimulator:
         total_energy = 0.0
         last_event_time = 0.0
 
+        # The power-delivery protection layer. ``prot is None`` (the
+        # default) models infinite breaker capacity: no accumulator is
+        # ever touched, no event is ever enqueued, and the run is
+        # bit-identical to the unprotected simulator.
+        prot: Optional[ProtectionRuntime] = None
+        emergency = None
+        pf_report = None
+        shed_active = False
+        shed_since = 0.0
+        defer_counts: Dict[int, int] = {}
+        if protection is not None:
+            topology = PowerTopology.build(
+                n_servers=config.n_servers,
+                provisioned_power_w=config.provisioned_power_w,
+                peak_server_w=peak_server_w,
+                spec=protection,
+            )
+            prot = ProtectionRuntime(
+                topology, protection, duration_s, server_power
+            )
+            emergency = protection.emergency
+            pf_report = prot.report
+            for push in prot.initial_events():
+                queue.push(*push)
+
         def refresh_power(index: int) -> None:
             nonlocal row_power
             new_power = self.servers[index].current_power()
             row_power += new_power - server_power[index]
             server_power[index] = new_power
+            if prot is not None:
+                for push in prot.update_server_power(now, index, new_power):
+                    queue.push(*push)
 
         def refresh_group(indices: Sequence[int]) -> None:
             """Refresh many servers at once (cap/brake landings).
@@ -357,6 +404,12 @@ class ClusterSimulator:
                 power = new_power[index]
                 row_power += power - server_power[index]
                 server_power[index] = power
+            if prot is not None:
+                for index in indices:
+                    for push in prot.update_server_power(
+                        now, index, new_power[index]
+                    ):
+                        queue.push(*push)
 
         def workload_tier(name: str) -> PriorityMetrics:
             if name not in workload_metrics:
@@ -575,6 +628,41 @@ class ClusterSimulator:
                     obs.counter("commands.cap_actions").inc()
             commanded = desired
 
+        # ------------------------------------------------------------
+        # Emergency response to power-delivery incidents (only reachable
+        # when a ProtectionSpec is attached): shed low-priority load and
+        # clamp survivors to safe caps while any device is tripped or
+        # carrying a trip-risk flag.
+        # ------------------------------------------------------------
+        def emit_capacity_status(now: float) -> None:
+            offline_w, offline_frac = prot.offline_stats(peak_server_w)
+            recorder.emit({
+                "t": now, "kind": "capacity_status",
+                "offline_capacity_w": offline_w,
+                "offline_fraction": offline_frac,
+            })
+
+        def update_shed(now: float) -> None:
+            nonlocal shed_active, shed_since
+            if emergency is None or not emergency.enabled:
+                return
+            want = prot.in_emergency
+            if want and not shed_active:
+                shed_active = True
+                shed_since = now
+                pf_report.shed_engagements += 1
+                if recording:
+                    obs.counter("shed.engagements").inc()
+                    recorder.emit({"t": now, "kind": "shed_engage"})
+                command_caps(now, emergency.clamp(commanded))
+            elif not want and shed_active:
+                shed_active = False
+                pf_report.time_shedding_s += max(
+                    0.0, min(now, duration_s) - min(shed_since, duration_s)
+                )
+                if recording:
+                    recorder.emit({"t": now, "kind": "shed_release"})
+
         def control_step(now: float, observed_power: float) -> None:
             nonlocal brake_state, brake_version, brake_engaged_at
             nonlocal brake_events
@@ -619,7 +707,11 @@ class ClusterSimulator:
                     })
                 issue_brake(now, False, brake_version, 0)
             # --- Frequency-capping policy.
-            command_caps(now, self.policy.desired_caps(utilization, now))
+            desired = self.policy.desired_caps(utilization, now)
+            if prot is not None and shed_active:
+                # Safe-mode caps outrank the policy while shedding.
+                desired = emergency.clamp(desired)
+            command_caps(now, desired)
 
         def deliver_observation(now: float, value: float) -> None:
             nonlocal stale_ticks, identical_run, last_observed, in_fallback
@@ -673,6 +765,53 @@ class ClusterSimulator:
 
             if kind == "arrival":
                 request: SampledRequest = event[1]
+                if prot is not None and shed_active:
+                    prior = defer_counts.get(id(request), 0)
+                    action = emergency.shed_action(
+                        request.priority.value, request.workload.name,
+                        prior,
+                    )
+                    if action == "defer":
+                        defer_counts[id(request)] = prior + 1
+                        queue.push(
+                            now + emergency.defer_s, ("arrival", request)
+                        )
+                        pf_report.requests_deferred += 1
+                        if recording:
+                            obs.counter("requests.deferred").inc()
+                            recorder.emit({
+                                "t": now, "kind": "shed_defer",
+                                "request_id": request_ids[id(request)],
+                                "priority": request.priority.value,
+                                "workload": request.workload.name,
+                                "delay_s": emergency.defer_s,
+                                "deferrals": prior + 1,
+                            })
+                        continue
+                    if action == "drop":
+                        metrics[request.priority].dropped += 1
+                        workload_tier(request.workload.name).dropped += 1
+                        pf_report.requests_dropped_shed += 1
+                        if recording:
+                            obs.counter("requests.dropped").inc()
+                            obs.counter("requests.dropped_shed").inc()
+                            recorder.emit({
+                                "t": now, "kind": "req_arrival",
+                                "request_id": request_ids[id(request)],
+                                "priority": request.priority.value,
+                                "workload": request.workload.name,
+                                "input_tokens": request.input_tokens,
+                                "output_tokens": request.output_tokens,
+                                "server": None, "queued": False,
+                            })
+                            recorder.emit({
+                                "t": now, "kind": "drop",
+                                "request_id": request_ids[id(request)],
+                                "priority": request.priority.value,
+                                "workload": request.workload.name,
+                                "reason": "shed",
+                            })
+                        continue
                 server = self.balancer.route(request.priority)
                 if server is None:
                     metrics[request.priority].dropped += 1
@@ -1038,6 +1177,11 @@ class ClusterSimulator:
                 server = self.servers[index]
                 if not server.failed:
                     continue
+                if prot is not None and prot.is_deenergized(index):
+                    # The churn recovery raced a breaker trip: the
+                    # server has no feed until its protection device
+                    # re-energizes, which subsumes this recovery.
+                    continue
                 server.recover(now)
                 report.server_recoveries += 1
                 if recording:
@@ -1048,8 +1192,154 @@ class ClusterSimulator:
                     })
                 refresh_power(index)
 
+            elif kind == "prot":
+                if now > duration_s:
+                    # Breaker exposure is modeled over the reported
+                    # window only. Dropping late projections also
+                    # guarantees termination: a breaker overloaded even
+                    # at idle would otherwise trip/restore forever and
+                    # the post-horizon drain would never empty the
+                    # queue.
+                    continue
+                device_id, target, epoch = event[1], event[2], event[3]
+                outcome = prot.on_projection(now, device_id, target, epoch)
+                if outcome is None:
+                    continue  # superseded by a later rate change
+                fired, info, pushes = outcome
+                for push in pushes:
+                    queue.push(*push)
+                if fired in ("risk", "clear"):
+                    if recording:
+                        recorder.emit({
+                            "t": now, "kind": "trip_risk",
+                            "device": device_id,
+                            "device_level": info["device_level"],
+                            "accumulator": info["accumulator"],
+                            "overload": info["overload"],
+                            "at_risk": 1.0 if fired == "risk" else 0.0,
+                        })
+                    update_shed(now)
+                    continue
+                # The breaker opens: fail the subtree mid-flight. The
+                # load balancer redistributes subsequent arrivals onto
+                # survivors, which can push a sibling domain over its
+                # own limit — the cascade needs no special code.
+                covered = prot.begin_trip(device_id, now)
+                dropped_count = 0
+                for index in covered:
+                    server = self.servers[index]
+                    if server.failed:
+                        refresh_power(index)
+                        continue
+                    for request in server.fail(now):
+                        metrics[request.priority].dropped += 1
+                        workload_tier(request.workload.name).dropped += 1
+                        pf_report.requests_lost_to_trips += 1
+                        dropped_count += 1
+                        if recording:
+                            obs.counter("requests.dropped").inc()
+                            obs.counter("requests.lost_to_trips").inc()
+                            recorder.emit({
+                                "t": now, "kind": "drop",
+                                "request_id": request_ids[id(request)],
+                                "priority": request.priority.value,
+                                "workload": request.workload.name,
+                                "reason": "trip",
+                                "server": server.server_id,
+                                "device": device_id,
+                            })
+                    refresh_power(index)
+                record, restore_push = prot.commit_trip(
+                    device_id, now, dropped_count
+                )
+                queue.push(*restore_push)
+                if recording:
+                    obs.counter("prot.trips").inc()
+                    offline_w, offline_frac = prot.offline_stats(
+                        peak_server_w
+                    )
+                    payload = dict(record)
+                    payload["kind"] = "trip"
+                    payload["offline_capacity_w"] = offline_w
+                    payload["offline_fraction"] = offline_frac
+                    recorder.emit(payload)
+                    emit_capacity_status(now)
+                update_shed(now)
+
+            elif kind == "prot_restore":
+                if now > duration_s:
+                    # Servers still dark at the horizon stay dark; the
+                    # report clamps their offline time to the window.
+                    continue
+                device_id, step, version = event[1], event[2], event[3]
+                outcome = prot.restore_step(device_id, step, version, now)
+                if outcome is None:
+                    continue  # superseded by a newer trip
+                batch, next_push, done = outcome
+                recovered = []
+                for index in batch:
+                    server = self.servers[index]
+                    if server.failed:
+                        server.recover(now)
+                        refresh_power(index)
+                        recovered.append(server.server_id)
+                if recording:
+                    recorder.emit({
+                        "t": now, "kind": "reenergize",
+                        "device": device_id, "step": step,
+                        "servers": recovered,
+                    })
+                if next_push is not None:
+                    queue.push(*next_push)
+                if done:
+                    pf_report.reenergizations += 1
+                    if recording:
+                        obs.counter("prot.reenergizations").inc()
+                        recorder.emit({
+                            "t": now, "kind": "reenergize_done",
+                            "device": device_id,
+                        })
+                        emit_capacity_status(now)
+                    update_shed(now)
+
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
+
+        # Conservation invariant: every scheduled request is accounted
+        # exactly once, per priority AND per workload tier — whether it
+        # was served, shed, or lost to churn or a breaker trip taking
+        # its server offline mid-request.
+        offered_by_priority: Dict[Priority, int] = {p: 0 for p in Priority}
+        offered_by_workload: Dict[str, int] = {}
+        for request in requests:
+            if request.arrival_time < duration_s:
+                offered_by_priority[request.priority] += 1
+                offered_by_workload[request.workload.name] = \
+                    offered_by_workload.get(request.workload.name, 0) + 1
+        for priority, tier in metrics.items():
+            if tier.served + tier.dropped != offered_by_priority[priority]:
+                raise SimulationError(
+                    "request accounting violated for priority "
+                    f"{priority.value}: served {tier.served} + dropped "
+                    f"{tier.dropped} != offered "
+                    f"{offered_by_priority[priority]}"
+                )
+        for name, offered in offered_by_workload.items():
+            tier = workload_metrics.get(name)
+            accounted = 0 if tier is None else tier.served + tier.dropped
+            if accounted != offered:
+                raise SimulationError(
+                    f"request accounting violated for workload {name}: "
+                    f"served+dropped {accounted} != offered {offered}"
+                )
+
+        powerfail = None
+        if prot is not None:
+            if shed_active:
+                pf_report.time_shedding_s += max(
+                    0.0, duration_s - min(shed_since, duration_s)
+                )
+            powerfail = prot.finalize(last_event_time)
 
         report.telemetry_dropped_ticks = injector.dropped_ticks
         report.telemetry_frozen_ticks = injector.frozen_ticks
@@ -1095,4 +1385,5 @@ class ClusterSimulator:
             total_energy_j=total_energy,
             robustness=report,
             observability=observability,
+            powerfail=powerfail,
         )

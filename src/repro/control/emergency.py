@@ -1,0 +1,101 @@
+"""Emergency load-shedding policy for power-delivery incidents.
+
+When a protection device (rack PDU, row breaker — see
+:mod:`repro.powerfail`) accumulates trip risk or actually trips, the
+cluster must shed load *now*: capacity is about to disappear (or already
+has), and the survivors are one redistribution away from tripping their
+own breakers. "Prediction-Based Power Oversubscription in Cloud
+Platforms" treats these protective actions as first-class; POLCA's
+Section 7 argues the same priority machinery used for routine capping
+should drive them.
+
+:class:`EmergencyConfig` describes the response, in priority- and
+tier-aware terms:
+
+* arrivals in ``shed_priorities`` are shed while the emergency is
+  active — *deferred* (re-queued ``defer_s`` later, up to
+  ``max_defers`` times) when their workload is latency-tolerant
+  (``deferrable_workloads``, e.g. batch summarization), *dropped*
+  otherwise;
+* survivors are clamped to safe-mode frequency caps
+  (``safe_low_clock_mhz`` / ``safe_high_clock_mhz`` — the same
+  conservative points POLCA's fallback uses), min-combined with
+  whatever the policy already commanded.
+
+The config is a frozen value object: the simulator owns all state
+(engage/release transitions, per-request defer counts), so replaying a
+trace reproduces every shed decision bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cluster.policy_base import GroupCaps
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EmergencyConfig:
+    """How the cluster sheds load while a power emergency is active.
+
+    Attributes:
+        enabled: Master switch; ``False`` leaves arrivals and caps
+            untouched even while devices are tripped or at risk.
+        shed_priorities: Priority values (e.g. ``"low"``) whose
+            arrivals are shed during an emergency.
+        deferrable_workloads: Workload names whose shed arrivals are
+            deferred instead of dropped (latency-tolerant tiers).
+        defer_s: How long a deferred arrival waits before re-entering
+            admission.
+        max_defers: Defer budget per request; once exhausted the
+            request is dropped with reason ``"shed"``.
+        safe_low_clock_mhz: Safe-mode cap for the low-priority group
+            while shedding (Figure 13's deepest cap point).
+        safe_high_clock_mhz: Safe-mode cap for the high-priority group
+            while shedding.
+    """
+
+    enabled: bool = True
+    shed_priorities: Tuple[str, ...] = ("low",)
+    deferrable_workloads: Tuple[str, ...] = ("Summarize",)
+    defer_s: float = 20.0
+    max_defers: int = 3
+    safe_low_clock_mhz: float = 1110.0
+    safe_high_clock_mhz: float = 1305.0
+
+    def __post_init__(self) -> None:
+        if self.defer_s <= 0:
+            raise ConfigurationError("defer_s must be positive")
+        if self.max_defers < 0:
+            raise ConfigurationError("max_defers cannot be negative")
+        if self.safe_low_clock_mhz <= 0 or self.safe_high_clock_mhz <= 0:
+            raise ConfigurationError("safe-mode clocks must be positive")
+
+    # ------------------------------------------------------------------
+    def shed_action(
+        self, priority_value: str, workload_name: str, prior_defers: int
+    ) -> Optional[str]:
+        """The shed decision for one arrival during an active emergency.
+
+        Returns ``None`` (admit), ``"defer"``, or ``"drop"``.
+        """
+        if not self.enabled or priority_value not in self.shed_priorities:
+            return None
+        if workload_name in self.deferrable_workloads \
+                and prior_defers < self.max_defers:
+            return "defer"
+        return "drop"
+
+    def clamp(self, caps: GroupCaps) -> GroupCaps:
+        """Min-combine ``caps`` with the safe-mode caps.
+
+        ``None`` means uncapped, so any safe-mode clock is stricter;
+        otherwise the lower (slower) clock wins.
+        """
+        low = self.safe_low_clock_mhz if caps.low_clock_mhz is None \
+            else min(caps.low_clock_mhz, self.safe_low_clock_mhz)
+        high = self.safe_high_clock_mhz if caps.high_clock_mhz is None \
+            else min(caps.high_clock_mhz, self.safe_high_clock_mhz)
+        return GroupCaps(low_clock_mhz=low, high_clock_mhz=high)

@@ -15,6 +15,7 @@ from repro.core.baselines import (
     NoCapPolicy,
     SingleThresholdAllPolicy,
     SingleThresholdLowPriPolicy,
+    UnmanagedPolicy,
     all_policies,
 )
 from repro.core.thresholds import ThresholdRecommendation, select_thresholds
@@ -61,6 +62,7 @@ __all__ = [
     "SplitDeployment",
     "SweepPoint",
     "ThresholdRecommendation",
+    "UnmanagedPolicy",
     "WorkloadCapPlan",
     "added_servers_sweep",
     "all_policies",

@@ -99,8 +99,37 @@ class NoCapPolicy(PowerPolicy):
         return GroupCaps.uncapped()
 
 
+class UnmanagedPolicy(PowerPolicy):
+    """No power management at all: no caps *and* no power brake.
+
+    The pre-POLCA row Section 3 argues against. Where ``NoCapPolicy``
+    still carries the brake safety net, this baseline models the
+    unprotected deployment whose sustained oversubscription overload
+    reaches the breaker itself — the tripping baseline of the
+    ``repro.powerfail`` study (an oversubscribed row under this policy
+    heats the row breaker's thermal accumulator until it trips, while
+    POLCA at the Figure 13 thresholds never overloads it).
+    """
+
+    #: The brake never engages at any finite utilization.
+    brake_threshold: float = float("inf")
+
+    def __init__(self) -> None:
+        self.name = "Unmanaged"
+
+    def desired_caps(self, utilization: float, now: float = 0.0) -> GroupCaps:
+        """Never cap anything."""
+        return GroupCaps.uncapped()
+
+
 def all_policies() -> Dict[str, Callable[[], PowerPolicy]]:
-    """Factories for the four policies of Figures 17-18, by name."""
+    """Factories for the four policies of Figures 17-18, by name.
+
+    ``UnmanagedPolicy`` is deliberately absent: it exists for the
+    power-safety study (:mod:`repro.powerfail`), not for the figure
+    sweeps that iterate this registry. The sweep engine still builds it
+    via ``PolicySpec("Unmanaged")``.
+    """
     from repro.core.policy import DualThresholdPolicy
 
     return {

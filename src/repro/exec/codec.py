@@ -17,6 +17,7 @@ from repro.analysis.timeseries import TimeSeries
 from repro.cluster.metrics import PriorityMetrics, SimulationResult
 from repro.errors import ConfigurationError
 from repro.faults.report import RobustnessReport
+from repro.powerfail.protection import PowerFailReport
 from repro.workloads.spec import Priority
 
 #: Bump when the serialized layout changes; mismatched entries are
@@ -27,14 +28,18 @@ from repro.workloads.spec import Priority
 #: (:class:`~repro.obs.stream.StreamMonitor` probe values) — and makes
 #: gauges nullable (explicit unset state). Version 4 adds the causal
 #: layer's ``spans`` / ``attribution`` sections
-#: (:mod:`repro.obs.spans`, :mod:`repro.obs.attribution`).
-SCHEMA_VERSION = 4
+#: (:mod:`repro.obs.spans`, :mod:`repro.obs.attribution`). Version 5
+#: adds the ``powerfail`` section — the power-delivery protection
+#: ledger of :mod:`repro.powerfail` (trips, shedding, staged
+#: re-energization, exact energy conservation).
+SCHEMA_VERSION = 5
 
-#: Schema versions :func:`result_from_dict` can decode. Versions 2 and 3
-#: differ from 4 only by which ``observability`` sections exist, and
-#: every consumer of that dict treats missing sections as empty — so old
-#: cache entries and checked-in result snapshots stay loadable.
-COMPATIBLE_SCHEMAS = frozenset({2, 3, SCHEMA_VERSION})
+#: Schema versions :func:`result_from_dict` can decode. Versions 2-4
+#: differ from 5 only by which ``observability`` sections exist and by
+#: the absent ``powerfail`` section (decoded as ``None`` — exactly what
+#: those runs produced, since the protection layer did not exist) — so
+#: old cache entries and checked-in result snapshots stay loadable.
+COMPATIBLE_SCHEMAS = frozenset({2, 3, 4, SCHEMA_VERSION})
 
 
 def _metrics_to_dict(metrics: PriorityMetrics) -> Dict[str, Any]:
@@ -61,6 +66,12 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             f.name: getattr(result.robustness, f.name)
             for f in fields(result.robustness)
         }
+    powerfail = None
+    if result.powerfail is not None:
+        powerfail = {
+            f.name: getattr(result.powerfail, f.name)
+            for f in fields(result.powerfail)
+        }
     return {
         "schema": SCHEMA_VERSION,
         "per_priority": {
@@ -83,6 +94,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         "total_energy_j": result.total_energy_j,
         "robustness": robustness,
         "observability": result.observability,
+        "powerfail": powerfail,
     }
 
 
@@ -101,6 +113,9 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
     robustness = None
     if data.get("robustness") is not None:
         robustness = RobustnessReport(**data["robustness"])
+    powerfail = None
+    if data.get("powerfail") is not None:
+        powerfail = PowerFailReport(**data["powerfail"])
     return SimulationResult(
         per_priority={
             Priority(value): _metrics_from_dict(metrics)
@@ -122,4 +137,5 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
         total_energy_j=float(data["total_energy_j"]),
         robustness=robustness,
         observability=data.get("observability"),
+        powerfail=powerfail,
     )

@@ -19,8 +19,19 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.cluster.metrics import SimulationResult
 from repro.errors import ConfigurationError
@@ -39,13 +50,40 @@ RUN_WALL_BUCKETS = (
 )
 
 
+def _maybe_fail_for_test(spec: RunSpec) -> None:
+    """Deliberately kill or wedge this worker when a test asks for it.
+
+    Inert unless the ``REPRO_EXEC_FAIL_SEED`` environment variable
+    matches the spec's seed — the engine-robustness regression tests
+    set it to simulate a worker dying (``REPRO_EXEC_FAIL_MODE=kill``,
+    the default) or hanging (``=hang``) mid-sweep. With
+    ``REPRO_EXEC_FAIL_ONCE=<sentinel path>`` the failure happens only
+    while the sentinel file does not exist (it is created just before
+    failing), so the first retry succeeds. Runs only inside pool
+    workers: the quarantine path calls :func:`execute_spec` directly.
+    """
+    seed = os.environ.get("REPRO_EXEC_FAIL_SEED")
+    if seed is None or int(seed) != spec.config.seed:
+        return
+    sentinel = os.environ.get("REPRO_EXEC_FAIL_ONCE")
+    if sentinel:
+        if os.path.exists(sentinel):
+            return
+        with open(sentinel, "w", encoding="utf-8") as handle:
+            handle.write("failed\n")
+    if os.environ.get("REPRO_EXEC_FAIL_MODE", "kill") == "hang":
+        time.sleep(3600.0)
+    os._exit(1)
+
+
 def _execute_timed(spec: RunSpec) -> Tuple[SimulationResult, float, int]:
-    """Worker entry point used when the engine records a trace.
+    """Worker entry point of the process pool.
 
     Returns the result plus the per-run wall time and the executing
     worker's pid, so the parent can emit ``engine_run`` events without
     recorders having to be picklable into workers.
     """
+    _maybe_fail_for_test(spec)
     start = time.perf_counter()
     result = execute_spec(spec)
     return result, time.perf_counter() - start, os.getpid()
@@ -95,6 +133,10 @@ class ExecutionStats:
         cache_hits: Answered from the memo cache (duplicates within the
             batch count here too — they are simulated once).
         simulated: Runs actually executed.
+        retried: Pool resubmissions after a worker crash or run
+            timeout.
+        quarantined: Specs that exhausted their retries and fell back
+            to serial in-parent execution.
         workers_used: Pool size (1 = in-process serial).
         wall_s: Wall-clock for the batch.
     """
@@ -103,6 +145,8 @@ class ExecutionStats:
     unique: int = 0
     cache_hits: int = 0
     simulated: int = 0
+    retried: int = 0
+    quarantined: int = 0
     workers_used: int = 1
     wall_s: float = 0.0
 
@@ -138,6 +182,17 @@ class SweepEngine:
             ``recorder.enabled``), complementing the per-run
             ``SimulationResult.observability`` snapshots that
             :func:`~repro.obs.metrics.aggregate_snapshots` merges.
+        run_timeout_s: Per-run wall-clock budget in the pool; a run
+            exceeding it counts as a worker failure (its process is
+            terminated and the pool rebuilt). ``None`` (default) waits
+            forever — the pre-existing behavior.
+        retries: Pool resubmissions granted to a failed run before it
+            is quarantined to serial in-parent execution. Quarantine
+            runs on the same :func:`~repro.exec.runspec.execute_spec`
+            path, so a healthy-but-unlucky spec still yields its
+            bit-identical result; a genuinely poisoned spec raises in
+            the parent where the error is visible instead of killing
+            workers silently.
     """
 
     workers: Optional[int] = None
@@ -146,6 +201,8 @@ class SweepEngine:
     metrics: MetricsRegistry = field(
         default_factory=MetricsRegistry, repr=False
     )
+    run_timeout_s: Optional[float] = None
+    retries: int = 1
     last_stats: Optional[ExecutionStats] = field(
         init=False, default=None, repr=False
     )
@@ -155,6 +212,10 @@ class SweepEngine:
             self.workers = default_workers()
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ConfigurationError("run_timeout_s must be positive")
+        if self.retries < 0:
+            raise ConfigurationError("retries cannot be negative")
 
     def run(self, spec: RunSpec) -> SimulationResult:
         """Execute (or recall) a single run."""
@@ -184,6 +245,7 @@ class SweepEngine:
             else:
                 pending.append((digest, spec))
         workers_used = 1
+        retried = quarantined = 0
         batch_hits = len(specs) - len(pending)
         if pending:
             n_workers = min(self.workers, len(pending))
@@ -205,31 +267,10 @@ class SweepEngine:
                         resolved[digest] = execute_spec(spec)
             else:
                 workers_used = n_workers
-                context = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(
-                    max_workers=n_workers, mp_context=context
-                ) as pool:
-                    if recording:
-                        # pool.map yields lazily in submission order, so
-                        # each arrival advances the live progress feed
-                        # while later runs are still executing.
-                        timed = pool.map(
-                            _execute_timed, [spec for _, spec in pending]
-                        )
-                        for done, ((digest, _), (result, wall_s, worker)) \
-                                in enumerate(zip(pending, timed), start=1):
-                            self._record_run(digest, wall_s, worker)
-                            resolved[digest] = result
-                            self._record_progress(
-                                done, len(pending), batch_hits, start,
-                                n_workers,
-                            )
-                    else:
-                        outputs = pool.map(
-                            execute_spec, [spec for _, spec in pending]
-                        )
-                        for (digest, _), result in zip(pending, outputs):
-                            resolved[digest] = result
+                retried, quarantined = self._run_pool(
+                    pending, resolved, n_workers, batch_hits, start,
+                    recording,
+                )
             for digest, _ in pending:
                 self.cache.put(digest, resolved[digest])
         stats = ExecutionStats(
@@ -237,6 +278,8 @@ class SweepEngine:
             unique=len(set(digests)),
             cache_hits=len(specs) - len(pending),
             simulated=len(pending),
+            retried=retried,
+            quarantined=quarantined,
             workers_used=workers_used,
             wall_s=time.perf_counter() - start,
         )
@@ -256,6 +299,112 @@ class SweepEngine:
                 "wall_s": stats.wall_s,
             })
         return [resolved[digest] for digest in digests]
+
+    def _run_pool(
+        self,
+        pending: Sequence[Tuple[str, RunSpec]],
+        resolved: dict,
+        n_workers: int,
+        batch_hits: int,
+        batch_start: float,
+        recording: bool,
+    ) -> Tuple[int, int]:
+        """Fan ``pending`` out over a process pool, surviving workers.
+
+        Results are collected in submission order, each wait bounded by
+        ``run_timeout_s``. A timeout or a broken pool identifies the
+        first uncollected spec as the offender: the wedged pool is torn
+        down (hung workers are terminated — they never return on their
+        own), the offender is retried at the head of a fresh pool up to
+        ``retries`` times, then quarantined to in-parent serial
+        execution. Specs behind the offender are resubmitted to the
+        fresh pool; determinism makes re-execution safe, and collection
+        order makes the accounting exact. Returns ``(retried,
+        quarantined)`` counts.
+        """
+        context = multiprocessing.get_context("fork")
+        remaining = list(pending)
+        attempts: Dict[str, int] = {}
+        total = len(pending)
+        done_count = retried = quarantined = 0
+        while remaining:
+            pool = ProcessPoolExecutor(
+                max_workers=min(n_workers, len(remaining)),
+                mp_context=context,
+            )
+            futures = [
+                pool.submit(_execute_timed, spec) for _, spec in remaining
+            ]
+            failure: Optional[str] = None
+            collected = 0
+            for future in futures:
+                try:
+                    result, wall_s, worker = future.result(
+                        timeout=self.run_timeout_s
+                    )
+                except FuturesTimeoutError:
+                    failure = "timeout"
+                    break
+                except BrokenProcessPool:
+                    failure = "crash"
+                    break
+                digest, _ = remaining[collected]
+                resolved[digest] = result
+                collected += 1
+                done_count += 1
+                if recording:
+                    self._record_run(digest, wall_s, worker)
+                    self._record_progress(
+                        done_count, total, batch_hits, batch_start,
+                        n_workers,
+                    )
+            if failure is None:
+                pool.shutdown(wait=True)
+                return retried, quarantined
+            # Tear the pool down hard: cancel queued futures and
+            # terminate the worker processes (a hung worker never
+            # exits by itself; a crashed pool is unusable anyway).
+            for future in futures:
+                future.cancel()
+            for process in (pool._processes or {}).values():
+                process.terminate()
+            pool.shutdown(wait=False)
+            digest, spec = remaining[collected]
+            attempts[digest] = attempts.get(digest, 0) + 1
+            # In-flight results behind the offender died with the pool;
+            # resubmitting them is safe because runs are deterministic.
+            survivors = remaining[collected + 1:]
+            if attempts[digest] <= self.retries:
+                action = "retry"
+                retried += 1
+                remaining = [(digest, spec)] + survivors
+            else:
+                action = "quarantine"
+                quarantined += 1
+                run_start = time.perf_counter()
+                result = execute_spec(spec)
+                resolved[digest] = result
+                done_count += 1
+                if recording:
+                    self._record_run(
+                        digest, time.perf_counter() - run_start,
+                        os.getpid(),
+                    )
+                    self._record_progress(
+                        done_count, total, batch_hits, batch_start,
+                        n_workers,
+                    )
+                remaining = survivors
+            if recording:
+                self.metrics.counter("engine.worker_retries").inc()
+                self.recorder.emit({
+                    "kind": "engine_worker_retry",
+                    "digest": digest,
+                    "attempts": attempts[digest],
+                    "reason": failure,
+                    "action": action,
+                })
+        return retried, quarantined
 
     def _record_run(self, digest: str, wall_s: float, worker: int) -> None:
         """Ledger one executed spec into the trace and the registry."""

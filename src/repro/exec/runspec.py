@@ -32,11 +32,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Bump to invalidate every digest (and hence on-disk cache entry) when
 #: simulator semantics change incompatibly. Version 2: the energy and
 #: breaker-exposure integrals clamp at ``duration_s`` instead of
-#: covering the post-duration drain of in-flight requests.
-DIGEST_VERSION = 2
+#: covering the post-duration drain of in-flight requests. Version 3:
+#: ``ClusterConfig`` grew the power-delivery ``protection`` section
+#: (breaker topology, trip curves, emergency shedding), which changes
+#: the canonical config payload for every spec.
+DIGEST_VERSION = 3
 
 #: Policy factory names the engine can build (``all_policies()`` keys).
-POLICY_NAMES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")
+POLICY_NAMES = (
+    "POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap", "Unmanaged",
+)
 
 
 @dataclass(frozen=True)
@@ -71,11 +76,15 @@ class PolicySpec:
 
     def build(self) -> "PowerPolicy":
         """Instantiate a fresh policy object."""
-        from repro.core.baselines import all_policies
+        from repro.core.baselines import UnmanagedPolicy, all_policies
         from repro.core.policy import DualThresholdPolicy
 
         if self.name == "POLCA":
             return DualThresholdPolicy(self.thresholds)
+        if self.name == "Unmanaged":
+            # Not in all_policies(): the figure sweeps iterate that
+            # registry and must stay the paper's four-policy set.
+            return UnmanagedPolicy()
         return all_policies()[self.name]()
 
 
@@ -89,6 +98,7 @@ def policy_spec_for(policy: "PowerPolicy") -> Optional[PolicySpec]:
         NoCapPolicy,
         SingleThresholdAllPolicy,
         SingleThresholdLowPriPolicy,
+        UnmanagedPolicy,
     )
     from repro.core.policy import DualThresholdPolicy
 
@@ -96,6 +106,8 @@ def policy_spec_for(policy: "PowerPolicy") -> Optional[PolicySpec]:
         return PolicySpec("POLCA", policy.thresholds)
     if type(policy) is NoCapPolicy:
         return PolicySpec("No-cap")
+    if type(policy) is UnmanagedPolicy:
+        return PolicySpec("Unmanaged")
     if type(policy) is SingleThresholdLowPriPolicy:
         default = SingleThresholdLowPriPolicy()
         if (

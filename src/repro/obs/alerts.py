@@ -413,7 +413,14 @@ def default_rules(
     * ``cap-churn`` (warning): more than 5 cap re-issues in 10 min —
       the actuation path is eating the reliable-command budget;
     * ``slo-violations`` (warning): over 20% of served requests beyond
-      ``slo_latency_s`` in a 10 min window.
+      ``slo_latency_s`` in a 10 min window;
+    * ``trip-risk`` (critical): a protection device's thermal
+      accumulator crossed its risk threshold (``trip_risk`` events from
+      :mod:`repro.powerfail`) — a breaker is heating toward a trip;
+      clears only when the device re-arms;
+    * ``capacity-loss`` (critical): any fraction of the row's servers
+      is de-energized behind a tripped breaker; clears when the last
+      subtree re-energizes.
     """
     return [
         ThresholdRule(
@@ -437,6 +444,19 @@ def default_rules(
             "slo-violations", slo_latency_s=slo_latency_s,
             window_s=600.0, max_fraction=0.2, min_samples=20,
             severity="warning",
+        ),
+        ThresholdRule(
+            "trip-risk", kind="trip_risk", field="at_risk",
+            above=0.5, clear_below=0.0, severity="critical",
+            description="a breaker's thermal accumulator is at risk of "
+            "tripping",
+        ),
+        ThresholdRule(
+            "capacity-loss", kind="capacity_status",
+            field="offline_fraction", above=0.0, clear_below=0.0,
+            severity="critical",
+            description="servers are de-energized behind a tripped "
+            "breaker",
         ),
     ]
 

@@ -451,6 +451,42 @@ def cross_check(
             result.capping_actions,
             counters.get("commands.cap_actions"),
         )
+    # --- Power-delivery protection audit (only when the run carried a
+    # protection spec). Each ledger counter is re-derived from the trip,
+    # shed, and re-energization events the protection layer emitted.
+    powerfail = result.powerfail
+    if powerfail is not None:
+        check("powerfail.trips", powerfail.trips, _count(events, "trip"))
+        check(
+            "powerfail.cascade_trips",
+            powerfail.cascade_trips,
+            _count(events, "trip", cascaded=True),
+        )
+        check(
+            "powerfail.shed_engagements",
+            powerfail.shed_engagements,
+            _count(events, "shed_engage"),
+        )
+        check(
+            "powerfail.requests_dropped_shed",
+            powerfail.requests_dropped_shed,
+            _count(events, "drop", reason="shed"),
+        )
+        check(
+            "powerfail.requests_deferred",
+            powerfail.requests_deferred,
+            _count(events, "shed_defer"),
+        )
+        check(
+            "powerfail.requests_lost_to_trips",
+            powerfail.requests_lost_to_trips,
+            _count(events, "drop", reason="trip"),
+        )
+        check(
+            "powerfail.reenergizations",
+            powerfail.reenergizations,
+            _count(events, "reenergize_done"),
+        )
     # --- Span/attribution audit (only when the trace carries spans;
     # traces recorded before the span layer skip it). Conservation must
     # hold *exactly*: per served request, the attributed components sum

@@ -162,7 +162,13 @@ class AttributionReport:
 
     Attributes:
         requests: One attribution per *served* request.
-        dropped: Requests dropped (routing saturation or churn).
+        dropped: Requests dropped (routing saturation, churn, breaker
+            trips, or emergency shedding).
+        drops_by_cause: Drop counts keyed by the drop reason
+            (``"saturated"`` / ``"churn"`` / ``"shed"`` / ``"trip"``).
+        deferred: Requests the emergency shed layer deferred at least
+            once before their final outcome (their defer delay shows up
+            in ``queue_wait``, so conservation still holds exactly).
         unfinished: Spans still open at the end of the trace (only
             possible on truncated or filtered traces).
         latency_mismatches: Served requests whose exact realized
@@ -172,6 +178,8 @@ class AttributionReport:
 
     requests: List[RequestAttribution] = field(default_factory=list)
     dropped: int = 0
+    drops_by_cause: Dict[str, int] = field(default_factory=dict)
+    deferred: int = 0
     unfinished: int = 0
     latency_mismatches: int = 0
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -218,6 +226,8 @@ class AttributionReport:
         return {
             "requests": len(self.requests),
             "dropped": self.dropped,
+            "drops_by_cause": dict(self.drops_by_cause),
+            "deferred": self.deferred,
             "unfinished": self.unfinished,
             "components_s": self.totals_s(),
             "excess_s": self.total_excess_s,
@@ -296,8 +306,14 @@ def attribute_run(source: Any) -> AttributionReport:
     if idle_w and concurrency:
         energy_rate = float(idle_w) / float(concurrency)
     for span in builder.build():
+        if span.deferrals:
+            report.deferred += 1
         if span.outcome == "dropped":
             report.dropped += 1
+            cause = span.drop_reason or "?"
+            report.drops_by_cause[cause] = (
+                report.drops_by_cause.get(cause, 0) + 1
+            )
             continue
         if span.outcome != "served" or span.end_t is None:
             report.unfinished += 1

@@ -118,7 +118,14 @@ class RequestSpan:
         queued: Whether it waited in the server's one-request buffer.
         outcome: ``"served"``, ``"dropped"``, or ``"in_flight"`` (the
             trace ended first — only possible on truncated traces).
-        drop_reason: ``"saturated"`` / ``"churn"`` when dropped.
+        drop_reason: ``"saturated"`` / ``"churn"`` / ``"shed"`` /
+            ``"trip"`` when dropped.
+        drop_device: The protection device behind a ``"trip"`` drop
+            (``None`` otherwise).
+        deferrals: Times the request was deferred by emergency load
+            shedding before being admitted (or dropped);
+            ``arrival_t`` stays the *original* arrival, so the defer
+            delay lands in queue wait.
         end_t: Completion or drop time.
         latency_s: The serve event's reported latency (served only).
         phases: Executed phases in order.
@@ -134,6 +141,8 @@ class RequestSpan:
     queued: bool = False
     outcome: str = "in_flight"
     drop_reason: Optional[str] = None
+    drop_device: Optional[str] = None
+    deferrals: int = 0
     end_t: Optional[float] = None
     latency_s: Optional[float] = None
     phases: List[PhaseSpan] = field(default_factory=list)
@@ -254,16 +263,32 @@ class SpanBuilder(TraceRecorder):
 
     def _on_req_arrival(self, event: TraceEvent) -> None:
         rid = int(event["request_id"])
-        self._spans[rid] = RequestSpan(
-            request_id=rid,
-            arrival_t=float(event["t"]),
-            priority=event.get("priority"),
-            workload=event.get("workload"),
-            input_tokens=event.get("input_tokens"),
-            output_tokens=event.get("output_tokens"),
-            server=event.get("server"),
-            queued=bool(event.get("queued", False)),
-        )
+        span = self._spans.get(rid)
+        if span is None:
+            span = RequestSpan(request_id=rid, arrival_t=float(event["t"]))
+            self._spans[rid] = span
+        # A span opened earlier by a shed_defer keeps its original
+        # arrival_t — the defer delay must land in queue wait, matching
+        # the simulator's latency accounting.
+        span.priority = event.get("priority")
+        span.workload = event.get("workload")
+        span.input_tokens = event.get("input_tokens")
+        span.output_tokens = event.get("output_tokens")
+        span.server = event.get("server")
+        span.queued = bool(event.get("queued", False))
+
+    def _on_shed_defer(self, event: TraceEvent) -> None:
+        rid = int(event["request_id"])
+        span = self._spans.get(rid)
+        if span is None:
+            span = RequestSpan(
+                request_id=rid,
+                arrival_t=float(event["t"]),
+                priority=event.get("priority"),
+                workload=event.get("workload"),
+            )
+            self._spans[rid] = span
+        span.deferrals = int(event.get("deferrals", span.deferrals + 1))
 
     def _require(self, event: TraceEvent) -> RequestSpan:
         rid = int(event["request_id"])
@@ -342,6 +367,7 @@ class SpanBuilder(TraceRecorder):
         self._close_phase(span.request_id, t)
         span.outcome = "dropped"
         span.drop_reason = event.get("reason")
+        span.drop_device = event.get("device")
         span.end_t = t
 
     def _on_brake_request(self, event: TraceEvent) -> None:
@@ -424,6 +450,7 @@ class SpanBuilder(TraceRecorder):
     _HANDLERS = {
         "run_meta": _on_run_meta,
         "req_arrival": _on_req_arrival,
+        "shed_defer": _on_shed_defer,
         "phase_start": _on_phase_start,
         "phase_rescale": _on_phase_rescale,
         "serve": _on_serve,
@@ -472,6 +499,8 @@ def render_span_tree(span: RequestSpan) -> List[str]:
     lines.append(
         f"  arrival  t={span.arrival_t:10.3f}s  -> {routed}{buffered}"
     )
+    if span.deferrals:
+        lines.append(f"  deferred {span.deferrals}x by load shedding")
     wait = span.queue_wait_s
     if wait is not None:
         lines.append(f"  queue-wait {wait:.3f}s")
@@ -500,7 +529,8 @@ def render_span_tree(span: RequestSpan) -> List[str]:
             f"(latency {span.realized_s:.3f}s)"
         )
     elif span.outcome == "dropped" and span.end_t is not None:
+        device = f" @ {span.drop_device}" if span.drop_device else ""
         lines.append(
-            f"  dropped  t={span.end_t:10.3f}s  ({span.drop_reason})"
+            f"  dropped  t={span.end_t:10.3f}s  ({span.drop_reason}{device})"
         )
     return lines

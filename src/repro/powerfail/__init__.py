@@ -1,0 +1,47 @@
+"""repro.powerfail — power-delivery fault domains and breaker trips.
+
+POLCA (Section 3) is a bet that oversubscription never trips an
+upstream breaker; this package gives the bet consequences. It models
+the server → rack PDU → row breaker protection hierarchy ("From
+Servers to Sites" motivates the decomposition; Table 2 rates the row),
+each device carrying an inverse-time :math:`I^2t` trip curve with a
+deterministic, lazily-settled thermal accumulator:
+
+* :class:`~repro.powerfail.topology.ProtectionSpec` /
+  :class:`~repro.powerfail.topology.TripCurve` describe the layer;
+  attach a spec to ``ClusterConfig.protection`` to enable it (the
+  default ``None`` is inert and bit-identical to an unprotected run);
+* :class:`~repro.powerfail.topology.PowerTopology` derives per-level
+  capacities from the cluster's provisioned budget;
+* :class:`~repro.powerfail.protection.ProtectionRuntime` integrates the
+  accumulators inside the simulator event loop, trips devices (taking
+  their subtree offline mid-flight — redistribution onto survivors can
+  cascade into sibling domains), and stages cooldown-gated, gradual
+  re-energization;
+* :class:`~repro.powerfail.protection.PowerFailReport` ledgers trips,
+  cascades, shed decisions, offline server-seconds, and an exact
+  rational-arithmetic energy-conservation check across the hierarchy,
+  surfacing as ``SimulationResult.powerfail``.
+
+The emergency response (priority- and tier-aware load shedding, safe
+caps on survivors) lives in :mod:`repro.control.emergency`.
+"""
+
+from repro.control.emergency import EmergencyConfig
+from repro.powerfail.protection import PowerFailReport, ProtectionRuntime
+from repro.powerfail.topology import (
+    PowerTopology,
+    ProtectionDevice,
+    ProtectionSpec,
+    TripCurve,
+)
+
+__all__ = [
+    "EmergencyConfig",
+    "PowerFailReport",
+    "PowerTopology",
+    "ProtectionDevice",
+    "ProtectionRuntime",
+    "ProtectionSpec",
+    "TripCurve",
+]

@@ -26,6 +26,7 @@ FAST_SCRIPTS = [
     "phase_aware_serving.py",
     "trace_inspect.py",
     "monitor_run.py",
+    "powerfail_study.py",
 ]
 
 
@@ -144,6 +145,64 @@ class TestTraceInspectCli:
     ):
         a = write_trace(tmp_path / "a.jsonl", EVENTS)
         code = trace_inspect.main(["diff", a, str(tmp_path / "no.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# trace_inspect.py trips subcommand
+# ----------------------------------------------------------------------
+TRIP_EVENTS = [
+    {"t": 10.0, "kind": "trip_risk", "device": "row",
+     "device_level": "row", "accumulator": 0.5, "overload": 1.2,
+     "at_risk": 1.0},
+    {"t": 12.0, "kind": "shed_engage"},
+    {"t": 14.0, "kind": "shed_defer", "request_id": 3,
+     "priority": "low", "workload": "Summarize", "delay_s": 20.0,
+     "deferrals": 1},
+    {"t": 15.0, "kind": "drop", "request_id": 4, "priority": "low",
+     "workload": "Chat", "reason": "shed", "server": None},
+    {"t": 30.0, "kind": "trip", "device": "row", "device_level": "row",
+     "capacity_w": 5000.0, "overload": 1.25, "servers_offline": 6,
+     "dropped": 2, "cascaded": False, "restore_at": 570.0,
+     "offline_capacity_w": 4000.0, "offline_fraction": 1.0},
+    {"t": 570.0, "kind": "reenergize", "device": "row", "step": 0,
+     "servers": ["server-0", "server-1"]},
+    {"t": 580.0, "kind": "shed_release"},
+    {"t": 590.0, "kind": "reenergize_done", "device": "row"},
+]
+
+
+class TestTripsCli:
+    def test_trips_renders_protection_timeline(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "trips.jsonl", TRIP_EVENTS)
+        assert trace_inspect.main(["trips", trace]) == 0
+        out = capsys.readouterr().out
+        assert "1 trip(s), 1 deferral(s), 1 shed drop(s)" in out
+        assert "TRIP row" in out
+        assert "overload x1.25" in out
+        assert "6 server(s) offline, 2 request(s) lost" in out
+        assert "risk AT RISK: row" in out
+        assert "emergency shed ENGAGED" in out
+        assert "emergency shed released" in out
+        assert "deferred r3 [low/Summarize] by 20s" in out
+
+    def test_trips_unprotected_trace_exits_one(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "plain.jsonl", EVENTS)
+        assert trace_inspect.main(["trips", trace]) == 1
+        err = capsys.readouterr().err
+        assert "no power-delivery protection events" in err
+
+    def test_trips_missing_file_exits_two(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["trips", str(tmp_path / "nope.jsonl")]
+        )
         assert code == 2
         assert "error:" in capsys.readouterr().err
 

@@ -221,12 +221,22 @@ class TestCodec:
         decoded = result_from_dict(encoded)
         assert decoded.duration_s == encoded["duration_s"]
 
-    def test_current_schema_is_v4(self):
+    def test_schema_v4_still_decodes(self):
+        encoded = result_to_dict(execute_spec(small_spec()))
+        encoded["schema"] = 4
+        del encoded["powerfail"]
+        decoded = result_from_dict(encoded)
+        assert decoded.duration_s == encoded["duration_s"]
+        assert decoded.powerfail is None
+
+    def test_current_schema_is_v5(self):
         from repro.exec.codec import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
         encoded = result_to_dict(execute_spec(small_spec()))
-        assert encoded["schema"] == 4
+        assert encoded["schema"] == 5
+        # An unprotected run serializes an explicitly empty section.
+        assert encoded["powerfail"] is None
 
 
 class TestTraceCache:

@@ -220,7 +220,7 @@ class TestAlertEngine:
         names = {rule.name for rule in default_rules()}
         assert names == {
             "over-budget", "brake-storm", "fallback-flapping",
-            "cap-churn", "slo-violations",
+            "cap-churn", "slo-violations", "trip-risk", "capacity-loss",
         }
 
     def test_duplicate_rule_names_rejected(self):

@@ -1,0 +1,440 @@
+"""Power-delivery fault domains: trip curves, topology, and lifecycle.
+
+Unit coverage for :mod:`repro.powerfail` (inverse-time trip curves, the
+server → rack → row topology, the protection runtime) and
+:mod:`repro.control.emergency` (shed decisions, safe-mode clamps), plus
+simulator-level regression tests: a fragile row must trip and recover
+with exact request accounting, and a topology with generous headroom
+must leave the simulation bit-identical to an unprotected run.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.policy_base import GroupCaps
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+from repro.control.emergency import EmergencyConfig
+from repro.core.baselines import NoCapPolicy
+from repro.errors import ConfigurationError
+from repro.obs import MemoryRecorder
+from repro.powerfail import PowerTopology, ProtectionSpec, TripCurve
+from repro.powerfail.protection import ProtectionRuntime
+from repro.powerfail.topology import ProtectionDevice
+from repro.workloads.requests import RequestSampler
+
+
+def poisson_requests(rate_per_s, duration_s, seed=0):
+    rng = np.random.default_rng(seed)
+    sampler = RequestSampler(seed=seed)
+    t, arrivals = 0.0, []
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_s))
+        if t >= duration_s:
+            break
+        arrivals.append(t)
+    return sampler.sample_many(arrivals)
+
+
+FAST_CURVE = TripCurve(tau_trip_s=5.0, tau_cool_s=60.0)
+
+
+def fragile_config(seed=0, emergency=None):
+    """30% oversubscribed behind a row breaker rated at 55% of the
+    budget: sustained load trips it well inside a 240 s run."""
+    return ClusterConfig(
+        n_base_servers=4, added_fraction=0.5, seed=seed,
+        protection=ProtectionSpec(
+            servers_per_rack=2,
+            row_headroom=0.55,
+            rack_headroom=1.02,
+            curve=FAST_CURVE,
+            cooldown_s=20.0,
+            restore_stagger_s=2.0,
+            emergency=emergency or EmergencyConfig(enabled=False),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trip curve
+# ----------------------------------------------------------------------
+class TestTripCurve:
+    def test_rate_signs(self):
+        curve = TripCurve()
+        assert curve.rate(1.5) > 0
+        assert curve.rate(1.0) == 0.0
+        assert curve.rate(0.5) < 0
+        assert curve.rate(0.0) == -1.0 / curve.tau_cool_s
+
+    def test_constant_overload_trip_time(self):
+        curve = TripCurve(tau_trip_s=20.0)
+        # 2x overload: t = tau / (4 - 1)
+        assert curve.time_to_trip(2.0) == pytest.approx(20.0 / 3.0)
+        assert curve.time_to_trip(1.0) == math.inf
+        assert curve.time_to_trip(0.5) == math.inf
+
+    def test_rate_and_trip_time_are_consistent(self):
+        curve = TripCurve()
+        for overload in (1.01, 1.2, 2.0, 5.0):
+            assert curve.rate(overload) * curve.time_to_trip(overload) \
+                == pytest.approx(1.0)
+
+    def test_higher_overload_trips_faster(self):
+        curve = TripCurve()
+        assert curve.time_to_trip(3.0) < curve.time_to_trip(1.5)
+
+    def test_reset_time(self):
+        curve = TripCurve(tau_cool_s=600.0, reset_below=0.1)
+        assert curve.reset_time_s == pytest.approx(0.9 * 600.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(tau_trip_s=0.0),
+        dict(tau_cool_s=-1.0),
+        dict(risk_at=0.2, clear_at=0.5),
+        dict(risk_at=1.5),
+        dict(clear_at=0.0),
+        dict(reset_below=0.0),
+        dict(reset_below=0.5, clear_at=0.3),
+    ])
+    def test_invalid_curves_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TripCurve(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+class TestTopology:
+    def test_build_shape(self):
+        spec = ProtectionSpec(servers_per_rack=2)
+        topology = PowerTopology.build(
+            n_servers=5, provisioned_power_w=5000.0,
+            peak_server_w=1000.0, spec=spec,
+        )
+        by_id = topology.by_id
+        assert by_id["row"].capacity_w == 5000.0 * spec.row_headroom
+        racks = [d for d in topology.devices if d.level == "rack"]
+        assert len(racks) == 3  # 2 + 2 + 1
+        assert by_id["rack2"].servers == (4,)
+        # Rack shares are population-proportional, with headroom.
+        assert by_id["rack0"].capacity_w == pytest.approx(
+            5000.0 * (2 / 5) * spec.rack_headroom
+        )
+        assert by_id["fuse3"].capacity_w == pytest.approx(
+            1000.0 * spec.server_headroom
+        )
+        assert topology.chains[3] == ("fuse3", "rack1", "row")
+
+    def test_build_rejects_empty_row(self):
+        with pytest.raises(ConfigurationError):
+            PowerTopology.build(
+                n_servers=0, provisioned_power_w=1000.0,
+                peak_server_w=500.0, spec=ProtectionSpec(),
+            )
+
+    def test_duplicate_device_ids_rejected(self):
+        device = ProtectionDevice(
+            device_id="row", level="row", capacity_w=1.0,
+            servers=(0,), parent=None,
+        )
+        with pytest.raises(ConfigurationError):
+            PowerTopology(devices=(device, device), chains=(("row",),))
+
+    def test_device_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionDevice(
+                device_id="x", level="rack", capacity_w=0.0,
+                servers=(0,), parent="row",
+            )
+        with pytest.raises(ConfigurationError):
+            ProtectionDevice(
+                device_id="x", level="rack", capacity_w=1.0,
+                servers=(), parent="row",
+            )
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(servers_per_rack=0),
+        dict(row_headroom=0.0),
+        dict(rack_headroom=-1.0),
+        dict(server_headroom=0.0),
+        dict(cooldown_s=-1.0),
+        dict(restore_batch=0),
+        dict(restore_stagger_s=0.0),
+        dict(cascade_window_s=-5.0),
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ProtectionSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Protection runtime
+# ----------------------------------------------------------------------
+def small_runtime(idle_w=100.0, n_servers=4, **spec_kwargs):
+    spec = ProtectionSpec(
+        servers_per_rack=2, curve=FAST_CURVE, cooldown_s=10.0,
+        restore_batch=1, restore_stagger_s=2.0, **spec_kwargs,
+    )
+    topology = PowerTopology.build(
+        n_servers=n_servers, provisioned_power_w=1000.0 * n_servers,
+        peak_server_w=1000.0, spec=spec,
+    )
+    return ProtectionRuntime(
+        topology, spec, duration_s=1000.0,
+        initial_powers=[idle_w] * n_servers,
+    )
+
+
+class TestProtectionRuntime:
+    def test_calm_cluster_projects_nothing(self):
+        runtime = small_runtime()
+        assert runtime.initial_events() == []
+        # A change that stays below every capacity stays silent too.
+        assert runtime.update_server_power(10.0, 0, 500.0) == []
+        assert not runtime.in_emergency
+
+    def test_overload_projects_risk_then_trip_at_analytic_times(self):
+        runtime = small_runtime()
+        # 2x the row capacity: heat rate (4-1)/tau across the row.
+        per_server = 2 * 4000.0 / 4
+        pushes = []
+        for index in range(4):
+            pushes += runtime.update_server_power(0.0, index, per_server)
+        row_pushes = [p for p in pushes if p[1][1] == "row"]
+        fire_t, payload = row_pushes[-1]
+        assert payload[:3] == ("prot", "row", "risk")
+        curve = FAST_CURVE
+        rate = curve.rate(2.0)
+        assert fire_t == pytest.approx(curve.risk_at / rate)
+        fired, info, next_pushes = runtime.on_projection(
+            fire_t, "row", "risk", payload[3]
+        )
+        assert fired == "risk" and runtime.in_emergency
+        assert info["overload"] == pytest.approx(2.0)
+        (trip_t, trip_payload), = [
+            p for p in next_pushes if p[1][1] == "row"
+        ]
+        assert trip_payload[2] == "trip"
+        assert trip_t == pytest.approx(
+            fire_t + (1.0 - curve.risk_at) / rate
+        )
+
+    def test_stale_epoch_projection_is_dropped(self):
+        runtime = small_runtime()
+        pushes = runtime.update_server_power(0.0, 0, 5000.0)
+        _, payload = pushes[0]
+        runtime.update_server_power(1.0, 0, 100.0)  # rate changed
+        assert runtime.on_projection(2.0, payload[1], payload[2],
+                                     payload[3]) is None
+
+    def test_trip_lifecycle_and_staged_restore(self):
+        runtime = small_runtime()
+        covered = runtime.begin_trip("rack0", 50.0)
+        assert covered == [0, 1]
+        assert runtime.is_deenergized(0) and runtime.is_deenergized(1)
+        assert not runtime.is_deenergized(2)
+        record, (restore_at, restore_payload) = runtime.commit_trip(
+            "rack0", 50.0, dropped=3
+        )
+        assert record["device"] == "rack0"
+        assert record["dropped"] == 3
+        assert record["servers_offline"] == 2
+        assert restore_at == 50.0 + max(
+            10.0, FAST_CURVE.reset_time_s
+        )
+        assert restore_payload == ("prot_restore", "rack0", 0, 1)
+        assert runtime.report.trips == 1
+        # restore_batch=1: two staged steps bring the rack back.
+        batch, next_push, done = runtime.restore_step(
+            "rack0", 0, 1, restore_at
+        )
+        assert batch == [0] and not done and next_push is not None
+        assert runtime.is_deenergized(1)
+        batch, next_push, done = runtime.restore_step(
+            "rack0", 1, 1, restore_at + 2.0
+        )
+        assert batch == [1] and done and next_push is None
+        assert not runtime.is_deenergized(0)
+        assert not runtime.in_emergency
+
+    def test_stale_restore_version_is_dropped(self):
+        runtime = small_runtime()
+        runtime.begin_trip("rack0", 50.0)
+        runtime.commit_trip("rack0", 50.0, dropped=0)
+        assert runtime.restore_step("rack0", 0, 99, 120.0) is None
+
+    def test_second_trip_within_window_is_a_cascade(self):
+        runtime = small_runtime(cascade_window_s=60.0)
+        runtime.begin_trip("rack0", 50.0)
+        record, _ = runtime.commit_trip("rack0", 50.0, dropped=0)
+        assert not record["cascaded"]
+        runtime.begin_trip("rack1", 80.0)
+        record, _ = runtime.commit_trip("rack1", 80.0, dropped=0)
+        assert record["cascaded"]
+        assert runtime.report.trips == 2
+        assert runtime.report.cascade_trips == 1
+
+    def test_offline_stats(self):
+        runtime = small_runtime()
+        assert runtime.offline_stats(1000.0) == (0.0, 0.0)
+        runtime.begin_trip("rack0", 10.0)
+        watts, fraction = runtime.offline_stats(1000.0)
+        assert watts == 2000.0 and fraction == 0.5
+
+
+# ----------------------------------------------------------------------
+# Emergency response config
+# ----------------------------------------------------------------------
+class TestEmergencyConfig:
+    def test_shed_decisions(self):
+        emergency = EmergencyConfig(max_defers=2)
+        assert emergency.shed_action("high", "Chat", 0) is None
+        assert emergency.shed_action("low", "Summarize", 0) == "defer"
+        assert emergency.shed_action("low", "Summarize", 2) == "drop"
+        assert emergency.shed_action("low", "Chat", 0) == "drop"
+
+    def test_disabled_sheds_nothing(self):
+        emergency = EmergencyConfig(enabled=False)
+        assert emergency.shed_action("low", "Chat", 0) is None
+
+    def test_clamp_min_combines(self):
+        emergency = EmergencyConfig(
+            safe_low_clock_mhz=1110.0, safe_high_clock_mhz=1305.0
+        )
+        clamped = emergency.clamp(GroupCaps.uncapped())
+        assert clamped.low_clock_mhz == 1110.0
+        assert clamped.high_clock_mhz == 1305.0
+        already_lower = GroupCaps(low_clock_mhz=900.0,
+                                  high_clock_mhz=1200.0)
+        assert emergency.clamp(already_lower) == already_lower
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(defer_s=0.0),
+        dict(max_defers=-1),
+        dict(safe_low_clock_mhz=0.0),
+        dict(safe_high_clock_mhz=-1.0),
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EmergencyConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Simulator integration
+# ----------------------------------------------------------------------
+class TestSimulatorTrips:
+    def test_fragile_row_trips_and_recovers(self):
+        """The end-to-end lifecycle: trip, mid-flight drops, staged
+        re-energization — with exact accounting per priority AND per
+        workload tier (the simulator enforces the invariant itself and
+        raises if a trip loses a request)."""
+        requests = poisson_requests(1.5, 240.0, seed=0)
+        recorder = MemoryRecorder()
+        result = ClusterSimulator(
+            fragile_config(), NoCapPolicy(), recorder=recorder
+        ).run(requests, 240.0)
+        pf = result.powerfail
+        assert pf is not None
+        assert pf.trips >= 1
+        assert pf.reenergizations >= 1
+        assert pf.offline_server_seconds > 0.0
+        # A trip pins the peak at the trip point (a settle landing a
+        # float-rounding hair past the projected crossing is fine).
+        assert pf.peak_accumulator == pytest.approx(1.0)
+        for entry in pf.trip_log:
+            assert entry["overload"] > 1.0
+            assert entry["restore_at"] > entry["t"]
+        accounted = sum(
+            m.served + m.dropped for m in result.per_priority.values()
+        )
+        assert accounted == len(requests)
+        by_workload = sum(
+            m.served + m.dropped for m in result.per_workload.values()
+        )
+        assert by_workload == len(requests)
+        kinds = [e.get("kind") for e in recorder.events]
+        assert "trip" in kinds and "reenergize" in kinds
+        assert "reenergize_done" in kinds and "capacity_status" in kinds
+        trip_drops = [
+            e for e in recorder.events
+            if e.get("kind") == "drop" and e.get("reason") == "trip"
+        ]
+        assert len(trip_drops) == pf.requests_lost_to_trips
+        for event in trip_drops:
+            assert event["server"] and event["device"]
+        assert pf.energy_conserved_exactly
+
+    def test_emergency_shedding_engages_on_risk(self):
+        requests = poisson_requests(1.5, 240.0, seed=0)
+        recorder = MemoryRecorder()
+        result = ClusterSimulator(
+            fragile_config(emergency=EmergencyConfig()),
+            NoCapPolicy(), recorder=recorder,
+        ).run(requests, 240.0)
+        pf = result.powerfail
+        assert pf.shed_engagements >= 1
+        assert pf.time_shedding_s > 0.0
+        assert pf.requests_dropped_shed + pf.requests_deferred > 0
+        kinds = [e.get("kind") for e in recorder.events]
+        assert "shed_engage" in kinds and "shed_release" in kinds
+        accounted = sum(
+            m.served + m.dropped for m in result.per_priority.values()
+        )
+        assert accounted == len(requests)
+
+    def test_permanently_overloaded_breaker_terminates(self):
+        """Regression: a breaker that cannot hold even the post-drain
+        load must not trip/restore forever past the horizon (the run
+        loop discards protection events after ``duration_s``)."""
+        requests = poisson_requests(1.5, 120.0, seed=0)
+        result = ClusterSimulator(
+            fragile_config(), NoCapPolicy()
+        ).run(requests, 120.0)
+        assert result.powerfail.trips >= 1
+
+    def test_codec_round_trips_powerfail(self):
+        from repro.exec import result_from_dict, result_to_dict
+
+        requests = poisson_requests(1.5, 240.0, seed=0)
+        result = ClusterSimulator(
+            fragile_config(), NoCapPolicy()
+        ).run(requests, 240.0)
+        assert result.powerfail.trips >= 1
+        decoded = result_from_dict(result_to_dict(result))
+        assert decoded.powerfail == result.powerfail
+
+
+class TestProtectionParity:
+    """Protection that never engages is invisible, bit for bit."""
+
+    GENEROUS = ProtectionSpec(row_headroom=10.0, rack_headroom=10.0,
+                              server_headroom=10.0)
+
+    @pytest.mark.parametrize("name", [
+        "polca-default", "polca-oversubscribed", "nocap-power-scaled",
+    ])
+    def test_generous_headroom_is_bit_identical_to_unprotected(
+        self, name
+    ):
+        from tests.test_obs import (
+            REFERENCE_CONFIGS,
+            assert_results_bit_identical,
+            make_requests,
+        )
+
+        overrides, policy_factory = REFERENCE_CONFIGS[name]
+        requests = make_requests(4.0, 240.0, seed=overrides["seed"])
+        bare = ClusterSimulator(
+            ClusterConfig(**overrides), policy_factory()
+        ).run(list(requests), 240.0)
+        protected = ClusterSimulator(
+            ClusterConfig(**overrides, protection=self.GENEROUS),
+            policy_factory(),
+        ).run(list(requests), 240.0)
+        assert_results_bit_identical(bare, protected)
+        assert bare.powerfail is None
+        pf = protected.powerfail
+        assert pf.trips == 0 and pf.shed_engagements == 0
+        assert pf.energy_conserved_exactly

@@ -212,6 +212,196 @@ def _random_fault_plan(draw_noise, dropout_start, dropout_len, churn_rate,
     )
 
 
+# ---------------------------------------------------------------------------
+# Power-delivery protection: accumulators and the exact energy ledger
+# ---------------------------------------------------------------------------
+def _random_topology(n_servers, servers_per_rack, spec=None):
+    from repro.powerfail import PowerTopology, ProtectionSpec, TripCurve
+
+    spec = spec or ProtectionSpec(
+        servers_per_rack=servers_per_rack,
+        rack_headroom=1.05,
+        server_headroom=1.2,
+        curve=TripCurve(tau_trip_s=5.0, tau_cool_s=60.0),
+        cooldown_s=10.0,
+        restore_batch=1,
+        restore_stagger_s=5.0,
+    )
+    return PowerTopology.build(
+        n_servers=n_servers,
+        provisioned_power_w=1000.0 * n_servers,
+        peak_server_w=1000.0,
+        spec=spec,
+    ), spec
+
+
+def _drive_protection(runtime, updates, horizon, idle_w=100.0):
+    """A miniature event loop around :class:`ProtectionRuntime`.
+
+    Plays a schedule of server power changes against the runtime the
+    same way the simulator does — projection events fire in time order,
+    trips drain their subtree to zero, restores re-power at idle —
+    while asserting, at every event time, that no device's settled
+    accumulator is ever negative.
+    """
+    import heapq
+    import math
+
+    heap, seq = [], 0
+
+    def push(items):
+        nonlocal seq
+        for fire_t, payload in items:
+            heapq.heappush(heap, (fire_t, seq, payload))
+            seq += 1
+
+    push(runtime.initial_events())
+    cursor = 0
+    while True:
+        update_t = updates[cursor][0] if cursor < len(updates) else math.inf
+        event_t = heap[0][0] if heap else math.inf
+        t = min(update_t, event_t)
+        if t > horizon or t == math.inf:
+            break
+        if update_t <= event_t:
+            _, index, power = updates[cursor]
+            cursor += 1
+            if not runtime.is_deenergized(index):
+                push(runtime.update_server_power(t, index, power))
+        else:
+            _, _, payload = heapq.heappop(heap)
+            if payload[0] == "prot":
+                outcome = runtime.on_projection(
+                    t, payload[1], payload[2], payload[3]
+                )
+                if outcome is None:
+                    continue
+                fired, _info, pushes = outcome
+                push(pushes)
+                if fired == "trip":
+                    for index in runtime.begin_trip(payload[1], t):
+                        push(runtime.update_server_power(t, index, 0.0))
+                    _record, restore = runtime.commit_trip(
+                        payload[1], t, dropped=0
+                    )
+                    push([restore])
+            elif payload[0] == "prot_restore":
+                outcome = runtime.restore_step(
+                    payload[1], payload[2], payload[3], t
+                )
+                if outcome is None:
+                    continue
+                restored, next_push, _done = outcome
+                for index in restored:
+                    push(runtime.update_server_power(t, index, idle_w))
+                if next_push is not None:
+                    push([next_push])
+        for device in runtime.topology.devices:
+            assert runtime.accumulator(device.device_id, t) >= 0.0
+    return runtime.finalize(horizon)
+
+
+class TestProtectionProperties:
+    @settings(max_examples=40)
+    @given(
+        n_servers=st.integers(min_value=1, max_value=24),
+        servers_per_rack=st.integers(min_value=1, max_value=6),
+    )
+    def test_random_topology_is_a_partition(
+        self, n_servers, servers_per_rack
+    ):
+        """Racks partition the row; every chain runs fuse → rack → row."""
+        topology, _spec = _random_topology(n_servers, servers_per_rack)
+        by_id = topology.by_id
+        row = by_id["row"]
+        assert row.servers == tuple(range(n_servers))
+        racks = [d for d in topology.devices if d.level == "rack"]
+        covered = sorted(i for rack in racks for i in rack.servers)
+        assert covered == list(range(n_servers))
+        assert all(d.capacity_w > 0 for d in topology.devices)
+        for index, chain in enumerate(topology.chains):
+            fuse, rack, top = (by_id[device_id] for device_id in chain)
+            assert fuse.servers == (index,)
+            assert index in rack.servers and top is row
+            assert fuse.parent == rack.device_id
+            assert rack.parent == "row"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_servers=st.integers(min_value=1, max_value=10),
+        servers_per_rack=st.integers(min_value=1, max_value=4),
+        schedule=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=600.0),
+                st.integers(min_value=0, max_value=9),
+                st.floats(min_value=0.0, max_value=3000.0),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_accumulators_never_negative_and_energy_conserved(
+        self, n_servers, servers_per_rack, schedule
+    ):
+        """Any power schedule — including ones hot enough to trip fuses,
+        racks, and the row — leaves every accumulator non-negative and
+        the exact energy ledger balanced: row == Σracks == Σfuses in ℚ,
+        across any pattern of trips and staged restores."""
+        from repro.powerfail.protection import ProtectionRuntime
+
+        topology, spec = _random_topology(n_servers, servers_per_rack)
+        updates = sorted(
+            (t, index % n_servers, power) for t, index, power in schedule
+        )
+        runtime = ProtectionRuntime(
+            topology, spec, duration_s=700.0,
+            initial_powers=[100.0] * n_servers,
+        )
+        report = _drive_protection(runtime, updates, horizon=700.0)
+        assert report.peak_accumulator >= 0.0
+        assert report.cascade_trips <= report.trips
+        assert report.reenergizations <= report.trips
+        assert report.offline_server_seconds >= 0.0
+        assert report.energy_conserved_exactly
+        assert report.energy_row_j == report.energy_racks_j
+        assert report.energy_racks_j == report.energy_servers_j
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_protected_run_conserves_requests_across_trips(self, seed):
+        """With a deliberately fragile topology the simulator still
+        accounts for every request per priority *and* workload tier —
+        the end-of-run conservation invariant raises if a trip loses
+        one — and the energy ledger stays exact."""
+        from repro.powerfail import ProtectionSpec, TripCurve
+
+        requests = _poisson_requests(1.5, 240.0, seed)
+        config = ClusterConfig(
+            n_base_servers=4, added_fraction=0.5, seed=seed,
+            protection=ProtectionSpec(
+                servers_per_rack=2,
+                row_headroom=0.55,
+                rack_headroom=1.02,
+                curve=TripCurve(tau_trip_s=5.0, tau_cool_s=60.0),
+                cooldown_s=20.0,
+                restore_stagger_s=2.0,
+            ),
+        )
+        result = ClusterSimulator(config, NoCapPolicy()).run(
+            requests, 240.0
+        )
+        accounted = sum(
+            m.served + m.dropped for m in result.per_priority.values()
+        )
+        assert accounted == len(requests)
+        by_workload = sum(
+            m.served + m.dropped for m in result.per_workload.values()
+        )
+        assert by_workload == len(requests)
+        assert result.powerfail is not None
+        assert result.powerfail.energy_conserved_exactly
+
+
 class TestAttributionConservation:
     """Random faulted workloads: the causal decomposition is exact.
 
