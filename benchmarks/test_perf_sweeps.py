@@ -1,11 +1,21 @@
-"""Sweep-engine performance: serial vs parallel wall-clock.
+"""Sweep-engine performance: serial vs parallel vs incremental.
 
-Times a fixed Figure 13-shaped grid (threshold combos x oversubscription
-levels, plus the shared baseline) twice — serial, then with 4 workers —
-each against a fresh memo cache so both timings simulate every run. The
-measurements land in ``BENCH_sweeps.json`` at the repo root, which CI
-uploads as an artifact; the expected >= 2x speedup at 4 workers is
-asserted only on machines that actually have 4 cores.
+``test_perf_sweeps`` times a fixed Figure 13-shaped grid (threshold
+combos x oversubscription levels, plus the shared baseline) twice —
+serial, then with 4 workers — each against a fresh memo cache so both
+timings simulate every run. The measurements land in
+``BENCH_sweeps.json`` at the repo root, which CI uploads as an
+artifact; the expected >= 2x speedup at 4 workers is asserted only on
+machines that actually have 4 cores.
+
+``test_perf_sim_core`` emits ``BENCH_sim_core.json`` for the
+struct-of-arrays core and the checkpointed incremental executor: the
+same grid serial-cold (the SoA hot path; the pre-SoA seed's wall time
+is recorded alongside for the vs-seed comparison), through the
+process-pool optimized path (>= 2x floor), through the incremental
+executor cold (prefix restores, with the executor's saved/replayed
+second counters), and a warm ``threshold_search`` re-run answered from
+the result cache (>= 3x floor, in practice orders of magnitude).
 """
 
 import json
@@ -17,7 +27,7 @@ import pytest
 
 from repro.core.policy import PolcaThresholds
 from repro.core.sweeps import EvaluationHarness, threshold_search
-from repro.exec import fork_available
+from repro.exec import PolicySpec, fork_available
 from repro.units import hours
 
 COMBOS = (
@@ -91,4 +101,133 @@ def test_perf_sweeps(benchmark):
         assert speedup >= 2.0, (
             f"expected >= 2x speedup at {PARALLEL_WORKERS} workers, "
             f"got {speedup:.2f}x"
+        )
+
+
+SIM_CORE_REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_sim_core.json"
+)
+
+#: Serial wall-clock of this exact grid (default 6 h horizon) measured
+#: on the pre-struct-of-arrays simulator before the core refactor, on
+#: the CI reference machine. The SoA section below reports the current
+#: serial time next to it so the vs-seed ratio is tracked run over run.
+PRE_SOA_SERIAL_WALL_S = 8.8
+
+
+def test_perf_sim_core(benchmark):
+    if not fork_available():
+        pytest.skip("platform has no fork start method")
+
+    def timed_grid(harness, workers=1):
+        start = time.perf_counter()
+        points = threshold_search(
+            harness, COMBOS, FRACTIONS, workers=workers
+        )
+        wall = time.perf_counter() - start
+        assert len(points) == len(COMBOS) * len(FRACTIONS)
+        return wall
+
+    # 1. The SoA core, serial and cold: every grid point simulated.
+    serial_wall = timed_grid(EvaluationHarness(
+        duration_s=hours(GRID_HOURS), seed=1
+    ))
+
+    # 2. The optimized path: process fan-out over the same cold grid.
+    def optimized_grid():
+        return timed_grid(EvaluationHarness(
+            duration_s=hours(GRID_HOURS), seed=1
+        ), workers=PARALLEL_WORKERS)
+
+    optimized_wall = benchmark.pedantic(
+        optimized_grid, rounds=1, iterations=1
+    )
+
+    # 3. The incremental executor, cold: each family's first run
+    # records tape + checkpoints, the rest restore their longest
+    # matching prefix and replay only the suffix. The grid is the same
+    # baseline + combos x fractions batch threshold_search builds, run
+    # through an engine we hold so its executor counters are readable.
+    incremental = EvaluationHarness(
+        duration_s=hours(GRID_HOURS), seed=1, incremental=True,
+    )
+    engine = incremental.engine()
+    specs = [incremental.baseline_spec()] + [
+        incremental.spec(
+            PolicySpec("POLCA", thresholds), added_fraction=fraction
+        )
+        for _, thresholds in COMBOS
+        for fraction in FRACTIONS
+    ]
+    start = time.perf_counter()
+    results = engine.run_specs(specs)
+    incremental_wall = time.perf_counter() - start
+    assert len(results) == 1 + len(COMBOS) * len(FRACTIONS)
+    inc_stats = engine._incremental.stats
+
+    # 4. Warm re-run of the whole threshold search: every spec answers
+    # from the result cache without touching the simulator.
+    start = time.perf_counter()
+    threshold_search(incremental, COMBOS, FRACTIONS)
+    warm_wall = time.perf_counter() - start
+
+    optimized_speedup = serial_wall / optimized_wall \
+        if optimized_wall > 0 else 0.0
+    warm_speedup = incremental_wall / warm_wall if warm_wall > 0 else 0.0
+    report = {
+        "grid": {
+            "combos": [label for label, _ in COMBOS],
+            "added_fractions": list(FRACTIONS),
+            "simulated_hours": GRID_HOURS,
+        },
+        "soa_serial": {
+            "wall_s": round(serial_wall, 3),
+            "pre_soa_seed_wall_s": PRE_SOA_SERIAL_WALL_S,
+            "speedup_vs_seed": round(
+                PRE_SOA_SERIAL_WALL_S / serial_wall, 3
+            ) if serial_wall > 0 else 0.0,
+        },
+        "optimized": {
+            "workers": PARALLEL_WORKERS,
+            "wall_s": round(optimized_wall, 3),
+            "speedup_vs_serial": round(optimized_speedup, 3),
+        },
+        "incremental_cold": {
+            "wall_s": round(incremental_wall, 3),
+            "speedup_vs_serial": round(
+                serial_wall / incremental_wall, 3
+            ) if incremental_wall > 0 else 0.0,
+            "base_runs": inc_stats.base_runs,
+            "resumed_runs": inc_stats.resumed_runs,
+            "reused_results": inc_stats.reused_results,
+            "cold_runs": inc_stats.cold_runs,
+            "saved_sim_s": round(inc_stats.saved_s, 1),
+            "replayed_sim_s": round(inc_stats.replayed_s, 1),
+        },
+        "warm_rerun": {
+            "wall_s": round(warm_wall, 4),
+            "speedup_vs_incremental_cold": round(warm_speedup, 1),
+        },
+        "cpu_count": os.cpu_count(),
+    }
+    SIM_CORE_REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n=== Simulator core: {GRID_HOURS:.0f}h Fig 13 grid ===")
+    print(f"SoA serial:        {serial_wall:6.2f} s "
+          f"(seed was {PRE_SOA_SERIAL_WALL_S:.1f} s)")
+    print(f"optimized (x{PARALLEL_WORKERS}):    {optimized_wall:6.2f} s  "
+          f"{optimized_speedup:.2f}x")
+    print(f"incremental cold:  {incremental_wall:6.2f} s  "
+          f"(saved {inc_stats.saved_s:.0f} sim-s across "
+          f"{inc_stats.resumed_runs} resumes)")
+    print(f"warm re-run:       {warm_wall:6.3f} s  {warm_speedup:.0f}x")
+
+    benchmark.extra_info.update(report)
+    assert warm_speedup >= 3.0, (
+        f"warm threshold_search re-run should be >= 3x, "
+        f"got {warm_speedup:.2f}x"
+    )
+    if (os.cpu_count() or 1) >= PARALLEL_WORKERS:
+        assert optimized_speedup >= 2.0, (
+            f"expected >= 2x over serial on the optimized path, "
+            f"got {optimized_speedup:.2f}x"
         )

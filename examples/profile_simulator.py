@@ -1,15 +1,27 @@
 """Profile the simulator hot path with ``repro.exec.profile``.
 
-Times one uncached cluster run end to end, then breaks it down with
-cProfile to show where the time goes (event-queue operations, per-server
-power refresh, request routing). This is the workflow that motivated the
-vectorized power batch and the heap-tuple event queue — run it before
-and after touching ``repro.cluster`` to see what a change buys.
+Times one uncached cluster run end to end, breaks it down with cProfile
+to show where the time goes (event-queue operations, per-server power
+refresh, request routing), then re-runs with the simulator's own
+per-event-kind kernel timers (``ClusterSimulator(kernel_timers=True)``)
+for the event-loop view: how many ticks/arrivals/phase advances ran and
+what each kind costs. The kernel counters also land in
+``result.observability["sim_core"]``, so hot-path regressions show up
+in exported traces. This is the workflow that motivated the vectorized
+power batch and the heap-tuple event queue — run it before and after
+touching ``repro.cluster`` to see what a change buys.
 
 Run:  python examples/profile_simulator.py
 """
 
-from repro.exec import PolicySpec, RunSpec, execute_spec, profile_call, timed
+from repro.exec import (
+    PolicySpec,
+    RunSpec,
+    execute_spec,
+    profile_call,
+    profile_kernels,
+    timed,
+)
 from repro.cluster.simulator import ClusterConfig
 from repro.units import hours
 
@@ -38,6 +50,12 @@ def main() -> None:
     for spot in report.top:
         print(f"  {spot.tottime_s:7.3f} s  {spot.calls:>9} calls  "
               f"{spot.function}")
+
+    _, kernels = profile_kernels(spec)
+    print("\nevent-loop kernels (per event kind, hottest first):")
+    for stat in kernels:
+        print(f"  {stat.seconds:7.3f} s  {stat.calls:>9} events  "
+              f"{stat.mean_us:8.1f} us/event  {stat.kind}")
 
 
 if __name__ == "__main__":

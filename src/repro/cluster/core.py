@@ -1,0 +1,1532 @@
+"""The struct-of-arrays simulation core behind :class:`ClusterSimulator`.
+
+:class:`SimulationCore` owns every piece of mutable state of one run —
+what used to live in the locals and closures of ``ClusterSimulator.run``
+— which buys three capabilities without changing a single simulated
+outcome (the golden-parity suite pins bit-identity to the pre-refactor
+simulator):
+
+* **Struct-of-arrays hot path.** Per-server numeric state (activity,
+  effective clock ratio, braked/failed flags, instantaneous power) is
+  mirrored in numpy arrays (:class:`ServerArrays`), so group-wide power
+  refreshes — cap and brake landings touch a whole priority pool at
+  once — read the arrays and evaluate the power kernel vectorized
+  instead of walking ``ServerSim`` objects. The running row-power sum
+  still updates in per-index order, keeping the exact energy integral's
+  float summation order unchanged.
+
+* **Checkpointing.** Because all mutable state hangs off one object,
+  :meth:`SimulationCore.snapshot` can deep-copy a mid-flight run (with
+  immutables — requests, specs, segment tuples — shared via a pre-seeded
+  memo) and :mod:`repro.exec.incremental` can resume it under a
+  different controller. Cores pickle (``__getstate__`` re-keys the
+  id-keyed maps) so checkpoints can live in the run cache's blob layer.
+
+* **Sharding.** The telemetry/control block of the tick handler is
+  reachable as methods, so a parent control plane can drive it over
+  merged shard power (``outbox`` captures the command pushes to
+  broadcast) while serve-only shards (:meth:`run_shard`) pause at tick
+  barriers — see :mod:`repro.cluster.sharded`.
+
+Per-event-kind kernel timing (:class:`KernelTimers`) is opt-in and
+surfaces in ``result.observability["sim_core"]`` so hot-path regressions
+show up in traces.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.timeseries import TimeSeries
+from repro.cluster.events import EventQueue
+from repro.cluster.metrics import PriorityMetrics, SimulationResult
+from repro.cluster.policy_base import GroupCaps
+from repro.control.actions import ActionKind, ControlAction
+from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector, TelemetryFate
+from repro.faults.plan import FaultPlan
+from repro.faults.report import OverBudgetTracker, RobustnessReport
+from repro.gpu.specs import A100_80GB
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.recorder import NULL_RECORDER
+from repro.powerfail.protection import ProtectionRuntime
+from repro.powerfail.topology import PowerTopology
+from repro.telemetry.base import SampledInterface
+from repro.workloads.requests import SampledRequest
+from repro.workloads.spec import Priority
+
+
+class KernelTimers:
+    """Per-event-kind call/latency counters for the hot path.
+
+    Opt-in: the default simulator runs the untimed loop, so disabled
+    runs pay nothing (not even a clock read per event).
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, List[float]] = {}
+
+    def add(self, kind: str, seconds: float) -> None:
+        cell = self.counters.get(kind)
+        if cell is None:
+            self.counters[kind] = [1, seconds]
+        else:
+            cell[0] += 1
+            cell[1] += seconds
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{kind: {"calls": n, "seconds": s}}``, sorted by cost."""
+        return {
+            kind: {"calls": int(calls), "seconds": seconds}
+            for kind, (calls, seconds) in sorted(
+                self.counters.items(), key=lambda kv: -kv[1][1]
+            )
+        }
+
+
+class ServerArrays:
+    """Struct-of-arrays mirror of per-server numeric state.
+
+    ``activity``/``failed`` are refreshed whenever a server's occupancy
+    changes (every such change is followed by a power refresh);
+    ``clock_ratio``/``braked``/``eff_ratio`` are updated at cap and
+    brake landings. Group refreshes read only these arrays — no
+    ``ServerSim`` attribute walks in the vectorized kernel.
+    """
+
+    __slots__ = ("activity", "clock_ratio", "braked", "failed", "eff_ratio")
+
+    def __init__(self, n_servers: int) -> None:
+        self.activity = np.zeros(n_servers, dtype=np.float64)
+        self.clock_ratio = np.ones(n_servers, dtype=np.float64)
+        self.braked = np.zeros(n_servers, dtype=bool)
+        self.failed = np.zeros(n_servers, dtype=bool)
+        self.eff_ratio = np.ones(n_servers, dtype=np.float64)
+
+
+class SimulationCore:
+    """All mutable state and event handlers of one simulation run.
+
+    Built by :meth:`ClusterSimulator.start`; callers normally just
+    ``run_all()`` then ``finalize()``. The attribute layout is the
+    former ``run()`` local-variable set, verbatim — see the module
+    docstring for why it is an object now.
+    """
+
+    def __init__(
+        self,
+        simulator: Any,
+        requests: Sequence[SampledRequest],
+        duration_s: float,
+        shard_serving: bool = False,
+    ) -> None:
+        config = simulator.config
+        self.config = config
+        self.policy = simulator.policy
+        self.power_model = simulator.power_model
+        self.servers = simulator.servers
+        self._index_by_priority = simulator._index_by_priority
+        self._ids_by_priority = simulator._ids_by_priority
+        self._all_ids = simulator._all_ids
+        self.balancer = simulator.balancer
+        self.requests = requests
+        self.duration_s = duration_s
+        self.timers: Optional[KernelTimers] = (
+            KernelTimers() if simulator.kernel_timers else None
+        )
+
+        reliability = config.reliability
+        self.reliability = reliability
+        plan = config.fault_plan if config.fault_plan is not None \
+            else FaultPlan.none()
+        self.injector = FaultInjector(
+            plan, duration_s=duration_s, n_servers=config.n_servers
+        )
+        self.interface = SampledInterface(
+            name="row-telemetry",
+            interval=config.telemetry_interval_s,
+            in_band=False,
+            delay=plan.telemetry.delay_s,
+            noise_std=plan.telemetry.noise_std,
+            seed=plan.seed,
+        )
+        self.actuator = simulator._build_actuator(plan)
+        # With a perfect actuation path every command provably lands by
+        # its spec latency, so the verify deadline would always pass:
+        # elide it. This also keeps the event stream — and hence the
+        # float summation order of the exact energy integral —
+        # bit-identical to the original fault-free simulator.
+        self.verify_commands = (
+            plan.actuation.silent_failure_rate > 0.0
+            or plan.actuation.delay_prob > 0.0
+        )
+        self.report = RobustnessReport(
+            duration_s=duration_s,
+            telemetry_dropout_windows=self.injector.dropout_window_count,
+        )
+        self.tracker = OverBudgetTracker(budget_w=config.provisioned_power_w)
+        self.protection = config.protection
+        self.peak_server_w = self.power_model.server_power(1.0, 1.0)
+
+        # Observability. ``recording`` guards every hook point, so with
+        # the default NullRecorder no event payload or metric update
+        # ever happens and the run is bit-identical to an
+        # uninstrumented one. Recorders observe only: they never touch
+        # simulator state, RNG streams, or the float summation order.
+        recorder = simulator.recorder
+        self.recorder = recorder
+        recording = recorder.enabled
+        self.recording = recording
+        self.obs: Optional[MetricsRegistry] = None
+        self.util_hist = None
+        self.latency_hists: Optional[Dict[Priority, Any]] = None
+        self.request_ids: Dict[int, int] = {}
+        if recording:
+            obs = MetricsRegistry()
+            self.obs = obs
+            # Pre-register the counters cross_check compares so they
+            # are present in the snapshot even when they end at zero.
+            for _name in (
+                "requests.served",
+                "requests.dropped",
+                "requests.lost_to_churn",
+                "brake.engagements",
+                "commands.cap_actions",
+                "commands.issued",
+                "commands.reissues",
+                "fallback.entries",
+                "telemetry.faults",
+                "churn.failures",
+                "churn.recoveries",
+            ):
+                obs.counter(_name)
+            if self.protection is not None:
+                for _name in (
+                    "prot.trips",
+                    "prot.reenergizations",
+                    "shed.engagements",
+                    "requests.lost_to_trips",
+                    "requests.dropped_shed",
+                    "requests.deferred",
+                ):
+                    obs.counter(_name)
+            self.util_hist = obs.histogram("control.utilization")
+            self.latency_hists = {
+                p: obs.histogram(
+                    f"latency.priority.{p.value}", LATENCY_BUCKETS
+                )
+                for p in Priority
+            }
+            # Requests are identified in the trace by arrival order;
+            # SampledRequest is frozen and id-stable for the run.
+            self.request_ids = {id(r): i for i, r in enumerate(requests)}
+            recorder.emit({
+                "t": 0.0, "kind": "run_meta",
+                "duration_s": duration_s,
+                "n_servers": config.n_servers,
+                "concurrency": self.servers[0].concurrency,
+                "provisioned_power_w": config.provisioned_power_w,
+                "idle_server_power_w":
+                    self.power_model.server_power(0.0, 1.0),
+                "brake_ratio": self.power_model.brake_ratio,
+                "servers": {
+                    s.server_id: s.priority.value for s in self.servers
+                },
+            })
+
+        self.queue = EventQueue()
+        self.metrics = {p: PriorityMetrics() for p in Priority}
+        self.workload_metrics: Dict[str, PriorityMetrics] = {}
+
+        # Running row power; server powers are piecewise constant, which
+        # also makes the energy integral exact: accumulate power x dt at
+        # every event boundary. ``server_power`` stays a Python float
+        # list (scalar per-index updates keep the original summation
+        # order); the SoA arrays mirror the rest.
+        self.server_power = [s.current_power() for s in self.servers]
+        self.row_power = sum(self.server_power)
+        self.total_energy = 0.0
+        self.last_event_time = 0.0
+        self.arrays = ServerArrays(len(self.servers))
+
+        # The power-delivery protection layer. ``prot is None`` (the
+        # default) models infinite breaker capacity: no accumulator is
+        # ever touched, no event is ever enqueued, and the run is
+        # bit-identical to the unprotected simulator.
+        self.prot: Optional[ProtectionRuntime] = None
+        self.emergency = None
+        self.pf_report = None
+        self.shed_active = False
+        self.shed_since = 0.0
+        self.defer_counts: Dict[int, int] = {}
+        if self.protection is not None:
+            topology = PowerTopology.build(
+                n_servers=config.n_servers,
+                provisioned_power_w=config.provisioned_power_w,
+                peak_server_w=self.peak_server_w,
+                spec=self.protection,
+            )
+            self.prot = ProtectionRuntime(
+                topology, self.protection, duration_s, self.server_power
+            )
+            self.emergency = self.protection.emergency
+            self.pf_report = self.prot.report
+            for push in self.prot.initial_events():
+                self.queue.push(*push)
+
+        # Actuation bookkeeping. Cap commands are generation-stamped per
+        # priority group and brake commands version-stamped, so verify
+        # and re-issue events can tell whether they have been superseded
+        # — and so a utilization spike during a pending brake release
+        # can cancel the release outright.
+        self.commanded = GroupCaps.uncapped()
+        self.cap_generation: Dict[Priority, int] = {p: 0 for p in Priority}
+        self.capping_actions = 0
+        self.brake_state = "off"  # off | pending_on | on | pending_off
+        self.brake_version = 0
+        self.brake_engaged_at = -float("inf")
+        self.brake_events = 0
+
+        # Telemetry-health state for graceful degradation.
+        self.stale_ticks = 0
+        self.identical_run = 0
+        self.last_observed: Optional[float] = None
+        self.in_fallback = False
+        self.fallback_entered_at = 0.0
+
+        self.server_index = {
+            s.server_id: i for i, s in enumerate(self.servers)
+        }
+        self.clock_denominator = A100_80GB.max_sm_clock_mhz
+
+        # Sharded-execution hooks (inert in serial runs). A serve-only
+        # shard filters arrivals by the parent's per-epoch assignment
+        # and applies broadcast commands unless their version was
+        # cancelled; a control-plane parent logs its command pushes to
+        # ``outbox`` for broadcast.
+        self.shard_serving = shard_serving
+        self.owned_arrivals: set = set()
+        self.cancelled_brake_versions: set = set()
+        self.outbox: Optional[List[Tuple[float, Any]]] = None
+        self.outbox_cancels: Optional[List[int]] = None
+        self._offered_priority: Dict[Priority, int] = {
+            p: 0 for p in Priority
+        }
+        self._offered_workload: Dict[str, int] = {}
+
+        for i, request in enumerate(requests):
+            if request.arrival_time < duration_s:
+                if shard_serving:
+                    self.queue.push(
+                        request.arrival_time, ("arrival", request, i)
+                    )
+                else:
+                    self.queue.push(request.arrival_time, ("arrival", request))
+        # Integer-indexed tick schedule: i * interval carries no
+        # accumulated float error on long traces (unlike a +=-style or
+        # np.arange cursor).
+        n_ticks = int(math.ceil(duration_s / config.telemetry_interval_s))
+        scheduled_ticks = 0
+        for i in range(n_ticks):
+            tick = i * config.telemetry_interval_s
+            if tick >= duration_s:
+                break
+            self.queue.push(tick, ("tick",))
+            scheduled_ticks += 1
+        self.scheduled_ticks = scheduled_ticks
+        # The tick count is known up front: accumulate power samples
+        # into a preallocated array instead of growing a list.
+        self.power_samples = np.empty(scheduled_ticks, dtype=np.float64)
+        self.sample_cursor = 0
+        for churn in self.injector.churn_events:
+            self.queue.push(
+                churn.fail_at_s, ("server_fail", churn.server_index)
+            )
+            if churn.recover_at_s is not None \
+                    and churn.recover_at_s < duration_s:
+                self.queue.push(
+                    churn.recover_at_s,
+                    ("server_recover", churn.server_index),
+                )
+
+    # ------------------------------------------------------------------
+    # Pickling (checkpoint blobs). Id-keyed maps are re-keyed by request
+    # index across the dump; the recorder never travels (restored cores
+    # replay unrecorded). ``copy.deepcopy`` routes through the same
+    # hooks, so :meth:`snapshot` inherits the fixups.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["recorder"] = None
+        state["recording"] = False
+        state["obs"] = None
+        state["util_hist"] = None
+        state["latency_hists"] = None
+        state["request_ids"] = None
+        if self.defer_counts:
+            index_of = {id(r): i for i, r in enumerate(self.requests)}
+            state["defer_counts"] = {
+                index_of[key]: count
+                for key, count in self.defer_counts.items()
+            }
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.recorder = NULL_RECORDER
+        self.request_ids = {}
+        if self.defer_counts:
+            self.defer_counts = {
+                id(self.requests[i]): count
+                for i, count in self.defer_counts.items()
+            }
+
+    def snapshot(self) -> "SimulationCore":
+        """Deep-copy this mid-flight run into an independent core.
+
+        Immutable structure — the request list and objects, config,
+        power model, per-server specs and shared segment tuples — is
+        shared between the original and the copy via a pre-seeded memo;
+        everything mutable (servers, slots, queue, RNGs, policy,
+        injector/protection state) is copied. The copy replays
+        unrecorded (see ``__getstate__``).
+        """
+        memo: Dict[int, Any] = {id(self.requests): self.requests}
+        for request in self.requests:
+            memo[id(request)] = request
+        for obj in (
+            self.config, self.power_model, self.reliability,
+            self._index_by_priority, self._ids_by_priority, self._all_ids,
+        ):
+            memo[id(obj)] = obj
+        for server in self.servers:
+            memo[id(server.model)] = server.model
+            memo[id(server._spec)] = server._spec
+            memo[id(server._profile)] = server._profile
+            memo[id(server._token_activity)] = server._token_activity
+            for active in server.slots.values():
+                memo[id(active.segments)] = active.segments
+        return copy.deepcopy(self, memo)
+
+    # ------------------------------------------------------------------
+    # Power refresh kernels
+    # ------------------------------------------------------------------
+    def _refresh_power(self, now: float, index: int) -> None:
+        server = self.servers[index]
+        arrays = self.arrays
+        if server.failed:
+            arrays.failed[index] = True
+            arrays.activity[index] = 0.0
+            new_power = 0.0
+        else:
+            arrays.failed[index] = False
+            activity = server.current_activity()
+            arrays.activity[index] = activity
+            new_power = self.power_model.server_power(
+                activity, server.effective_ratio
+            )
+        self.row_power += new_power - self.server_power[index]
+        self.server_power[index] = new_power
+        if self.prot is not None:
+            for push in self.prot.update_server_power(now, index, new_power):
+                self._push(*push)
+
+    def _refresh_group(self, now: float, indices: Sequence[int]) -> None:
+        """Refresh many servers at once (cap/brake landings).
+
+        The vectorized kernel reads only the SoA arrays — activity and
+        effective ratio were synced at the last occupancy change and
+        the landing that triggered this refresh — and evaluates the
+        power formula per effective-clock group with the exact
+        elementwise IEEE operations of the scalar path. The running
+        row-power updates keep the original per-index summation order
+        so the energy integral is unchanged.
+        """
+        arrays = self.arrays
+        eff = arrays.eff_ratio
+        failed = arrays.failed
+        new_power: Dict[int, float] = {}
+        by_ratio: Dict[float, List[int]] = {}
+        for index in indices:
+            if failed[index]:
+                new_power[index] = 0.0
+            else:
+                by_ratio.setdefault(float(eff[index]), []).append(index)
+        for ratio, members in by_ratio.items():
+            powers = self.power_model.server_power_batch(
+                arrays.activity[members], ratio
+            )
+            for i, power in zip(members, powers.tolist()):
+                new_power[i] = power
+        server_power = self.server_power
+        for index in indices:
+            power = new_power[index]
+            self.row_power += power - server_power[index]
+            server_power[index] = power
+        if self.prot is not None:
+            for index in indices:
+                for push in self.prot.update_server_power(
+                    now, index, new_power[index]
+                ):
+                    self._push(*push)
+
+    def _push(self, time: float, payload: Any) -> None:
+        self.queue.push(time, payload)
+        if self.outbox is not None:
+            self.outbox.append((time, payload))
+
+    def _workload_tier(self, name: str) -> PriorityMetrics:
+        tier = self.workload_metrics.get(name)
+        if tier is None:
+            tier = PriorityMetrics()
+            self.workload_metrics[name] = tier
+        return tier
+
+    # ------------------------------------------------------------------
+    # Request lifecycle helpers
+    # ------------------------------------------------------------------
+    def _schedule_slot(self, index: int, slot: int) -> None:
+        active = self.servers[index].slots.get(slot)
+        if active is None:
+            return
+        self.queue.push(
+            active.phase_end, ("phase", index, slot, active.version)
+        )
+
+    def _start_on(self, now: float, index: int, request: SampledRequest
+                  ) -> None:
+        slot = self.servers[index].start_request(now, request)
+        self._refresh_power(now, index)
+        self._schedule_slot(index, slot)
+        if self.recording:
+            self._emit_phase_start(now, index, slot)
+
+    # ------------------------------------------------------------------
+    # Span lifecycle emission (observe-only; every call is guarded by
+    # ``recording``, so unrecorded runs never reach these).
+    # ------------------------------------------------------------------
+    def _emit_phase_start(self, now: float, index: int, slot: int) -> None:
+        server = self.servers[index]
+        active = server.slots.get(slot)
+        if active is None:
+            return
+        payload = server.slot_snapshot(slot)
+        payload["t"] = now
+        payload["kind"] = "phase_start"
+        payload["request_id"] = self.request_ids[id(active.request)]
+        self.recorder.emit(payload)
+
+    def _emit_rescales(
+        self,
+        now: float,
+        index: int,
+        rescheduled: Dict[int, float],
+        old_ratio: float,
+        cause: str,
+        stamp: Dict[str, Any],
+    ) -> None:
+        server = self.servers[index]
+        new_ratio = server.effective_ratio
+        for slot, new_end in rescheduled.items():
+            active = server.slots[slot]
+            event = {
+                "t": now, "kind": "phase_rescale",
+                "request_id": self.request_ids[id(active.request)],
+                "server": server.server_id, "slot": slot,
+                "phase": active.segments[active.phase_index].phase,
+                "old_ratio": old_ratio, "new_ratio": new_ratio,
+                "new_end": new_end, "cause": cause,
+            }
+            event.update(stamp)
+            self.recorder.emit(event)
+
+    # ------------------------------------------------------------------
+    # The reliable-command layer: every issue schedules a landing
+    # (unless the interface silently drops it) plus a verify event;
+    # failed verifies re-issue with capped exponential backoff.
+    # ------------------------------------------------------------------
+    def _issue_cap(
+        self,
+        now: float,
+        priority: Priority,
+        clock_mhz: Optional[float],
+        generation: int,
+        attempts: int,
+    ) -> None:
+        targets = self._ids_by_priority[priority]
+        if clock_mhz is None:
+            action = ControlAction.frequency_unlock(targets)
+        else:
+            action = ControlAction.frequency_lock(targets, clock_mhz)
+        record = self.actuator.issue(now, action)
+        self.report.commands_issued += 1
+        extra = self.injector.actuation_extra_delay()
+        if self.recording:
+            self.obs.counter("commands.issued").inc()
+            self.recorder.emit({
+                "t": now, "kind": "cap_issue",
+                "priority": priority.value, "clock_mhz": clock_mhz,
+                "generation": generation, "attempts": attempts,
+                "silent": record.failed_silently,
+            })
+        if record.failed_silently:
+            self.report.silent_actuation_failures += 1
+        else:
+            self._push(
+                record.effective_at + extra,
+                ("cap", priority, clock_mhz, generation),
+            )
+        if self.verify_commands:
+            self.queue.push(
+                now + self.actuator.latency_for(action.kind)
+                + self.reliability.verify_margin_s,
+                ("verify_cap", priority, clock_mhz, generation, attempts),
+            )
+
+    def _issue_brake(
+        self, now: float, want_on: bool, version: int, attempts: int
+    ) -> None:
+        kind = ActionKind.POWER_BRAKE if want_on \
+            else ActionKind.BRAKE_RELEASE
+        record = self.actuator.issue(
+            now, ControlAction(kind, self._all_ids)
+        )
+        self.report.commands_issued += 1
+        extra = self.injector.actuation_extra_delay()
+        if self.recording:
+            self.obs.counter("commands.issued").inc()
+            self.recorder.emit({
+                "t": now, "kind": "brake_issue",
+                "want_on": want_on, "version": version,
+                "attempts": attempts,
+                "silent": record.failed_silently,
+            })
+        if record.failed_silently:
+            self.report.silent_actuation_failures += 1
+        else:
+            self._push(
+                record.effective_at + extra,
+                ("brake_on" if want_on else "brake_off", version),
+            )
+        if self.verify_commands:
+            self.queue.push(
+                now + self.actuator.latency_for(kind)
+                + self.reliability.verify_margin_s,
+                ("verify_brake", want_on, version, attempts),
+            )
+
+    def _engage_brake(self, now: float, source: str = "policy") -> None:
+        self.brake_state = "pending_on"
+        self.brake_version += 1
+        if self.recording:
+            self.obs.counter("brake.engagements").inc()
+            self.recorder.emit({
+                "t": now, "kind": "brake_request",
+                "source": source, "version": self.brake_version,
+            })
+        self._issue_brake(now, True, self.brake_version, 0)
+
+    def _command_caps(self, now: float, desired: GroupCaps) -> None:
+        commanded = self.commanded
+        if desired.low_clock_mhz != commanded.low_clock_mhz:
+            self.cap_generation[Priority.LOW] += 1
+            self._issue_cap(
+                now, Priority.LOW, desired.low_clock_mhz,
+                self.cap_generation[Priority.LOW], 0,
+            )
+            self.capping_actions += 1
+            if self.recording:
+                self.obs.counter("commands.cap_actions").inc()
+        if desired.high_clock_mhz != commanded.high_clock_mhz:
+            self.cap_generation[Priority.HIGH] += 1
+            self._issue_cap(
+                now, Priority.HIGH, desired.high_clock_mhz,
+                self.cap_generation[Priority.HIGH], 0,
+            )
+            self.capping_actions += 1
+            if self.recording:
+                self.obs.counter("commands.cap_actions").inc()
+        self.commanded = desired
+
+    # ------------------------------------------------------------------
+    # Emergency response to power-delivery incidents (only reachable
+    # when a ProtectionSpec is attached): shed low-priority load and
+    # clamp survivors to safe caps while any device is tripped or
+    # carrying a trip-risk flag.
+    # ------------------------------------------------------------------
+    def _emit_capacity_status(self, now: float) -> None:
+        offline_w, offline_frac = self.prot.offline_stats(self.peak_server_w)
+        self.recorder.emit({
+            "t": now, "kind": "capacity_status",
+            "offline_capacity_w": offline_w,
+            "offline_fraction": offline_frac,
+        })
+
+    def _update_shed(self, now: float) -> None:
+        emergency = self.emergency
+        if emergency is None or not emergency.enabled:
+            return
+        want = self.prot.in_emergency
+        if want and not self.shed_active:
+            self.shed_active = True
+            self.shed_since = now
+            self.pf_report.shed_engagements += 1
+            if self.recording:
+                self.obs.counter("shed.engagements").inc()
+                self.recorder.emit({"t": now, "kind": "shed_engage"})
+            self._command_caps(now, emergency.clamp(self.commanded))
+        elif not want and self.shed_active:
+            self.shed_active = False
+            self.pf_report.time_shedding_s += max(
+                0.0,
+                min(now, self.duration_s) - min(self.shed_since,
+                                                self.duration_s),
+            )
+            if self.recording:
+                self.recorder.emit({"t": now, "kind": "shed_release"})
+
+    # ------------------------------------------------------------------
+    # The control plane: policy evaluation on each delivered telemetry
+    # observation. In sharded runs the parent core runs exactly this
+    # code over the merged row power.
+    # ------------------------------------------------------------------
+    def _control_step(self, now: float, observed_power: float) -> None:
+        utilization = observed_power / self.config.provisioned_power_w
+        if self.recording:
+            self.util_hist.observe(utilization)
+            self.recorder.emit({
+                "t": now, "kind": "control",
+                "utilization": utilization,
+                "observed_power_w": observed_power,
+                "brake_state": self.brake_state,
+            })
+        # --- Brake safety logic (all policies carry the brake).
+        if self.brake_state in ("off", "pending_off") \
+                and self.policy.wants_brake(utilization):
+            if self.brake_state == "pending_off":
+                # A spike while the release is in flight: cancel the
+                # pending release (the stamped brake_off event is now
+                # stale) — the brake never disengages, so this is not a
+                # new engagement.
+                if self.outbox_cancels is not None:
+                    self.outbox_cancels.append(self.brake_version)
+                self.brake_version += 1
+                self.brake_state = "on"
+                if self.recording:
+                    self.recorder.emit({
+                        "t": now, "kind": "brake_cancel_release",
+                        "version": self.brake_version,
+                    })
+            else:
+                self.brake_events += 1
+                self._engage_brake(now)
+        elif (
+            self.brake_state == "on"
+            and now - self.brake_engaged_at >= self.config.brake_hold_s
+            and self.policy.brake_release_ok(utilization)
+        ):
+            self.brake_state = "pending_off"
+            self.brake_version += 1
+            if self.recording:
+                self.recorder.emit({
+                    "t": now, "kind": "brake_release_request",
+                    "version": self.brake_version,
+                })
+            self._issue_brake(now, False, self.brake_version, 0)
+        # --- Frequency-capping policy.
+        desired = self.policy.desired_caps(utilization, now)
+        if self.prot is not None and self.shed_active:
+            # Safe-mode caps outrank the policy while shedding.
+            desired = self.emergency.clamp(desired)
+        self._command_caps(now, desired)
+
+    def _deliver_observation(self, now: float, value: float) -> None:
+        reliability = self.reliability
+        if reliability.detect_frozen and self.last_observed is not None \
+                and value == self.last_observed:
+            self.identical_run += 1
+        else:
+            self.identical_run = 0
+        self.last_observed = value
+        if reliability.detect_frozen \
+                and self.identical_run >= reliability.frozen_after_ticks:
+            # A sensor repeating itself verbatim is as good as dark.
+            self.stale_ticks += 1
+            return
+        self.stale_ticks = 0
+        if self.in_fallback:
+            self.in_fallback = False
+            if self.recording:
+                self.recorder.emit({"t": now, "kind": "fallback_exit"})
+        self._control_step(now, value)
+
+    def _group_cap_applied(
+        self, priority: Priority, clock_mhz: Optional[float]
+    ) -> bool:
+        ratio = 1.0 if clock_mhz is None \
+            else clock_mhz / self.clock_denominator
+        return all(
+            math.isclose(self.servers[i].clock_ratio, ratio)
+            for i in self._index_by_priority[priority]
+        )
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run_all(
+        self,
+        checkpoint_epoch_s: Optional[float] = None,
+        checkpoint_cb: Optional[
+            Callable[[float, "SimulationCore"], None]
+        ] = None,
+    ) -> None:
+        """Process every event (arrivals, ticks, landings, the drain).
+
+        With ``checkpoint_epoch_s``, ``checkpoint_cb(T, self)`` fires
+        whenever the head of the queue first reaches an epoch boundary
+        ``T = k * checkpoint_epoch_s`` — i.e. with every event strictly
+        before ``T`` processed and none at or after it, which is exactly
+        the state an incremental resume at ``T`` needs.
+        """
+        queue = self.queue
+        timers = self.timers
+        next_cp = checkpoint_epoch_s
+        while queue:
+            if next_cp is not None:
+                head = queue.peek_time()
+                while next_cp is not None and head >= next_cp:
+                    checkpoint_cb(next_cp, self)
+                    next_cp += checkpoint_epoch_s
+                    if next_cp > self.duration_s:
+                        next_cp = None
+            now, event = queue.pop()
+            if timers is None:
+                self._process(now, event)
+            else:
+                t0 = perf_counter()
+                self._process(now, event)
+                timers.add(event[0], perf_counter() - t0)
+
+    def run_shard(self):
+        """Serve-only event loop for one shard (a generator).
+
+        Yields ``("tick", now, row_power, free_slots)`` at every
+        telemetry tick — the caller (the epoch-synchronized driver in
+        :mod:`repro.cluster.sharded`) responds via ``send()`` with a
+        dict of ``push`` (command landings to schedule), ``own``
+        (global indices of arrivals assigned to this shard for the next
+        epoch) and ``cancel`` (superseded brake versions). Everything
+        else — arrivals, phase advancement, landings — runs locally.
+        """
+        queue = self.queue
+        while queue:
+            now, event = queue.pop()
+            if event[0] == "tick":
+                self._integrate(now)
+                self.power_samples[self.sample_cursor] = self.row_power
+                self.sample_cursor += 1
+                reply = yield ("tick", now, self.row_power,
+                               self._free_slots())
+                for version in reply.get("cancel", ()):
+                    self.cancelled_brake_versions.add(version)
+                self.owned_arrivals.update(reply.get("own", ()))
+                for time, payload in reply.get("push", ()):
+                    queue.push(time, payload)
+            else:
+                self._process(now, event)
+
+    def _free_slots(self) -> Dict[str, int]:
+        """Free concurrency slots per priority pool (shard tick report)."""
+        free = {}
+        for priority, indices in self._index_by_priority.items():
+            total = 0
+            for i in indices:
+                server = self.servers[i]
+                if not server.failed:
+                    total += server.concurrency - len(server.slots)
+            free[priority.value] = total
+        return free
+
+    def _integrate(self, now: float) -> None:
+        # Energy and breaker exposure integrate over [0, duration_s]
+        # only. In-flight requests still drain after duration_s (and
+        # their latencies count), but that drain is outside the
+        # reported window, so the integral clamps.
+        if now <= self.duration_s:
+            dt = now - self.last_event_time
+        elif self.last_event_time < self.duration_s:
+            dt = self.duration_s - self.last_event_time
+        else:
+            dt = 0.0
+        if dt > 0.0:
+            self.total_energy += self.row_power * dt
+            self.tracker.account(self.row_power, dt)
+        self.last_event_time = now
+
+    def _process(self, now: float, event: Tuple) -> None:
+        self._integrate(now)
+        kind = event[0]
+        recording = self.recording
+        metrics = self.metrics
+
+        if kind == "arrival":
+            request: SampledRequest = event[1]
+            if self.shard_serving:
+                if event[2] not in self.owned_arrivals:
+                    return
+                self._offered_priority[request.priority] += 1
+                name = request.workload.name
+                self._offered_workload[name] = \
+                    self._offered_workload.get(name, 0) + 1
+            if self.prot is not None and self.shed_active:
+                prior = self.defer_counts.get(id(request), 0)
+                action = self.emergency.shed_action(
+                    request.priority.value, request.workload.name, prior,
+                )
+                if action == "defer":
+                    self.defer_counts[id(request)] = prior + 1
+                    self.queue.push(
+                        now + self.emergency.defer_s, ("arrival", request)
+                    )
+                    self.pf_report.requests_deferred += 1
+                    if recording:
+                        self.obs.counter("requests.deferred").inc()
+                        self.recorder.emit({
+                            "t": now, "kind": "shed_defer",
+                            "request_id": self.request_ids[id(request)],
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "delay_s": self.emergency.defer_s,
+                            "deferrals": prior + 1,
+                        })
+                    return
+                if action == "drop":
+                    metrics[request.priority].dropped += 1
+                    self._workload_tier(request.workload.name).dropped += 1
+                    self.pf_report.requests_dropped_shed += 1
+                    if recording:
+                        self.obs.counter("requests.dropped").inc()
+                        self.obs.counter("requests.dropped_shed").inc()
+                        self.recorder.emit({
+                            "t": now, "kind": "req_arrival",
+                            "request_id": self.request_ids[id(request)],
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "input_tokens": request.input_tokens,
+                            "output_tokens": request.output_tokens,
+                            "server": None, "queued": False,
+                        })
+                        self.recorder.emit({
+                            "t": now, "kind": "drop",
+                            "request_id": self.request_ids[id(request)],
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "reason": "shed",
+                        })
+                    return
+            server = self.balancer.route(request.priority)
+            if server is None:
+                metrics[request.priority].dropped += 1
+                self._workload_tier(request.workload.name).dropped += 1
+                if recording:
+                    self.obs.counter("requests.dropped").inc()
+                    self.recorder.emit({
+                        "t": now, "kind": "req_arrival",
+                        "request_id": self.request_ids[id(request)],
+                        "priority": request.priority.value,
+                        "workload": request.workload.name,
+                        "input_tokens": request.input_tokens,
+                        "output_tokens": request.output_tokens,
+                        "server": None, "queued": False,
+                    })
+                    self.recorder.emit({
+                        "t": now, "kind": "drop",
+                        "request_id": self.request_ids[id(request)],
+                        "priority": request.priority.value,
+                        "workload": request.workload.name,
+                        "reason": "saturated",
+                    })
+                return
+            index = self.server_index[server.server_id]
+            if recording:
+                self.recorder.emit({
+                    "t": now, "kind": "req_arrival",
+                    "request_id": self.request_ids[id(request)],
+                    "priority": request.priority.value,
+                    "workload": request.workload.name,
+                    "input_tokens": request.input_tokens,
+                    "output_tokens": request.output_tokens,
+                    "server": server.server_id,
+                    "queued": not server.has_free_slot,
+                })
+            if server.has_free_slot:
+                self._start_on(now, index, request)
+            else:
+                server.buffered = request
+
+        elif kind == "phase":
+            index, slot, version = event[1], event[2], event[3]
+            server = self.servers[index]
+            active = server.slots.get(slot)
+            if active is None or active.version != version:
+                return  # superseded by a clock change
+            finished = active.request
+            next_end = server.advance_phase(now, slot)
+            if next_end is not None:
+                self._refresh_power(now, index)
+                self._schedule_slot(index, slot)
+                if recording:
+                    self._emit_phase_start(now, index, slot)
+                return
+            # Request complete; the slot is free again.
+            tier = metrics[finished.priority]
+            tier.served += 1
+            tier.latencies.append(now - finished.arrival_time)
+            by_workload = self._workload_tier(finished.workload.name)
+            by_workload.served += 1
+            by_workload.latencies.append(now - finished.arrival_time)
+            if recording:
+                self.obs.counter("requests.served").inc()
+                latency = now - finished.arrival_time
+                self.latency_hists[finished.priority].observe(latency)
+                self.obs.histogram(
+                    f"latency.workload.{finished.workload.name}",
+                    LATENCY_BUCKETS,
+                ).observe(latency)
+                self.recorder.emit({
+                    "t": now, "kind": "serve",
+                    "request_id": self.request_ids[id(finished)],
+                    "priority": finished.priority.value,
+                    "workload": finished.workload.name,
+                    "latency_s": latency,
+                    "server": server.server_id,
+                })
+            queued = server.take_buffered()
+            if queued is not None:
+                self._start_on(now, index, queued)
+            else:
+                self._refresh_power(now, index)
+
+        elif kind == "tick":
+            self.power_samples[self.sample_cursor] = self.row_power
+            self.sample_cursor += 1
+            sample = self.interface.read(now, lambda _t: self.row_power)
+            fate = self.injector.telemetry_fate(now)
+            if recording and fate is not TelemetryFate.OK:
+                self.obs.counter("telemetry.faults").inc()
+                self.recorder.emit({
+                    "t": now, "kind": "telemetry_fault",
+                    "fate": fate.value,
+                })
+            if fate is TelemetryFate.DROPPED:
+                self.stale_ticks += 1
+            elif fate is TelemetryFate.FROZEN and self.last_observed is None:
+                self.stale_ticks += 1  # nothing to repeat yet: a dropout
+            else:
+                if fate is TelemetryFate.FROZEN:
+                    value = self.last_observed
+                else:
+                    value = self.injector.perturb_sample(sample.value)
+                if sample.time <= now:
+                    self._deliver_observation(now, value)
+                else:
+                    self.queue.push(sample.time, ("obs", value))
+            # --- Graceful degradation on persistent staleness.
+            if self.stale_ticks > self.report.max_missed_ticks:
+                self.report.max_missed_ticks = self.stale_ticks
+            if self.stale_ticks >= self.reliability.fallback_after_ticks:
+                if not self.in_fallback:
+                    self.in_fallback = True
+                    self.fallback_entered_at = now
+                    self.report.fallback_entries += 1
+                    if recording:
+                        self.obs.counter("fallback.entries").inc()
+                        self.recorder.emit({
+                            "t": now, "kind": "fallback_enter",
+                            "stale_ticks": self.stale_ticks,
+                        })
+                    self._command_caps(now, GroupCaps(
+                        low_clock_mhz=self.reliability.safe_low_clock_mhz,
+                        high_clock_mhz=self.reliability.safe_high_clock_mhz,
+                    ))
+                elif (
+                    self.brake_state == "off"
+                    and now - self.fallback_entered_at
+                    >= self.reliability.brake_after_stale_s
+                ):
+                    self.brake_events += 1
+                    self.report.fallback_brakes += 1
+                    self._engage_brake(now, source="fallback")
+
+        elif kind == "obs":
+            self._deliver_observation(now, event[1])
+
+        elif kind == "cap":
+            priority, clock_mhz = event[1], event[2]
+            ratio = 1.0
+            if clock_mhz is not None:
+                ratio = clock_mhz / self.clock_denominator
+            indices = self._index_by_priority[priority]
+            old_ratios: Optional[List[float]] = None
+            if recording:
+                self.recorder.emit({
+                    "t": now, "kind": "cap_land",
+                    "priority": priority.value, "clock_mhz": clock_mhz,
+                    "generation": event[3], "ratio": ratio,
+                })
+                old_ratios = [
+                    self.servers[i].effective_ratio for i in indices
+                ]
+            group_rescheduled = [
+                self.servers[index].apply_clock(now, ratio)
+                for index in indices
+            ]
+            arrays = self.arrays
+            arrays.clock_ratio[indices] = ratio
+            arrays.eff_ratio[indices] = np.where(
+                arrays.braked[indices], self.power_model.brake_ratio, ratio
+            )
+            self._refresh_group(now, indices)
+            for pos, (index, rescheduled) in enumerate(
+                zip(indices, group_rescheduled)
+            ):
+                for slot in rescheduled:
+                    self._schedule_slot(index, slot)
+                if recording and rescheduled:
+                    self._emit_rescales(
+                        now, index, rescheduled, old_ratios[pos],
+                        cause="cap", stamp={
+                            "priority": priority.value,
+                            "generation": event[3],
+                        },
+                    )
+
+        elif kind == "verify_cap":
+            priority, clock_mhz, generation, attempts = event[1:]
+            if generation != self.cap_generation[priority]:
+                return  # superseded by a newer command
+            if self._group_cap_applied(priority, clock_mhz):
+                self.report.commands_verified += 1
+                if attempts > 0:
+                    self.report.commands_recovered += 1
+                if recording:
+                    self.recorder.emit({
+                        "t": now, "kind": "cap_verify",
+                        "priority": priority.value,
+                        "generation": generation,
+                        "attempts": attempts,
+                        "ok": True, "abandoned": False,
+                    })
+                return
+            self.report.failures_detected += 1
+            abandoned = attempts >= self.reliability.max_retries
+            if recording:
+                self.recorder.emit({
+                    "t": now, "kind": "cap_verify",
+                    "priority": priority.value,
+                    "generation": generation, "attempts": attempts,
+                    "ok": False, "abandoned": abandoned,
+                })
+            if abandoned:
+                self.report.commands_unrecovered += 1
+                return
+            self.queue.push(
+                now + self.reliability.backoff_s(attempts + 1),
+                ("reissue_cap", priority, clock_mhz, generation,
+                 attempts + 1),
+            )
+
+        elif kind == "reissue_cap":
+            priority, clock_mhz, generation, attempts = event[1:]
+            if generation != self.cap_generation[priority]:
+                return
+            self.report.reissues += 1
+            if recording:
+                self.obs.counter("commands.reissues").inc()
+                self.recorder.emit({
+                    "t": now, "kind": "cap_reissue",
+                    "priority": priority.value, "clock_mhz": clock_mhz,
+                    "generation": generation, "attempts": attempts,
+                })
+            self._issue_cap(now, priority, clock_mhz, generation, attempts)
+
+        elif kind == "brake_on":
+            if self.shard_serving:
+                if event[1] in self.cancelled_brake_versions:
+                    return
+            elif self.brake_state != "pending_on" \
+                    or event[1] != self.brake_version:
+                return
+            else:
+                self.brake_state = "on"
+                self.brake_engaged_at = now
+            self._apply_brake_landing(now, True, event[1])
+
+        elif kind == "brake_off":
+            if self.shard_serving:
+                if event[1] in self.cancelled_brake_versions:
+                    return
+            elif self.brake_state != "pending_off" \
+                    or event[1] != self.brake_version:
+                return
+            else:
+                self.brake_state = "off"
+            self._apply_brake_landing(now, False, event[1])
+
+        elif kind == "verify_brake":
+            want_on, version, attempts = event[1], event[2], event[3]
+            if version != self.brake_version:
+                return  # superseded (including cancelled releases)
+            if all(s.braked == want_on for s in self.servers):
+                self.report.commands_verified += 1
+                if attempts > 0:
+                    self.report.commands_recovered += 1
+                if recording:
+                    self.recorder.emit({
+                        "t": now, "kind": "brake_verify",
+                        "want_on": want_on, "version": version,
+                        "attempts": attempts,
+                        "ok": True, "abandoned": False,
+                    })
+                return
+            self.report.failures_detected += 1
+            abandoned = attempts >= self.reliability.max_retries
+            if recording:
+                self.recorder.emit({
+                    "t": now, "kind": "brake_verify",
+                    "want_on": want_on, "version": version,
+                    "attempts": attempts,
+                    "ok": False, "abandoned": abandoned,
+                })
+            if abandoned:
+                self.report.commands_unrecovered += 1
+                return
+            self.queue.push(
+                now + self.reliability.backoff_s(attempts + 1),
+                ("reissue_brake", want_on, version, attempts + 1),
+            )
+
+        elif kind == "reissue_brake":
+            want_on, version, attempts = event[1], event[2], event[3]
+            if version != self.brake_version:
+                return
+            self.report.reissues += 1
+            if recording:
+                self.obs.counter("commands.reissues").inc()
+                self.recorder.emit({
+                    "t": now, "kind": "brake_reissue",
+                    "want_on": want_on, "version": version,
+                    "attempts": attempts,
+                })
+            self._issue_brake(now, want_on, version, attempts)
+
+        elif kind == "server_fail":
+            index = event[1]
+            server = self.servers[index]
+            if server.failed:
+                return
+            dropped_requests = server.fail(now)
+            for request in dropped_requests:
+                metrics[request.priority].dropped += 1
+                self._workload_tier(request.workload.name).dropped += 1
+                self.report.requests_lost_to_churn += 1
+                if recording:
+                    self.obs.counter("requests.dropped").inc()
+                    self.obs.counter("requests.lost_to_churn").inc()
+                    self.recorder.emit({
+                        "t": now, "kind": "drop",
+                        "request_id": self.request_ids[id(request)],
+                        "priority": request.priority.value,
+                        "workload": request.workload.name,
+                        "reason": "churn",
+                        "server": server.server_id,
+                    })
+            self.report.server_failures += 1
+            if recording:
+                self.obs.counter("churn.failures").inc()
+                self.recorder.emit({
+                    "t": now, "kind": "server_fail",
+                    "server": server.server_id, "index": index,
+                    "dropped": len(dropped_requests),
+                })
+            self._refresh_power(now, index)
+
+        elif kind == "server_recover":
+            index = event[1]
+            server = self.servers[index]
+            if not server.failed:
+                return
+            if self.prot is not None and self.prot.is_deenergized(index):
+                # The churn recovery raced a breaker trip: the server
+                # has no feed until its protection device re-energizes,
+                # which subsumes this recovery.
+                return
+            server.recover(now)
+            self.report.server_recoveries += 1
+            if recording:
+                self.obs.counter("churn.recoveries").inc()
+                self.recorder.emit({
+                    "t": now, "kind": "server_recover",
+                    "server": server.server_id, "index": index,
+                })
+            self._refresh_power(now, index)
+
+        elif kind == "prot":
+            if now > self.duration_s:
+                # Breaker exposure is modeled over the reported window
+                # only. Dropping late projections also guarantees
+                # termination: a breaker overloaded even at idle would
+                # otherwise trip/restore forever and the post-horizon
+                # drain would never empty the queue.
+                return
+            device_id, target, epoch = event[1], event[2], event[3]
+            outcome = self.prot.on_projection(now, device_id, target, epoch)
+            if outcome is None:
+                return  # superseded by a later rate change
+            fired, info, pushes = outcome
+            for push in pushes:
+                self.queue.push(*push)
+            if fired in ("risk", "clear"):
+                if recording:
+                    self.recorder.emit({
+                        "t": now, "kind": "trip_risk",
+                        "device": device_id,
+                        "device_level": info["device_level"],
+                        "accumulator": info["accumulator"],
+                        "overload": info["overload"],
+                        "at_risk": 1.0 if fired == "risk" else 0.0,
+                    })
+                self._update_shed(now)
+                return
+            # The breaker opens: fail the subtree mid-flight. The load
+            # balancer redistributes subsequent arrivals onto
+            # survivors, which can push a sibling domain over its own
+            # limit — the cascade needs no special code.
+            covered = self.prot.begin_trip(device_id, now)
+            dropped_count = 0
+            for index in covered:
+                server = self.servers[index]
+                if server.failed:
+                    self._refresh_power(now, index)
+                    continue
+                for request in server.fail(now):
+                    metrics[request.priority].dropped += 1
+                    self._workload_tier(request.workload.name).dropped += 1
+                    self.pf_report.requests_lost_to_trips += 1
+                    dropped_count += 1
+                    if recording:
+                        self.obs.counter("requests.dropped").inc()
+                        self.obs.counter("requests.lost_to_trips").inc()
+                        self.recorder.emit({
+                            "t": now, "kind": "drop",
+                            "request_id": self.request_ids[id(request)],
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "reason": "trip",
+                            "server": server.server_id,
+                            "device": device_id,
+                        })
+                self._refresh_power(now, index)
+            record, restore_push = self.prot.commit_trip(
+                device_id, now, dropped_count
+            )
+            self.queue.push(*restore_push)
+            if recording:
+                self.obs.counter("prot.trips").inc()
+                offline_w, offline_frac = self.prot.offline_stats(
+                    self.peak_server_w
+                )
+                payload = dict(record)
+                payload["kind"] = "trip"
+                payload["offline_capacity_w"] = offline_w
+                payload["offline_fraction"] = offline_frac
+                self.recorder.emit(payload)
+                self._emit_capacity_status(now)
+            self._update_shed(now)
+
+        elif kind == "prot_restore":
+            if now > self.duration_s:
+                # Servers still dark at the horizon stay dark; the
+                # report clamps their offline time to the window.
+                return
+            device_id, step, version = event[1], event[2], event[3]
+            outcome = self.prot.restore_step(device_id, step, version, now)
+            if outcome is None:
+                return  # superseded by a newer trip
+            batch, next_push, done = outcome
+            recovered = []
+            for index in batch:
+                server = self.servers[index]
+                if server.failed:
+                    server.recover(now)
+                    self._refresh_power(now, index)
+                    recovered.append(server.server_id)
+            if recording:
+                self.recorder.emit({
+                    "t": now, "kind": "reenergize",
+                    "device": device_id, "step": step,
+                    "servers": recovered,
+                })
+            if next_push is not None:
+                self.queue.push(*next_push)
+            if done:
+                self.pf_report.reenergizations += 1
+                if recording:
+                    self.obs.counter("prot.reenergizations").inc()
+                    self.recorder.emit({
+                        "t": now, "kind": "reenergize_done",
+                        "device": device_id,
+                    })
+                    self._emit_capacity_status(now)
+                self._update_shed(now)
+
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {kind!r}")
+
+    def _apply_brake_landing(
+        self, now: float, engaged: bool, version: int
+    ) -> None:
+        recording = self.recording
+        all_indices = range(len(self.servers))
+        old_ratios = None
+        if recording:
+            self.recorder.emit({
+                "t": now, "kind": "brake_land",
+                "on": engaged, "version": version,
+            })
+            old_ratios = [
+                self.servers[i].effective_ratio for i in all_indices
+            ]
+        group_rescheduled = [
+            self.servers[index].apply_brake(now, engaged)
+            for index in all_indices
+        ]
+        arrays = self.arrays
+        if engaged:
+            arrays.braked[:] = True
+            arrays.eff_ratio[:] = self.power_model.brake_ratio
+        else:
+            arrays.braked[:] = False
+            arrays.eff_ratio[:] = arrays.clock_ratio
+        self._refresh_group(now, all_indices)
+        for index, rescheduled in zip(all_indices, group_rescheduled):
+            for slot in rescheduled:
+                self._schedule_slot(index, slot)
+            if recording and rescheduled:
+                self._emit_rescales(
+                    now, index, rescheduled, old_ratios[index],
+                    cause="brake", stamp={
+                        "version": version, "on": engaged,
+                    },
+                )
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> SimulationResult:
+        """Check conservation, settle reports, and build the result."""
+        config = self.config
+        duration_s = self.duration_s
+        # Conservation invariant: every scheduled request is accounted
+        # exactly once, per priority AND per workload tier — whether it
+        # was served, shed, or lost to churn or a breaker trip taking
+        # its server offline mid-request. A serve-only shard counts the
+        # arrivals it owns at pop time (ownership is assigned per epoch
+        # by the parent); serial runs count the whole trace.
+        if self.shard_serving:
+            offered_by_priority = self._offered_priority
+            offered_by_workload = self._offered_workload
+        else:
+            offered_by_priority = {p: 0 for p in Priority}
+            offered_by_workload = {}
+            for request in self.requests:
+                if request.arrival_time < duration_s:
+                    offered_by_priority[request.priority] += 1
+                    offered_by_workload[request.workload.name] = \
+                        offered_by_workload.get(request.workload.name, 0) + 1
+        for priority, tier in self.metrics.items():
+            if tier.served + tier.dropped != offered_by_priority[priority]:
+                raise SimulationError(
+                    "request accounting violated for priority "
+                    f"{priority.value}: served {tier.served} + dropped "
+                    f"{tier.dropped} != offered "
+                    f"{offered_by_priority[priority]}"
+                )
+        for name, offered in offered_by_workload.items():
+            tier = self.workload_metrics.get(name)
+            accounted = 0 if tier is None else tier.served + tier.dropped
+            if accounted != offered:
+                raise SimulationError(
+                    f"request accounting violated for workload {name}: "
+                    f"served+dropped {accounted} != offered {offered}"
+                )
+
+        powerfail = None
+        if self.prot is not None:
+            if self.shed_active:
+                self.pf_report.time_shedding_s += max(
+                    0.0, duration_s - min(self.shed_since, duration_s)
+                )
+            powerfail = self.prot.finalize(self.last_event_time)
+
+        report = self.report
+        report.telemetry_dropped_ticks = self.injector.dropped_ticks
+        report.telemetry_frozen_ticks = self.injector.frozen_ticks
+        report.telemetry_spikes = self.injector.spikes_injected
+        report.delayed_actuations = self.injector.delayed_actuations
+        report.time_at_risk_s = self.tracker.time_at_risk_s
+        report.longest_overbudget_s = self.tracker.longest_overbudget_s
+
+        series = TimeSeries(
+            start=0.0,
+            interval=config.telemetry_interval_s,
+            values=self.power_samples[:self.sample_cursor],
+        )
+        observability: Optional[Dict[str, Any]] = None
+        if self.recording:
+            obs = self.obs
+            obs.counter("telemetry.ticks").inc(self.sample_cursor)
+            if self.sample_cursor:
+                obs.gauge("power.peak_row_w").set(
+                    float(self.power_samples[:self.sample_cursor].max())
+                )
+            obs.gauge("power.provisioned_w").set(config.provisioned_power_w)
+            obs.gauge("energy.total_j").set(self.total_energy)
+            observability = obs.snapshot()
+            # Live consumers (alert engines, stream monitors — possibly
+            # teed with storage sinks) settle their window state at the
+            # end of the recorded stream and contribute their own
+            # sections (incidents, stream values) next to the metrics
+            # snapshot. Plain sinks return None and nothing changes.
+            self.recorder.finalize(duration_s)
+            extra = self.recorder.observability_snapshot()
+            if extra:
+                for key, value in extra.items():
+                    if key not in observability:
+                        observability[key] = value
+        if self.timers is not None:
+            sim_core = {"kernel_timers": self.timers.snapshot()}
+            if observability is None:
+                observability = {"sim_core": sim_core}
+            else:
+                observability["sim_core"] = sim_core
+        return SimulationResult(
+            per_priority=self.metrics,
+            power_series=series,
+            provisioned_power_w=config.provisioned_power_w,
+            power_brake_events=self.brake_events,
+            capping_actions=self.capping_actions,
+            duration_s=duration_s,
+            per_workload=self.workload_metrics,
+            total_energy_j=self.total_energy,
+            robustness=report,
+            observability=observability,
+            powerfail=powerfail,
+        )

@@ -31,35 +31,33 @@ churn. The control loop is hardened accordingly (Section 3.3's
 With no fault plan (or an all-zeros one) every fault path is inert and
 the simulator is bit-identical to the original POLCA reproduction. The
 simulator is deterministic for a fixed seed, plan, and request trace.
+
+The event loop itself lives in :class:`repro.cluster.core.SimulationCore`
+— a struct-of-arrays core that batches group power refreshes through
+vectorized kernels and exposes checkpoint/restore (for
+:mod:`repro.exec.incremental`) and shard hooks (for
+:mod:`repro.cluster.sharded`). ``ClusterSimulator`` is the stable
+facade: configuration, server/pool construction, and run orchestration.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.analysis.timeseries import TimeSeries
-from repro.cluster.events import EventQueue
+from repro.cluster.core import SimulationCore
 from repro.cluster.loadbalancer import LoadBalancer, split_servers
-from repro.cluster.metrics import PriorityMetrics, SimulationResult
-from repro.cluster.policy_base import GroupCaps, PowerPolicy
+from repro.cluster.metrics import SimulationResult
+from repro.cluster.policy_base import PowerPolicy
 from repro.cluster.server_sim import ServerPowerModel, ServerSim
-from repro.control.actions import ActionKind, ControlAction
+from repro.control.actions import ActionKind
 from repro.control.actuator import Actuator
-from repro.errors import ConfigurationError, SimulationError
-from repro.faults.injector import FaultInjector, TelemetryFate
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.faults.reliability import ReliabilityConfig
-from repro.faults.report import OverBudgetTracker, RobustnessReport
 from repro.gpu.specs import A100_80GB
-from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
-from repro.powerfail.protection import ProtectionRuntime
-from repro.powerfail.topology import PowerTopology, ProtectionSpec
-from repro.telemetry.base import SampledInterface
+from repro.powerfail.topology import ProtectionSpec
 from repro.telemetry.smbpbi import SMBPBI_ACTUATION_LATENCY_S
 from repro.workloads.requests import SampledRequest
 from repro.workloads.spec import Priority
@@ -162,6 +160,12 @@ class ClusterSimulator:
     point is guarded by ``recorder.enabled``, so an unrecorded run
     builds no event payloads and stays bit-identical to an
     uninstrumented one.
+
+    ``kernel_timers=True`` additionally times the event loop per event
+    kind and surfaces the counters in
+    ``result.observability["sim_core"]`` (see
+    :class:`~repro.cluster.core.KernelTimers`); the default runs the
+    untimed loop with zero overhead.
     """
 
     def __init__(
@@ -169,10 +173,12 @@ class ClusterSimulator:
         config: ClusterConfig,
         policy: PowerPolicy,
         recorder: Optional[TraceRecorder] = None,
+        kernel_timers: bool = False,
     ) -> None:
         self.config = config
         self.policy = policy
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.kernel_timers = kernel_timers
         self.power_model = ServerPowerModel(
             gpu=A100_80GB, power_scale=config.power_scale
         )
@@ -215,6 +221,24 @@ class ClusterSimulator:
         )
 
     # ------------------------------------------------------------------
+    def start(
+        self,
+        requests: Sequence[SampledRequest],
+        duration_s: float,
+        shard_serving: bool = False,
+    ) -> SimulationCore:
+        """Reset the policy and build a ready-to-run simulation core.
+
+        Raises:
+            ConfigurationError: If the duration is not positive.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.policy.reset()
+        return SimulationCore(
+            self, requests, duration_s, shard_serving=shard_serving
+        )
+
     def run(
         self,
         requests: Sequence[SampledRequest],
@@ -228,1162 +252,6 @@ class ClusterSimulator:
         Raises:
             ConfigurationError: If the duration is not positive.
         """
-        if duration_s <= 0:
-            raise ConfigurationError("duration must be positive")
-        self.policy.reset()
-        config = self.config
-        reliability = config.reliability
-        plan = config.fault_plan if config.fault_plan is not None \
-            else FaultPlan.none()
-        injector = FaultInjector(
-            plan, duration_s=duration_s, n_servers=config.n_servers
-        )
-        interface = SampledInterface(
-            name="row-telemetry",
-            interval=config.telemetry_interval_s,
-            in_band=False,
-            delay=plan.telemetry.delay_s,
-            noise_std=plan.telemetry.noise_std,
-            seed=plan.seed,
-        )
-        actuator = self._build_actuator(plan)
-        # With a perfect actuation path (no silent failures, no extra
-        # delays) every command provably lands by its spec latency, so
-        # the verify deadline would always pass: elide it. This also
-        # keeps the event stream — and hence the float summation order
-        # of the exact energy integral — bit-identical to the original
-        # fault-free simulator.
-        verify_commands = (
-            plan.actuation.silent_failure_rate > 0.0
-            or plan.actuation.delay_prob > 0.0
-        )
-        report = RobustnessReport(
-            duration_s=duration_s,
-            telemetry_dropout_windows=injector.dropout_window_count,
-        )
-        tracker = OverBudgetTracker(budget_w=config.provisioned_power_w)
-        protection = config.protection
-        peak_server_w = self.power_model.server_power(1.0, 1.0)
-
-        # Observability. ``recording`` guards every hook point below, so
-        # with the default NullRecorder no event payload or metric update
-        # ever happens and the run is bit-identical to an uninstrumented
-        # one. Recorders observe only: they never touch simulator state,
-        # RNG streams, or the float summation order.
-        recorder = self.recorder
-        recording = recorder.enabled
-        obs: Optional[MetricsRegistry] = None
-        request_ids: Dict[int, int] = {}
-        if recording:
-            obs = MetricsRegistry()
-            # Pre-register the counters cross_check compares so they are
-            # present in the snapshot even when they end at zero.
-            for _name in (
-                "requests.served",
-                "requests.dropped",
-                "requests.lost_to_churn",
-                "brake.engagements",
-                "commands.cap_actions",
-                "commands.issued",
-                "commands.reissues",
-                "fallback.entries",
-                "telemetry.faults",
-                "churn.failures",
-                "churn.recoveries",
-            ):
-                obs.counter(_name)
-            if protection is not None:
-                for _name in (
-                    "prot.trips",
-                    "prot.reenergizations",
-                    "shed.engagements",
-                    "requests.lost_to_trips",
-                    "requests.dropped_shed",
-                    "requests.deferred",
-                ):
-                    obs.counter(_name)
-            util_hist = obs.histogram("control.utilization")
-            latency_hists = {
-                p: obs.histogram(
-                    f"latency.priority.{p.value}", LATENCY_BUCKETS
-                )
-                for p in Priority
-            }
-            # Requests are identified in the trace by arrival order;
-            # SampledRequest is frozen and id-stable for the run.
-            request_ids = {id(r): i for i, r in enumerate(requests)}
-            recorder.emit({
-                "t": 0.0, "kind": "run_meta",
-                "duration_s": duration_s,
-                "n_servers": config.n_servers,
-                "concurrency": self.servers[0].concurrency,
-                "provisioned_power_w": config.provisioned_power_w,
-                "idle_server_power_w":
-                    self.power_model.server_power(0.0, 1.0),
-                "brake_ratio": self.power_model.brake_ratio,
-                "servers": {
-                    s.server_id: s.priority.value for s in self.servers
-                },
-            })
-
-        queue = EventQueue()
-        metrics = {p: PriorityMetrics() for p in Priority}
-        workload_metrics: Dict[str, PriorityMetrics] = {}
-
-        # Running row power; server powers are piecewise constant, which
-        # also makes the energy integral exact: accumulate power x dt at
-        # every event boundary.
-        server_power = [s.current_power() for s in self.servers]
-        row_power = sum(server_power)
-        total_energy = 0.0
-        last_event_time = 0.0
-
-        # The power-delivery protection layer. ``prot is None`` (the
-        # default) models infinite breaker capacity: no accumulator is
-        # ever touched, no event is ever enqueued, and the run is
-        # bit-identical to the unprotected simulator.
-        prot: Optional[ProtectionRuntime] = None
-        emergency = None
-        pf_report = None
-        shed_active = False
-        shed_since = 0.0
-        defer_counts: Dict[int, int] = {}
-        if protection is not None:
-            topology = PowerTopology.build(
-                n_servers=config.n_servers,
-                provisioned_power_w=config.provisioned_power_w,
-                peak_server_w=peak_server_w,
-                spec=protection,
-            )
-            prot = ProtectionRuntime(
-                topology, protection, duration_s, server_power
-            )
-            emergency = protection.emergency
-            pf_report = prot.report
-            for push in prot.initial_events():
-                queue.push(*push)
-
-        def refresh_power(index: int) -> None:
-            nonlocal row_power
-            new_power = self.servers[index].current_power()
-            row_power += new_power - server_power[index]
-            server_power[index] = new_power
-            if prot is not None:
-                for push in prot.update_server_power(now, index, new_power):
-                    queue.push(*push)
-
-        def refresh_group(indices: Sequence[int]) -> None:
-            """Refresh many servers at once (cap/brake landings).
-
-            The power formula is evaluated vectorized per effective-clock
-            group (bit-identical per server to the scalar path), while the
-            running row-power updates keep the original per-index
-            summation order so the energy integral is unchanged.
-            """
-            nonlocal row_power
-            new_power: Dict[int, float] = {}
-            by_ratio: Dict[float, List[int]] = {}
-            for index in indices:
-                server = self.servers[index]
-                if server.failed:
-                    new_power[index] = 0.0
-                else:
-                    by_ratio.setdefault(server.effective_ratio, []).append(
-                        index
-                    )
-            for ratio, members in by_ratio.items():
-                activities = [
-                    self.servers[i].current_activity() for i in members
-                ]
-                powers = self.power_model.server_power_batch(
-                    activities, ratio
-                )
-                for i, power in zip(members, powers.tolist()):
-                    new_power[i] = power
-            for index in indices:
-                power = new_power[index]
-                row_power += power - server_power[index]
-                server_power[index] = power
-            if prot is not None:
-                for index in indices:
-                    for push in prot.update_server_power(
-                        now, index, new_power[index]
-                    ):
-                        queue.push(*push)
-
-        def workload_tier(name: str) -> PriorityMetrics:
-            if name not in workload_metrics:
-                workload_metrics[name] = PriorityMetrics()
-            return workload_metrics[name]
-
-        # Actuation bookkeeping. Cap commands are generation-stamped per
-        # priority group and brake commands version-stamped, so verify
-        # and re-issue events can tell whether they have been superseded
-        # — and so a utilization spike during a pending brake release can
-        # cancel the release outright.
-        commanded = GroupCaps.uncapped()
-        cap_generation: Dict[Priority, int] = {p: 0 for p in Priority}
-        capping_actions = 0
-        brake_state = "off"  # off | pending_on | on | pending_off
-        brake_version = 0
-        brake_engaged_at = -float("inf")
-        brake_events = 0
-
-        # Telemetry-health state for graceful degradation.
-        stale_ticks = 0
-        identical_run = 0
-        last_observed: Optional[float] = None
-        in_fallback = False
-        fallback_entered_at = 0.0
-
-        server_index = {s.server_id: i for i, s in enumerate(self.servers)}
-
-        for request in requests:
-            if request.arrival_time < duration_s:
-                queue.push(request.arrival_time, ("arrival", request))
-        # Integer-indexed tick schedule: i * interval carries no
-        # accumulated float error on long traces (unlike a +=-style or
-        # np.arange cursor).
-        n_ticks = int(math.ceil(duration_s / config.telemetry_interval_s))
-        scheduled_ticks = 0
-        for i in range(n_ticks):
-            tick = i * config.telemetry_interval_s
-            if tick >= duration_s:
-                break
-            queue.push(tick, ("tick",))
-            scheduled_ticks += 1
-        # The tick count is known up front: accumulate power samples into
-        # a preallocated array instead of growing a list and converting.
-        power_samples = np.empty(scheduled_ticks, dtype=np.float64)
-        sample_cursor = 0
-        for churn in injector.churn_events:
-            queue.push(churn.fail_at_s, ("server_fail", churn.server_index))
-            if churn.recover_at_s is not None \
-                    and churn.recover_at_s < duration_s:
-                queue.push(
-                    churn.recover_at_s,
-                    ("server_recover", churn.server_index),
-                )
-
-        def schedule_slot(index: int, slot: int) -> None:
-            server = self.servers[index]
-            active = server.slots.get(slot)
-            if active is None:
-                return
-            queue.push(
-                active.phase_end, ("phase", index, slot, active.version)
-            )
-
-        def start_on(now: float, index: int, request: SampledRequest) -> None:
-            slot = self.servers[index].start_request(now, request)
-            refresh_power(index)
-            schedule_slot(index, slot)
-            if recording:
-                emit_phase_start(now, index, slot)
-
-        # ------------------------------------------------------------
-        # Span lifecycle emission (observe-only; every call is guarded
-        # by ``recording``, so unrecorded runs never reach these).
-        # ------------------------------------------------------------
-        def emit_phase_start(now: float, index: int, slot: int) -> None:
-            server = self.servers[index]
-            active = server.slots.get(slot)
-            if active is None:
-                return
-            payload = server.slot_snapshot(slot)
-            payload["t"] = now
-            payload["kind"] = "phase_start"
-            payload["request_id"] = request_ids[id(active.request)]
-            recorder.emit(payload)
-
-        def emit_rescales(
-            now: float,
-            index: int,
-            rescheduled: Dict[int, float],
-            old_ratio: float,
-            cause: str,
-            stamp: Dict[str, Any],
-        ) -> None:
-            server = self.servers[index]
-            new_ratio = server.effective_ratio
-            for slot, new_end in rescheduled.items():
-                active = server.slots[slot]
-                event = {
-                    "t": now, "kind": "phase_rescale",
-                    "request_id": request_ids[id(active.request)],
-                    "server": server.server_id, "slot": slot,
-                    "phase": active.segments[active.phase_index].phase,
-                    "old_ratio": old_ratio, "new_ratio": new_ratio,
-                    "new_end": new_end, "cause": cause,
-                }
-                event.update(stamp)
-                recorder.emit(event)
-
-        # --------------------------------------------------------------
-        # The reliable-command layer: every issue schedules a landing
-        # (unless the interface silently drops it) plus a verify event;
-        # failed verifies re-issue with capped exponential backoff.
-        # --------------------------------------------------------------
-        def issue_cap(
-            now: float,
-            priority: Priority,
-            clock_mhz: Optional[float],
-            generation: int,
-            attempts: int,
-        ) -> None:
-            targets = self._ids_by_priority[priority]
-            if clock_mhz is None:
-                action = ControlAction.frequency_unlock(targets)
-            else:
-                action = ControlAction.frequency_lock(targets, clock_mhz)
-            record = actuator.issue(now, action)
-            report.commands_issued += 1
-            extra = injector.actuation_extra_delay()
-            if recording:
-                obs.counter("commands.issued").inc()
-                recorder.emit({
-                    "t": now, "kind": "cap_issue",
-                    "priority": priority.value, "clock_mhz": clock_mhz,
-                    "generation": generation, "attempts": attempts,
-                    "silent": record.failed_silently,
-                })
-            if record.failed_silently:
-                report.silent_actuation_failures += 1
-            else:
-                queue.push(
-                    record.effective_at + extra,
-                    ("cap", priority, clock_mhz, generation),
-                )
-            if verify_commands:
-                queue.push(
-                    now + actuator.latency_for(action.kind)
-                    + reliability.verify_margin_s,
-                    ("verify_cap", priority, clock_mhz, generation,
-                     attempts),
-                )
-
-        def issue_brake(
-            now: float, want_on: bool, version: int, attempts: int
-        ) -> None:
-            kind = ActionKind.POWER_BRAKE if want_on \
-                else ActionKind.BRAKE_RELEASE
-            record = actuator.issue(
-                now, ControlAction(kind, self._all_ids)
-            )
-            report.commands_issued += 1
-            extra = injector.actuation_extra_delay()
-            if recording:
-                obs.counter("commands.issued").inc()
-                recorder.emit({
-                    "t": now, "kind": "brake_issue",
-                    "want_on": want_on, "version": version,
-                    "attempts": attempts,
-                    "silent": record.failed_silently,
-                })
-            if record.failed_silently:
-                report.silent_actuation_failures += 1
-            else:
-                queue.push(
-                    record.effective_at + extra,
-                    ("brake_on" if want_on else "brake_off", version),
-                )
-            if verify_commands:
-                queue.push(
-                    now + actuator.latency_for(kind)
-                    + reliability.verify_margin_s,
-                    ("verify_brake", want_on, version, attempts),
-                )
-
-        def engage_brake(now: float, source: str = "policy") -> None:
-            nonlocal brake_state, brake_version
-            brake_state = "pending_on"
-            brake_version += 1
-            if recording:
-                obs.counter("brake.engagements").inc()
-                recorder.emit({
-                    "t": now, "kind": "brake_request",
-                    "source": source, "version": brake_version,
-                })
-            issue_brake(now, True, brake_version, 0)
-
-        def command_caps(now: float, desired: GroupCaps) -> None:
-            nonlocal commanded, capping_actions
-            if desired.low_clock_mhz != commanded.low_clock_mhz:
-                cap_generation[Priority.LOW] += 1
-                issue_cap(
-                    now, Priority.LOW, desired.low_clock_mhz,
-                    cap_generation[Priority.LOW], 0,
-                )
-                capping_actions += 1
-                if recording:
-                    obs.counter("commands.cap_actions").inc()
-            if desired.high_clock_mhz != commanded.high_clock_mhz:
-                cap_generation[Priority.HIGH] += 1
-                issue_cap(
-                    now, Priority.HIGH, desired.high_clock_mhz,
-                    cap_generation[Priority.HIGH], 0,
-                )
-                capping_actions += 1
-                if recording:
-                    obs.counter("commands.cap_actions").inc()
-            commanded = desired
-
-        # ------------------------------------------------------------
-        # Emergency response to power-delivery incidents (only reachable
-        # when a ProtectionSpec is attached): shed low-priority load and
-        # clamp survivors to safe caps while any device is tripped or
-        # carrying a trip-risk flag.
-        # ------------------------------------------------------------
-        def emit_capacity_status(now: float) -> None:
-            offline_w, offline_frac = prot.offline_stats(peak_server_w)
-            recorder.emit({
-                "t": now, "kind": "capacity_status",
-                "offline_capacity_w": offline_w,
-                "offline_fraction": offline_frac,
-            })
-
-        def update_shed(now: float) -> None:
-            nonlocal shed_active, shed_since
-            if emergency is None or not emergency.enabled:
-                return
-            want = prot.in_emergency
-            if want and not shed_active:
-                shed_active = True
-                shed_since = now
-                pf_report.shed_engagements += 1
-                if recording:
-                    obs.counter("shed.engagements").inc()
-                    recorder.emit({"t": now, "kind": "shed_engage"})
-                command_caps(now, emergency.clamp(commanded))
-            elif not want and shed_active:
-                shed_active = False
-                pf_report.time_shedding_s += max(
-                    0.0, min(now, duration_s) - min(shed_since, duration_s)
-                )
-                if recording:
-                    recorder.emit({"t": now, "kind": "shed_release"})
-
-        def control_step(now: float, observed_power: float) -> None:
-            nonlocal brake_state, brake_version, brake_engaged_at
-            nonlocal brake_events
-            utilization = observed_power / config.provisioned_power_w
-            if recording:
-                util_hist.observe(utilization)
-                recorder.emit({
-                    "t": now, "kind": "control",
-                    "utilization": utilization,
-                    "observed_power_w": observed_power,
-                    "brake_state": brake_state,
-                })
-            # --- Brake safety logic (all policies carry the brake).
-            if brake_state in ("off", "pending_off") \
-                    and self.policy.wants_brake(utilization):
-                if brake_state == "pending_off":
-                    # A spike while the release is in flight: cancel the
-                    # pending release (the stamped brake_off event is now
-                    # stale) — the brake never disengages, so this is not
-                    # a new engagement.
-                    brake_version += 1
-                    brake_state = "on"
-                    if recording:
-                        recorder.emit({
-                            "t": now, "kind": "brake_cancel_release",
-                            "version": brake_version,
-                        })
-                else:
-                    brake_events += 1
-                    engage_brake(now)
-            elif (
-                brake_state == "on"
-                and now - brake_engaged_at >= config.brake_hold_s
-                and self.policy.brake_release_ok(utilization)
-            ):
-                brake_state = "pending_off"
-                brake_version += 1
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "brake_release_request",
-                        "version": brake_version,
-                    })
-                issue_brake(now, False, brake_version, 0)
-            # --- Frequency-capping policy.
-            desired = self.policy.desired_caps(utilization, now)
-            if prot is not None and shed_active:
-                # Safe-mode caps outrank the policy while shedding.
-                desired = emergency.clamp(desired)
-            command_caps(now, desired)
-
-        def deliver_observation(now: float, value: float) -> None:
-            nonlocal stale_ticks, identical_run, last_observed, in_fallback
-            if reliability.detect_frozen and last_observed is not None \
-                    and value == last_observed:
-                identical_run += 1
-            else:
-                identical_run = 0
-            last_observed = value
-            if reliability.detect_frozen \
-                    and identical_run >= reliability.frozen_after_ticks:
-                # A sensor repeating itself verbatim is as good as dark.
-                stale_ticks += 1
-                return
-            stale_ticks = 0
-            if in_fallback:
-                in_fallback = False
-                if recording:
-                    recorder.emit({"t": now, "kind": "fallback_exit"})
-            control_step(now, value)
-
-        clock_denominator = A100_80GB.max_sm_clock_mhz
-
-        def group_cap_applied(
-            priority: Priority, clock_mhz: Optional[float]
-        ) -> bool:
-            ratio = 1.0 if clock_mhz is None \
-                else clock_mhz / clock_denominator
-            return all(
-                math.isclose(self.servers[i].clock_ratio, ratio)
-                for i in self._index_by_priority[priority]
-            )
-
-        while queue:
-            now, event = queue.pop()
-            # Energy and breaker exposure integrate over [0, duration_s]
-            # only. In-flight requests still drain after duration_s (and
-            # their latencies count, per the docstring), but that drain
-            # is outside the reported window, so the integral clamps.
-            if now <= duration_s:
-                dt = now - last_event_time
-            elif last_event_time < duration_s:
-                dt = duration_s - last_event_time
-            else:
-                dt = 0.0
-            if dt > 0.0:
-                total_energy += row_power * dt
-                tracker.account(row_power, dt)
-            last_event_time = now
-            kind = event[0]
-
-            if kind == "arrival":
-                request: SampledRequest = event[1]
-                if prot is not None and shed_active:
-                    prior = defer_counts.get(id(request), 0)
-                    action = emergency.shed_action(
-                        request.priority.value, request.workload.name,
-                        prior,
-                    )
-                    if action == "defer":
-                        defer_counts[id(request)] = prior + 1
-                        queue.push(
-                            now + emergency.defer_s, ("arrival", request)
-                        )
-                        pf_report.requests_deferred += 1
-                        if recording:
-                            obs.counter("requests.deferred").inc()
-                            recorder.emit({
-                                "t": now, "kind": "shed_defer",
-                                "request_id": request_ids[id(request)],
-                                "priority": request.priority.value,
-                                "workload": request.workload.name,
-                                "delay_s": emergency.defer_s,
-                                "deferrals": prior + 1,
-                            })
-                        continue
-                    if action == "drop":
-                        metrics[request.priority].dropped += 1
-                        workload_tier(request.workload.name).dropped += 1
-                        pf_report.requests_dropped_shed += 1
-                        if recording:
-                            obs.counter("requests.dropped").inc()
-                            obs.counter("requests.dropped_shed").inc()
-                            recorder.emit({
-                                "t": now, "kind": "req_arrival",
-                                "request_id": request_ids[id(request)],
-                                "priority": request.priority.value,
-                                "workload": request.workload.name,
-                                "input_tokens": request.input_tokens,
-                                "output_tokens": request.output_tokens,
-                                "server": None, "queued": False,
-                            })
-                            recorder.emit({
-                                "t": now, "kind": "drop",
-                                "request_id": request_ids[id(request)],
-                                "priority": request.priority.value,
-                                "workload": request.workload.name,
-                                "reason": "shed",
-                            })
-                        continue
-                server = self.balancer.route(request.priority)
-                if server is None:
-                    metrics[request.priority].dropped += 1
-                    workload_tier(request.workload.name).dropped += 1
-                    if recording:
-                        obs.counter("requests.dropped").inc()
-                        recorder.emit({
-                            "t": now, "kind": "req_arrival",
-                            "request_id": request_ids[id(request)],
-                            "priority": request.priority.value,
-                            "workload": request.workload.name,
-                            "input_tokens": request.input_tokens,
-                            "output_tokens": request.output_tokens,
-                            "server": None, "queued": False,
-                        })
-                        recorder.emit({
-                            "t": now, "kind": "drop",
-                            "request_id": request_ids[id(request)],
-                            "priority": request.priority.value,
-                            "workload": request.workload.name,
-                            "reason": "saturated",
-                        })
-                    continue
-                index = server_index[server.server_id]
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "req_arrival",
-                        "request_id": request_ids[id(request)],
-                        "priority": request.priority.value,
-                        "workload": request.workload.name,
-                        "input_tokens": request.input_tokens,
-                        "output_tokens": request.output_tokens,
-                        "server": server.server_id,
-                        "queued": not server.has_free_slot,
-                    })
-                if server.has_free_slot:
-                    start_on(now, index, request)
-                else:
-                    server.buffered = request
-
-            elif kind == "phase":
-                index, slot, version = event[1], event[2], event[3]
-                server = self.servers[index]
-                active = server.slots.get(slot)
-                if active is None or active.version != version:
-                    continue  # superseded by a clock change
-                finished = active.request
-                next_end = server.advance_phase(now, slot)
-                if next_end is not None:
-                    refresh_power(index)
-                    schedule_slot(index, slot)
-                    if recording:
-                        emit_phase_start(now, index, slot)
-                    continue
-                # Request complete; the slot is free again.
-                tier = metrics[finished.priority]
-                tier.served += 1
-                tier.latencies.append(now - finished.arrival_time)
-                by_workload = workload_tier(finished.workload.name)
-                by_workload.served += 1
-                by_workload.latencies.append(now - finished.arrival_time)
-                if recording:
-                    obs.counter("requests.served").inc()
-                    latency = now - finished.arrival_time
-                    latency_hists[finished.priority].observe(latency)
-                    obs.histogram(
-                        f"latency.workload.{finished.workload.name}",
-                        LATENCY_BUCKETS,
-                    ).observe(latency)
-                    recorder.emit({
-                        "t": now, "kind": "serve",
-                        "request_id": request_ids[id(finished)],
-                        "priority": finished.priority.value,
-                        "workload": finished.workload.name,
-                        "latency_s": latency,
-                        "server": server.server_id,
-                    })
-                queued = server.take_buffered()
-                if queued is not None:
-                    start_on(now, index, queued)
-                else:
-                    refresh_power(index)
-
-            elif kind == "tick":
-                power_samples[sample_cursor] = row_power
-                sample_cursor += 1
-                sample = interface.read(now, lambda _t: row_power)
-                fate = injector.telemetry_fate(now)
-                if recording and fate is not TelemetryFate.OK:
-                    obs.counter("telemetry.faults").inc()
-                    recorder.emit({
-                        "t": now, "kind": "telemetry_fault",
-                        "fate": fate.value,
-                    })
-                if fate is TelemetryFate.DROPPED:
-                    stale_ticks += 1
-                elif fate is TelemetryFate.FROZEN and last_observed is None:
-                    stale_ticks += 1  # nothing to repeat yet: a dropout
-                else:
-                    if fate is TelemetryFate.FROZEN:
-                        value = last_observed
-                    else:
-                        value = injector.perturb_sample(sample.value)
-                    if sample.time <= now:
-                        deliver_observation(now, value)
-                    else:
-                        queue.push(sample.time, ("obs", value))
-                # --- Graceful degradation on persistent staleness.
-                if stale_ticks > report.max_missed_ticks:
-                    report.max_missed_ticks = stale_ticks
-                if stale_ticks >= reliability.fallback_after_ticks:
-                    if not in_fallback:
-                        in_fallback = True
-                        fallback_entered_at = now
-                        report.fallback_entries += 1
-                        if recording:
-                            obs.counter("fallback.entries").inc()
-                            recorder.emit({
-                                "t": now, "kind": "fallback_enter",
-                                "stale_ticks": stale_ticks,
-                            })
-                        command_caps(now, GroupCaps(
-                            low_clock_mhz=reliability.safe_low_clock_mhz,
-                            high_clock_mhz=reliability.safe_high_clock_mhz,
-                        ))
-                    elif (
-                        brake_state == "off"
-                        and now - fallback_entered_at
-                        >= reliability.brake_after_stale_s
-                    ):
-                        brake_events += 1
-                        report.fallback_brakes += 1
-                        engage_brake(now, source="fallback")
-
-            elif kind == "obs":
-                deliver_observation(now, event[1])
-
-            elif kind == "cap":
-                priority, clock_mhz = event[1], event[2]
-                ratio = 1.0
-                if clock_mhz is not None:
-                    ratio = clock_mhz / clock_denominator
-                indices = self._index_by_priority[priority]
-                old_ratios: Optional[List[float]] = None
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "cap_land",
-                        "priority": priority.value, "clock_mhz": clock_mhz,
-                        "generation": event[3], "ratio": ratio,
-                    })
-                    old_ratios = [
-                        self.servers[i].effective_ratio for i in indices
-                    ]
-                group_rescheduled = [
-                    self.servers[index].apply_clock(now, ratio)
-                    for index in indices
-                ]
-                refresh_group(indices)
-                for pos, (index, rescheduled) in enumerate(
-                    zip(indices, group_rescheduled)
-                ):
-                    for slot in rescheduled:
-                        schedule_slot(index, slot)
-                    if recording and rescheduled:
-                        emit_rescales(
-                            now, index, rescheduled, old_ratios[pos],
-                            cause="cap", stamp={
-                                "priority": priority.value,
-                                "generation": event[3],
-                            },
-                        )
-
-            elif kind == "verify_cap":
-                priority, clock_mhz, generation, attempts = event[1:]
-                if generation != cap_generation[priority]:
-                    continue  # superseded by a newer command
-                if group_cap_applied(priority, clock_mhz):
-                    report.commands_verified += 1
-                    if attempts > 0:
-                        report.commands_recovered += 1
-                    if recording:
-                        recorder.emit({
-                            "t": now, "kind": "cap_verify",
-                            "priority": priority.value,
-                            "generation": generation,
-                            "attempts": attempts,
-                            "ok": True, "abandoned": False,
-                        })
-                    continue
-                report.failures_detected += 1
-                abandoned = attempts >= reliability.max_retries
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "cap_verify",
-                        "priority": priority.value,
-                        "generation": generation, "attempts": attempts,
-                        "ok": False, "abandoned": abandoned,
-                    })
-                if abandoned:
-                    report.commands_unrecovered += 1
-                    continue
-                queue.push(
-                    now + reliability.backoff_s(attempts + 1),
-                    ("reissue_cap", priority, clock_mhz, generation,
-                     attempts + 1),
-                )
-
-            elif kind == "reissue_cap":
-                priority, clock_mhz, generation, attempts = event[1:]
-                if generation != cap_generation[priority]:
-                    continue
-                report.reissues += 1
-                if recording:
-                    obs.counter("commands.reissues").inc()
-                    recorder.emit({
-                        "t": now, "kind": "cap_reissue",
-                        "priority": priority.value, "clock_mhz": clock_mhz,
-                        "generation": generation, "attempts": attempts,
-                    })
-                issue_cap(now, priority, clock_mhz, generation, attempts)
-
-            elif kind == "brake_on":
-                if brake_state != "pending_on" or event[1] != brake_version:
-                    continue
-                brake_state = "on"
-                brake_engaged_at = now
-                all_indices = range(len(self.servers))
-                old_ratios = None
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "brake_land",
-                        "on": True, "version": event[1],
-                    })
-                    old_ratios = [
-                        self.servers[i].effective_ratio for i in all_indices
-                    ]
-                group_rescheduled = [
-                    self.servers[index].apply_brake(now, True)
-                    for index in all_indices
-                ]
-                refresh_group(all_indices)
-                for index, rescheduled in zip(all_indices, group_rescheduled):
-                    for slot in rescheduled:
-                        schedule_slot(index, slot)
-                    if recording and rescheduled:
-                        emit_rescales(
-                            now, index, rescheduled, old_ratios[index],
-                            cause="brake", stamp={
-                                "version": event[1], "on": True,
-                            },
-                        )
-
-            elif kind == "brake_off":
-                if brake_state != "pending_off" or event[1] != brake_version:
-                    continue
-                brake_state = "off"
-                all_indices = range(len(self.servers))
-                old_ratios = None
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "brake_land",
-                        "on": False, "version": event[1],
-                    })
-                    old_ratios = [
-                        self.servers[i].effective_ratio for i in all_indices
-                    ]
-                group_rescheduled = [
-                    self.servers[index].apply_brake(now, False)
-                    for index in all_indices
-                ]
-                refresh_group(all_indices)
-                for index, rescheduled in zip(all_indices, group_rescheduled):
-                    for slot in rescheduled:
-                        schedule_slot(index, slot)
-                    if recording and rescheduled:
-                        emit_rescales(
-                            now, index, rescheduled, old_ratios[index],
-                            cause="brake", stamp={
-                                "version": event[1], "on": False,
-                            },
-                        )
-
-            elif kind == "verify_brake":
-                want_on, version, attempts = event[1], event[2], event[3]
-                if version != brake_version:
-                    continue  # superseded (including cancelled releases)
-                if all(s.braked == want_on for s in self.servers):
-                    report.commands_verified += 1
-                    if attempts > 0:
-                        report.commands_recovered += 1
-                    if recording:
-                        recorder.emit({
-                            "t": now, "kind": "brake_verify",
-                            "want_on": want_on, "version": version,
-                            "attempts": attempts,
-                            "ok": True, "abandoned": False,
-                        })
-                    continue
-                report.failures_detected += 1
-                abandoned = attempts >= reliability.max_retries
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "brake_verify",
-                        "want_on": want_on, "version": version,
-                        "attempts": attempts,
-                        "ok": False, "abandoned": abandoned,
-                    })
-                if abandoned:
-                    report.commands_unrecovered += 1
-                    continue
-                queue.push(
-                    now + reliability.backoff_s(attempts + 1),
-                    ("reissue_brake", want_on, version, attempts + 1),
-                )
-
-            elif kind == "reissue_brake":
-                want_on, version, attempts = event[1], event[2], event[3]
-                if version != brake_version:
-                    continue
-                report.reissues += 1
-                if recording:
-                    obs.counter("commands.reissues").inc()
-                    recorder.emit({
-                        "t": now, "kind": "brake_reissue",
-                        "want_on": want_on, "version": version,
-                        "attempts": attempts,
-                    })
-                issue_brake(now, want_on, version, attempts)
-
-            elif kind == "server_fail":
-                index = event[1]
-                server = self.servers[index]
-                if server.failed:
-                    continue
-                dropped_requests = server.fail(now)
-                for request in dropped_requests:
-                    metrics[request.priority].dropped += 1
-                    workload_tier(request.workload.name).dropped += 1
-                    report.requests_lost_to_churn += 1
-                    if recording:
-                        obs.counter("requests.dropped").inc()
-                        obs.counter("requests.lost_to_churn").inc()
-                        recorder.emit({
-                            "t": now, "kind": "drop",
-                            "request_id": request_ids[id(request)],
-                            "priority": request.priority.value,
-                            "workload": request.workload.name,
-                            "reason": "churn",
-                            "server": server.server_id,
-                        })
-                report.server_failures += 1
-                if recording:
-                    obs.counter("churn.failures").inc()
-                    recorder.emit({
-                        "t": now, "kind": "server_fail",
-                        "server": server.server_id, "index": index,
-                        "dropped": len(dropped_requests),
-                    })
-                refresh_power(index)
-
-            elif kind == "server_recover":
-                index = event[1]
-                server = self.servers[index]
-                if not server.failed:
-                    continue
-                if prot is not None and prot.is_deenergized(index):
-                    # The churn recovery raced a breaker trip: the
-                    # server has no feed until its protection device
-                    # re-energizes, which subsumes this recovery.
-                    continue
-                server.recover(now)
-                report.server_recoveries += 1
-                if recording:
-                    obs.counter("churn.recoveries").inc()
-                    recorder.emit({
-                        "t": now, "kind": "server_recover",
-                        "server": server.server_id, "index": index,
-                    })
-                refresh_power(index)
-
-            elif kind == "prot":
-                if now > duration_s:
-                    # Breaker exposure is modeled over the reported
-                    # window only. Dropping late projections also
-                    # guarantees termination: a breaker overloaded even
-                    # at idle would otherwise trip/restore forever and
-                    # the post-horizon drain would never empty the
-                    # queue.
-                    continue
-                device_id, target, epoch = event[1], event[2], event[3]
-                outcome = prot.on_projection(now, device_id, target, epoch)
-                if outcome is None:
-                    continue  # superseded by a later rate change
-                fired, info, pushes = outcome
-                for push in pushes:
-                    queue.push(*push)
-                if fired in ("risk", "clear"):
-                    if recording:
-                        recorder.emit({
-                            "t": now, "kind": "trip_risk",
-                            "device": device_id,
-                            "device_level": info["device_level"],
-                            "accumulator": info["accumulator"],
-                            "overload": info["overload"],
-                            "at_risk": 1.0 if fired == "risk" else 0.0,
-                        })
-                    update_shed(now)
-                    continue
-                # The breaker opens: fail the subtree mid-flight. The
-                # load balancer redistributes subsequent arrivals onto
-                # survivors, which can push a sibling domain over its
-                # own limit — the cascade needs no special code.
-                covered = prot.begin_trip(device_id, now)
-                dropped_count = 0
-                for index in covered:
-                    server = self.servers[index]
-                    if server.failed:
-                        refresh_power(index)
-                        continue
-                    for request in server.fail(now):
-                        metrics[request.priority].dropped += 1
-                        workload_tier(request.workload.name).dropped += 1
-                        pf_report.requests_lost_to_trips += 1
-                        dropped_count += 1
-                        if recording:
-                            obs.counter("requests.dropped").inc()
-                            obs.counter("requests.lost_to_trips").inc()
-                            recorder.emit({
-                                "t": now, "kind": "drop",
-                                "request_id": request_ids[id(request)],
-                                "priority": request.priority.value,
-                                "workload": request.workload.name,
-                                "reason": "trip",
-                                "server": server.server_id,
-                                "device": device_id,
-                            })
-                    refresh_power(index)
-                record, restore_push = prot.commit_trip(
-                    device_id, now, dropped_count
-                )
-                queue.push(*restore_push)
-                if recording:
-                    obs.counter("prot.trips").inc()
-                    offline_w, offline_frac = prot.offline_stats(
-                        peak_server_w
-                    )
-                    payload = dict(record)
-                    payload["kind"] = "trip"
-                    payload["offline_capacity_w"] = offline_w
-                    payload["offline_fraction"] = offline_frac
-                    recorder.emit(payload)
-                    emit_capacity_status(now)
-                update_shed(now)
-
-            elif kind == "prot_restore":
-                if now > duration_s:
-                    # Servers still dark at the horizon stay dark; the
-                    # report clamps their offline time to the window.
-                    continue
-                device_id, step, version = event[1], event[2], event[3]
-                outcome = prot.restore_step(device_id, step, version, now)
-                if outcome is None:
-                    continue  # superseded by a newer trip
-                batch, next_push, done = outcome
-                recovered = []
-                for index in batch:
-                    server = self.servers[index]
-                    if server.failed:
-                        server.recover(now)
-                        refresh_power(index)
-                        recovered.append(server.server_id)
-                if recording:
-                    recorder.emit({
-                        "t": now, "kind": "reenergize",
-                        "device": device_id, "step": step,
-                        "servers": recovered,
-                    })
-                if next_push is not None:
-                    queue.push(*next_push)
-                if done:
-                    pf_report.reenergizations += 1
-                    if recording:
-                        obs.counter("prot.reenergizations").inc()
-                        recorder.emit({
-                            "t": now, "kind": "reenergize_done",
-                            "device": device_id,
-                        })
-                        emit_capacity_status(now)
-                    update_shed(now)
-
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind {kind!r}")
-
-        # Conservation invariant: every scheduled request is accounted
-        # exactly once, per priority AND per workload tier — whether it
-        # was served, shed, or lost to churn or a breaker trip taking
-        # its server offline mid-request.
-        offered_by_priority: Dict[Priority, int] = {p: 0 for p in Priority}
-        offered_by_workload: Dict[str, int] = {}
-        for request in requests:
-            if request.arrival_time < duration_s:
-                offered_by_priority[request.priority] += 1
-                offered_by_workload[request.workload.name] = \
-                    offered_by_workload.get(request.workload.name, 0) + 1
-        for priority, tier in metrics.items():
-            if tier.served + tier.dropped != offered_by_priority[priority]:
-                raise SimulationError(
-                    "request accounting violated for priority "
-                    f"{priority.value}: served {tier.served} + dropped "
-                    f"{tier.dropped} != offered "
-                    f"{offered_by_priority[priority]}"
-                )
-        for name, offered in offered_by_workload.items():
-            tier = workload_metrics.get(name)
-            accounted = 0 if tier is None else tier.served + tier.dropped
-            if accounted != offered:
-                raise SimulationError(
-                    f"request accounting violated for workload {name}: "
-                    f"served+dropped {accounted} != offered {offered}"
-                )
-
-        powerfail = None
-        if prot is not None:
-            if shed_active:
-                pf_report.time_shedding_s += max(
-                    0.0, duration_s - min(shed_since, duration_s)
-                )
-            powerfail = prot.finalize(last_event_time)
-
-        report.telemetry_dropped_ticks = injector.dropped_ticks
-        report.telemetry_frozen_ticks = injector.frozen_ticks
-        report.telemetry_spikes = injector.spikes_injected
-        report.delayed_actuations = injector.delayed_actuations
-        report.time_at_risk_s = tracker.time_at_risk_s
-        report.longest_overbudget_s = tracker.longest_overbudget_s
-
-        series = TimeSeries(
-            start=0.0,
-            interval=config.telemetry_interval_s,
-            values=power_samples[:sample_cursor],
-        )
-        observability: Optional[Dict[str, Any]] = None
-        if recording:
-            obs.counter("telemetry.ticks").inc(sample_cursor)
-            if sample_cursor:
-                obs.gauge("power.peak_row_w").set(
-                    float(power_samples[:sample_cursor].max())
-                )
-            obs.gauge("power.provisioned_w").set(config.provisioned_power_w)
-            obs.gauge("energy.total_j").set(total_energy)
-            observability = obs.snapshot()
-            # Live consumers (alert engines, stream monitors — possibly
-            # teed with storage sinks) settle their window state at the
-            # end of the recorded stream and contribute their own
-            # sections (incidents, stream values) next to the metrics
-            # snapshot. Plain sinks return None and nothing changes.
-            recorder.finalize(duration_s)
-            extra = recorder.observability_snapshot()
-            if extra:
-                for key, value in extra.items():
-                    if key not in observability:
-                        observability[key] = value
-        return SimulationResult(
-            per_priority=metrics,
-            power_series=series,
-            provisioned_power_w=config.provisioned_power_w,
-            power_brake_events=brake_events,
-            capping_actions=capping_actions,
-            duration_s=duration_s,
-            per_workload=workload_metrics,
-            total_energy_j=total_energy,
-            robustness=report,
-            observability=observability,
-            powerfail=powerfail,
-        )
+        core = self.start(requests, duration_s)
+        core.run_all()
+        return core.finalize()

@@ -65,6 +65,14 @@ class EvaluationHarness:
         workers: Default process fan-out for sweeps run through this
             harness (1 = serial; individual sweeps can override).
         cache: The run memo cache shared by every sweep on this harness.
+        incremental: Execute sweeps through the checkpointed
+            incremental path (:mod:`repro.exec.incremental`): grid
+            points sharing a configuration+trace family resume from the
+            longest checkpoint before their first controller divergence
+            instead of re-simulating the shared prefix. Bit-identical
+            to the default path; serial in-parent (see
+            :class:`~repro.exec.engine.SweepEngine`).
+        checkpoint_epoch_s: Checkpoint spacing for incremental sweeps.
     """
 
     n_base_servers: int = 40
@@ -74,6 +82,8 @@ class EvaluationHarness:
     seed: int = 0
     workers: int = 1
     cache: RunCache = field(default_factory=RunCache, repr=False)
+    incremental: bool = False
+    checkpoint_epoch_s: float = 600.0
 
     def utilization_trace(self) -> TimeSeries:
         """The production-style target utilization trace (cached)."""
@@ -151,6 +161,8 @@ class EvaluationHarness:
         return SweepEngine(
             workers=self.workers if workers is None else workers,
             cache=self.cache,
+            incremental=self.incremental,
+            checkpoint_epoch_s=self.checkpoint_epoch_s,
         )
 
     def run(

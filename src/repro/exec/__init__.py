@@ -17,8 +17,19 @@ grids into batches:
   and for platforms without ``fork``), with deterministic result
   ordering — parallel output is bit-identical to serial because every
   run is independently seeded and executed by the same code path;
-* :mod:`~repro.exec.profile` wraps ``cProfile``/``perf_counter`` so
-  hot-path work starts from data.
+* :class:`~repro.exec.incremental.IncrementalExecutor` (enabled with
+  ``EvaluationHarness(incremental=True)``) checkpoints the first run of
+  each config/trace family and bit-exactly resumes later policy
+  variants from their first divergence, so deep-prefix grid sweeps skip
+  the shared simulation prefix instead of replaying it;
+* :meth:`SweepEngine.run_sharded` partitions a fault-free cluster
+  across N serving shards under one parent control plane
+  (:class:`~repro.cluster.sharded.ShardedSimulator`) — bit-identical to
+  serial at ``n_shards=1``, deterministic above;
+* :mod:`~repro.exec.profile` wraps ``cProfile``/``perf_counter`` —
+  including the simulator's per-event-kind kernel timers via
+  :func:`~repro.exec.profile.profile_kernels` — so hot-path work starts
+  from data.
 
 Request traces are shared process-wide through a bounded cache keyed on
 ``(seed, n_servers, provisioned power, duration)`` — see
@@ -34,7 +45,23 @@ from repro.exec.engine import (
     fork_available,
     parallel_map,
 )
-from repro.exec.profile import HotSpot, ProfileReport, profile_call, timed
+from repro.exec.incremental import (
+    IncrementalExecutor,
+    IncrementalStats,
+    StepRecord,
+    TapePolicy,
+    family_digest,
+    first_divergence,
+)
+from repro.exec.profile import (
+    HotSpot,
+    KernelStat,
+    ProfileReport,
+    kernel_stats,
+    profile_call,
+    profile_kernels,
+    timed,
+)
 from repro.exec.runspec import (
     PolicySpec,
     RunSpec,
@@ -46,18 +73,27 @@ from repro.exec.traces import TraceKey, requests_for, utilization_trace
 __all__ = [
     "ExecutionStats",
     "HotSpot",
+    "IncrementalExecutor",
+    "IncrementalStats",
+    "KernelStat",
     "PolicySpec",
     "ProfileReport",
     "RunCache",
     "RunSpec",
+    "StepRecord",
     "SweepEngine",
+    "TapePolicy",
     "TraceKey",
     "default_workers",
     "execute_spec",
+    "family_digest",
+    "first_divergence",
     "fork_available",
+    "kernel_stats",
     "parallel_map",
     "policy_spec_for",
     "profile_call",
+    "profile_kernels",
     "requests_for",
     "result_from_dict",
     "result_to_dict",

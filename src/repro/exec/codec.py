@@ -31,15 +31,19 @@ from repro.workloads.spec import Priority
 #: (:mod:`repro.obs.spans`, :mod:`repro.obs.attribution`). Version 5
 #: adds the ``powerfail`` section — the power-delivery protection
 #: ledger of :mod:`repro.powerfail` (trips, shedding, staged
-#: re-energization, exact energy conservation).
-SCHEMA_VERSION = 5
+#: re-energization, exact energy conservation). Version 6 adds the
+#: ``sim_core`` observability section (per-event-kind kernel timers of
+#: the struct-of-arrays event loop, recorded when
+#: ``ClusterSimulator(kernel_timers=True)``).
+SCHEMA_VERSION = 6
 
 #: Schema versions :func:`result_from_dict` can decode. Versions 2-4
-#: differ from 5 only by which ``observability`` sections exist and by
-#: the absent ``powerfail`` section (decoded as ``None`` — exactly what
-#: those runs produced, since the protection layer did not exist) — so
-#: old cache entries and checked-in result snapshots stay loadable.
-COMPATIBLE_SCHEMAS = frozenset({2, 3, 4, SCHEMA_VERSION})
+#: differ by which ``observability`` sections exist and by the absent
+#: ``powerfail`` section (decoded as ``None`` — exactly what those
+#: runs produced, since the protection layer did not exist); version 5
+#: lacks only the optional ``sim_core`` section. Old cache entries and
+#: the checked-in v5 golden snapshots stay loadable.
+COMPATIBLE_SCHEMAS = frozenset({2, 3, 4, 5, SCHEMA_VERSION})
 
 
 def _metrics_to_dict(metrics: PriorityMetrics) -> Dict[str, Any]:

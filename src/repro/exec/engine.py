@@ -139,6 +139,11 @@ class ExecutionStats:
             to serial in-parent execution.
         workers_used: Pool size (1 = in-process serial).
         wall_s: Wall-clock for the batch.
+        incremental_resumed: Runs restored from a family checkpoint and
+            replayed only past it (incremental mode).
+        incremental_reused: Runs answered with another policy's result
+            after a full-tape match (incremental mode).
+        saved_sim_s: Simulated seconds skipped via checkpoint restores.
     """
 
     requested: int = 0
@@ -149,6 +154,9 @@ class ExecutionStats:
     quarantined: int = 0
     workers_used: int = 1
     wall_s: float = 0.0
+    incremental_resumed: int = 0
+    incremental_reused: int = 0
+    saved_sim_s: float = 0.0
 
     @property
     def runs_per_second(self) -> float:
@@ -193,6 +201,17 @@ class SweepEngine:
             bit-identical result; a genuinely poisoned spec raises in
             the parent where the error is visible instead of killing
             workers silently.
+        incremental: Execute misses through
+            :class:`~repro.exec.incremental.IncrementalExecutor`:
+            sweep points sharing a configuration+trace *family* restore
+            the longest checkpoint before their first controller
+            divergence and replay only the suffix (bit-identical to a
+            full run). Incremental runs execute serially in-parent —
+            family checkpoints live in this process's cache — so it
+            pays off when prefix reuse beats process fan-out, i.e. on
+            dense controller-parameter grids.
+        checkpoint_epoch_s: Simulation-time spacing of the checkpoints
+            recorded during each family's first run (incremental mode).
     """
 
     workers: Optional[int] = None
@@ -203,6 +222,8 @@ class SweepEngine:
     )
     run_timeout_s: Optional[float] = None
     retries: int = 1
+    incremental: bool = False
+    checkpoint_epoch_s: float = 600.0
     last_stats: Optional[ExecutionStats] = field(
         init=False, default=None, repr=False
     )
@@ -216,10 +237,64 @@ class SweepEngine:
             raise ConfigurationError("run_timeout_s must be positive")
         if self.retries < 0:
             raise ConfigurationError("retries cannot be negative")
+        if self.incremental:
+            from repro.exec.incremental import IncrementalExecutor
+
+            self._incremental: Optional[IncrementalExecutor] = (
+                IncrementalExecutor(self.cache, self.checkpoint_epoch_s)
+            )
+        else:
+            if self.checkpoint_epoch_s <= 0:
+                raise ConfigurationError(
+                    "checkpoint_epoch_s must be positive"
+                )
+            self._incremental = None
 
     def run(self, spec: RunSpec) -> SimulationResult:
         """Execute (or recall) a single run."""
         return self.run_specs([spec])[0]
+
+    def run_sharded(
+        self,
+        spec: RunSpec,
+        n_shards: int = 1,
+        parallel: bool = True,
+    ) -> SimulationResult:
+        """Execute one run with its *cluster* sharded across workers.
+
+        Where :meth:`run_specs` parallelizes over grid points, this
+        parallelizes inside a single site-scale simulation: the row is
+        partitioned over ``n_shards`` serve-only shard processes that
+        synchronize with the control plane at telemetry-tick epochs
+        (see :class:`~repro.cluster.sharded.ShardedSimulator`).
+        ``n_shards=1`` is bit-identical to :meth:`run` and shares its
+        cache entry; larger counts are cached under a shard-qualified
+        digest because the partitioned cluster routes independently
+        per shard.
+
+        Raises:
+            ConfigurationError: If the spec's configuration injects
+                faults or attaches a protection hierarchy (sharding
+                requires the fault-free elisions).
+        """
+        digest = spec.digest()
+        if n_shards > 1:
+            digest = f"{digest}-shards{n_shards}"
+        cached = self.cache.get(digest)
+        if cached is not None:
+            return cached
+        from repro.cluster.sharded import ShardedSimulator
+        from repro.exec import traces
+
+        requests = traces.requests_for(spec.trace_key())
+        result = ShardedSimulator(
+            spec.config,
+            spec.policy.build(),
+            n_shards=n_shards,
+            parallel=parallel,
+        ).run(requests, spec.duration_s)
+        self.cache.put(digest, result)
+        return result
 
     def run_specs(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
         """Execute a batch; results match the order of ``specs``.
@@ -247,13 +322,32 @@ class SweepEngine:
         workers_used = 1
         retried = quarantined = 0
         batch_hits = len(specs) - len(pending)
+        incremental = self._incremental
+        inc_before = (
+            (
+                incremental.stats.resumed_runs,
+                incremental.stats.reused_results,
+                incremental.stats.saved_s,
+            )
+            if incremental is not None
+            else (0, 0, 0.0)
+        )
         if pending:
             n_workers = min(self.workers, len(pending))
-            if n_workers <= 1 or not fork_available():
+            if (
+                incremental is not None
+                or n_workers <= 1
+                or not fork_available()
+            ):
+                execute = (
+                    incremental.execute
+                    if incremental is not None
+                    else execute_spec
+                )
                 for done, (digest, spec) in enumerate(pending, start=1):
                     if recording:
                         run_start = time.perf_counter()
-                        result = execute_spec(spec)
+                        result = execute(spec)
                         self._record_run(
                             digest,
                             time.perf_counter() - run_start,
@@ -264,7 +358,7 @@ class SweepEngine:
                             done, len(pending), batch_hits, start, 1
                         )
                     else:
-                        resolved[digest] = execute_spec(spec)
+                        resolved[digest] = execute(spec)
             else:
                 workers_used = n_workers
                 retried, quarantined = self._run_pool(
@@ -283,6 +377,14 @@ class SweepEngine:
             workers_used=workers_used,
             wall_s=time.perf_counter() - start,
         )
+        if incremental is not None:
+            stats.incremental_resumed = (
+                incremental.stats.resumed_runs - inc_before[0]
+            )
+            stats.incremental_reused = (
+                incremental.stats.reused_results - inc_before[1]
+            )
+            stats.saved_sim_s = incremental.stats.saved_s - inc_before[2]
         self.last_stats = stats
         if recording:
             registry = self.metrics

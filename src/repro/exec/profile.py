@@ -2,9 +2,12 @@
 
 :func:`profile_call` wraps a callable in :mod:`cProfile` and distills
 the result into a small, printable :class:`ProfileReport`; :func:`timed`
-is a bare ``perf_counter`` context manager for quick wall-clock checks.
-Used by ``examples/profile_simulator.py`` and handy whenever a sweep
-feels slower than it should.
+is a bare ``perf_counter`` context manager for quick wall-clock checks;
+:func:`profile_kernels` runs one spec with the simulator's per-event-kind
+kernel timers enabled and returns the counters as :class:`KernelStat`
+rows (the same data lands in ``result.observability["sim_core"]``, so
+traces carry it too). Used by ``examples/profile_simulator.py`` and
+handy whenever a sweep feels slower than it should.
 """
 
 from __future__ import annotations
@@ -96,6 +99,74 @@ def profile_call(
         wall_s=wall_s, top=tuple(hotspots), text=buffer.getvalue()
     )
     return result, report
+
+
+@dataclass(frozen=True)
+class KernelStat:
+    """One event kind's share of the simulator event loop.
+
+    Attributes:
+        kind: Event kind (``tick``, ``arrival``, ``phase``, ``cap``,
+            ``brake_on``, ...).
+        calls: Number of events of this kind processed.
+        seconds: Total wall-clock spent in their handlers.
+    """
+
+    kind: str
+    calls: int
+    seconds: float
+
+    @property
+    def mean_us(self) -> float:
+        """Mean handler latency in microseconds."""
+        if self.calls == 0:
+            return 0.0
+        return self.seconds / self.calls * 1e6
+
+
+def kernel_stats(result: Any) -> Tuple[KernelStat, ...]:
+    """Kernel-timer rows of a run, hottest first.
+
+    Reads ``result.observability["sim_core"]["kernel_timers"]`` — the
+    section a :class:`~repro.cluster.simulator.ClusterSimulator` built
+    with ``kernel_timers=True`` records (it survives the codec round
+    trip, so cached and trace-exported results keep it). Returns an
+    empty tuple for untimed runs.
+    """
+    observability = result.observability or {}
+    timers = (observability.get("sim_core") or {}).get("kernel_timers")
+    if not timers:
+        return ()
+    return tuple(
+        KernelStat(
+            kind=kind,
+            calls=int(cell["calls"]),
+            seconds=float(cell["seconds"]),
+        )
+        for kind, cell in timers.items()
+    )
+
+
+def profile_kernels(spec: Any) -> Tuple[Any, Tuple[KernelStat, ...]]:
+    """Execute one :class:`~repro.exec.runspec.RunSpec` with kernel
+    timers enabled.
+
+    Returns:
+        ``(result, stats)`` — the run's :class:`~repro.cluster.metrics
+        .SimulationResult` (bit-identical to an untimed run except for
+        the extra ``sim_core`` observability section) and its
+        :func:`kernel_stats`.
+    """
+    # Imported here: repro.exec.__init__ loads this module, and the
+    # spec-execution machinery drags in the whole cluster package.
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.exec import traces
+
+    requests = traces.requests_for(spec.trace_key())
+    result = ClusterSimulator(
+        spec.config, spec.policy.build(), kernel_timers=True
+    ).run(requests, spec.duration_s)
+    return result, kernel_stats(result)
 
 
 @contextmanager

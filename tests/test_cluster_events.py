@@ -20,6 +20,36 @@ class TestOrdering:
             queue.push(5.0, index)
         assert [queue.pop()[1] for _ in range(10)] == list(range(10))
 
+    def test_equal_time_never_compares_payloads(self):
+        # The heap entry is (time, sequence, payload); the unique
+        # sequence makes tuple comparison total before the payload is
+        # ever reached. This regression test would raise TypeError on
+        # any implementation that lets a tie fall through to the
+        # payload — the simulator schedules non-comparable payloads
+        # (tuples mixing strings, requests, and None) at equal times
+        # constantly (e.g. an arrival, a tick, and a cap landing all
+        # at t = 80.0).
+        class Opaque:
+            __lt__ = None  # even attempting a compare raises
+
+        queue = EventQueue()
+        payloads = [
+            ("arrival", Opaque(), 3),
+            ("tick",),
+            ("cap", None, 1380.0, 7),
+            ("arrival", Opaque(), 4),
+            ("brake_on", 2),
+        ]
+        for payload in payloads:
+            queue.push(80.0, payload)
+        # Interleave a pop with further equal-time pushes: heap sift-up
+        # and sift-down paths both hit the tie comparison.
+        assert queue.pop() == (80.0, payloads[0])
+        queue.push(80.0, ("obs", Opaque()))
+        popped = [queue.pop()[1] for _ in range(len(queue))]
+        assert popped[:4] == payloads[1:]
+        assert popped[4][0] == "obs"
+
     def test_peek_does_not_remove(self):
         queue = EventQueue()
         queue.push(1.0, "x")

@@ -1,5 +1,7 @@
 """Run memoization: digests, the memo cache, and shared-work accounting."""
 
+import os
+
 import pytest
 
 from repro.cluster.simulator import ClusterConfig
@@ -136,6 +138,81 @@ class TestRunCache:
         assert fresh.get(spec.digest()) is None
 
 
+class TestBoundedDisk:
+    def test_budget_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunCache(cache_dir=tmp_path, max_disk_bytes=0)
+
+    def test_lru_eviction_order_and_counter(self, tmp_path):
+        cache = RunCache(cache_dir=tmp_path, max_disk_bytes=250)
+        cache.put_blob("a", b"x" * 100)
+        cache.put_blob("b", b"y" * 100)
+        # Touch "a" so "b" becomes the least-recently-used entry.
+        assert cache.get_blob("a") == b"x" * 100
+        cache.put_blob("c", b"z" * 100)
+        assert cache.evictions == 1
+        assert (tmp_path / "a.bin").exists()
+        assert not (tmp_path / "b.bin").exists()
+        assert (tmp_path / "c.bin").exists()
+        assert cache.disk_bytes == 200
+        # The evicted blob is still served from the memory layer.
+        assert cache.get_blob("b") == b"y" * 100
+
+    def test_oversized_entry_stays_memory_only(self, tmp_path):
+        cache = RunCache(cache_dir=tmp_path, max_disk_bytes=50)
+        cache.put_blob("big", b"x" * 100)
+        assert not (tmp_path / "big.bin").exists()
+        assert cache.evictions == 0
+        assert cache.get_blob("big") == b"x" * 100
+
+    def test_blob_round_trips_across_processes(self, tmp_path):
+        RunCache(cache_dir=tmp_path).put_blob("ckpt", b"\x00\x01state")
+        fresh = RunCache(cache_dir=tmp_path)
+        assert fresh.get_blob("ckpt") == b"\x00\x01state"
+        assert fresh.disk_hits == 1
+        assert fresh.get_blob("missing") is None
+        assert fresh.misses == 1
+
+    def test_lru_seeded_from_mtimes(self, tmp_path):
+        writer = RunCache(cache_dir=tmp_path)
+        writer.put_blob("old", b"a" * 100)
+        writer.put_blob("new", b"b" * 100)
+        os.utime(tmp_path / "old.bin", (1, 1))
+        os.utime(tmp_path / "new.bin", (2, 2))
+        fresh = RunCache(cache_dir=tmp_path, max_disk_bytes=250)
+        assert fresh.disk_bytes == 200
+        fresh.put_blob("third", b"c" * 100)
+        # The oldest-modified file is evicted first by a fresh process.
+        assert not (tmp_path / "old.bin").exists()
+        assert (tmp_path / "new.bin").exists()
+
+    def test_json_results_count_against_budget(self, tmp_path):
+        spec = small_spec()
+        cache = RunCache(cache_dir=tmp_path, max_disk_bytes=64)
+        SweepEngine(workers=1, cache=cache).run(spec)
+        # A full result is far larger than 64 bytes: memory-only.
+        assert list(tmp_path.glob("*.json")) == []
+        assert cache.get(spec.digest()) is not None
+
+    def test_stats_has_disk_counters(self, tmp_path):
+        cache = RunCache(cache_dir=tmp_path, max_disk_bytes=100)
+        cache.put_blob("a", b"x" * 60)
+        cache.put_blob("b", b"y" * 60)
+        stats = cache.stats
+        assert stats["evictions"] == 1
+        assert stats["blobs"] == 2
+        assert stats["disk_bytes"] == 60
+        assert stats["stores"] == 2
+
+    def test_clear_disk_drops_blobs_and_accounting(self, tmp_path):
+        cache = RunCache(cache_dir=tmp_path)
+        cache.put_blob("a", b"x" * 10)
+        cache.clear(disk=True)
+        assert cache.disk_bytes == 0
+        assert list(tmp_path.iterdir()) == []
+        assert cache.get_blob("a") is None
+
+
 class TestSharedBaseline:
     def test_baseline_simulated_once_across_sweeps(self):
         harness = EvaluationHarness(
@@ -229,14 +306,39 @@ class TestCodec:
         assert decoded.duration_s == encoded["duration_s"]
         assert decoded.powerfail is None
 
-    def test_current_schema_is_v5(self):
+    def test_schema_v5_still_decodes(self):
+        # v5 lacks only the optional sim_core kernel-timer section
+        # inside observability, which is pass-through — the checked-in
+        # golden_reference_results_v5.json exercises the same shim
+        # against real pre-SoA captures.
+        encoded = result_to_dict(execute_spec(small_spec()))
+        encoded["schema"] = 5
+        decoded = result_from_dict(encoded)
+        assert decoded.duration_s == encoded["duration_s"]
+        assert decoded.observability is None
+
+    def test_current_schema_is_v6(self):
         from repro.exec.codec import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 5
+        assert SCHEMA_VERSION == 6
         encoded = result_to_dict(execute_spec(small_spec()))
-        assert encoded["schema"] == 5
+        assert encoded["schema"] == 6
         # An unprotected run serializes an explicitly empty section.
         assert encoded["powerfail"] is None
+
+    def test_kernel_timer_section_round_trips(self):
+        from repro.cluster.simulator import ClusterSimulator
+        from repro.exec import traces
+
+        spec = small_spec()
+        requests = traces.requests_for(spec.trace_key())
+        result = ClusterSimulator(
+            spec.config, spec.policy.build(), kernel_timers=True
+        ).run(requests, spec.duration_s)
+        decoded = result_from_dict(result_to_dict(result))
+        timers = decoded.observability["sim_core"]["kernel_timers"]
+        assert timers == result.observability["sim_core"]["kernel_timers"]
+        assert timers["tick"]["calls"] > 0
 
 
 class TestTraceCache:
@@ -259,6 +361,21 @@ class TestProfileHelpers:
         assert len(report.top) <= 5
         assert all(spot.tottime_s >= 0 for spot in report.top)
         assert "cumtime" in report.text
+
+    def test_profile_kernels_surfaces_event_loop_counters(self):
+        from repro.exec import kernel_stats, profile_kernels
+
+        result, stats = profile_kernels(small_spec())
+        assert stats  # at least ticks ran
+        kinds = {stat.kind for stat in stats}
+        assert "tick" in kinds
+        assert all(stat.calls > 0 and stat.seconds >= 0 for stat in stats)
+        assert stats == kernel_stats(result)
+        # The counters ride in observability, so they survive the codec.
+        decoded = result_from_dict(result_to_dict(result))
+        assert kernel_stats(decoded) == stats
+        # Untimed runs read back empty rather than raising.
+        assert kernel_stats(execute_spec(small_spec())) == ()
 
     def test_timed_freezes_at_block_exit(self):
         with timed() as elapsed:
