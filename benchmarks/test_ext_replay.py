@@ -1,0 +1,117 @@
+"""Extension: production trace replay smoke benchmark.
+
+Replays the bundled Azure-format fixture trace end to end — CSV
+ingestion, token-shape classification, the sweep engine with a small
+POLCA grid, and a flash-crowd variant — and times each stage. The
+measurements land in ``BENCH_replay.json`` at the repo root, which CI
+uploads as an artifact, so ingestion-throughput or replay-parity
+regressions show up in the artifact diff rather than silently.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.core.policy import PolcaThresholds
+from repro.core.sweeps import EvaluationHarness, threshold_search
+from repro.exec import execute_spec, PolicySpec
+from repro.units import hours
+from repro.workloads.replay import (
+    BurstWindow,
+    CsvReplaySpec,
+    FlashCrowdSpec,
+    TraceSource,
+    read_azure_trace,
+    requests_from_records,
+)
+
+FIXTURE = Path(__file__).resolve().parent.parent / (
+    "tests/data/azure_llm_sample.csv"
+)
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+
+COMBOS = (("80-90", PolcaThresholds(t1=0.80, t2=0.90)),)
+FRACTIONS = (0.25,)
+
+
+def reproduce_replay():
+    report = {}
+
+    start = time.perf_counter()
+    records = read_azure_trace(FIXTURE)
+    requests = requests_from_records(records)
+    parse_wall = time.perf_counter() - start
+    report["ingest"] = {
+        "rows": len(records),
+        "wall_s": round(parse_wall, 4),
+        "rows_per_s": round(len(records) / parse_wall, 1),
+    }
+
+    source = TraceSource(csv=CsvReplaySpec.from_file(FIXTURE))
+    crowd = TraceSource(
+        csv=CsvReplaySpec.from_file(FIXTURE),
+        burst=FlashCrowdSpec(
+            windows=(BurstWindow(600.0, 1800.0, magnitude=3.0),), seed=1
+        ),
+    )
+    results = {}
+    for label, trace in (("replayed", source), ("flash-crowd", crowd)):
+        harness = EvaluationHarness(
+            n_base_servers=4, duration_s=hours(1), seed=5,
+            trace_source=trace,
+        )
+        start = time.perf_counter()
+        points = threshold_search(harness, COMBOS, FRACTIONS)
+        wall = time.perf_counter() - start
+        point = points[(COMBOS[0][0], FRACTIONS[0])]
+        spec = harness.spec(
+            PolicySpec("POLCA", COMBOS[0][1]), added_fraction=FRACTIONS[0]
+        )
+        # Replay parity: the engine's cached result must be bit-identical
+        # to a direct serial execution of the same spec.
+        direct = execute_spec(spec)
+        cached = harness.engine().run_specs([spec])[0]
+        parity = bool(
+            (direct.power_series.values == cached.power_series.values).all()
+            and direct.total_energy_j == cached.total_energy_j
+        )
+        results[label] = point
+        report[label] = {
+            "digest": spec.digest()[:16],
+            "trace": trace.label,
+            "sweep_wall_s": round(wall, 3),
+            "serial_parity": parity,
+            "power_brake_events": point.power_brake_events,
+        }
+        assert parity
+    report["trace_sha256"] = source.csv.sha256
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report, results
+
+
+def test_ext_replay(benchmark):
+    report, results = benchmark.pedantic(
+        reproduce_replay, rounds=1, iterations=1
+    )
+    rows = [
+        (label,
+         report[label]["trace"],
+         f"{report[label]['sweep_wall_s']:.2f}s",
+         str(report[label]["power_brake_events"]),
+         "ok" if report[label]["serial_parity"] else "MISMATCH")
+        for label in ("replayed", "flash-crowd")
+    ]
+    print_table(
+        "Extension — Azure trace replay through the sweep engine",
+        ["trace", "source", "sweep wall", "brakes", "parity"],
+        rows,
+    )
+    assert report["ingest"]["rows"] == 219
+    assert all(report[label]["serial_parity"]
+               for label in ("replayed", "flash-crowd"))
+    benchmark.extra_info.update({
+        "rows_per_s": report["ingest"]["rows_per_s"],
+        "replay_digest": report["replayed"]["digest"],
+    })

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.analysis.timeseries import TimeSeries, concatenate
+from repro.analysis.timeseries import TimeSeries, concatenate, sample_times
 from repro.errors import ConfigurationError
 from repro.gpu.capping import ReactivePowerCap
 from repro.gpu.power import GpuPowerModel
@@ -57,7 +57,7 @@ def inference_power_series(
     timeline = request_timeline(model, gpu, request)
     rng = np.random.default_rng(seed)
     total = timeline.total_seconds(clock_ratio)
-    times = np.arange(0.0, total, sample_interval)
+    times = sample_times(0.0, total, sample_interval)
     values = np.empty(times.size)
     # Absolute phase boundaries at the effective clock.
     boundaries = []

@@ -47,6 +47,7 @@ from repro.exec import traces as _traces
 from repro.faults.plan import FaultPlan
 from repro.faults.reliability import ReliabilityConfig
 from repro.units import days
+from repro.workloads.replay import TraceSource
 from repro.workloads.requests import SampledRequest
 from repro.workloads.spec import Priority
 from repro.workloads.tracegen import INFERENCE_PROVISIONED_PER_SERVER_W
@@ -73,6 +74,12 @@ class EvaluationHarness:
             to the default path; serial in-parent (see
             :class:`~repro.exec.engine.SweepEngine`).
         checkpoint_epoch_s: Checkpoint spacing for incremental sweeps.
+        trace_source: Replay source driving every run of this harness
+            (``None`` = the default synthetic pipeline). Flows through
+            :class:`~repro.exec.TraceKey` and every spec this harness
+            builds, so sweeps under a replayed Azure CSV, a session
+            workload, or a flash-crowd overlay use the engine, cache,
+            and incremental paths unchanged.
     """
 
     n_base_servers: int = 40
@@ -84,6 +91,7 @@ class EvaluationHarness:
     cache: RunCache = field(default_factory=RunCache, repr=False)
     incremental: bool = False
     checkpoint_epoch_s: float = 600.0
+    trace_source: Optional[TraceSource] = None
 
     def utilization_trace(self) -> TimeSeries:
         """The production-style target utilization trace (cached)."""
@@ -99,6 +107,7 @@ class EvaluationHarness:
             n_servers=n_total,
             provisioned_per_server_w=self.provisioned_per_server_w,
             duration_s=self.duration_s,
+            source=self.trace_source,
         )
 
     def requests_for(self, added_fraction: float) -> List[SampledRequest]:
@@ -154,6 +163,7 @@ class EvaluationHarness:
             ),
             policy=policy,
             duration_s=self.duration_s,
+            trace=self.trace_source,
         )
 
     def engine(self, workers: Optional[int] = None) -> SweepEngine:

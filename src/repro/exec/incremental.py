@@ -57,8 +57,11 @@ def family_digest(spec: RunSpec) -> str:
     """The digest of everything the spec's *simulation* shares.
 
     Policy is deliberately excluded: all sweep points with the same
-    config and duration replay the same trace through the same cluster
-    and may share checkpoints up to their first controller divergence.
+    config, duration, and trace source replay the same trace through
+    the same cluster and may share checkpoints up to their first
+    controller divergence. The trace source *is* included — a replayed
+    CSV and the synthetic pipeline are different simulations even under
+    identical configs.
     """
     payload = json.dumps(
         {
@@ -66,6 +69,7 @@ def family_digest(spec: RunSpec) -> str:
             "incremental_schema": INCREMENTAL_SCHEMA,
             "config": _canonical(spec.config),
             "duration_s": repr(spec.duration_s),
+            "trace": _canonical(spec.trace),
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -24,6 +24,7 @@ from repro.cluster.metrics import SimulationResult
 from repro.cluster.simulator import ClusterConfig, ClusterSimulator
 from repro.errors import ConfigurationError
 from repro.exec import traces
+from repro.workloads.replay import TraceSource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.policy_base import PowerPolicy
@@ -35,8 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: covering the post-duration drain of in-flight requests. Version 3:
 #: ``ClusterConfig`` grew the power-delivery ``protection`` section
 #: (breaker topology, trip curves, emergency shedding), which changes
-#: the canonical config payload for every spec.
-DIGEST_VERSION = 3
+#: the canonical config payload for every spec. Version 4: specs grew
+#: the ``trace`` replay source, and the float-grid/smoothing-edge bug
+#: sweep changed the synthetic trace pipeline's output.
+DIGEST_VERSION = 4
 
 #: Policy factory names the engine can build (``all_policies()`` keys).
 POLICY_NAMES = (
@@ -132,11 +135,16 @@ def _canonical(value: Any) -> Any:
 
     Dataclasses become ``{"__type__": name, **fields}`` so two different
     dataclass types with the same field values cannot collide; floats go
-    through ``repr`` for an exact, platform-stable round-trip.
+    through ``repr`` for an exact, platform-stable round-trip. Fields
+    declaring ``metadata={"digest": False}`` are skipped — that is how
+    replayed traces digest by content hash instead of by machine-local
+    file path.
     """
     if is_dataclass(value) and not isinstance(value, type):
         out: Any = {"__type__": type(value).__name__}
         for f in fields(value):
+            if f.metadata.get("digest") is False:
+                continue
             out[f.name] = _canonical(getattr(value, f.name))
         return out
     if isinstance(value, Enum):
@@ -163,11 +171,15 @@ class RunSpec:
             and reliability knobs).
         policy: The policy to run, declaratively.
         duration_s: Simulated duration.
+        trace: Replay source for the request trace (``None`` = the
+            default synthetic pipeline). Digested by content (file
+            sha256 + slice), never by path.
     """
 
     config: ClusterConfig
     policy: PolicySpec
     duration_s: float
+    trace: Optional[TraceSource] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -180,6 +192,7 @@ class RunSpec:
             n_servers=self.config.n_servers,
             provisioned_per_server_w=self.config.provisioned_per_server_w,
             duration_s=self.duration_s,
+            source=self.trace,
         )
 
     def digest(self) -> str:

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.timeseries import TimeSeries
 from repro.errors import ConfigurationError
+from repro.workloads.replay import TraceSource, apply_flash_crowd
 from repro.workloads.requests import SampledRequest
 from repro.workloads.tracegen import (
     INFERENCE_PROVISIONED_PER_SERVER_W,
@@ -44,12 +45,18 @@ class TraceKey:
         n_servers: Deployed server count; offered load scales with it.
         provisioned_per_server_w: Breaker budget per designed slot.
         duration_s: Trace duration in seconds.
+        source: Where the trace comes from — ``None`` for the default
+            synthetic pipeline, or a replay descriptor (Azure CSV,
+            session workload, flash-crowd overlay). Part of the key:
+            the same deployment replaying different traces caches
+            different request streams.
     """
 
     seed: int
     n_servers: int
     provisioned_per_server_w: float = INFERENCE_PROVISIONED_PER_SERVER_W
     duration_s: float = 0.0
+    source: Optional[TraceSource] = None
 
     def __post_init__(self) -> None:
         if self.n_servers <= 0:
@@ -78,16 +85,8 @@ def utilization_trace(seed: int, duration_s: float) -> TimeSeries:
     return trace
 
 
-def requests_for(key: TraceKey) -> List[SampledRequest]:
-    """The MAPE-validated request trace for one deployment (cached).
-
-    Load scales with the deployed server count so per-server utilization
-    stays on the production pattern.
-    """
-    cached = _request_traces.get(key)
-    if cached is not None:
-        _request_traces.move_to_end(key)
-        return cached
+def _synthetic_requests(key: TraceKey) -> List[SampledRequest]:
+    """The default MAPE-validated synthetic request trace."""
     generator = SyntheticTraceGenerator(
         n_servers=key.n_servers,
         provisioned_per_server_w=key.provisioned_per_server_w,
@@ -95,10 +94,38 @@ def requests_for(key: TraceKey) -> List[SampledRequest]:
     )
     synthetic = generator.generate(utilization_trace(key.seed, key.duration_s))
     synthetic.validate()
-    _request_traces[key] = synthetic.requests
+    return synthetic.requests
+
+
+def requests_for(key: TraceKey) -> List[SampledRequest]:
+    """The request trace for one deployment (cached).
+
+    Dispatches on the key's :attr:`~TraceKey.source`: ``None`` runs the
+    synthetic pipeline (load scales with the deployed server count so
+    per-server utilization stays on the production pattern); a replay
+    source materializes its CSV window or session workload instead —
+    hash-verified against the spec's pinned sha256 — and a burst
+    overlay applies on top of whichever base was produced. Every path
+    lands in the same process-wide LRU, so serial, parallel-worker,
+    cached, and incremental executions all replay the identical stream.
+    """
+    cached = _request_traces.get(key)
+    if cached is not None:
+        _request_traces.move_to_end(key)
+        return cached
+    if key.source is None:
+        requests = _synthetic_requests(key)
+    else:
+        base = key.source.base_requests(key.duration_s)
+        if base is None:  # burst overlay on the synthetic pipeline
+            base = _synthetic_requests(key)
+        if key.source.burst is not None:
+            base = apply_flash_crowd(base, key.source.burst, key.duration_s)
+        requests = base
+    _request_traces[key] = requests
     while len(_request_traces) > _MAX_TRACES:
         _request_traces.popitem(last=False)
-    return synthetic.requests
+    return requests
 
 
 def cache_sizes() -> Dict[str, int]:

@@ -14,7 +14,7 @@ from typing import Callable, List
 
 import numpy as np
 
-from repro.analysis.timeseries import TimeSeries
+from repro.analysis.timeseries import TimeSeries, sample_times
 from repro.errors import ConfigurationError, TelemetryError
 
 #: A function of time returning the instantaneous value being monitored.
@@ -89,7 +89,7 @@ class SampledInterface:
         """
         if end <= start:
             raise TelemetryError(f"{self.name}: empty sampling window")
-        times = np.arange(start, end, self.interval)
+        times = sample_times(start, end, self.interval)
         values = np.array([self.read(float(t), signal).value for t in times])
         return TimeSeries(start=start, interval=self.interval, values=values)
 

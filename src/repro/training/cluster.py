@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.timeseries import TimeSeries, max_swing
+from repro.analysis.timeseries import TimeSeries, max_swing, sample_times
 from repro.errors import ConfigurationError
 from repro.gpu.specs import A100_40GB, GpuSpec
 from repro.models.registry import LlmSpec, get_model
@@ -126,7 +126,7 @@ class TrainingClusterModel:
         """
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
-        times = np.arange(0.0, duration_s, sample_interval)
+        times = sample_times(0.0, duration_s, sample_interval)
         values = np.array(
             [self.aggregate_power(float(t), clock_ratio) for t in times]
         )

@@ -18,7 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.timeseries import TimeSeries
+from repro.analysis.timeseries import TimeSeries, sample_times
 from repro.errors import ConfigurationError
 from repro.gpu.capping import ReactivePowerCap
 from repro.gpu.power import GpuPowerModel
@@ -148,7 +148,7 @@ class TrainingIterationModel:
         if power_cap_w is not None:
             cap = ReactivePowerCap(self._power_model, cap_w=power_cap_w)
         end = n_iterations * self.iteration_seconds(clock_ratio)
-        times = np.arange(0.0, end, sample_interval)
+        times = sample_times(0.0, end, sample_interval)
         values = np.empty(times.size)
         clock = clock_ratio * self.gpu.max_sm_clock_mhz
         for i, t in enumerate(times):

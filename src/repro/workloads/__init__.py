@@ -18,6 +18,13 @@ from repro.workloads.spec import (
     WorkloadSpec,
 )
 from repro.workloads.arrivals import DiurnalRateProfile, generate_arrivals
+from repro.workloads.replay import (
+    BurstWindow,
+    CsvReplaySpec,
+    FlashCrowdSpec,
+    SessionProfile,
+    TraceSource,
+)
 from repro.workloads.requests import RequestSampler, SampledRequest
 from repro.workloads.tracegen import (
     ProductionTraceModel,
@@ -26,18 +33,23 @@ from repro.workloads.tracegen import (
 )
 
 __all__ = [
+    "BurstWindow",
     "CHAT",
+    "CsvReplaySpec",
     "DiurnalRateProfile",
+    "FlashCrowdSpec",
     "Priority",
     "ProductionTraceModel",
     "RequestSampler",
     "SEARCH",
     "SUMMARIZE",
     "SampledRequest",
+    "SessionProfile",
     "SloTargets",
     "SyntheticTrace",
     "SyntheticTraceGenerator",
     "TABLE6_MIX",
+    "TraceSource",
     "WorkloadSpec",
     "generate_arrivals",
 ]

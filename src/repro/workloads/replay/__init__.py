@@ -1,0 +1,66 @@
+"""Production trace replay: Azure CSV ingestion, sessions, flash crowds.
+
+This package turns external traces into simulator request streams:
+
+* :mod:`~repro.workloads.replay.azure` parses the Azure Public Dataset
+  LLM inference CSV format (``TIMESTAMP,ContextTokens,GeneratedTokens``)
+  with strict/lenient modes, streaming iteration, window slicing, and a
+  round-trip exporter;
+* :mod:`~repro.workloads.replay.classify` maps replayed token shapes
+  onto the Table 6 workloads and draws priorities deterministically
+  (exact-rational distances + sha256 uniforms — platform-stable);
+* :mod:`~repro.workloads.replay.sessions` generates multi-turn
+  conversation traffic with shared-prefix token reuse;
+* :mod:`~repro.workloads.replay.bursts` layers flash-crowd episodes on
+  any base trace;
+* :mod:`~repro.workloads.replay.source` wraps it all in digestable
+  :class:`TraceSource` descriptors the execution engine caches and
+  content-addresses (file sha256 + slice, never the path).
+
+The package never imports :mod:`repro.exec`; the engine imports *it*
+and owns the dispatch between these sources and the synthetic pipeline.
+"""
+
+from repro.workloads.replay.azure import (
+    AZURE_COLUMNS,
+    AzureRecord,
+    AzureTraceReader,
+    file_sha256,
+    read_azure_trace,
+    slice_window,
+    write_azure_csv,
+)
+from repro.workloads.replay.bursts import (
+    BurstWindow,
+    FlashCrowdSpec,
+    apply_flash_crowd,
+)
+from repro.workloads.replay.classify import (
+    classify_tokens,
+    requests_from_records,
+    stable_priority,
+    stable_uniform,
+)
+from repro.workloads.replay.sessions import SessionProfile, generate_sessions
+from repro.workloads.replay.source import CsvReplaySpec, TraceSource
+
+__all__ = [
+    "AZURE_COLUMNS",
+    "AzureRecord",
+    "AzureTraceReader",
+    "BurstWindow",
+    "CsvReplaySpec",
+    "FlashCrowdSpec",
+    "SessionProfile",
+    "TraceSource",
+    "apply_flash_crowd",
+    "classify_tokens",
+    "file_sha256",
+    "generate_sessions",
+    "read_azure_trace",
+    "requests_from_records",
+    "slice_window",
+    "stable_priority",
+    "stable_uniform",
+    "write_azure_csv",
+]

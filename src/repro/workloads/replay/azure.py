@@ -1,0 +1,256 @@
+"""Azure Public Dataset LLM inference trace ingestion.
+
+The Azure LLM inference traces (``AzurePublicDataset``, Patel et al.'s
+companion release) ship as CSV files with the header::
+
+    TIMESTAMP,ContextTokens,GeneratedTokens
+
+and rows like ``2023-11-16 18:15:00.00,100,50``: a wall-clock arrival
+timestamp, the prompt length in tokens, and the generated length in
+tokens. This module parses that format — streaming, with strict and
+lenient error handling — into :class:`AzureRecord` values whose arrival
+times are *relative seconds from the first record*, which is what the
+simulator replays.
+
+Timestamps are compared as naive calendar time (ordinal day + seconds
+into the day); no timezone conversion ever happens, so parsing is
+bit-identical across machines regardless of ``TZ``. Bare numeric
+timestamps (already-relative seconds) are accepted too, which keeps
+round-trips through :func:`write_azure_csv` exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import TraceError
+from repro.workloads.requests import SampledRequest
+
+#: The dataset's exact header columns, in order.
+AZURE_COLUMNS = ("TIMESTAMP", "ContextTokens", "GeneratedTokens")
+
+#: Accepted wall-clock timestamp layouts (fractional seconds optional).
+_TIMESTAMP_FORMATS = ("%Y-%m-%d %H:%M:%S.%f", "%Y-%m-%d %H:%M:%S")
+
+
+@dataclass(frozen=True)
+class AzureRecord:
+    """One parsed trace row.
+
+    Attributes:
+        arrival_s: Arrival time in seconds since the trace origin (the
+            first parsed record arrives at 0.0).
+        context_tokens: Prompt length in tokens (``ContextTokens``).
+        generated_tokens: Output length in tokens (``GeneratedTokens``).
+    """
+
+    arrival_s: float
+    context_tokens: int
+    generated_tokens: int
+
+
+def _timestamp_seconds(text: str) -> float:
+    """A timestamp as absolute seconds on a timezone-free axis.
+
+    Wall-clock timestamps map to ``ordinal_day * 86400 + seconds into
+    the day``; bare numerics pass through. Only *differences* of these
+    values are ever used, so the axis origin is irrelevant.
+    """
+    stripped = text.strip()
+    for layout in _TIMESTAMP_FORMATS:
+        try:
+            stamp = datetime.strptime(stripped, layout)
+        except ValueError:
+            continue
+        day_s = (
+            stamp.hour * 3600.0 + stamp.minute * 60.0 + stamp.second
+            + stamp.microsecond / 1e6
+        )
+        return stamp.toordinal() * 86400.0 + day_s
+    try:
+        return float(stripped)
+    except ValueError:
+        raise TraceError(f"unparseable TIMESTAMP {text!r}") from None
+
+
+def _parse_row(line: str, line_no: int) -> "tuple[float, int, int]":
+    parts = line.split(",")
+    if len(parts) != len(AZURE_COLUMNS):
+        raise TraceError(
+            f"line {line_no}: expected {len(AZURE_COLUMNS)} columns, "
+            f"got {len(parts)}"
+        )
+    try:
+        stamp = _timestamp_seconds(parts[0])
+    except TraceError as exc:
+        raise TraceError(f"line {line_no}: {exc}") from None
+    try:
+        context = int(parts[1])
+        generated = int(parts[2])
+    except ValueError:
+        raise TraceError(
+            f"line {line_no}: non-integer token count in {line!r}"
+        ) from None
+    if context < 0 or generated < 0:
+        raise TraceError(f"line {line_no}: negative token count in {line!r}")
+    return stamp, context, generated
+
+
+class AzureTraceReader:
+    """Streams :class:`AzureRecord` values out of an Azure-format CSV.
+
+    One pass over the input; file paths are re-opened per iteration so
+    the reader can be consumed more than once. In strict mode (the
+    default) any malformed row — wrong column count, unparseable
+    timestamp, non-integer or negative token count, or a timestamp that
+    goes backwards — raises :class:`~repro.errors.TraceError` naming the
+    1-based line number. In lenient mode malformed rows are skipped and
+    counted in :attr:`skipped`.
+
+    Attributes:
+        parsed: Rows successfully parsed by the most recent iteration.
+        skipped: Rows skipped by the most recent (lenient) iteration.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Path, Iterable[str]],
+        strict: bool = True,
+    ) -> None:
+        self._source = source
+        self.strict = strict
+        self.parsed = 0
+        self.skipped = 0
+
+    def _lines(self) -> Iterator[str]:
+        if isinstance(self._source, (str, Path)):
+            with io.open(self._source, "r", encoding="utf-8") as handle:
+                yield from handle
+        else:
+            yield from self._source
+
+    def __iter__(self) -> Iterator[AzureRecord]:
+        self.parsed = 0
+        self.skipped = 0
+        origin: Optional[float] = None
+        last: Optional[float] = None
+        for line_no, raw in enumerate(self._lines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line_no == 1 and line.split(",")[0].strip() == AZURE_COLUMNS[0]:
+                if self.strict and line != ",".join(AZURE_COLUMNS):
+                    raise TraceError(
+                        f"line 1: header {line!r} does not match "
+                        f"{','.join(AZURE_COLUMNS)!r}"
+                    )
+                continue
+            try:
+                stamp, context, generated = _parse_row(line, line_no)
+            except TraceError:
+                if self.strict:
+                    raise
+                self.skipped += 1
+                continue
+            if last is not None and stamp < last:
+                if self.strict:
+                    raise TraceError(
+                        f"line {line_no}: timestamp goes backwards "
+                        f"({stamp!r} after {last!r}); the dataset is "
+                        "sorted by arrival"
+                    )
+                self.skipped += 1
+                continue
+            if origin is None:
+                origin = stamp
+            last = stamp
+            self.parsed += 1
+            yield AzureRecord(
+                arrival_s=stamp - origin,
+                context_tokens=context,
+                generated_tokens=generated,
+            )
+
+
+def slice_window(
+    records: Iterable[AzureRecord],
+    start_s: float = 0.0,
+    end_s: Optional[float] = None,
+) -> List[AzureRecord]:
+    """Records arriving in ``[start_s, end_s)``, re-based to the window.
+
+    A record arriving at ``start_s`` comes out arriving at 0.0, so a
+    sliced trace replays against a simulation window starting at zero.
+    Works on any iterable (including a live reader) in one pass.
+    """
+    if start_s < 0:
+        raise TraceError(f"window start must be >= 0, got {start_s}")
+    if end_s is not None and end_s <= start_s:
+        raise TraceError(
+            f"window [{start_s}, {end_s}) is empty or inverted"
+        )
+    out: List[AzureRecord] = []
+    for record in records:
+        if record.arrival_s < start_s:
+            continue
+        if end_s is not None and record.arrival_s >= end_s:
+            break  # input is sorted; nothing later can be in-window
+        out.append(AzureRecord(
+            arrival_s=record.arrival_s - start_s,
+            context_tokens=record.context_tokens,
+            generated_tokens=record.generated_tokens,
+        ))
+    return out
+
+
+def read_azure_trace(
+    source: Union[str, Path, Iterable[str]],
+    strict: bool = True,
+    window_start_s: float = 0.0,
+    window_end_s: Optional[float] = None,
+) -> List[AzureRecord]:
+    """Parse (and optionally window-slice) a whole trace into memory."""
+    reader = AzureTraceReader(source, strict=strict)
+    return slice_window(reader, window_start_s, window_end_s)
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    """The file's sha256 hex digest (the replay content-digest input)."""
+    digest = hashlib.sha256()
+    with io.open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+#: Origin stamped on exported traces (matches the dataset's first day).
+EXPORT_ORIGIN = "2023-11-16 00:00:00"
+
+
+def write_azure_csv(
+    path: Union[str, Path],
+    requests: Sequence[SampledRequest],
+    origin: str = EXPORT_ORIGIN,
+) -> None:
+    """Export a request stream in the Azure CSV format.
+
+    Arrival times become wall-clock timestamps offset from ``origin``
+    with centisecond precision (the dataset's own resolution), so a
+    write/read round-trip reproduces arrivals to within 10 ms.
+    """
+    origin_dt = datetime.strptime(origin, "%Y-%m-%d %H:%M:%S")
+    with io.open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(",".join(AZURE_COLUMNS) + "\n")
+        for request in requests:
+            stamp = origin_dt + timedelta(
+                seconds=round(request.arrival_time, 2)
+            )
+            text = stamp.strftime("%Y-%m-%d %H:%M:%S.%f")[:-4]
+            handle.write(
+                f"{text},{request.input_tokens},{request.output_tokens}\n"
+            )

@@ -1,0 +1,134 @@
+"""Deterministic workload/priority classification for replayed records.
+
+Replayed traces carry only token counts, but the simulator's SLO
+accounting (Table 6) needs a workload label and a priority tier per
+request. Classification maps each ``(context, generated)`` shape onto
+the nearest workload box; priority is then drawn from the workload's
+``high_priority_probability`` using a sha256-keyed uniform draw.
+
+Both steps are deliberately platform-independent:
+
+* box distances are exact rationals (:class:`fractions.Fraction`), so
+  the argmin can never flip on a 1-ulp libm difference between
+  machines;
+* the priority draw hashes ``(salt, index, tokens)`` with sha256 and
+  compares the resulting 64-bit uniform against the probability — no
+  RNG state, no float accumulation, same answer everywhere.
+
+That is what makes replayed-trace digests honest: the same CSV bytes
+produce the same request stream on every platform, serial or parallel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.workloads.replay.azure import AzureRecord
+from repro.workloads.requests import SampledRequest
+from repro.workloads.spec import Priority, TABLE6_MIX, WorkloadSpec
+
+
+def _box_penalty(value: int, box: Tuple[int, int]) -> Fraction:
+    """Relative distance of ``value`` to the inclusive ``box`` (exact).
+
+    Zero inside the box; outside, the shortfall or excess normalized by
+    the violated edge, so a 2x overshoot of a wide range and a 2x
+    overshoot of a narrow range weigh the same.
+    """
+    lo, hi = box
+    if value < lo:
+        return Fraction(lo - value, lo)
+    if value > hi:
+        return Fraction(value - hi, hi)
+    return Fraction(0)
+
+
+def classify_tokens(
+    context_tokens: int,
+    generated_tokens: int,
+    mix: Sequence[WorkloadSpec] = TABLE6_MIX,
+) -> WorkloadSpec:
+    """The mix workload whose prompt/output box best fits the shape.
+
+    Ties break toward the earliest workload in ``mix`` (stable order).
+    """
+    if not mix:
+        raise TraceError("cannot classify against an empty workload mix")
+    best = mix[0]
+    best_penalty = None
+    for workload in mix:
+        penalty = (
+            _box_penalty(max(1, context_tokens), workload.prompt_range)
+            + _box_penalty(max(1, generated_tokens), workload.output_range)
+        )
+        if best_penalty is None or penalty < best_penalty:
+            best = workload
+            best_penalty = penalty
+    return best
+
+
+def stable_uniform(*parts: object) -> float:
+    """A uniform in ``[0, 1)`` keyed only by the printed ``parts``.
+
+    sha256 over the ``:``-joined ``repr`` of the parts, top 64 bits
+    scaled down — reproducible across platforms, processes, and runs.
+    """
+    text = ":".join(repr(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def stable_priority(
+    workload: WorkloadSpec, index: int, context_tokens: int,
+    generated_tokens: int, salt: int = 0,
+) -> Priority:
+    """The request's priority tier, drawn deterministically.
+
+    Respects the workload's ``high_priority_probability`` exactly in
+    the 0/1 cases and in expectation otherwise.
+    """
+    p = workload.high_priority_probability
+    if p <= 0.0:
+        return Priority.LOW
+    if p >= 1.0:
+        return Priority.HIGH
+    u = stable_uniform(
+        "priority", salt, index, context_tokens, generated_tokens
+    )
+    return Priority.HIGH if u < p else Priority.LOW
+
+
+def requests_from_records(
+    records: Iterable[AzureRecord],
+    mix: Sequence[WorkloadSpec] = TABLE6_MIX,
+    salt: int = 0,
+    time_scale: float = 1.0,
+) -> List[SampledRequest]:
+    """Classified simulator requests for a replayed record stream.
+
+    Zero-token rows (the dataset has a few) clamp to one token — the
+    simulator requires at least one token per phase. ``time_scale``
+    stretches (>1) or compresses (<1) arrival times, for replaying a
+    long trace into a shorter simulation window.
+    """
+    if time_scale <= 0:
+        raise TraceError(f"time_scale must be positive, got {time_scale}")
+    out: List[SampledRequest] = []
+    for index, record in enumerate(records):
+        workload = classify_tokens(
+            record.context_tokens, record.generated_tokens, mix
+        )
+        out.append(SampledRequest(
+            arrival_time=record.arrival_s * time_scale,
+            workload=workload,
+            priority=stable_priority(
+                workload, index, record.context_tokens,
+                record.generated_tokens, salt=salt,
+            ),
+            input_tokens=max(1, record.context_tokens),
+            output_tokens=max(1, record.generated_tokens),
+        ))
+    return out

@@ -1,0 +1,148 @@
+"""Multi-turn conversation sessions with shared-prefix token reuse.
+
+The Azure traces (and the splitwise/production characterizations behind
+them) show that chat traffic is *sessions*, not independent requests:
+each turn re-submits the whole conversation so far plus a new user
+message, and serving stacks exploit the shared prefix with KV-cache
+reuse. This generator reproduces that structure synthetically:
+
+* sessions start uniformly over the simulation window and hold a
+  geometric number of turns;
+* each turn's *logical* context is ``system prompt + all prior turns``,
+  but its *effective* prompt charges only the new user tokens plus the
+  un-reused fraction of the shared prefix (``1 - prefix_reuse``);
+* conversations form graphs, not chains: with ``branch_probability`` a
+  turn forks (the user regenerates a response or explores a side
+  thread), and both branches continue from the shared prefix.
+
+Everything is driven by one seeded PCG64 generator with a fixed draw
+order, so a profile's request stream is bit-identical across runs and
+platforms, which keeps replayed-trace digests honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.replay.classify import classify_tokens, stable_priority
+from repro.workloads.requests import SampledRequest
+from repro.workloads.spec import TABLE6_MIX, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SessionProfile:
+    """Parameters of the synthetic session workload (digestable).
+
+    Attributes:
+        n_sessions: Conversations started over the window.
+        mean_turns: Mean turns per conversation (geometric, >= 1).
+        max_turns: Hard cap on turns per conversation (branches
+            included), bounding context growth.
+        think_time_mean_s: Mean user think time between turns
+            (exponential).
+        system_prompt_tokens: Shared system prompt opening every
+            conversation.
+        user_turn_tokens: Inclusive (min, max) new user tokens per turn.
+        output_tokens: Inclusive (min, max) generated tokens per turn.
+        prefix_reuse: Fraction of the shared prefix served from cache
+            (0 = every turn re-processes its whole history).
+        branch_probability: Chance a turn forks the conversation graph.
+        seed: RNG seed.
+    """
+
+    n_sessions: int = 200
+    mean_turns: float = 4.0
+    max_turns: int = 12
+    think_time_mean_s: float = 120.0
+    system_prompt_tokens: int = 512
+    user_turn_tokens: Tuple[int, int] = (64, 512)
+    output_tokens: Tuple[int, int] = (128, 1024)
+    prefix_reuse: float = 0.9
+    branch_probability: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sessions <= 0:
+            raise ConfigurationError("n_sessions must be positive")
+        if self.mean_turns < 1.0:
+            raise ConfigurationError("mean_turns must be >= 1")
+        if self.max_turns < 1:
+            raise ConfigurationError("max_turns must be >= 1")
+        if self.think_time_mean_s <= 0:
+            raise ConfigurationError("think_time_mean_s must be positive")
+        if self.system_prompt_tokens < 0:
+            raise ConfigurationError("system_prompt_tokens must be >= 0")
+        for label, (lo, hi) in (
+            ("user_turn_tokens", self.user_turn_tokens),
+            ("output_tokens", self.output_tokens),
+        ):
+            if not 0 < lo <= hi:
+                raise ConfigurationError(f"invalid {label} ({lo}, {hi})")
+        if not 0.0 <= self.prefix_reuse <= 1.0:
+            raise ConfigurationError("prefix_reuse outside [0, 1]")
+        if not 0.0 <= self.branch_probability < 1.0:
+            raise ConfigurationError("branch_probability outside [0, 1)")
+
+
+def generate_sessions(
+    profile: SessionProfile,
+    duration_s: float,
+    mix: Sequence[WorkloadSpec] = TABLE6_MIX,
+) -> List[SampledRequest]:
+    """The session workload's request stream over ``[0, duration_s)``.
+
+    Requests are classified against ``mix`` by their effective token
+    shape (long late-conversation turns drift toward the summarize-like
+    boxes, early turns look like chat), and sorted by arrival.
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    rng = np.random.default_rng(profile.seed)
+    lo_u, hi_u = profile.user_turn_tokens
+    lo_o, hi_o = profile.output_tokens
+    out: List[SampledRequest] = []
+    for session in range(profile.n_sessions):
+        start = float(rng.uniform(0.0, duration_s))
+        turns = min(
+            profile.max_turns,
+            int(rng.geometric(min(1.0, 1.0 / profile.mean_turns))),
+        )
+        # Conversation graph frontier: (arrival time, accumulated
+        # logical context). FIFO order keeps branches interleaved the
+        # way a real regenerating user would interleave them.
+        frontier = [(start, profile.system_prompt_tokens)]
+        emitted = 0
+        while frontier and emitted < turns:
+            when, prefix = frontier.pop(0)
+            user = int(rng.integers(lo_u, hi_u + 1))
+            output = int(rng.integers(lo_o, hi_o + 1))
+            think = float(rng.exponential(profile.think_time_mean_s))
+            fork = bool(rng.random() < profile.branch_probability)
+            fork_think = float(rng.exponential(profile.think_time_mean_s))
+            emitted += 1
+            effective = user + int(
+                math.ceil((1.0 - profile.prefix_reuse) * prefix)
+            )
+            if when < duration_s:
+                workload = classify_tokens(effective, output, mix)
+                out.append(SampledRequest(
+                    arrival_time=when,
+                    workload=workload,
+                    priority=stable_priority(
+                        workload, emitted, effective, output,
+                        salt=profile.seed * 1_000_003 + session,
+                    ),
+                    input_tokens=max(1, effective),
+                    output_tokens=output,
+                ))
+            grown = prefix + user + output
+            frontier.append((when + think, grown))
+            if fork:
+                frontier.append((when + fork_think, grown))
+    out.sort(key=lambda r: r.arrival_time)
+    return out

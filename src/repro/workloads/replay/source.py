@@ -1,0 +1,165 @@
+"""Digestable trace-source descriptors for the execution engine.
+
+A :class:`TraceSource` tells the engine where a run's request trace
+comes from: a replayed Azure-format CSV, a synthetic session workload,
+or the default synthetic pipeline — optionally with a flash-crowd burst
+overlay on top. Sources are small frozen dataclasses so they ride
+inside :class:`~repro.exec.traces.TraceKey` (hashable → process-wide
+trace cache) and :class:`~repro.exec.runspec.RunSpec` (canonicalized →
+content digest) unchanged.
+
+CSV sources are content-addressed: the digest covers the file's sha256,
+the window slice, the time scale, and the classification salt — but
+*not* the path, so the same trace bytes produce the same digest on any
+machine, and a silently swapped file is caught at materialization time
+by re-hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from pathlib import Path
+
+from repro.errors import ConfigurationError, TraceError
+from repro.workloads.replay.azure import (
+    AzureTraceReader,
+    file_sha256,
+    slice_window,
+)
+from repro.workloads.replay.bursts import FlashCrowdSpec
+from repro.workloads.replay.classify import requests_from_records
+from repro.workloads.replay.sessions import SessionProfile, generate_sessions
+from repro.workloads.requests import SampledRequest
+
+
+@dataclass(frozen=True)
+class CsvReplaySpec:
+    """A window of an Azure-format CSV trace, content-addressed.
+
+    Attributes:
+        path: Where the file lives *on this machine*. Excluded from the
+            content digest (see module docstring).
+        sha256: The file's expected content hash; verified every time
+            the trace materializes.
+        strict: Parse mode (strict raises on malformed rows; lenient
+            skips them).
+        window_start_s: Slice start, seconds from the trace origin.
+        window_end_s: Slice end (exclusive); ``None`` replays to EOF.
+        time_scale: Arrival-time multiplier (0.5 compresses a 2-hour
+            window into 1 simulated hour).
+        classify_salt: Salt for the deterministic priority draws.
+    """
+
+    path: str = field(metadata={"digest": False})
+    sha256: str = ""
+    strict: bool = True
+    window_start_s: float = 0.0
+    window_end_s: Optional[float] = None
+    time_scale: float = 1.0
+    classify_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ConfigurationError("CsvReplaySpec needs a file path")
+        if len(self.sha256) != 64:
+            raise ConfigurationError(
+                "CsvReplaySpec needs the file's sha256 (64 hex chars); "
+                "build specs with CsvReplaySpec.from_file()"
+            )
+        if self.window_start_s < 0:
+            raise ConfigurationError("window_start_s must be >= 0")
+        if (
+            self.window_end_s is not None
+            and self.window_end_s <= self.window_start_s
+        ):
+            raise ConfigurationError("window must be non-empty")
+        if self.time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+
+    @classmethod
+    def from_file(
+        cls, path: Union[str, Path], **kwargs: object
+    ) -> "CsvReplaySpec":
+        """A spec for ``path``, hashing the file's current content."""
+        return cls(path=str(path), sha256=file_sha256(path), **kwargs)
+
+    def materialize(self, duration_s: float) -> List[SampledRequest]:
+        """Parse, slice, scale, and classify the trace (hash-verified).
+
+        Raises:
+            TraceError: If the file's bytes no longer match ``sha256``
+                (the digest would be lying about the run's input), or if
+                strict parsing finds a malformed row.
+        """
+        actual = file_sha256(self.path)
+        if actual != self.sha256:
+            raise TraceError(
+                f"trace file {self.path} hash mismatch: spec pins "
+                f"{self.sha256[:12]}..., file is {actual[:12]}..."
+            )
+        reader = AzureTraceReader(self.path, strict=self.strict)
+        records = slice_window(
+            reader, self.window_start_s, self.window_end_s
+        )
+        requests = requests_from_records(
+            records, salt=self.classify_salt, time_scale=self.time_scale
+        )
+        return [r for r in requests if r.arrival_time < duration_s]
+
+
+@dataclass(frozen=True)
+class TraceSource:
+    """Where a run's request trace comes from.
+
+    At most one *base* may be set (``csv`` or ``sessions``; neither
+    means the default synthetic pipeline), and a ``burst`` overlay may
+    be layered on any base. A source with nothing set is rejected —
+    plain synthetic runs simply carry no source at all.
+
+    Attributes:
+        csv: Replay an Azure-format CSV trace.
+        sessions: Generate the multi-turn session workload.
+        burst: Flash-crowd overlay applied after the base materializes.
+    """
+
+    csv: Optional[CsvReplaySpec] = None
+    sessions: Optional[SessionProfile] = None
+    burst: Optional[FlashCrowdSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.csv is not None and self.sessions is not None:
+            raise ConfigurationError(
+                "a TraceSource replays either a CSV or sessions, not both"
+            )
+        if self.csv is None and self.sessions is None and self.burst is None:
+            raise ConfigurationError(
+                "an empty TraceSource is meaningless; omit the source "
+                "entirely for the synthetic pipeline"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short display name for logs and experiment tables."""
+        if self.csv is not None:
+            base = f"csv:{self.csv.sha256[:8]}"
+        elif self.sessions is not None:
+            base = f"sessions:{self.sessions.seed}"
+        else:
+            base = "synthetic"
+        if self.burst is not None:
+            base += f"+burst x{len(self.burst.windows)}"
+        return base
+
+    def base_requests(
+        self, duration_s: float
+    ) -> Optional[List[SampledRequest]]:
+        """The base trace, or ``None`` when the synthetic pipeline is
+        the base (the caller owns that pipeline; this module must not
+        import the execution engine)."""
+        if self.csv is not None:
+            return self.csv.materialize(duration_s)
+        if self.sessions is not None:
+            return generate_sessions(self.sessions, duration_s)
+        return None

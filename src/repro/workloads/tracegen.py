@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import mean_absolute_percentage_error
-from repro.analysis.timeseries import TimeSeries
+from repro.analysis.timeseries import TimeSeries, sample_times
 from repro.errors import ConfigurationError, TraceError
 from repro.gpu.specs import A100_80GB
 from repro.models.performance import RooflineLatencyModel
@@ -34,7 +34,7 @@ from repro.models.registry import get_model
 from repro.server.dgx import DgxServer
 from repro.units import SECONDS_PER_DAY, SECONDS_PER_WEEK, weeks
 from repro.workloads.requests import RequestSampler, SampledRequest
-from repro.workloads.spec import TABLE6_MIX
+from repro.workloads.spec import TABLE6_MIX, WorkloadSpec
 
 #: Per-server power budgeted in the production inference row. Derated well
 #: below the 6.5 kW DGX rating (Section 5 advocates >=800 W derating);
@@ -43,6 +43,35 @@ INFERENCE_PROVISIONED_PER_SERVER_W = 5000.0
 
 #: Trace duration used by the paper (June 21 to August 2, 2023).
 TRACE_WEEKS = 6
+
+
+def smooth_same(values: np.ndarray, window: int) -> np.ndarray:
+    """Boxcar smoothing normalized by the *actual* kernel overlap.
+
+    ``np.convolve(x, ones(w) / w, mode="same")`` zero-pads the signal,
+    so the first and last ``w // 2`` outputs average real samples with
+    implicit zeros and are dragged toward zero — smoothing a constant
+    signal returns less than the constant at the edges, which biases
+    trace boundaries and inflates MAPE at trace start/end. Dividing by
+    the convolved all-ones mask instead averages each bin over exactly
+    the samples the kernel really covers, so a constant stays constant
+    everywhere (edges included) and interior bins are unchanged.
+    """
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if window == 1 or values.size == 0:
+        return np.asarray(values, dtype=float).copy()
+    # mode="full" then center-slice: numpy's mode="same" returns
+    # max(len(values), window) outputs, so a window wider than the
+    # signal would change the length. The slice below reproduces
+    # mode="same" alignment for window <= len(values) and stays
+    # length-preserving beyond it.
+    kernel = np.ones(window)
+    n = values.size
+    lo = (window - 1) // 2
+    summed = np.convolve(values, kernel, mode="full")[lo:lo + n]
+    overlap = np.convolve(np.ones(n), kernel, mode="full")[lo:lo + n]
+    return summed / overlap
 
 
 @dataclass(frozen=True)
@@ -72,9 +101,13 @@ class FluidClusterModel:
 
     @classmethod
     def for_table6(
-        cls, n_servers: int = 40, concurrency: int = 4
+        cls,
+        n_servers: int = 40,
+        concurrency: int = 4,
+        mix: Sequence[WorkloadSpec] = TABLE6_MIX,
     ) -> "FluidClusterModel":
-        """Build the fluid model for the Table 6 mix on BLOOM-176B."""
+        """Build the fluid model for a workload mix (Table 6 by default)
+        on BLOOM-176B."""
         model = get_model("BLOOM-176B")
         latency = RooflineLatencyModel(model=model, gpu=A100_80GB)
         profile = PhasePowerProfile(model=model)
@@ -82,9 +115,12 @@ class FluidClusterModel:
         total_time = 0.0
         prompt_time = 0.0
         prompt_activity = 0.0
-        for workload in TABLE6_MIX:
-            prompt_tokens = int(workload.mean_prompt_tokens())
-            output_tokens = int(workload.mean_output_tokens())
+        for workload in mix:
+            # round(), not int(): a truncating cast floors non-integral
+            # means (e.g. an odd-width range) and biases the fluid
+            # model's service times low for custom mixes.
+            prompt_tokens = round(workload.mean_prompt_tokens())
+            output_tokens = round(workload.mean_output_tokens())
             phases = latency.request_latency(prompt_tokens, output_tokens)
             total_time += workload.share * phases.total_seconds
             prompt_time += workload.share * phases.prompt_seconds
@@ -186,7 +222,9 @@ class ProductionTraceModel:
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
         rng = np.random.default_rng(self.seed)
-        times = np.arange(0.0, duration_s, interval_s)
+        # Integer-indexed grid: a float-step arange can emit a sample at
+        # or past duration_s on adversarial (duration, interval) pairs.
+        times = sample_times(0.0, duration_s, interval_s)
         daily = np.cos(
             2 * np.pi * (times / SECONDS_PER_DAY - self.peak_hour / 24.0)
         )
@@ -194,8 +232,7 @@ class ProductionTraceModel:
         noise = rng.normal(0.0, self.noise_std, size=times.size)
         # Smooth the noise so consecutive samples stay correlated (the
         # production signal is stable at short horizons; Table 4).
-        kernel = np.ones(7) / 7.0
-        smooth_noise = np.convolve(noise, kernel, mode="same")
+        smooth_noise = smooth_same(noise, 7)
         values = (
             self.mean_utilization
             + self.daily_amplitude * daily
@@ -348,8 +385,7 @@ class SyntheticTraceGenerator:
         # Smooth over ~30 min to estimate the underlying rate rather than
         # per-bin Poisson noise (the paper compares smoothed power).
         window = max(1, int(round(1800.0 / interval)))
-        kernel = np.ones(window) / window
-        rho_smooth = np.clip(np.convolve(rho, kernel, mode="same"), 0.0, 1.0)
+        rho_smooth = np.clip(smooth_same(rho, window), 0.0, 1.0)
         power = np.array([
             self.fluid.power_at_utilization(float(r)) for r in rho_smooth
         ])

@@ -4,13 +4,86 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.timeseries import TimeSeries, concatenate, max_swing
+from repro.analysis.timeseries import (
+    TimeSeries,
+    concatenate,
+    max_swing,
+    sample_times,
+)
 from repro.errors import ConfigurationError
 
 
 def series(values, interval=1.0, start=0.0):
     return TimeSeries(start=start, interval=interval,
                       values=np.asarray(values, dtype=float))
+
+
+#: (start, end, interval) pairs where a raw float-step
+#: ``np.arange(start, end, step)`` emits a sample at or past ``end``
+#: because its implied count rounds up (asserted below, so these stay
+#: genuinely adversarial against the old construction).
+ADVERSARIAL_GRIDS = [
+    (0.0, 3 * 0.1, 0.1),          # end = 0.30000000000000004
+    (0.0, 6 * 0.1, 0.1),          # end = 0.6000000000000001
+    (1.0, 1.3, 0.1),              # last arange sample 1.3000000000000003
+    (0.0, 3 * 0.2, 0.2),          # end = 0.6000000000000001
+    (0.0, 3 * 0.05, 0.05),        # end = 0.15000000000000002
+]
+
+
+class TestSampleTimes:
+    @pytest.mark.parametrize("start,end,interval", ADVERSARIAL_GRIDS)
+    def test_adversarial_pairs_overshoot_with_arange(
+        self, start, end, interval
+    ):
+        """The pairs really do break the old construction."""
+        grid = np.arange(start, end, interval)
+        assert grid[-1] >= end or grid.size != sample_times(
+            start, end, interval
+        ).size
+
+    @pytest.mark.parametrize("start,end,interval", ADVERSARIAL_GRIDS)
+    def test_never_emits_sample_at_or_past_end(self, start, end, interval):
+        times = sample_times(start, end, interval)
+        assert times.size > 0
+        assert times[-1] < end
+        # Integer-indexed: start + k * interval exactly.
+        assert times[0] == start
+        k = np.arange(times.size)
+        assert (times == start + k * interval).all()
+
+    def test_covers_the_window(self):
+        times = sample_times(0.0, 10.0, 2.5)
+        assert np.allclose(times, [0.0, 2.5, 5.0, 7.5])
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_times(1.0, 1.0, 0.1)
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_times(0.0, 1.0, 0.0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=5000),
+        interval=st.floats(
+            min_value=1e-3, max_value=1e4,
+            allow_nan=False, allow_infinity=False,
+        ),
+        start=st.floats(
+            min_value=0.0, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_all_samples_inside_window(self, n, interval, start):
+        end = start + n * interval
+        if end <= start:  # float underflow of the product
+            return
+        times = sample_times(start, end, interval)
+        assert times.size > 0
+        assert times[0] == start
+        assert times[-1] < end
 
 
 class TestConstruction:

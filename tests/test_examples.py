@@ -27,6 +27,7 @@ FAST_SCRIPTS = [
     "trace_inspect.py",
     "monitor_run.py",
     "powerfail_study.py",
+    "replay_study.py",
 ]
 
 

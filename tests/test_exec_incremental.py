@@ -257,7 +257,7 @@ class TestEngineIntegration:
         )
         incremental = EvaluationHarness(
             n_base_servers=10, duration_s=hours(1), seed=1,
-            incremental=True, checkpoint_epoch_s=300.0,
+            incremental=True, checkpoint_epoch_s=60.0,
         )
         expected = SweepEngine(workers=1, cache=plain.cache).run_specs(
             self.family(plain)

@@ -1,0 +1,414 @@
+"""Trace replay: Azure CSV parsing, classification, sessions, bursts."""
+
+import hashlib
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.units import hours
+from repro.workloads.replay import (
+    AZURE_COLUMNS,
+    AzureRecord,
+    AzureTraceReader,
+    BurstWindow,
+    CsvReplaySpec,
+    FlashCrowdSpec,
+    SessionProfile,
+    TraceSource,
+    apply_flash_crowd,
+    classify_tokens,
+    file_sha256,
+    generate_sessions,
+    read_azure_trace,
+    requests_from_records,
+    slice_window,
+    stable_priority,
+    stable_uniform,
+    write_azure_csv,
+)
+from repro.workloads.spec import CHAT, Priority, SEARCH, SUMMARIZE, TABLE6_MIX
+
+FIXTURE = "tests/data/azure_llm_sample.csv"
+
+HEADER = ",".join(AZURE_COLUMNS)
+
+GOOD_LINES = [
+    HEADER,
+    "2023-11-16 18:15:00.00,100,50",
+    "2023-11-16 18:15:01.50,2048,300",
+    "2023-11-16 18:16:00.00,600,1500",
+]
+
+
+class TestAzureParsing:
+    def test_arrivals_relative_to_first_record(self):
+        records = read_azure_trace(GOOD_LINES)
+        assert [r.arrival_s for r in records] == [0.0, 1.5, 60.0]
+        assert records[1].context_tokens == 2048
+        assert records[1].generated_tokens == 300
+
+    def test_header_optional(self):
+        with_header = read_azure_trace(GOOD_LINES)
+        without = read_azure_trace(GOOD_LINES[1:])
+        assert with_header == without
+
+    def test_timestamp_without_fraction_accepted(self):
+        records = read_azure_trace([
+            "2023-11-16 18:15:00,10,20",
+            "2023-11-16 18:15:30,30,40",
+        ])
+        assert records[1].arrival_s == 30.0
+
+    def test_bare_numeric_timestamps_accepted(self):
+        records = read_azure_trace(["0.0,10,20", "12.5,30,40"])
+        assert records[1].arrival_s == 12.5
+
+    def test_streaming_iteration(self):
+        reader = AzureTraceReader(iter(GOOD_LINES))
+        first = next(iter(reader))
+        assert first.arrival_s == 0.0
+
+    def test_reader_counts_parsed(self):
+        reader = AzureTraceReader(GOOD_LINES)
+        list(reader)
+        assert reader.parsed == 3
+        assert reader.skipped == 0
+
+    @pytest.mark.parametrize("bad", [
+        "2023-11-16 18:15:02.00,1,2,3",       # extra column
+        "not-a-timestamp,1,2",                 # bad timestamp
+        "2023-11-16 18:15:02.00,one,2",        # non-integer tokens
+        "2023-11-16 18:15:02.00,-1,2",         # negative tokens
+        "2023-11-16 18:14:00.00,1,2",          # goes backwards
+    ])
+    def test_strict_mode_raises_with_line_number(self, bad):
+        lines = GOOD_LINES + [bad]
+        with pytest.raises(TraceError, match="line 5"):
+            read_azure_trace(lines, strict=True)
+
+    def test_lenient_mode_skips_and_counts(self):
+        lines = GOOD_LINES + [
+            "2023-11-16 18:17:00.00,1,2,3",
+            "garbage,1,2",
+            "2023-11-16 18:18:00.00,7,8",
+        ]
+        reader = AzureTraceReader(lines, strict=False)
+        records = list(reader)
+        assert reader.parsed == 4
+        assert reader.skipped == 2
+        assert records[-1].arrival_s == 180.0
+
+    def test_strict_rejects_mangled_header(self):
+        with pytest.raises(TraceError, match="line 1"):
+            read_azure_trace(["TIMESTAMP,Context,Generated"] +
+                             GOOD_LINES[1:])
+
+    def test_empty_input_yields_nothing(self):
+        assert read_azure_trace([HEADER]) == []
+
+
+class TestWindowSlicing:
+    def test_slice_rebases_to_window_start(self):
+        records = read_azure_trace(
+            GOOD_LINES, window_start_s=1.0, window_end_s=61.0
+        )
+        assert [r.arrival_s for r in records] == [0.5, 59.0]
+
+    def test_slice_end_exclusive(self):
+        records = read_azure_trace(GOOD_LINES, window_end_s=60.0)
+        assert len(records) == 2
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(TraceError):
+            slice_window([], 10.0, 5.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TraceError):
+            slice_window([], -1.0)
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip_exact(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        records = read_azure_trace(FIXTURE)
+        requests = requests_from_records(records)
+        write_azure_csv(path, requests)
+        back = requests_from_records(read_azure_trace(path))
+        assert len(back) == len(requests)
+        for a, b in zip(requests, back):
+            assert a.arrival_time == pytest.approx(b.arrival_time, abs=0.011)
+            assert a.input_tokens == b.input_tokens
+            assert a.output_tokens == b.output_tokens
+            assert a.workload == b.workload
+
+    def test_file_sha256_matches_hashlib(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_bytes(b"TIMESTAMP,ContextTokens,GeneratedTokens\n")
+        assert file_sha256(path) == hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+
+
+class TestClassification:
+    def test_shapes_land_in_their_boxes(self):
+        assert classify_tokens(4096, 300).name == "Summarize"
+        assert classify_tokens(1024, 1500).name == "Search"
+        assert classify_tokens(3000, 1000).name == "Chat"
+
+    def test_ties_break_toward_mix_order(self):
+        # (183, 312) fits no box; Summarize and Chat tie on the exact
+        # rational distance, and Summarize comes first in the mix.
+        assert classify_tokens(183, 312, TABLE6_MIX).name == "Summarize"
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(TraceError):
+            classify_tokens(10, 10, mix=())
+
+    def test_zero_tokens_clamp_to_one(self):
+        requests = requests_from_records(
+            [AzureRecord(arrival_s=0.0, context_tokens=0,
+                         generated_tokens=0)]
+        )
+        assert requests[0].input_tokens == 1
+        assert requests[0].output_tokens == 1
+
+    def test_time_scale_stretches_arrivals(self):
+        records = [AzureRecord(10.0, 100, 100)]
+        fast = requests_from_records(records, time_scale=0.5)
+        assert fast[0].arrival_time == 5.0
+        with pytest.raises(TraceError):
+            requests_from_records(records, time_scale=0.0)
+
+    def test_priority_shortcuts_are_exact(self):
+        for i in range(20):
+            assert stable_priority(SUMMARIZE, i, 100, 100) == Priority.LOW
+            assert stable_priority(SEARCH, i, 100, 100) == Priority.HIGH
+
+    def test_priority_split_near_probability(self):
+        highs = sum(
+            stable_priority(CHAT, i, 100, 100) == Priority.HIGH
+            for i in range(2000)
+        )
+        assert 900 < highs < 1100  # p = 0.5
+
+    def test_stable_uniform_is_pure(self):
+        assert stable_uniform("a", 1) == stable_uniform("a", 1)
+        assert stable_uniform("a", 1) != stable_uniform("a", 2)
+        assert 0.0 <= stable_uniform("a", 1) < 1.0
+
+
+class TestSessions:
+    def test_deterministic_per_profile(self):
+        profile = SessionProfile(n_sessions=30, seed=4)
+        a = generate_sessions(profile, hours(1))
+        b = generate_sessions(profile, hours(1))
+        assert a == b
+
+    def test_arrivals_inside_window_and_sorted(self):
+        requests = generate_sessions(
+            SessionProfile(n_sessions=50, seed=1), hours(1)
+        )
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < hours(1) for t in arrivals)
+
+    def test_prefix_reuse_shrinks_prompts(self):
+        base = dict(n_sessions=40, mean_turns=6.0, seed=2)
+        cached = generate_sessions(
+            SessionProfile(prefix_reuse=0.95, **base), hours(4)
+        )
+        uncached = generate_sessions(
+            SessionProfile(prefix_reuse=0.0, **base), hours(4)
+        )
+        mean = lambda rs: np.mean([r.input_tokens for r in rs])  # noqa: E731
+        assert mean(cached) < mean(uncached) / 2
+
+    def test_later_turns_carry_more_context_without_reuse(self):
+        requests = generate_sessions(
+            SessionProfile(n_sessions=1, mean_turns=8.0, max_turns=8,
+                           prefix_reuse=0.0, branch_probability=0.0,
+                           think_time_mean_s=1.0, seed=0),
+            hours(10),
+        )
+        sizes = [r.input_tokens for r in requests]
+        assert sizes == sorted(sizes)
+        assert len(sizes) <= 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SessionProfile(n_sessions=0)
+        with pytest.raises(ConfigurationError):
+            SessionProfile(prefix_reuse=1.5)
+        with pytest.raises(ConfigurationError):
+            SessionProfile(user_turn_tokens=(0, 5))
+        with pytest.raises(ConfigurationError):
+            generate_sessions(SessionProfile(), 0.0)
+
+
+class TestFlashCrowd:
+    def windows(self, **kw):
+        return FlashCrowdSpec(
+            windows=(BurstWindow(start_s=600.0, duration_s=1200.0, **kw),),
+            seed=5,
+        )
+
+    def base(self):
+        return generate_sessions(
+            SessionProfile(n_sessions=100, seed=9), hours(1)
+        )
+
+    def test_burst_adds_requests_only_inside_window(self):
+        base = self.base()
+        merged = apply_flash_crowd(base, self.windows(magnitude=5.0),
+                                   hours(1))
+        extra = len(merged) - len(base)
+        assert extra > 0
+        base_keys = {(r.arrival_time, r.input_tokens) for r in base}
+        for request in merged:
+            key = (request.arrival_time, request.input_tokens)
+            if key not in base_keys:
+                assert 600.0 <= request.arrival_time < 1800.0
+
+    def test_magnitude_scales_extra_load(self):
+        base = self.base()
+        mild = apply_flash_crowd(base, self.windows(magnitude=2.0), hours(1))
+        wild = apply_flash_crowd(base, self.windows(magnitude=6.0), hours(1))
+        assert len(wild) > len(mild) > len(base)
+
+    def test_shapes_resampled_from_ambient_traffic(self):
+        base = self.base()
+        merged = apply_flash_crowd(base, self.windows(magnitude=4.0),
+                                   hours(1))
+        base_shapes = {(r.input_tokens, r.output_tokens) for r in base}
+        for request in merged:
+            assert (request.input_tokens, request.output_tokens) \
+                in base_shapes
+
+    def test_deterministic_and_sorted(self):
+        base = self.base()
+        a = apply_flash_crowd(base, self.windows(), hours(1))
+        b = apply_flash_crowd(base, self.windows(), hours(1))
+        assert a == b
+        arrivals = [r.arrival_time for r in a]
+        assert arrivals == sorted(arrivals)
+
+    def test_empty_base_passes_through(self):
+        assert apply_flash_crowd([], self.windows(), hours(1)) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstWindow(start_s=0.0, duration_s=100.0, magnitude=1.0)
+        with pytest.raises(ConfigurationError):
+            BurstWindow(start_s=0.0, duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstWindow(start_s=0.0, duration_s=10.0, ramp_fraction=0.6)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdSpec(windows=())
+
+    def test_trapezoid_shape(self):
+        window = BurstWindow(start_s=0.0, duration_s=100.0,
+                             ramp_fraction=0.2)
+        assert window.shape(-1.0) == 0.0
+        assert window.shape(10.0) == pytest.approx(0.5)
+        assert window.shape(50.0) == 1.0
+        assert window.shape(95.0) == pytest.approx(0.25)
+        assert window.shape(101.0) == 0.0
+
+
+class TestTraceSource:
+    def test_csv_and_sessions_mutually_exclusive(self):
+        csv = CsvReplaySpec.from_file(FIXTURE)
+        with pytest.raises(ConfigurationError):
+            TraceSource(csv=csv, sessions=SessionProfile())
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSource()
+
+    def test_labels(self):
+        csv = CsvReplaySpec.from_file(FIXTURE)
+        assert TraceSource(csv=csv).label.startswith("csv:")
+        assert TraceSource(sessions=SessionProfile()).label \
+            == "sessions:0"
+        burst = FlashCrowdSpec(windows=(BurstWindow(0.0, 10.0),))
+        assert TraceSource(burst=burst).label == "synthetic+burst x1"
+
+    def test_hash_mismatch_detected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        shutil.copy(FIXTURE, path)
+        spec = CsvReplaySpec.from_file(path)
+        path.write_text("\n".join(GOOD_LINES) + "\n")
+        with pytest.raises(TraceError, match="hash mismatch"):
+            spec.materialize(hours(1))
+
+    def test_spec_requires_hash(self):
+        with pytest.raises(ConfigurationError, match="sha256"):
+            CsvReplaySpec(path=FIXTURE)
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            CsvReplaySpec.from_file(FIXTURE, window_start_s=10.0,
+                                    window_end_s=5.0)
+        with pytest.raises(ConfigurationError):
+            CsvReplaySpec.from_file(FIXTURE, time_scale=-1.0)
+
+    def test_materialize_clips_to_duration(self):
+        source = TraceSource(csv=CsvReplaySpec.from_file(FIXTURE))
+        short = source.base_requests(60.0)
+        full = source.base_requests(hours(1))
+        assert 0 < len(short) < len(full)
+        assert all(r.arrival_time < 60.0 for r in short)
+
+
+def _stream_digest(requests):
+    digest = hashlib.sha256()
+    for r in requests:
+        digest.update((
+            f"{r.arrival_time!r}:{r.workload.name}:{r.priority.value}:"
+            f"{r.input_tokens}:{r.output_tokens}\n"
+        ).encode())
+    return digest.hexdigest()
+
+
+class TestDeterminismGoldens:
+    """Pinned cross-platform digests of the replayed request streams.
+
+    These fail if *any* float, classification decision, or priority
+    draw drifts between platforms or library versions — the property
+    the engine's content-addressed caching relies on.
+    """
+
+    def test_fixture_bytes_pinned(self):
+        assert file_sha256(FIXTURE) == (
+            "3029dbc18941477e2c8ad54445538535"
+            "a96f23b1a42bed3a3221310394b8b5a4"
+        )
+
+    def test_csv_replay_stream_golden(self):
+        requests = requests_from_records(read_azure_trace(FIXTURE))
+        assert _stream_digest(requests) == (
+            "efc6cd38391bff5fa79e85a88f7aadf5"
+            "8e87b220ec581dfecdb6984b45346a02"
+        )
+
+    def test_session_stream_golden(self):
+        requests = generate_sessions(
+            SessionProfile(n_sessions=50, seed=3), hours(2)
+        )
+        assert _stream_digest(requests) == (
+            "9d71494e9bd159aaa63e4bf671f955e5"
+            "dd266c3e2d384fc308b2253189934100"
+        )
+
+    def test_burst_stream_golden(self):
+        base = requests_from_records(read_azure_trace(FIXTURE))
+        spec = FlashCrowdSpec(
+            windows=(BurstWindow(600.0, 1200.0, magnitude=4.0),), seed=11
+        )
+        merged = apply_flash_crowd(base, spec, hours(1))
+        assert _stream_digest(merged) == (
+            "567aa96e35e9a7bc2d47642f37b0eda2"
+            "a837f97d91fb8dcdfd6a2d1afefba343"
+        )

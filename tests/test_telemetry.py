@@ -45,6 +45,17 @@ class TestSampledInterface:
         with pytest.raises(TelemetryError):
             iface.sample_series(lambda t: t, 1.0, 1.0)
 
+    def test_sample_series_never_samples_at_or_past_end(self):
+        # Regression: the old np.arange(start, end, interval) grid emits
+        # a reading at t >= end on adversarial windows — e.g.
+        # arange(0, 3 * 0.1, 0.1) yields a fourth sample at 0.3 — so the
+        # series leaked one out-of-window observation.
+        iface = SampledInterface(name="x", interval=0.1, in_band=True)
+        for start, end in [(0.0, 3 * 0.1), (1.0, 1.3), (0.0, 7 * 0.2)]:
+            series = iface.sample_series(lambda t: t, start, end)
+            assert series.times[-1] < end, (start, end)
+        assert len(iface.sample_series(lambda t: t, 0.0, 3 * 0.1)) == 3
+
     def test_invalid_config_rejected(self):
         with pytest.raises(ConfigurationError):
             SampledInterface(name="x", interval=0.0, in_band=True)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError, TraceError
 from repro.units import days
+from repro.workloads.spec import WorkloadSpec
 from repro.workloads.tracegen import (
     FluidClusterModel,
     INFERENCE_PROVISIONED_PER_SERVER_W,
@@ -12,6 +13,8 @@ from repro.workloads.tracegen import (
     SyntheticTrace,
     SyntheticTraceGenerator,
     TRACE_WEEKS,
+    _PiecewiseRateProfile,
+    smooth_same,
 )
 
 
@@ -94,6 +97,104 @@ class TestProductionTraceModel:
     def test_invalid_duration_rejected(self):
         with pytest.raises(ConfigurationError):
             ProductionTraceModel().generate(duration_s=0.0)
+
+    def test_grid_never_samples_at_or_past_duration(self):
+        # Regression: the old np.arange(0, duration, interval) grid
+        # emits a bin at t >= duration on adversarial pairs (e.g.
+        # duration = 3 * 0.1), padding the trace with one extra sample.
+        trace = ProductionTraceModel(seed=0).generate(
+            duration_s=3 * 0.1, interval_s=0.1
+        )
+        assert len(trace) == 3
+        assert trace.times[-1] < 3 * 0.1
+
+
+class TestSmoothSame:
+    def test_constant_signal_stays_constant_everywhere(self):
+        # Zero-padded mode="same" smoothing dragged the first and last
+        # window//2 bins toward zero; overlap normalization must return
+        # a constant unchanged, edges included.
+        for n, window in [(50, 7), (10, 4), (5, 5), (3, 7)]:
+            out = smooth_same(np.full(n, 3.25), window)
+            assert out.shape == (n,)
+            np.testing.assert_allclose(out, 3.25, rtol=1e-12)
+
+    def test_interior_matches_plain_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=64)
+        window = 7
+        plain = np.convolve(x, np.ones(window) / window, mode="same")
+        out = smooth_same(x, window)
+        interior = slice(window // 2, -(window // 2))
+        np.testing.assert_allclose(out[interior], plain[interior])
+        # ... and the edges differ (they are the fix).
+        assert not np.allclose(out[0], plain[0])
+
+    def test_window_one_is_identity(self):
+        x = np.array([1.0, -2.0, 3.0])
+        np.testing.assert_array_equal(smooth_same(x, 1), x)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smooth_same(np.ones(3), 0)
+
+
+class TestPiecewiseRateProfile:
+    def test_rate_clamps_outside_trace_window(self):
+        profile = _PiecewiseRateProfile(
+            bin_starts=np.array([0.0, 10.0, 20.0]),
+            rates=np.array([1.0, 2.0, 3.0]),
+            interval_s=10.0,
+        )
+        # Thinning can propose arrival candidates slightly before the
+        # first bin or past the last; the profile must clamp to the
+        # nearest bin instead of indexing out of range.
+        assert profile.rate(-5.0) == 1.0
+        assert profile.rate(-1e9) == 1.0
+        assert profile.rate(25.0) == 3.0
+        assert profile.rate(30.0) == 3.0  # exactly past the last bin
+        assert profile.rate(1e9) == 3.0
+        assert profile.rate(10.0) == 2.0  # interior unaffected
+
+
+class TestFluidMeanTokens:
+    def test_non_integral_means_round_instead_of_floor(self):
+        # Regression: int() floored non-integral mean token counts
+        # (e.g. a (1, 2) range has mean 1.5), biasing service times low.
+        mix = (
+            WorkloadSpec(
+                name="odd",
+                prompt_range=(1, 2),      # mean 1.5 -> must round to 2
+                output_range=(255, 256),  # mean 255.5 -> must round to 256
+                share=1.0,
+                high_priority_probability=0.0,
+            ),
+        )
+        floored = FluidClusterModel.for_table6(
+            mix=(
+                WorkloadSpec(
+                    name="floored",
+                    prompt_range=(1, 1),
+                    output_range=(255, 255),
+                    share=1.0,
+                    high_priority_probability=0.0,
+                ),
+            )
+        )
+        rounded = FluidClusterModel.for_table6(
+            mix=(
+                WorkloadSpec(
+                    name="rounded",
+                    prompt_range=(2, 2),
+                    output_range=(256, 256),
+                    share=1.0,
+                    high_priority_probability=0.0,
+                ),
+            )
+        )
+        model = FluidClusterModel.for_table6(mix=mix)
+        assert model.mean_service_s == rounded.mean_service_s
+        assert model.mean_service_s != floored.mean_service_s
 
 
 class TestSyntheticTraceGenerator:
