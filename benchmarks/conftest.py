@@ -17,6 +17,7 @@ not new behaviour. Set ``REPRO_BENCH_HOURS`` to simulate longer.
 """
 
 import os
+from pathlib import Path
 from typing import Dict, Iterable, Optional
 
 import pytest
@@ -25,12 +26,19 @@ from repro.cluster.metrics import SimulationResult
 from repro.core.policy import PolcaThresholds
 from repro.core.sweeps import EvaluationHarness
 from repro.exec import PolicySpec, RunSpec, default_workers
+from repro.obs import ExperimentLedger
 from repro.units import hours
 
 BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "30"))
 BENCH_WORKERS = int(
     os.environ.get("REPRO_BENCH_WORKERS", str(default_workers()))
 )
+
+#: Every POLCA-evaluation run of a benchmark session is journaled here
+#: (one JSONL entry per run: digest, provenance, rusage, headline
+#: metrics). CI uploads it, and the mission-control report renders its
+#: history panels.
+LEDGER_PATH = Path(__file__).resolve().parent.parent / "LEDGER_fig18.jsonl"
 
 
 class EvalCache:
@@ -39,8 +47,14 @@ class EvalCache:
     def __init__(
         self, duration_s: float, seed: int = 1, workers: int = BENCH_WORKERS
     ) -> None:
+        # Fresh journal per session: the ledger file itself is
+        # append-only, so the previous session's file is removed rather
+        # than truncated through the handle.
+        LEDGER_PATH.unlink(missing_ok=True)
+        self.ledger = ExperimentLedger(str(LEDGER_PATH))
         self.harness = EvaluationHarness(
-            duration_s=duration_s, seed=seed, workers=workers
+            duration_s=duration_s, seed=seed, workers=workers,
+            ledger=self.ledger,
         )
 
     def baseline(self) -> SimulationResult:

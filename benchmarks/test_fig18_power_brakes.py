@@ -24,16 +24,21 @@ Perfetto), the third uploaded artifact.
 from pathlib import Path
 
 from conftest import print_table
+from test_fig13_threshold_search import COMBOS, FRACTIONS
 
 from repro import NoCapPolicy
 from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+from repro.core.sweeps import threshold_search
 from repro.obs import (
     AlertEngine,
+    Dashboard,
     JsonlRecorder,
     TeeRecorder,
     attribute_run,
     cross_check,
     incident_table,
+    load_events,
+    read_ledger,
     summarize_trace,
     top_victims,
     write_chrome_trace,
@@ -50,6 +55,7 @@ POLICIES = ("POLCA", "1-Thresh-Low-Pri", "1-Thresh-All", "No-cap")
 TRACE_PATH = Path(__file__).resolve().parent.parent / "TRACE_fig18.jsonl"
 METRICS_PATH = Path(__file__).resolve().parent.parent / "METRICS_fig18.prom"
 PERFETTO_PATH = Path(__file__).resolve().parent.parent / "PERFETTO_fig18.json"
+REPORT_PATH = Path(__file__).resolve().parent.parent / "REPORT_fig18.html"
 TRACE_HOURS = 2.0
 
 
@@ -177,3 +183,63 @@ def test_fig18_trace_artifact(benchmark):
         print(f"  r{victim.request_id:<6} "
               f"[{victim.priority}/{victim.workload}] "
               f"+{victim.excess_s:8.3f} s excess")
+
+
+def test_fig18_mission_control_report(benchmark, eval_cache):
+    """Render the mission-control dashboard to REPORT_fig18.html.
+
+    One static, dependency-free HTML artifact for the whole benchmark
+    session: the Figure 13 sweep curves (recalled from the shared memo
+    cache — the grid was already simulated by the earlier benchmarks),
+    the Figure 18 brake-storm timeline, the incidents the alert engine
+    re-derives from the stored trace, the attribution top victims, the
+    kernel-timer profile of a short instrumented run, and the session
+    ledger's cache-savings and history panels. Rendering must be
+    byte-identical across repeated renders of the same inputs.
+    """
+    from conftest import LEDGER_PATH
+
+    from repro.exec.profile import profile_kernels
+
+    def build_report():
+        points = threshold_search(eval_cache.harness, COMBOS, FRACTIONS)
+        dash = Dashboard(
+            title="POLCA mission control",
+            subtitle="Figure 13 threshold sweep + Figure 18 "
+                     "brake-storm scenario",
+        )
+        dash.add_sweep_panel(points)
+        events = (
+            load_events(str(TRACE_PATH)) if TRACE_PATH.exists() else []
+        )
+        if events:
+            dash.add_timeline_panel(events=events)
+            incidents = AlertEngine().replay(events).incidents
+            dash.add_incident_panel([i.to_dict() for i in incidents])
+            attribution = attribute_run(events)
+            if attribution.requests:
+                dash.add_victims_panel(attribution)
+        _, stats = profile_kernels(_short_kernel_spec())
+        dash.add_kernel_panel(stats)
+        entries = (
+            read_ledger(str(LEDGER_PATH)) if LEDGER_PATH.exists() else []
+        )
+        dash.add_savings_panel(entries)
+        dash.add_ledger_panel(entries)
+        return dash
+
+    dash = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    html = dash.render()
+    assert html == dash.render(), "dashboard render is not deterministic"
+    REPORT_PATH.write_text(html, encoding="utf-8")
+    assert "Threshold sweep" in html
+    assert "<svg" in html
+    print(f"\n=== Mission control — {REPORT_PATH.name} "
+          f"({len(html)} bytes, {html.count('<section>')} panels) ===")
+
+
+def _short_kernel_spec():
+    """A 2 h baseline spec for the kernel-timer panel (cheap to run)."""
+    from repro.core.sweeps import EvaluationHarness
+
+    return EvaluationHarness(duration_s=hours(2.0)).baseline_spec()

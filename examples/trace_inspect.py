@@ -26,6 +26,15 @@ tool renders such a trace for a human:
   subtree and lost capacity), emergency shed windows, deferrals, and
   staged re-energization (exit 1 when the trace has no protection
   events).
+* ``python examples/trace_inspect.py ledger ledger.jsonl`` prints the
+  experiment ledger — one row per recorded run with policy, seed, wall
+  time, provenance (cache hit / incremental / retries / quarantine),
+  and headline metrics (``--policy NAME`` filters; exit 1 when nothing
+  matches).
+* ``python examples/trace_inspect.py report trace.jsonl --out r.html``
+  renders a trace into the static mission-control HTML dashboard
+  (timeline, summary, attribution victims; ``--ledger`` adds ledger
+  panels; exit 1 when the trace is empty).
 * ``python examples/trace_inspect.py`` (no argument) records a fresh demo
   trace from a short faulted run, writes it next to the working
   directory (or ``--out``), renders it, and then *cross-checks* it: every
@@ -33,7 +42,8 @@ tool renders such a trace for a human:
   stream and compared (two independent accounting paths that must agree).
 
 Run:  python examples/trace_inspect.py \
-          [diff A B | spans T | attrib T | trips T | trace.jsonl] [--out f]
+          [diff A B | spans T | attrib T | trips T | ledger L |
+           report T | trace.jsonl] [--out f]
 """
 
 import argparse
@@ -323,6 +333,113 @@ def trips_main(argv) -> int:
     return 0
 
 
+def ledger_main(argv) -> int:
+    """The ``ledger`` subcommand: print the experiment run journal."""
+    parser = argparse.ArgumentParser(
+        prog="trace_inspect.py ledger",
+        description="Print an experiment ledger (JSONL run journal "
+                    "recorded by SweepEngine/EvaluationHarness): one "
+                    "row per run with provenance and headline metrics "
+                    "(exit 1 when no entries match).",
+    )
+    parser.add_argument("ledger", help="JSONL experiment ledger")
+    parser.add_argument(
+        "--policy", default=None,
+        help="only entries for this policy name",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20,
+        help="most recent rows to print (default 20)",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs import read_ledger
+
+    entries = [
+        e for e in read_ledger(args.ledger)
+        if e.get("kind") == "run"
+        and (args.policy is None or e.get("policy") == args.policy)
+    ]
+    if not entries:
+        wanted = f" for policy {args.policy!r}" if args.policy else ""
+        print(f"no ledger entries{wanted} in {args.ledger}",
+              file=sys.stderr)
+        return 1
+    shown = entries[-max(args.limit, 1):]
+    print(f"== Experiment ledger: {len(entries)} run(s), "
+          f"showing last {len(shown)} ==")
+    print(f"  {'policy':<22}{'seed':>5}{'wall_s':>9}{'prov':>6}"
+          f"{'retry':>6}{'brakes':>7}{'energy_J':>13}  digest")
+    for entry in shown:
+        prov = entry.get("provenance") or {}
+        metrics = entry.get("metrics") or {}
+        flags = "".join((
+            "C" if prov.get("cache_hit") else "",
+            "I" if prov.get("incremental_resumed")
+            or prov.get("incremental_reused") else "",
+            "Q" if prov.get("quarantined") else "",
+            "S" if (prov.get("shards") or 1) > 1 else "",
+        )) or "-"
+        print(f"  {str(entry.get('policy')):<22}"
+              f"{entry.get('seed')!s:>5}"
+              f"{float(entry.get('wall_s') or 0.0):>9.3f}"
+              f"{flags:>6}"
+              f"{prov.get('retries', 0):>6}"
+              f"{metrics.get('power_brake_events')!s:>7}"
+              f"{float(metrics.get('total_energy_j') or 0.0):>13.1f}"
+              f"  {str(entry.get('digest'))[:12]}")
+    print("  provenance flags: C cache hit, I incremental, "
+          "Q quarantined, S sharded")
+    return 0
+
+
+def report_main(argv) -> int:
+    """The ``report`` subcommand: trace -> mission-control HTML."""
+    parser = argparse.ArgumentParser(
+        prog="trace_inspect.py report",
+        description="Render a JSONL trace (and optionally an "
+                    "experiment ledger) into the static mission-"
+                    "control HTML dashboard (exit 1 when the trace "
+                    "has no events).",
+    )
+    parser.add_argument("trace", help="JSONL trace to render")
+    parser.add_argument(
+        "--out", default="REPORT.html",
+        help="output HTML path (default REPORT.html)",
+    )
+    parser.add_argument(
+        "--ledger", default=None,
+        help="also render this experiment ledger's history panels",
+    )
+    parser.add_argument(
+        "--title", default="Mission control",
+        help="page title (default 'Mission control')",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs import Dashboard, read_ledger
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"no events in {args.trace}", file=sys.stderr)
+        return 1
+    dash = Dashboard(title=args.title, subtitle=args.trace)
+    dash.add_timeline_panel(events=events)
+    dash.add_panel(
+        "Trace summary",
+        "<pre>" + "\n".join(summarize_trace(events)) + "</pre>",
+    )
+    attribution = attribute_run(events)
+    if attribution.requests:
+        dash.add_victims_panel(attribution)
+    if args.ledger is not None:
+        entries = read_ledger(args.ledger)
+        dash.add_savings_panel(entries)
+        dash.add_ledger_panel(entries)
+    dash.write(args.out)
+    print(f"wrote {args.out} ({len(dash.render())} bytes, "
+          f"{len(events)} events)")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     try:
@@ -334,6 +451,10 @@ def main(argv=None) -> int:
             return attrib_main(argv[1:])
         if argv and argv[0] == "trips":
             return trips_main(argv[1:])
+        if argv and argv[0] == "ledger":
+            return ledger_main(argv[1:])
+        if argv and argv[0] == "report":
+            return report_main(argv[1:])
 
         parser = argparse.ArgumentParser(
             description="Summarize a simulator JSONL trace, or record "
@@ -342,7 +463,9 @@ def main(argv=None) -> int:
                         "traces; 'spans' renders per-request span "
                         "trees; 'attrib' attributes latency and energy "
                         "to cap/brake actions; 'trips' renders the "
-                        "power-delivery protection timeline."
+                        "power-delivery protection timeline; 'ledger' "
+                        "prints an experiment run journal; 'report' "
+                        "renders a trace as a static HTML dashboard."
         )
         parser.add_argument(
             "trace", nargs="?", default=None,

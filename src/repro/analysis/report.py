@@ -15,12 +15,35 @@ from repro.errors import ConfigurationError
 from repro.workloads.spec import Priority
 
 
+def _markdown_cell(text: str) -> str:
+    """Make one cell safe inside a Markdown table row.
+
+    ``|`` would end the cell, so it is escaped to ``\\|``; leading or
+    trailing whitespace would be swallowed by Markdown's cell trimming
+    (breaking alignment-significant values like padded run names), so
+    edge spaces become ``&nbsp;``. Interior whitespace is untouched.
+    """
+    text = text.replace("\\", "\\\\").replace("|", "\\|")
+    stripped = text.strip(" ")
+    if not stripped:
+        return "&nbsp;" * len(text)
+    if stripped != text:
+        leading = len(text) - len(text.lstrip(" "))
+        trailing = len(text) - len(text.rstrip(" "))
+        text = "&nbsp;" * leading + stripped + "&nbsp;" * trailing
+    return text
+
+
 def render_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
     markdown: bool = False,
 ) -> str:
     """Render a table as aligned plain text or GitHub Markdown.
+
+    Markdown cells are escaped (:func:`_markdown_cell`): pipes become
+    ``\\|`` and edge whitespace becomes ``&nbsp;`` so no cell value can
+    break the table grammar.
 
     Raises:
         ConfigurationError: If a row's width mismatches the headers.
@@ -35,6 +58,8 @@ def render_table(
     cells = [[str(h) for h in headers]] + [
         [str(cell) for cell in row] for row in rows
     ]
+    if markdown:
+        cells = [[_markdown_cell(cell) for cell in row] for row in cells]
     widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
     if markdown:
         lines = [

@@ -46,6 +46,7 @@ from repro.exec import (
 from repro.exec import traces as _traces
 from repro.faults.plan import FaultPlan
 from repro.faults.reliability import ReliabilityConfig
+from repro.obs.ledger import ExperimentLedger
 from repro.units import days
 from repro.workloads.replay import TraceSource
 from repro.workloads.requests import SampledRequest
@@ -80,6 +81,13 @@ class EvaluationHarness:
             builds, so sweeps under a replayed Azure CSV, a session
             workload, or a flash-crowd overlay use the engine, cache,
             and incremental paths unchanged.
+        ledger: Experiment ledger shared by every sweep on this
+            harness (see :class:`~repro.obs.ledger.ExperimentLedger`):
+            each engine batch appends one entry per unique run —
+            identity digests, policy, wall time, provenance, rusage,
+            headline metrics, environment stamp. ``None`` (default)
+            records nothing; a ledgered sweep is bit-identical to an
+            unledgered one.
     """
 
     n_base_servers: int = 40
@@ -92,6 +100,7 @@ class EvaluationHarness:
     incremental: bool = False
     checkpoint_epoch_s: float = 600.0
     trace_source: Optional[TraceSource] = None
+    ledger: Optional[ExperimentLedger] = None
 
     def utilization_trace(self) -> TimeSeries:
         """The production-style target utilization trace (cached)."""
@@ -173,6 +182,7 @@ class EvaluationHarness:
             cache=self.cache,
             incremental=self.incremental,
             checkpoint_epoch_s=self.checkpoint_epoch_s,
+            ledger=self.ledger,
         )
 
     def run(

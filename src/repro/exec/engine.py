@@ -23,6 +23,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -38,6 +39,11 @@ from repro.errors import ConfigurationError
 from repro.exec.cache import RunCache
 from repro.exec.runspec import RunSpec, execute_spec
 from repro.obs.export import write_textfile
+from repro.obs.ledger import (
+    ExperimentLedger,
+    rusage_delta,
+    rusage_snapshot,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
@@ -76,17 +82,24 @@ def _maybe_fail_for_test(spec: RunSpec) -> None:
     os._exit(1)
 
 
-def _execute_timed(spec: RunSpec) -> Tuple[SimulationResult, float, int]:
+def _execute_timed(
+    spec: RunSpec,
+) -> Tuple[SimulationResult, float, int, Dict[str, float]]:
     """Worker entry point of the process pool.
 
-    Returns the result plus the per-run wall time and the executing
-    worker's pid, so the parent can emit ``engine_run`` events without
-    recorders having to be picklable into workers.
+    Returns the result plus the per-run wall time, the executing
+    worker's pid, and the worker's ``getrusage`` footprint (CPU-time
+    delta across the run, max-RSS high-water mark), so the parent can
+    emit ``engine_run`` events and ledger entries without recorders
+    having to be picklable into workers.
     """
     _maybe_fail_for_test(spec)
+    usage_before = rusage_snapshot()
     start = time.perf_counter()
     result = execute_spec(spec)
-    return result, time.perf_counter() - start, os.getpid()
+    wall_s = time.perf_counter() - start
+    usage = rusage_delta(usage_before, rusage_snapshot())
+    return result, wall_s, os.getpid(), usage
 
 
 def default_workers() -> int:
@@ -212,6 +225,16 @@ class SweepEngine:
             dense controller-parameter grids.
         checkpoint_epoch_s: Simulation-time spacing of the checkpoints
             recorded during each family's first run (incremental mode).
+        ledger: Experiment ledger receiving one entry per unique spec
+            each batch — digest/family/trace identity, policy + seed,
+            wall time, worker pid, provenance flags (cache hit,
+            incremental resume, retries, quarantine), worker rusage,
+            headline result metrics, and an environment stamp. ``None``
+            (the default) records nothing; like every recorder, the
+            ledger observes only, so a ledgered batch is bit-identical
+            to an unledgered one. Retried and quarantined runs appear
+            exactly once (with their retry counts), cache hits appear
+            with ``cache_hit: true`` and zero wall time.
     """
 
     workers: Optional[int] = None
@@ -224,6 +247,7 @@ class SweepEngine:
     retries: int = 1
     incremental: bool = False
     checkpoint_epoch_s: float = 600.0
+    ledger: Optional[ExperimentLedger] = None
     last_stats: Optional[ExecutionStats] = field(
         init=False, default=None, repr=False
     )
@@ -282,10 +306,17 @@ class SweepEngine:
             digest = f"{digest}-shards{n_shards}"
         cached = self.cache.get(digest)
         if cached is not None:
+            if self.ledger is not None:
+                self.ledger.record_run(
+                    spec, cached, cache_hit=True, shards=n_shards,
+                )
             return cached
         from repro.cluster.sharded import ShardedSimulator
         from repro.exec import traces
 
+        ledgering = self.ledger is not None
+        usage_before = rusage_snapshot() if ledgering else None
+        run_start = time.perf_counter()
         requests = traces.requests_for(spec.trace_key())
         result = ShardedSimulator(
             spec.config,
@@ -294,6 +325,14 @@ class SweepEngine:
             parallel=parallel,
         ).run(requests, spec.duration_s)
         self.cache.put(digest, result)
+        if ledgering:
+            self.ledger.record_run(
+                spec, result,
+                wall_s=time.perf_counter() - run_start,
+                worker=os.getpid(),
+                rusage=rusage_delta(usage_before, rusage_snapshot()),
+                shards=n_shards,
+            )
         return result
 
     def run_specs(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
@@ -304,6 +343,8 @@ class SweepEngine:
         """
         start = time.perf_counter()
         recording = self.recorder.enabled
+        ledgering = self.ledger is not None
+        run_info: Dict[str, Dict[str, Any]] = {}
         digests = [spec.digest() for spec in specs]
         resolved: dict = {}
         pending: List[Tuple[str, RunSpec]] = []
@@ -317,6 +358,8 @@ class SweepEngine:
                     self.recorder.emit({
                         "kind": "engine_cache_hit", "digest": digest,
                     })
+                if ledgering:
+                    run_info[digest] = {"cache_hit": True}
             else:
                 pending.append((digest, spec))
         workers_used = 1
@@ -345,25 +388,52 @@ class SweepEngine:
                     else execute_spec
                 )
                 for done, (digest, spec) in enumerate(pending, start=1):
-                    if recording:
-                        run_start = time.perf_counter()
-                        result = execute(spec)
-                        self._record_run(
-                            digest,
-                            time.perf_counter() - run_start,
-                            os.getpid(),
+                    if not (recording or ledgering):
+                        resolved[digest] = execute(spec)
+                        continue
+                    usage_before = (
+                        rusage_snapshot() if ledgering else None
+                    )
+                    inc_run_before = (
+                        (
+                            incremental.stats.resumed_runs,
+                            incremental.stats.reused_results,
                         )
-                        resolved[digest] = result
+                        if ledgering and incremental is not None
+                        else None
+                    )
+                    run_start = time.perf_counter()
+                    result = execute(spec)
+                    wall_s = time.perf_counter() - run_start
+                    resolved[digest] = result
+                    if recording:
+                        self._record_run(digest, wall_s, os.getpid())
                         self._record_progress(
                             done, len(pending), batch_hits, start, 1
                         )
-                    else:
-                        resolved[digest] = execute(spec)
+                    if ledgering:
+                        info: Dict[str, Any] = {
+                            "wall_s": wall_s,
+                            "worker": os.getpid(),
+                            "rusage": rusage_delta(
+                                usage_before, rusage_snapshot()
+                            ),
+                        }
+                        if inc_run_before is not None:
+                            info["incremental_resumed"] = (
+                                incremental.stats.resumed_runs
+                                > inc_run_before[0]
+                            )
+                            info["incremental_reused"] = (
+                                incremental.stats.reused_results
+                                > inc_run_before[1]
+                            )
+                        run_info[digest] = info
             else:
                 workers_used = n_workers
                 retried, quarantined = self._run_pool(
                     pending, resolved, n_workers, batch_hits, start,
-                    recording,
+                    recording, run_info,
                 )
             for digest, _ in pending:
                 self.cache.put(digest, resolved[digest])
@@ -400,6 +470,19 @@ class SweepEngine:
                 "workers": stats.workers_used,
                 "wall_s": stats.wall_s,
             })
+        if ledgering:
+            # One entry per unique digest, in first-occurrence order —
+            # duplicates within the batch share their single entry, and
+            # retried/quarantined runs appear exactly once (their retry
+            # counts live in the provenance flags).
+            emitted: set = set()
+            for digest, spec in zip(digests, specs):
+                if digest in emitted:
+                    continue
+                emitted.add(digest)
+                self.ledger.record_run(
+                    spec, resolved[digest], **run_info.get(digest, {})
+                )
         return [resolved[digest] for digest in digests]
 
     def _run_pool(
@@ -410,6 +493,7 @@ class SweepEngine:
         batch_hits: int,
         batch_start: float,
         recording: bool,
+        run_info: Optional[Dict[str, Dict[str, Any]]] = None,
     ) -> Tuple[int, int]:
         """Fan ``pending`` out over a process pool, surviving workers.
 
@@ -425,6 +509,7 @@ class SweepEngine:
         quarantined)`` counts.
         """
         context = multiprocessing.get_context("fork")
+        ledgering = self.ledger is not None and run_info is not None
         remaining = list(pending)
         attempts: Dict[str, int] = {}
         total = len(pending)
@@ -441,7 +526,7 @@ class SweepEngine:
             collected = 0
             for future in futures:
                 try:
-                    result, wall_s, worker = future.result(
+                    result, wall_s, worker, usage = future.result(
                         timeout=self.run_timeout_s
                     )
                 except FuturesTimeoutError:
@@ -460,6 +545,13 @@ class SweepEngine:
                         done_count, total, batch_hits, batch_start,
                         n_workers,
                     )
+                if ledgering:
+                    run_info[digest] = {
+                        "wall_s": wall_s,
+                        "worker": worker,
+                        "rusage": usage,
+                        "retries": attempts.get(digest, 0),
+                    }
             if failure is None:
                 pool.shutdown(wait=True)
                 return retried, quarantined
@@ -483,19 +575,28 @@ class SweepEngine:
             else:
                 action = "quarantine"
                 quarantined += 1
+                usage_before = rusage_snapshot() if ledgering else None
                 run_start = time.perf_counter()
                 result = execute_spec(spec)
+                wall_s = time.perf_counter() - run_start
                 resolved[digest] = result
                 done_count += 1
                 if recording:
-                    self._record_run(
-                        digest, time.perf_counter() - run_start,
-                        os.getpid(),
-                    )
+                    self._record_run(digest, wall_s, os.getpid())
                     self._record_progress(
                         done_count, total, batch_hits, batch_start,
                         n_workers,
                     )
+                if ledgering:
+                    run_info[digest] = {
+                        "wall_s": wall_s,
+                        "worker": os.getpid(),
+                        "rusage": rusage_delta(
+                            usage_before, rusage_snapshot()
+                        ),
+                        "retries": attempts[digest] - 1,
+                        "quarantined": True,
+                    }
                 remaining = survivors
             if recording:
                 self.metrics.counter("engine.worker_retries").inc()

@@ -48,7 +48,18 @@ that behaviour from live runs without perturbing them:
   or brake version at fault (:func:`~repro.obs.attribution.attribute_run`,
   :func:`~repro.obs.attribution.top_victims`); and
   :func:`~repro.obs.export.render_chrome_trace` exports any trace in
-  the Chrome trace-event / Perfetto JSON format for visual inspection.
+  the Chrome trace-event / Perfetto JSON format for visual inspection;
+* the cross-run layer is the memory between executions:
+  :mod:`repro.obs.ledger` journals every engine run (provenance,
+  rusage, headline metrics, environment stamp) into an append-only
+  JSONL :class:`~repro.obs.ledger.ExperimentLedger`;
+  :mod:`repro.obs.regress` diffs fresh benchmark reports and ledgers
+  against committed baselines under per-metric tolerance policies
+  (exact for deterministic metrics, relative-with-noise-floor for
+  timings — the CI regression sentinel); and
+  :mod:`repro.obs.dashboard` renders sweeps, timelines, incidents,
+  attribution, kernel timers, and ledger history into one
+  deterministic dependency-free static HTML page.
 """
 
 from repro.obs.alerts import (
@@ -83,8 +94,14 @@ from repro.obs.attribution import (
     attribution_table,
     top_victims,
 )
+from repro.obs.dashboard import (
+    PALETTE,
+    Dashboard,
+    render_sparkline,
+)
 from repro.obs.diff import (
     Divergence,
+    diff_dicts,
     diff_results,
     diff_traces,
     format_divergence,
@@ -96,6 +113,14 @@ from repro.obs.export import (
     write_chrome_trace,
     write_textfile,
 )
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    ExperimentLedger,
+    environment_stamp,
+    headline_metrics,
+    read_ledger,
+    rusage_snapshot,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     Counter,
@@ -103,6 +128,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     aggregate_snapshots,
+)
+from repro.obs.regress import (
+    DEFAULT_POLICIES,
+    MetricDiff,
+    RegressionReport,
+    Tolerance,
+    check_bench,
+    check_bench_dir,
+    check_ledger,
+    compare_metrics,
 )
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -142,20 +177,27 @@ __all__ = [
     "Counter",
     "CrossCheckReport",
     "CsvRecorder",
+    "DEFAULT_POLICIES",
+    "Dashboard",
     "Divergence",
     "Ewma",
+    "ExperimentLedger",
     "Gauge",
     "Histogram",
     "Incident",
     "JsonlRecorder",
     "LATENCY_BUCKETS",
+    "LEDGER_SCHEMA_VERSION",
     "MemoryRecorder",
+    "MetricDiff",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "PALETTE",
     "PhaseSpan",
     "RateInterval",
     "RateRule",
+    "RegressionReport",
     "RequestAttribution",
     "RequestSpan",
     "RollingRate",
@@ -164,6 +206,7 @@ __all__ = [
     "StreamMonitor",
     "TeeRecorder",
     "ThresholdRule",
+    "Tolerance",
     "TraceEvent",
     "TraceRecorder",
     "WindowMax",
@@ -174,19 +217,29 @@ __all__ = [
     "brake_timeline",
     "build_spans",
     "cap_timeline",
+    "check_bench",
+    "check_bench_dir",
+    "check_ledger",
+    "compare_metrics",
     "cross_check",
     "default_rules",
+    "diff_dicts",
     "diff_results",
     "diff_traces",
+    "environment_stamp",
     "fallback_windows",
     "format_divergence",
+    "headline_metrics",
     "incident_table",
     "load_events",
     "merge_incident_snapshots",
     "read_jsonl",
+    "read_ledger",
     "render_chrome_trace",
     "render_openmetrics",
     "render_span_tree",
+    "render_sparkline",
+    "rusage_snapshot",
     "sanitize_metric_name",
     "summarize_trace",
     "top_victims",

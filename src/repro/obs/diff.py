@@ -32,6 +32,7 @@ from repro.obs.recorder import TraceEvent
 
 __all__ = [
     "Divergence",
+    "diff_dicts",
     "diff_results",
     "diff_traces",
     "format_divergence",
@@ -141,6 +142,22 @@ def _walk(path: str, a: Any, b: Any) -> Optional[Tuple[str, Any, Any]]:
     if a != b:
         return (path, a, b)
     return None
+
+
+def diff_dicts(a: Any, b: Any) -> Optional[Divergence]:
+    """First divergent leaf between two JSON-like structures.
+
+    The generic core of :func:`diff_results`, exposed for callers that
+    already hold plain dict/list data — benchmark reports, ledger
+    entries, observability snapshots. The divergence's ``field`` is a
+    dotted path (``serial.wall_s``, ``grid.combos[2]``) into the first
+    differing leaf in sorted-key, depth-first order.
+    """
+    found = _walk("", a, b)
+    if found is None:
+        return None
+    path, value_a, value_b = found
+    return Divergence(index=-1, field=path, a=value_a, b=value_b)
 
 
 def diff_results(result_a: Any, result_b: Any) -> Optional[Divergence]:

@@ -37,6 +37,70 @@ class TestRenderTable:
         assert "a" in text
 
 
+class TestMarkdownEscaping:
+    """Regression tests: no cell value can break the table grammar."""
+
+    @staticmethod
+    def cell_grid(text):
+        """Parse the rendered Markdown back into rows of cell texts."""
+        rows = []
+        for line in text.splitlines():
+            if set(line) <= {"|", "-"}:
+                continue  # the separator row
+            # Split on unescaped pipes only.
+            cells, current, escaped = [], "", False
+            for ch in line:
+                if escaped:
+                    current += ch
+                    escaped = False
+                elif ch == "\\":
+                    current += ch
+                    escaped = True
+                elif ch == "|":
+                    cells.append(current)
+                    current = ""
+                else:
+                    current += ch
+            rows.append([c.strip() for c in cells[1:]])
+        return rows
+
+    def test_pipes_escaped(self):
+        text = render_table(
+            ["expr", "n"], [["a | b", 1], ["|x|", 2]], markdown=True,
+        )
+        grid = self.cell_grid(text)
+        # The column structure survives: every row still has 2 cells.
+        assert all(len(row) == 2 for row in grid)
+        assert grid[1][0] == "a \\| b"
+        assert "\\|x\\|" in text
+
+    def test_backslashes_escaped_before_pipes(self):
+        text = render_table(["p"], [["a\\|b"]], markdown=True)
+        assert "a\\\\\\|b" in text
+
+    def test_edge_whitespace_preserved_as_nbsp(self):
+        text = render_table(
+            ["name"], [["  padded"], ["trailing  "]], markdown=True,
+        )
+        assert "&nbsp;&nbsp;padded" in text
+        assert "trailing&nbsp;&nbsp;" in text
+
+    def test_all_space_cell_keeps_its_width(self):
+        text = render_table(["gap"], [["  "]], markdown=True)
+        assert "&nbsp;&nbsp;" in text
+        assert "&nbsp;&nbsp;&nbsp;" not in text
+
+    def test_interior_whitespace_untouched(self):
+        text = render_table(["name"], [["a  b"]], markdown=True)
+        assert "a  b" in text
+        assert "&nbsp;" not in text
+
+    def test_plain_text_mode_never_escapes(self):
+        text = render_table(["name"], [["a | b"], ["  padded"]])
+        assert "\\|" not in text
+        assert "&nbsp;" not in text
+
+
 def _result(p50, brakes=0):
     metrics = {
         p: PriorityMetrics(latencies=[p50] * 100, served=100)

@@ -28,6 +28,7 @@ FAST_SCRIPTS = [
     "monitor_run.py",
     "powerfail_study.py",
     "replay_study.py",
+    "mission_control.py",
 ]
 
 
@@ -283,6 +284,115 @@ class TestSpanAndAttribCli:
     ):
         code = trace_inspect.main(
             ["attrib", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# trace_inspect.py ledger / report subcommands
+# ----------------------------------------------------------------------
+def write_ledger(path):
+    """Journal two tiny engine runs into a real ledger file."""
+    from repro.cluster.simulator import ClusterConfig
+    from repro.exec import PolicySpec, RunSpec, SweepEngine
+    from repro.obs import ExperimentLedger
+
+    with ExperimentLedger(str(path)) as ledger:
+        engine = SweepEngine(workers=1, ledger=ledger)
+        spec = RunSpec(
+            config=ClusterConfig(n_base_servers=4, seed=1),
+            policy=PolicySpec("No-cap"),
+            duration_s=3600.0,
+        )
+        engine.run(spec)
+        engine.run(spec)  # journals a cache hit
+    return str(path)
+
+
+class TestLedgerCli:
+    def test_ledger_prints_runs_and_flags(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        ledger = write_ledger(tmp_path / "ledger.jsonl")
+        assert trace_inspect.main(["ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s), showing last 2" in out
+        assert "No-cap" in out
+        assert "C cache hit" in out  # the flag legend
+        lines = [ln for ln in out.splitlines() if "No-cap" in ln]
+        assert len(lines) == 2
+        # Executed run has no flags; the recall is marked C.
+        assert " - " in lines[0] or lines[0].split()[3] == "-"
+        assert " C " in lines[1]
+
+    def test_policy_filter_without_match_exits_one(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        ledger = write_ledger(tmp_path / "ledger.jsonl")
+        code = trace_inspect.main(
+            ["ledger", ledger, "--policy", "POLCA"]
+        )
+        assert code == 1
+        assert "no ledger entries" in capsys.readouterr().err
+
+    def test_ledger_missing_file_exits_two(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["ledger", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReportCli:
+    def test_report_writes_dashboard(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "a.jsonl", EVENTS)
+        out_path = tmp_path / "REPORT.html"
+        code = trace_inspect.main(
+            ["report", trace, "--out", str(out_path)]
+        )
+        assert code == 0
+        assert f"wrote {out_path}" in capsys.readouterr().out
+        html = out_path.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Trace summary" in html
+
+    def test_report_with_ledger_panels(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "a.jsonl", EVENTS)
+        ledger = write_ledger(tmp_path / "ledger.jsonl")
+        out_path = tmp_path / "REPORT.html"
+        code = trace_inspect.main([
+            "report", trace, "--out", str(out_path),
+            "--ledger", ledger, "--title", "Study 7",
+        ])
+        assert code == 0
+        html = out_path.read_text(encoding="utf-8")
+        assert "Study 7" in html
+        assert "Run ledger history" in html
+        assert "Cache and incremental savings" in html
+
+    def test_report_empty_trace_exits_one(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        trace = write_trace(tmp_path / "empty.jsonl", [])
+        code = trace_inspect.main(
+            ["report", trace, "--out", str(tmp_path / "r.html")]
+        )
+        assert code == 1
+        assert "no events" in capsys.readouterr().err
+        assert not (tmp_path / "r.html").exists()
+
+    def test_report_missing_file_exits_two(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["report", str(tmp_path / "nope.jsonl")]
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
