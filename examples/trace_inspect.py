@@ -31,6 +31,12 @@ tool renders such a trace for a human:
   time, provenance (cache hit / incremental / retries / quarantine),
   and headline metrics (``--policy NAME`` filters; exit 1 when nothing
   matches).
+* ``python examples/trace_inspect.py query trace.jsonl`` runs the trace
+  query engine: filter by ``--kinds``/``--since``/``--until``/
+  ``--server``/``--shard``/``--where field=value``, project with
+  ``--fields``, aggregate with ``--group-by`` + ``--agg`` (count,
+  sum:f, mean:f, pNN:f). Rows print as sorted-key JSON lines (exit 0:
+  results printed, 1: empty result set, 2: invalid query).
 * ``python examples/trace_inspect.py report trace.jsonl --out r.html``
   renders a trace into the static mission-control HTML dashboard
   (timeline, summary, attribution victims; ``--ledger`` adds ledger
@@ -43,10 +49,11 @@ tool renders such a trace for a human:
 
 Run:  python examples/trace_inspect.py \
           [diff A B | spans T | attrib T | trips T | ledger L |
-           report T | trace.jsonl] [--out f]
+           query T | report T | trace.jsonl] [--out f]
 """
 
 import argparse
+import json
 import os
 import sys
 import tempfile
@@ -392,6 +399,109 @@ def ledger_main(argv) -> int:
     return 0
 
 
+def query_main(argv) -> int:
+    """The ``query`` subcommand: the trace query engine on the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="trace_inspect.py query",
+        description="Filter, project, and aggregate a JSONL trace with "
+                    "the trace query engine. Rows print as sorted-key "
+                    "JSON lines (exit 0: results printed, 1: empty "
+                    "result set, 2: invalid query).",
+    )
+    parser.add_argument("trace", help="JSONL trace to query")
+    parser.add_argument(
+        "--kinds", default=None,
+        help="comma-separated event kinds to keep",
+    )
+    parser.add_argument(
+        "--since", type=float, default=None,
+        help="keep events with t >= SINCE (seconds)",
+    )
+    parser.add_argument(
+        "--until", type=float, default=None,
+        help="keep events with t < UNTIL (seconds)",
+    )
+    parser.add_argument(
+        "--server", default=None,
+        help="keep events of this server id (e.g. s12)",
+    )
+    parser.add_argument(
+        "--shard", type=int, default=None,
+        help="keep events whose server lives on this shard "
+             "(requires --n-shards)",
+    )
+    parser.add_argument(
+        "--n-shards", type=int, default=None,
+        help="shard count of the recorded run (with --shard)",
+    )
+    parser.add_argument(
+        "--where", action="append", default=[], metavar="FIELD=VALUE",
+        help="field equality filter (repeatable; VALUE parses as JSON, "
+             "falling back to a bare string)",
+    )
+    parser.add_argument(
+        "--fields", default=None,
+        help="comma-separated projection of event fields",
+    )
+    parser.add_argument(
+        "--group-by", default=None,
+        help="comma-separated group-by fields (aggregates each group)",
+    )
+    parser.add_argument(
+        "--agg", action="append", default=[],
+        help="aggregation per group: count, sum:f, mean:f, min:f, "
+             "max:f, pNN:f (repeatable; default count)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="print at most this many rows",
+    )
+    args = parser.parse_args(argv)
+    from repro.errors import ConfigurationError
+    from repro.obs import filter_events, group_aggregate, project
+
+    def split(csv):
+        return [part.strip() for part in csv.split(",") if part.strip()]
+
+    where = {}
+    for clause in args.where:
+        field, sep, value = clause.partition("=")
+        if not sep or not field:
+            raise ConfigurationError(
+                f"--where takes FIELD=VALUE, got {clause!r}"
+            )
+        try:
+            where[field] = json.loads(value)
+        except json.JSONDecodeError:
+            where[field] = value
+    if args.agg and args.group_by is None:
+        raise ConfigurationError("--agg requires --group-by")
+    rows = filter_events(
+        load_events(args.trace),
+        kinds=split(args.kinds) if args.kinds is not None else None,
+        t_min=args.since,
+        t_max=args.until,
+        server=args.server,
+        shard=args.shard,
+        n_shards=args.n_shards,
+        where=where or None,
+    )
+    if args.group_by is not None:
+        rows = group_aggregate(
+            rows, by=split(args.group_by), aggs=args.agg or ("count",)
+        )
+    elif args.fields is not None:
+        rows = project(rows, split(args.fields))
+    if not rows:
+        print(f"no matching events in {args.trace}", file=sys.stderr)
+        return 1
+    if args.limit is not None:
+        rows = rows[:max(args.limit, 0)]
+    for row in rows:
+        print(json.dumps(row, sort_keys=True))
+    return 0
+
+
 def report_main(argv) -> int:
     """The ``report`` subcommand: trace -> mission-control HTML."""
     parser = argparse.ArgumentParser(
@@ -453,6 +563,8 @@ def main(argv=None) -> int:
             return trips_main(argv[1:])
         if argv and argv[0] == "ledger":
             return ledger_main(argv[1:])
+        if argv and argv[0] == "query":
+            return query_main(argv[1:])
         if argv and argv[0] == "report":
             return report_main(argv[1:])
 
@@ -464,8 +576,10 @@ def main(argv=None) -> int:
                         "trees; 'attrib' attributes latency and energy "
                         "to cap/brake actions; 'trips' renders the "
                         "power-delivery protection timeline; 'ledger' "
-                        "prints an experiment run journal; 'report' "
-                        "renders a trace as a static HTML dashboard."
+                        "prints an experiment run journal; 'query' "
+                        "filters, projects, and aggregates a trace; "
+                        "'report' renders a trace as a static HTML "
+                        "dashboard."
         )
         parser.add_argument(
             "trace", nargs="?", default=None,

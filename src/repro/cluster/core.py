@@ -53,7 +53,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.report import OverBudgetTracker, RobustnessReport
 from repro.gpu.specs import A100_80GB
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
-from repro.obs.recorder import NULL_RECORDER
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.powerfail.protection import ProtectionRuntime
 from repro.powerfail.topology import PowerTopology
 from repro.telemetry.base import SampledInterface
@@ -184,10 +184,21 @@ class SimulationCore:
         self.recorder = recorder
         recording = recorder.enabled
         self.recording = recording
+        self._set_kind_gates()
         self.obs: Optional[MetricsRegistry] = None
         self.util_hist = None
         self.latency_hists: Optional[Dict[Priority, Any]] = None
         self.request_ids: Dict[int, int] = {}
+        # Per-tick utilization observations, batched into the
+        # control.utilization histogram at finalize (appending a float
+        # is far cheaper than a per-tick histogram update). Carried
+        # through checkpoints so a resumed run finalizes the full list.
+        self._util_samples: List[float] = []
+        self._ctr_served = None
+        self._ctr_dropped = None
+        self._ctr_dropped_shed = None
+        self._ctr_deferred = None
+        self._wl_hists: Dict[str, Any] = {}
         if recording:
             obs = MetricsRegistry()
             self.obs = obs
@@ -224,6 +235,7 @@ class SimulationCore:
                 )
                 for p in Priority
             }
+            self._cache_metric_handles()
             # Requests are identified in the trace by arrival order;
             # SampledRequest is frozen and id-stable for the run.
             self.request_ids = {id(r): i for i, r in enumerate(requests)}
@@ -362,10 +374,63 @@ class SimulationCore:
     # replay unrecorded). ``copy.deepcopy`` routes through the same
     # hooks, so :meth:`snapshot` inherits the fixups.
     # ------------------------------------------------------------------
+    def _cache_metric_handles(self) -> None:
+        """Bind the per-request counters and histograms once.
+
+        The request lifecycle touches these on every arrival and
+        completion; resolving them through the registry (a dotted-name
+        dict lookup, and an f-string for the per-workload histograms)
+        tens of thousands of times per run is measurable, so the hot
+        sites go through these handles instead.
+        """
+        obs = self.obs
+        self._ctr_served = obs.counter("requests.served")
+        self._ctr_dropped = obs.counter("requests.dropped")
+        self._wl_hists = {}
+        if self.protection is not None:
+            self._ctr_dropped_shed = obs.counter("requests.dropped_shed")
+            self._ctr_deferred = obs.counter("requests.deferred")
+
+    def _workload_hist(self, name: str):
+        """The (cached) latency histogram for one workload."""
+        hist = self._wl_hists.get(name)
+        if hist is None:
+            hist = self._wl_hists[name] = self.obs.histogram(
+                f"latency.workload.{name}", LATENCY_BUCKETS
+            )
+        return hist
+
+    def _set_kind_gates(self) -> None:
+        """Precompute per-kind recording gates for the high-rate kinds.
+
+        The serve-plane kinds fire tens of thousands of times per run;
+        when the attached recorder chain has no use for one of them
+        (:meth:`~repro.obs.recorder.TraceRecorder.wants` is ``False``
+        all the way down) the hook point skips payload construction
+        entirely. Metric updates are unaffected — they stay gated on
+        ``recording`` alone, so the observability snapshot is identical
+        whatever the recorder filters.
+        """
+        recording = self.recording
+        recorder = self.recorder
+        self._rec_phase_start = recording and recorder.wants("phase_start")
+        self._rec_control = recording and recorder.wants("control")
+        self._rec_req_arrival = recording and recorder.wants("req_arrival")
+        self._rec_serve = recording and recorder.wants("serve")
+
     def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()
         state["recorder"] = None
         state["recording"] = False
+        state["_rec_phase_start"] = False
+        state["_rec_control"] = False
+        state["_rec_req_arrival"] = False
+        state["_rec_serve"] = False
+        state["_ctr_served"] = None
+        state["_ctr_dropped"] = None
+        state["_ctr_dropped_shed"] = None
+        state["_ctr_deferred"] = None
+        state["_wl_hists"] = {}
         state["obs"] = None
         state["util_hist"] = None
         state["latency_hists"] = None
@@ -387,6 +452,34 @@ class SimulationCore:
                 id(self.requests[i]): count
                 for i, count in self.defer_counts.items()
             }
+
+    def attach_recorder(
+        self, recorder: TraceRecorder, registry: MetricsRegistry
+    ) -> None:
+        """Re-arm recording on a restored checkpoint core.
+
+        Checkpoint blobs deliberately exclude the recorder and the
+        metrics registry (see ``__getstate__``), so restored cores
+        normally replay unrecorded. An incremental resume that wants
+        the full trace replays the prefix events from the family tape
+        into ``recorder`` and then calls this with the registry pickled
+        at the checkpoint: counters and histograms continue from their
+        prefix values, and the suffix emits exactly the events a cold
+        recorded run would.
+        """
+        self.recorder = recorder
+        self.recording = recorder.enabled
+        self._set_kind_gates()
+        self.obs = registry
+        self.util_hist = registry.histogram("control.utilization")
+        self.latency_hists = {
+            p: registry.histogram(
+                f"latency.priority.{p.value}", LATENCY_BUCKETS
+            )
+            for p in Priority
+        }
+        self._cache_metric_handles()
+        self.request_ids = {id(r): i for i, r in enumerate(self.requests)}
 
     def snapshot(self) -> "SimulationCore":
         """Deep-copy this mid-flight run into an independent core.
@@ -505,7 +598,7 @@ class SimulationCore:
         slot = self.servers[index].start_request(now, request)
         self._refresh_power(now, index)
         self._schedule_slot(index, slot)
-        if self.recording:
+        if self._rec_phase_start:
             self._emit_phase_start(now, index, slot)
 
     # ------------------------------------------------------------------
@@ -700,13 +793,14 @@ class SimulationCore:
     def _control_step(self, now: float, observed_power: float) -> None:
         utilization = observed_power / self.config.provisioned_power_w
         if self.recording:
-            self.util_hist.observe(utilization)
-            self.recorder.emit({
-                "t": now, "kind": "control",
-                "utilization": utilization,
-                "observed_power_w": observed_power,
-                "brake_state": self.brake_state,
-            })
+            self._util_samples.append(utilization)
+            if self._rec_control:
+                self.recorder.emit({
+                    "t": now, "kind": "control",
+                    "utilization": utilization,
+                    "observed_power_w": observed_power,
+                    "brake_state": self.brake_state,
+                })
         # --- Brake safety logic (all policies carry the brake).
         if self.brake_state in ("off", "pending_off") \
                 and self.policy.wants_brake(utilization):
@@ -897,7 +991,7 @@ class SimulationCore:
                     )
                     self.pf_report.requests_deferred += 1
                     if recording:
-                        self.obs.counter("requests.deferred").inc()
+                        self._ctr_deferred.inc()
                         self.recorder.emit({
                             "t": now, "kind": "shed_defer",
                             "request_id": self.request_ids[id(request)],
@@ -912,17 +1006,19 @@ class SimulationCore:
                     self._workload_tier(request.workload.name).dropped += 1
                     self.pf_report.requests_dropped_shed += 1
                     if recording:
-                        self.obs.counter("requests.dropped").inc()
-                        self.obs.counter("requests.dropped_shed").inc()
-                        self.recorder.emit({
-                            "t": now, "kind": "req_arrival",
-                            "request_id": self.request_ids[id(request)],
-                            "priority": request.priority.value,
-                            "workload": request.workload.name,
-                            "input_tokens": request.input_tokens,
-                            "output_tokens": request.output_tokens,
-                            "server": None, "queued": False,
-                        })
+                        self._ctr_dropped.inc()
+                        self._ctr_dropped_shed.inc()
+                        if self._rec_req_arrival:
+                            self.recorder.emit({
+                                "t": now, "kind": "req_arrival",
+                                "request_id":
+                                    self.request_ids[id(request)],
+                                "priority": request.priority.value,
+                                "workload": request.workload.name,
+                                "input_tokens": request.input_tokens,
+                                "output_tokens": request.output_tokens,
+                                "server": None, "queued": False,
+                            })
                         self.recorder.emit({
                             "t": now, "kind": "drop",
                             "request_id": self.request_ids[id(request)],
@@ -936,16 +1032,17 @@ class SimulationCore:
                 metrics[request.priority].dropped += 1
                 self._workload_tier(request.workload.name).dropped += 1
                 if recording:
-                    self.obs.counter("requests.dropped").inc()
-                    self.recorder.emit({
-                        "t": now, "kind": "req_arrival",
-                        "request_id": self.request_ids[id(request)],
-                        "priority": request.priority.value,
-                        "workload": request.workload.name,
-                        "input_tokens": request.input_tokens,
-                        "output_tokens": request.output_tokens,
-                        "server": None, "queued": False,
-                    })
+                    self._ctr_dropped.inc()
+                    if self._rec_req_arrival:
+                        self.recorder.emit({
+                            "t": now, "kind": "req_arrival",
+                            "request_id": self.request_ids[id(request)],
+                            "priority": request.priority.value,
+                            "workload": request.workload.name,
+                            "input_tokens": request.input_tokens,
+                            "output_tokens": request.output_tokens,
+                            "server": None, "queued": False,
+                        })
                     self.recorder.emit({
                         "t": now, "kind": "drop",
                         "request_id": self.request_ids[id(request)],
@@ -955,7 +1052,7 @@ class SimulationCore:
                     })
                 return
             index = self.server_index[server.server_id]
-            if recording:
+            if self._rec_req_arrival:
                 self.recorder.emit({
                     "t": now, "kind": "req_arrival",
                     "request_id": self.request_ids[id(request)],
@@ -982,7 +1079,7 @@ class SimulationCore:
             if next_end is not None:
                 self._refresh_power(now, index)
                 self._schedule_slot(index, slot)
-                if recording:
+                if self._rec_phase_start:
                     self._emit_phase_start(now, index, slot)
                 return
             # Request complete; the slot is free again.
@@ -993,21 +1090,18 @@ class SimulationCore:
             by_workload.served += 1
             by_workload.latencies.append(now - finished.arrival_time)
             if recording:
-                self.obs.counter("requests.served").inc()
-                latency = now - finished.arrival_time
-                self.latency_hists[finished.priority].observe(latency)
-                self.obs.histogram(
-                    f"latency.workload.{finished.workload.name}",
-                    LATENCY_BUCKETS,
-                ).observe(latency)
-                self.recorder.emit({
-                    "t": now, "kind": "serve",
-                    "request_id": self.request_ids[id(finished)],
-                    "priority": finished.priority.value,
-                    "workload": finished.workload.name,
-                    "latency_s": latency,
-                    "server": server.server_id,
-                })
+                # Latency histograms batch-populate at finalize from
+                # the tier latency lists appended above.
+                self._ctr_served.inc()
+                if self._rec_serve:
+                    self.recorder.emit({
+                        "t": now, "kind": "serve",
+                        "request_id": self.request_ids[id(finished)],
+                        "priority": finished.priority.value,
+                        "workload": finished.workload.name,
+                        "latency_s": now - finished.arrival_time,
+                        "server": server.server_id,
+                    })
             queued = server.take_buffered()
             if queued is not None:
                 self._start_on(now, index, queued)
@@ -1238,7 +1332,7 @@ class SimulationCore:
                 self._workload_tier(request.workload.name).dropped += 1
                 self.report.requests_lost_to_churn += 1
                 if recording:
-                    self.obs.counter("requests.dropped").inc()
+                    self._ctr_dropped.inc()
                     self.obs.counter("requests.lost_to_churn").inc()
                     self.recorder.emit({
                         "t": now, "kind": "drop",
@@ -1322,7 +1416,7 @@ class SimulationCore:
                     self.pf_report.requests_lost_to_trips += 1
                     dropped_count += 1
                     if recording:
-                        self.obs.counter("requests.dropped").inc()
+                        self._ctr_dropped.inc()
                         self.obs.counter("requests.lost_to_trips").inc()
                         self.recorder.emit({
                             "t": now, "kind": "drop",
@@ -1492,6 +1586,19 @@ class SimulationCore:
         observability: Optional[Dict[str, Any]] = None
         if self.recording:
             obs = self.obs
+            # Batch-populate the latency and utilization histograms
+            # from the lists the hot path appended to. Batch order
+            # equals observation order, so the snapshot matches what
+            # per-event observes would have produced (the sums up to
+            # pairwise-summation ulps).
+            self.util_hist.observe_many(self._util_samples)
+            for priority, tier in self.metrics.items():
+                self.latency_hists[priority].observe_many(tier.latencies)
+            for name, wl_tier in self.workload_metrics.items():
+                if wl_tier.latencies:
+                    self._workload_hist(name).observe_many(
+                        wl_tier.latencies
+                    )
             obs.counter("telemetry.ticks").inc(self.sample_cursor)
             if self.sample_cursor:
                 obs.gauge("power.peak_row_w").set(

@@ -48,6 +48,8 @@ configurations outright.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import tempfile
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.metrics import PriorityMetrics, SimulationResult
@@ -55,6 +57,21 @@ from repro.cluster.policy_base import PowerPolicy
 from repro.cluster.simulator import ClusterConfig, ClusterSimulator
 from repro.core.baselines import NoCapPolicy
 from repro.errors import ConfigurationError
+from repro.obs.collect import (
+    PARENT_SHARD,
+    SuppressKindsRecorder,
+    merge_segments,
+    shard_suppressed_kinds,
+)
+from repro.obs.metrics import aggregate_snapshots
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    MemoryRecorder,
+    TraceEvent,
+    TraceRecorder,
+    read_jsonl,
+)
 from repro.workloads.requests import SampledRequest
 from repro.workloads.spec import Priority
 
@@ -77,15 +94,29 @@ def _owned_indices(n_servers: int, shard: int, n_shards: int) -> List[int]:
     return [i for i in range(n_servers) if i % n_shards == shard]
 
 
+def _shard_spool(shard: int, segment_path: Optional[str] = None):
+    """The spool recorder for one shard's segment.
+
+    In-process shards spool to memory; forked shards spool to a local
+    JSONL segment the parent reads back. Either way the spool drops
+    the kinds another segment owns (:func:`shard_suppressed_kinds`),
+    so the merged stream carries exactly one copy of each event.
+    """
+    sink: TraceRecorder = MemoryRecorder() if segment_path is None \
+        else JsonlRecorder(segment_path)
+    return SuppressKindsRecorder(sink, shard_suppressed_kinds(shard))
+
+
 def _build_shard_core(
     config: ClusterConfig,
     requests: Sequence[SampledRequest],
     duration_s: float,
     shard: int,
     n_shards: int,
+    recorder: Optional[TraceRecorder] = None,
 ) -> Any:
     """One serve-only shard core with non-owned servers pre-failed."""
-    simulator = ClusterSimulator(config, NoCapPolicy())
+    simulator = ClusterSimulator(config, NoCapPolicy(), recorder=recorder)
     owned = set(_owned_indices(config.n_servers, shard, n_shards))
     for index, server in enumerate(simulator.servers):
         if index not in owned:
@@ -102,15 +133,22 @@ def _build_shard_core(
     return core
 
 
-def _shard_worker(conn, config, requests, duration_s, shard, n_shards):
+def _shard_worker(conn, config, requests, duration_s, shard, n_shards,
+                  segment_path=None):
     """Worker-process loop speaking the shard pipe protocol.
 
     Sends the initial free-slot report, receives the time-zero arrival
     grant, then alternates tick yields against driver replies until the
     shard's event queue drains; the final message is the shard's
-    finalized result.
+    finalized result. When recording, the shard spools its events to a
+    worker-local JSONL segment (line order is the segment's ``seq``)
+    that the parent merges after the run.
     """
-    core = _build_shard_core(config, requests, duration_s, shard, n_shards)
+    recorder = None if segment_path is None \
+        else _shard_spool(shard, segment_path)
+    core = _build_shard_core(
+        config, requests, duration_s, shard, n_shards, recorder=recorder
+    )
     conn.send(core._free_slots())
     core.owned_arrivals.update(conn.recv())
     generator = core.run_shard()
@@ -121,16 +159,24 @@ def _shard_worker(conn, config, requests, duration_s, shard, n_shards):
             item = generator.send(conn.recv())
     except StopIteration:
         pass
-    conn.send(core.finalize())
+    # finalize() drives the recorder's own finalize hook, so the spool
+    # closes only after the result is complete.
+    result = core.finalize()
+    if recorder is not None:
+        recorder.close()
+    conn.send(result)
     conn.close()
 
 
 class _LocalShard:
     """In-process shard backend (also the no-fork fallback)."""
 
-    def __init__(self, config, requests, duration_s, shard, n_shards):
+    def __init__(self, config, requests, duration_s, shard, n_shards,
+                 recording=False):
+        self.spool = _shard_spool(shard) if recording else None
         self.core = _build_shard_core(
-            config, requests, duration_s, shard, n_shards
+            config, requests, duration_s, shard, n_shards,
+            recorder=self.spool,
         )
         self.generator = self.core.run_shard()
 
@@ -153,17 +199,24 @@ class _LocalShard:
     def finalize(self) -> SimulationResult:
         return self.core.finalize()
 
+    def trace_events(self) -> List[TraceEvent]:
+        assert self.spool is not None
+        return self.spool.inner.events
+
 
 class _PipeShard:
     """Forked worker-process shard backend (bit-identical to local:
     the worker runs the same ``run_shard`` loop on the same inputs)."""
 
-    def __init__(self, config, requests, duration_s, shard, n_shards):
+    def __init__(self, config, requests, duration_s, shard, n_shards,
+                 segment_path=None):
+        self.segment_path = segment_path
         ctx = multiprocessing.get_context("fork")
         self.conn, child = ctx.Pipe()
         self.process = ctx.Process(
             target=_shard_worker,
-            args=(child, config, requests, duration_s, shard, n_shards),
+            args=(child, config, requests, duration_s, shard, n_shards,
+                  segment_path),
         )
         self.process.start()
         child.close()
@@ -191,6 +244,12 @@ class _PipeShard:
         self.process.join()
         return self._result
 
+    def trace_events(self) -> List[TraceEvent]:
+        # Valid only after finalize(): the worker closes its spool
+        # before sending the result, so the segment is complete.
+        assert self.segment_path is not None
+        return read_jsonl(self.segment_path)
+
 
 class ShardedSimulator:
     """Epoch-synchronized sharded run of one cluster configuration.
@@ -205,6 +264,19 @@ class ShardedSimulator:
         parallel: Fan shards out to forked worker processes. Falls
             back to in-process shards (same results) when ``fork`` is
             unavailable or ``n_shards == 1``.
+        recorder: Optional trace sink. Each shard (and the
+            control-plane parent) spools events locally — forked
+            shards to worker-local JSONL segments — and the parent
+            merges the segments deterministically
+            (:func:`repro.obs.collect.merge_segments`) into this
+            recorder after the run. With ``n_shards == 1`` the merged
+            trace is byte-identical to a serial
+            ``ClusterSimulator.run`` recording; recording never
+            perturbs results. The default stays
+            :data:`~repro.obs.recorder.NULL_RECORDER`.
+        spool_dir: Directory for forked shards' JSONL segments (a
+            temporary directory, removed after the merge, when not
+            given). Only used when recording with the pipe backend.
 
     Raises:
         ConfigurationError: On a faulty/protected configuration or an
@@ -217,6 +289,8 @@ class ShardedSimulator:
         policy: PowerPolicy,
         n_shards: int = 1,
         parallel: bool = False,
+        recorder: Optional[TraceRecorder] = None,
+        spool_dir: Optional[str] = None,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError("n_shards must be at least 1")
@@ -241,14 +315,29 @@ class ShardedSimulator:
         self.policy = policy
         self.n_shards = n_shards
         self.parallel = parallel
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.spool_dir = spool_dir
 
     # ------------------------------------------------------------------
-    def _backends(self, requests, duration_s) -> List[Any]:
-        backend = _LocalShard
-        if self.parallel and self.n_shards > 1 and _fork_available():
-            backend = _PipeShard
+    def _use_pipe(self) -> bool:
+        return self.parallel and self.n_shards > 1 and _fork_available()
+
+    def _backends(self, requests, duration_s, spool_dir=None) -> List[Any]:
+        recording = self.recorder.enabled
+        if self._use_pipe():
+            return [
+                _PipeShard(
+                    self.config, requests, duration_s, s, self.n_shards,
+                    segment_path=(
+                        os.path.join(spool_dir, f"shard-{s}.jsonl")
+                        if recording else None
+                    ),
+                )
+                for s in range(self.n_shards)
+            ]
         return [
-            backend(self.config, requests, duration_s, s, self.n_shards)
+            _LocalShard(self.config, requests, duration_s, s,
+                        self.n_shards, recording=recording)
             for s in range(self.n_shards)
         ]
 
@@ -276,11 +365,45 @@ class ShardedSimulator:
         """
         config = self.config
         interval = config.telemetry_interval_s
-        parent_sim = ClusterSimulator(config, self.policy)
+        recording = self.recorder.enabled
+        parent_spool = None
+        if recording:
+            # The parent's own landings are duplicates of the shards'
+            # (and sit at the wrong position relative to the shards'
+            # rescales), so its spool drops them at the source.
+            parent_spool = _shard_spool(PARENT_SHARD)
+        parent_sim = ClusterSimulator(
+            config, self.policy, recorder=parent_spool
+        )
         parent = parent_sim.start([], duration_s)
         parent.outbox = []
         parent.outbox_cancels = []
-        backends = self._backends(requests, duration_s)
+        spool_tmp = None
+        spool_dir = self.spool_dir
+        if recording and self._use_pipe() and spool_dir is None:
+            spool_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-shard-trace-"
+            )
+            spool_dir = spool_tmp.name
+        try:
+            return self._drive(
+                parent, requests, duration_s, interval, spool_dir,
+                parent_spool,
+            )
+        finally:
+            if spool_tmp is not None:
+                spool_tmp.cleanup()
+
+    def _drive(
+        self,
+        parent: Any,
+        requests: Sequence[SampledRequest],
+        duration_s: float,
+        interval: float,
+        spool_dir: Optional[str],
+        parent_spool: Optional[SuppressKindsRecorder],
+    ) -> SimulationResult:
+        backends = self._backends(requests, duration_s, spool_dir)
 
         # Arrival assignment order: by arrival time, ties by trace
         # index (the event queue's own tie-break for the init pushes).
@@ -364,7 +487,55 @@ class ShardedSimulator:
 
         shard_results = [backend.finalize() for backend in backends]
         parent_result = parent.finalize()
+        if parent_spool is not None:
+            segments: Dict[int, List[TraceEvent]] = {
+                PARENT_SHARD: parent_spool.inner.events
+            }
+            for shard, backend in enumerate(backends):
+                segments[shard] = backend.trace_events()
+            for event in merge_segments(segments):
+                self.recorder.emit(event)
+            self.recorder.finalize(duration_s)
         return self._merge(parent_result, shard_results, duration_s)
+
+    # ------------------------------------------------------------------
+    def _merge_observability(
+        self,
+        parent_result: SimulationResult,
+        shard_results: List[SimulationResult],
+        total_energy_j: float,
+        peak_row_w: float,
+    ) -> Optional[Dict[str, Any]]:
+        """One observability snapshot for the whole sharded run.
+
+        Counters add across planes — request counters live only in the
+        shards, control/brake/command counters only in the parent, and
+        every recording core pre-registers the full set at zero, so
+        the sums are exact. The double-counted tick counter and the
+        per-plane energy/peak gauges are overwritten with the merged
+        truth, and any snapshot the caller's recorder itself exposes
+        (e.g. a sampling census) merges in non-destructively — the
+        same contract as ``SimulationCore.finalize``.
+        """
+        snapshots = [parent_result.observability] \
+            + [result.observability for result in shard_results]
+        observability = aggregate_snapshots(
+            [snap for snap in snapshots if snap]
+        )
+        counters = observability.setdefault("counters", {})
+        parent_counters = (parent_result.observability or {}) \
+            .get("counters", {})
+        counters["telemetry.ticks"] = \
+            parent_counters.get("telemetry.ticks", 0)
+        gauges = observability.setdefault("gauges", {})
+        gauges["energy.total_j"] = total_energy_j
+        gauges["power.peak_row_w"] = peak_row_w
+        extra = self.recorder.observability_snapshot()
+        if extra:
+            for key, value in extra.items():
+                if key not in observability:
+                    observability[key] = value
+        return observability
 
     # ------------------------------------------------------------------
     def _merge(
@@ -428,6 +599,13 @@ class ShardedSimulator:
                     run_length = 0.0
             report.time_at_risk_s = at_risk
             report.longest_overbudget_s = max(longest, run_length)
+        observability = None
+        if self.recorder.enabled:
+            values = parent_result.power_series.values
+            observability = self._merge_observability(
+                parent_result, shard_results, total_energy,
+                max(values) if len(values) else 0.0,
+            )
         return SimulationResult(
             per_priority=per_priority,
             power_series=parent_result.power_series,
@@ -438,4 +616,5 @@ class ShardedSimulator:
             per_workload=per_workload,
             total_energy_j=total_energy,
             robustness=report,
+            observability=observability,
         )

@@ -46,6 +46,7 @@ from repro.exec import (
 from repro.exec import traces as _traces
 from repro.faults.plan import FaultPlan
 from repro.faults.reliability import ReliabilityConfig
+from repro.obs.collect import TraceCollector
 from repro.obs.ledger import ExperimentLedger
 from repro.units import days
 from repro.workloads.replay import TraceSource
@@ -88,6 +89,13 @@ class EvaluationHarness:
             headline metrics, environment stamp. ``None`` (default)
             records nothing; a ledgered sweep is bit-identical to an
             unledgered one.
+        collector: Per-run trace spool shared by every sweep on this
+            harness (see :class:`~repro.obs.collect.TraceCollector`):
+            each simulated run — serial, incremental, pool-worker,
+            quarantine, or sharded — writes one JSONL segment keyed by
+            its content digest, queryable afterwards with
+            :mod:`repro.obs.query`. ``None`` (default) spools nothing;
+            a collected sweep is bit-identical to an uncollected one.
     """
 
     n_base_servers: int = 40
@@ -101,6 +109,7 @@ class EvaluationHarness:
     checkpoint_epoch_s: float = 600.0
     trace_source: Optional[TraceSource] = None
     ledger: Optional[ExperimentLedger] = None
+    collector: Optional[TraceCollector] = None
 
     def utilization_trace(self) -> TimeSeries:
         """The production-style target utilization trace (cached)."""
@@ -183,6 +192,7 @@ class EvaluationHarness:
             incremental=self.incremental,
             checkpoint_epoch_s=self.checkpoint_epoch_s,
             ledger=self.ledger,
+            collector=self.collector,
         )
 
     def run(

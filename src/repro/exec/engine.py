@@ -38,6 +38,7 @@ from repro.cluster.metrics import SimulationResult
 from repro.errors import ConfigurationError
 from repro.exec.cache import RunCache
 from repro.exec.runspec import RunSpec, execute_spec
+from repro.obs.collect import TraceCollector, TraceJob
 from repro.obs.export import write_textfile
 from repro.obs.ledger import (
     ExperimentLedger,
@@ -84,6 +85,7 @@ def _maybe_fail_for_test(spec: RunSpec) -> None:
 
 def _execute_timed(
     spec: RunSpec,
+    job: Optional[TraceJob] = None,
 ) -> Tuple[SimulationResult, float, int, Dict[str, float]]:
     """Worker entry point of the process pool.
 
@@ -91,15 +93,31 @@ def _execute_timed(
     worker's pid, and the worker's ``getrusage`` footprint (CPU-time
     delta across the run, max-RSS high-water mark), so the parent can
     emit ``engine_run`` events and ledger entries without recorders
-    having to be picklable into workers.
+    having to be picklable into workers. ``job`` is the collector's
+    spool recipe: the recorder chain is built (and its segment file
+    opened) inside the worker, because file handles do not survive the
+    fork boundary.
     """
     _maybe_fail_for_test(spec)
     usage_before = rusage_snapshot()
     start = time.perf_counter()
-    result = execute_spec(spec)
+    result = _execute_spooled(spec, job)
     wall_s = time.perf_counter() - start
     usage = rusage_delta(usage_before, rusage_snapshot())
     return result, wall_s, os.getpid(), usage
+
+
+def _execute_spooled(
+    spec: RunSpec, job: Optional[TraceJob]
+) -> SimulationResult:
+    """Run one spec, spooling its trace when a collector job is given."""
+    if job is None:
+        return execute_spec(spec)
+    recorder = job.open()
+    try:
+        return execute_spec(spec, recorder=recorder)
+    finally:
+        recorder.close()
 
 
 def default_workers() -> int:
@@ -235,6 +253,16 @@ class SweepEngine:
             to an unledgered one. Retried and quarantined runs appear
             exactly once (with their retry counts), cache hits appear
             with ``cache_hit: true`` and zero wall time.
+        collector: Per-run *simulation* trace spool
+            (:class:`~repro.obs.collect.TraceCollector`). Where
+            ``recorder`` sees engine-level events in the parent, the
+            collector threads a recorder into every simulated run —
+            serial, incremental, pool-worker, quarantine, and sharded
+            alike — writing one JSONL segment per run digest. Memo
+            cache hits are honored only when the collector already
+            holds that digest's segment; otherwise the run is
+            re-simulated (bit-identical by determinism) so the trace
+            artifact exists. ``None`` (the default) spools nothing.
     """
 
     workers: Optional[int] = None
@@ -248,6 +276,7 @@ class SweepEngine:
     incremental: bool = False
     checkpoint_epoch_s: float = 600.0
     ledger: Optional[ExperimentLedger] = None
+    collector: Optional[TraceCollector] = None
     last_stats: Optional[ExecutionStats] = field(
         init=False, default=None, repr=False
     )
@@ -305,7 +334,9 @@ class SweepEngine:
         if n_shards > 1:
             digest = f"{digest}-shards{n_shards}"
         cached = self.cache.get(digest)
-        if cached is not None:
+        if cached is not None and (
+            self.collector is None or self.collector.has(digest)
+        ):
             if self.ledger is not None:
                 self.ledger.record_run(
                     spec, cached, cache_hit=True, shards=n_shards,
@@ -318,12 +349,21 @@ class SweepEngine:
         usage_before = rusage_snapshot() if ledgering else None
         run_start = time.perf_counter()
         requests = traces.requests_for(spec.trace_key())
-        result = ShardedSimulator(
-            spec.config,
-            spec.policy.build(),
-            n_shards=n_shards,
-            parallel=parallel,
-        ).run(requests, spec.duration_s)
+        recorder: Optional[TraceRecorder] = (
+            self.collector.job(digest).open()
+            if self.collector is not None else None
+        )
+        try:
+            result = ShardedSimulator(
+                spec.config,
+                spec.policy.build(),
+                n_shards=n_shards,
+                parallel=parallel,
+                recorder=recorder,
+            ).run(requests, spec.duration_s)
+        finally:
+            if recorder is not None:
+                recorder.close()
         self.cache.put(digest, result)
         if ledgering:
             self.ledger.record_run(
@@ -352,7 +392,12 @@ class SweepEngine:
             if digest in resolved or any(d == digest for d, _ in pending):
                 continue
             cached = self.cache.get(digest)
-            if cached is not None:
+            # A memo hit without a spooled segment is re-simulated
+            # (bit-identical by determinism) so the trace artifact
+            # exists alongside the result.
+            if cached is not None and (
+                self.collector is None or self.collector.has(digest)
+            ):
                 resolved[digest] = cached
                 if recording:
                     self.recorder.emit({
@@ -389,7 +434,9 @@ class SweepEngine:
                 )
                 for done, (digest, spec) in enumerate(pending, start=1):
                     if not (recording or ledgering):
-                        resolved[digest] = execute(spec)
+                        resolved[digest] = self._execute_collected(
+                            execute, digest, spec
+                        )
                         continue
                     usage_before = (
                         rusage_snapshot() if ledgering else None
@@ -403,7 +450,7 @@ class SweepEngine:
                         else None
                     )
                     run_start = time.perf_counter()
-                    result = execute(spec)
+                    result = self._execute_collected(execute, digest, spec)
                     wall_s = time.perf_counter() - run_start
                     resolved[digest] = result
                     if recording:
@@ -520,7 +567,13 @@ class SweepEngine:
                 mp_context=context,
             )
             futures = [
-                pool.submit(_execute_timed, spec) for _, spec in remaining
+                pool.submit(
+                    _execute_timed,
+                    spec,
+                    self.collector.job(digest)
+                    if self.collector is not None else None,
+                )
+                for digest, spec in remaining
             ]
             failure: Optional[str] = None
             collected = 0
@@ -577,7 +630,11 @@ class SweepEngine:
                 quarantined += 1
                 usage_before = rusage_snapshot() if ledgering else None
                 run_start = time.perf_counter()
-                result = execute_spec(spec)
+                result = _execute_spooled(
+                    spec,
+                    self.collector.job(digest)
+                    if self.collector is not None else None,
+                )
                 wall_s = time.perf_counter() - run_start
                 resolved[digest] = result
                 done_count += 1
@@ -608,6 +665,27 @@ class SweepEngine:
                     "action": action,
                 })
         return retried, quarantined
+
+    def _execute_collected(
+        self,
+        execute: Callable[..., SimulationResult],
+        digest: str,
+        spec: RunSpec,
+    ) -> SimulationResult:
+        """Serial-path execution, spooling the trace when collecting.
+
+        ``execute`` is either :func:`~repro.exec.runspec.execute_spec`
+        or the incremental executor's ``execute`` — both accept the
+        same optional ``recorder`` and guarantee the recorded stream
+        matches a cold run's.
+        """
+        if self.collector is None:
+            return execute(spec)
+        recorder = self.collector.job(digest).open()
+        try:
+            return execute(spec, recorder=recorder)
+        finally:
+            recorder.close()
 
     def _record_run(self, digest: str, wall_s: float, worker: int) -> None:
         """Ledger one executed spec into the trace and the registry."""

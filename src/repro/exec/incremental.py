@@ -46,11 +46,16 @@ from repro.errors import ConfigurationError
 from repro.exec import traces
 from repro.exec.cache import RunCache
 from repro.exec.runspec import DIGEST_VERSION, RunSpec, _canonical
+from repro.obs.recorder import MemoryRecorder, TraceRecorder
 
 #: Bump when the tape/checkpoint blob layout changes incompatibly;
 #: embedded in :func:`family_digest`, so stale blobs become unreachable
-#: rather than mis-read.
-INCREMENTAL_SCHEMA = 1
+#: rather than mis-read. Schema 2: recorded base runs store the family
+#: event tape (the full trace, per-checkpoint event counts, and
+#: pickled metrics registries) so resumed runs can replay the
+#: checkpointed prefix's events and record traces identical to a cold
+#: run's.
+INCREMENTAL_SCHEMA = 2
 
 
 def family_digest(spec: RunSpec) -> str:
@@ -228,13 +233,28 @@ class IncrementalExecutor:
         self.stats = IncrementalStats()
 
     # ------------------------------------------------------------------
-    def execute(self, spec: RunSpec) -> SimulationResult:
-        """Run one spec, reusing the family's prefix when possible."""
+    def execute(
+        self,
+        spec: RunSpec,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> SimulationResult:
+        """Run one spec, reusing the family's prefix when possible.
+
+        With an enabled ``recorder``, the run's full trace lands in it
+        — identical to a cold recorded run — regardless of how the
+        result was produced: base runs store their event stream in the
+        family tape, resumed runs replay the checkpointed prefix's
+        events from the tape and record the suffix live (the restored
+        core re-arms via ``attach_recorder``), and full-tape reuses
+        replay the whole tape. Recording never perturbs results.
+        """
+        if recorder is not None and not recorder.enabled:
+            recorder = None
         family = family_digest(spec)
         meta = self._load_tape(family)
         if meta is None:
-            return self._base_run(spec, family)
-        return self._variant_run(spec, family, meta)
+            return self._base_run(spec, family, recorder)
+        return self._variant_run(spec, family, meta, recorder)
 
     # ------------------------------------------------------------------
     def _load_tape(self, family: str) -> Optional[Dict[str, Any]]:
@@ -250,13 +270,30 @@ class IncrementalExecutor:
             return None
         return meta
 
-    def _base_run(self, spec: RunSpec, family: str) -> SimulationResult:
-        """Full run under the tape recorder, checkpointing each epoch."""
+    def _base_run(
+        self,
+        spec: RunSpec,
+        family: str,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> SimulationResult:
+        """Full run under the tape recorder, checkpointing each epoch.
+
+        When recording, the run spools its events into an internal
+        buffer that becomes the family *event tape*: the full stream,
+        plus — aligned with each checkpoint — the number of events
+        emitted strictly before it and the metrics registry as of it
+        (checkpoint blobs themselves exclude both; see
+        ``SimulationCore.__getstate__``). The caller's recorder gets
+        the spooled stream replayed at the end.
+        """
         policy = TapePolicy(spec.policy.build())
         requests = traces.requests_for(spec.trace_key())
-        simulator = ClusterSimulator(spec.config, policy)
+        spool = MemoryRecorder() if recorder is not None else None
+        simulator = ClusterSimulator(spec.config, policy, recorder=spool)
         core = simulator.start(requests, spec.duration_s)
         epochs: List[float] = []
+        event_counts: List[int] = []
+        registries: List[bytes] = []
 
         def checkpoint(when: float, live_core: Any) -> None:
             blob = pickle.dumps(
@@ -264,6 +301,11 @@ class IncrementalExecutor:
             )
             self.cache.put_blob(f"{family}-ckpt-{len(epochs)}", blob)
             epochs.append(when)
+            if spool is not None:
+                event_counts.append(len(spool.events))
+                registries.append(pickle.dumps(
+                    live_core.obs, protocol=pickle.HIGHEST_PROTOCOL
+                ))
 
         core.run_all(self.checkpoint_epoch_s, checkpoint)
         result = core.finalize()
@@ -272,18 +314,35 @@ class IncrementalExecutor:
             "records": list(policy.tape),
             "epochs": epochs,
             "result_digest": spec.digest(),
+            "events": list(spool.events) if spool is not None else None,
+            "event_counts": event_counts if spool is not None else None,
+            "registries": registries if spool is not None else None,
         }
         self.cache.put_blob(
             f"{family}-tape",
             pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL),
         )
         self.stats.base_runs += 1
+        if recorder is not None:
+            for event in spool.events:
+                recorder.emit(event)
+            recorder.finalize(spec.duration_s)
         return result
 
     def _variant_run(
-        self, spec: RunSpec, family: str, meta: Dict[str, Any]
+        self,
+        spec: RunSpec,
+        family: str,
+        meta: Dict[str, Any],
+        recorder: Optional[TraceRecorder] = None,
     ) -> SimulationResult:
         """Resume past the longest matching prefix of the family tape."""
+        if recorder is not None and meta.get("events") is None:
+            # The family's base ran unrecorded, so there is no event
+            # tape to replay a prefix from. Re-record the family from
+            # scratch under this spec's policy — the overwritten tape
+            # serves later recorded variants.
+            return self._base_run(spec, family, recorder)
         records: List[StepRecord] = meta["records"]
         probe = spec.policy.build()
         probe.reset()
@@ -292,8 +351,13 @@ class IncrementalExecutor:
             base = self.cache.get(meta["result_digest"])
             if base is not None:
                 # The policy matches the base run's every answer: the
-                # trajectory (hence the result) is identical.
+                # trajectory (hence the result and its trace) is
+                # identical.
                 self.stats.reused_results += 1
+                if recorder is not None:
+                    for event in meta["events"]:
+                        recorder.emit(event)
+                    recorder.finalize(spec.duration_s)
                 return base
             horizon = None  # full match, result lost: resume at the end
         else:
@@ -310,13 +374,15 @@ class IncrementalExecutor:
         for index, when in reversed(candidates):
             blob = self.cache.get_blob(f"{family}-ckpt-{index}")
             if blob is not None:
-                return self._resume(spec, records, blob, when)
+                return self._resume(
+                    spec, records, blob, when, meta, index, recorder
+                )
         self.stats.cold_runs += 1
         policy = spec.policy.build()
         requests = traces.requests_for(spec.trace_key())
-        return ClusterSimulator(spec.config, policy).run(
-            requests, spec.duration_s
-        )
+        return ClusterSimulator(
+            spec.config, policy, recorder=recorder
+        ).run(requests, spec.duration_s)
 
     def _resume(
         self,
@@ -324,6 +390,9 @@ class IncrementalExecutor:
         records: Sequence[StepRecord],
         blob: bytes,
         when: float,
+        meta: Optional[Dict[str, Any]] = None,
+        index: Optional[int] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> SimulationResult:
         core = pickle.loads(blob)
         policy = spec.policy.build()
@@ -338,6 +407,20 @@ class IncrementalExecutor:
                 break
             _feed_step(policy, record)
         core.policy = policy
+        if recorder is not None:
+            # The base and this variant are bit-identical up to the
+            # checkpoint (the prefix matched), so the tape's first
+            # ``event_counts[index]`` events are exactly the events the
+            # restored core will not re-emit. Replay them, then re-arm
+            # recording with the registry pickled at the checkpoint —
+            # the suffix continues counters and events exactly where a
+            # cold recorded run would be at this point.
+            assert meta is not None and index is not None
+            for event in meta["events"][:meta["event_counts"][index]]:
+                recorder.emit(event)
+            core.attach_recorder(
+                recorder, pickle.loads(meta["registries"][index])
+            )
         core.run_all()
         self.stats.resumed_runs += 1
         self.stats.saved_s += when

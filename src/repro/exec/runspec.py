@@ -29,6 +29,7 @@ from repro.workloads.replay import TraceSource
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.policy_base import PowerPolicy
     from repro.core.policy import PolcaThresholds
+    from repro.obs.recorder import TraceRecorder
 
 #: Bump to invalidate every digest (and hence on-disk cache entry) when
 #: simulator semantics change incompatibly. Version 2: the energy and
@@ -205,9 +206,17 @@ class RunSpec:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def execute_spec(spec: RunSpec) -> SimulationResult:
-    """Run one spec to completion (the worker-process entry point)."""
+def execute_spec(
+    spec: RunSpec, recorder: Optional["TraceRecorder"] = None
+) -> SimulationResult:
+    """Run one spec to completion (the worker-process entry point).
+
+    ``recorder`` threads an optional trace sink into the simulator —
+    the engine's trace collector uses it to spool per-run events on the
+    serial, pool-worker, and quarantine paths alike. Recording never
+    perturbs the result.
+    """
     policy = spec.policy.build()
     requests = traces.requests_for(spec.trace_key())
-    simulator = ClusterSimulator(spec.config, policy)
+    simulator = ClusterSimulator(spec.config, policy, recorder=recorder)
     return simulator.run(requests, spec.duration_s)

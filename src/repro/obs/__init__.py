@@ -94,6 +94,17 @@ from repro.obs.attribution import (
     attribution_table,
     top_victims,
 )
+from repro.obs.collect import (
+    PARENT_SHARD,
+    RollupRecorder,
+    SamplingRecorder,
+    SuppressKindsRecorder,
+    TraceCollector,
+    TraceJob,
+    hash_fraction,
+    merge_segments,
+    shard_suppressed_kinds,
+)
 from repro.obs.dashboard import (
     PALETTE,
     Dashboard,
@@ -149,6 +160,15 @@ from repro.obs.recorder import (
     TraceRecorder,
     read_jsonl,
 )
+from repro.obs.query import (
+    filter_events,
+    group_aggregate,
+    parse_agg,
+    project,
+    quantile,
+    shard_of_server,
+    span_join,
+)
 from repro.obs.spans import (
     PhaseSpan,
     RateInterval,
@@ -194,6 +214,7 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "PALETTE",
+    "PARENT_SHARD",
     "PhaseSpan",
     "RateInterval",
     "RateRule",
@@ -201,13 +222,18 @@ __all__ = [
     "RequestAttribution",
     "RequestSpan",
     "RollingRate",
+    "RollupRecorder",
+    "SamplingRecorder",
     "SloViolationRule",
     "SpanBuilder",
     "StreamMonitor",
+    "SuppressKindsRecorder",
     "TeeRecorder",
     "ThresholdRule",
     "Tolerance",
+    "TraceCollector",
     "TraceEvent",
+    "TraceJob",
     "TraceRecorder",
     "WindowMax",
     "WindowQuantile",
@@ -228,11 +254,18 @@ __all__ = [
     "diff_traces",
     "environment_stamp",
     "fallback_windows",
+    "filter_events",
     "format_divergence",
+    "group_aggregate",
+    "hash_fraction",
     "headline_metrics",
     "incident_table",
     "load_events",
     "merge_incident_snapshots",
+    "merge_segments",
+    "parse_agg",
+    "project",
+    "quantile",
     "read_jsonl",
     "read_ledger",
     "render_chrome_trace",
@@ -241,6 +274,9 @@ __all__ = [
     "render_sparkline",
     "rusage_snapshot",
     "sanitize_metric_name",
+    "shard_of_server",
+    "shard_suppressed_kinds",
+    "span_join",
     "summarize_trace",
     "top_victims",
     "utilization_points",

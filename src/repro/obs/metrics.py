@@ -11,6 +11,7 @@ and can be merged across runs with :func:`aggregate_snapshots`.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -98,11 +99,11 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        index = 0
-        for bound in self.bounds:
-            if value <= bound:
-                break
-            index += 1
+        # First bound >= value (bisect keeps this O(log n) in C — the
+        # hot instrumentation paths observe tens of thousands of times
+        # per run); everything above the last bound lands in the
+        # implicit +inf bucket at index len(bounds).
+        index = bisect_left(self.bounds, value)
         self.counts[index] += 1
         self.count += 1
         self.total += value
@@ -110,6 +111,37 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Observe a batch of values in one vectorized pass.
+
+        Bucket counts, count, and min/max are exactly what ``len(values)``
+        :meth:`observe` calls would produce; the sum is accumulated with
+        numpy's pairwise summation, so it can differ from the sequential
+        sum in the last ulp. The instrumented simulator batches its
+        per-request latency and per-tick utilization lists through here
+        at finalize instead of paying a per-event call on the hot path.
+        """
+        if not values:
+            return
+        import numpy as np  # deferred: only batch callers pay the import
+
+        arr = np.asarray(values, dtype=float)
+        buckets = np.bincount(
+            np.searchsorted(self.bounds, arr, side="left"),
+            minlength=len(self.counts),
+        )
+        counts = self.counts
+        for index in np.nonzero(buckets)[0]:
+            counts[index] += int(buckets[index])
+        self.count += len(values)
+        self.total += float(arr.sum())
+        low = float(arr.min())
+        high = float(arr.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
 
     @property
     def mean(self) -> float:

@@ -44,6 +44,22 @@ class TraceRecorder:
         """Record one event. Must not mutate ``event`` observably."""
         raise NotImplementedError
 
+    def wants(self, kind: str) -> bool:
+        """Whether events of ``kind`` can affect this recorder at all.
+
+        Hook points may skip payload construction entirely for kinds
+        the recorder (and everything down its chain) reports ``False``
+        for — the overhead-bounding fast path for high-rate kinds. A
+        ``False`` answer promises that emitting such an event would
+        change neither the recorded artifact nor the observability
+        snapshot. The answer must be stable for the recorder's
+        lifetime: hook points precompute it when the recorder is
+        attached. Sinks with a ``kinds`` filter answer from it;
+        recorders that count what they discard (sampling censuses)
+        must keep answering ``True``.
+        """
+        return self.enabled
+
     def close(self) -> None:
         """Flush and release any underlying resources (idempotent)."""
 
@@ -113,16 +129,49 @@ class MemoryRecorder(TraceRecorder):
         kinds: Optional filter; events of other kinds are discarded.
             Note that :func:`repro.obs.analyze.cross_check` needs the
             full event stream — filter only for targeted inspection.
+        max_events: Optional growth bound. Once the buffer holds this
+            many events, further events are dropped (oldest-kept) and
+            counted exactly in ``dropped_events`` — a long enabled run
+            can no longer grow memory without limit.
+        dropped_events: Exact count of events dropped by the bound.
     """
 
-    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
+    def __init__(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ConfigurationError(
+                f"max_events must be positive, got {max_events}"
+            )
         self.events: List[TraceEvent] = []
         self.kinds = _normalize_kinds(kinds)
+        self.max_events = max_events
+        self.dropped_events = 0
 
     def emit(self, event: TraceEvent) -> None:
         if self.kinds is not None and event.get("kind") not in self.kinds:
             return
+        if self.max_events is not None \
+                and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
         self.events.append(event)
+
+    def wants(self, kind: str) -> bool:
+        return self.kinds is None or kind in self.kinds
+
+    def observability_snapshot(self) -> Optional[Dict[str, Any]]:
+        if self.max_events is None:
+            return None
+        return {
+            "trace_buffer": {
+                "max_events": self.max_events,
+                "recorded_events": len(self.events),
+                "dropped_events": self.dropped_events,
+            }
+        }
 
     def __len__(self) -> int:
         return len(self.events)
@@ -160,6 +209,9 @@ class JsonlRecorder(TraceRecorder):
         # leaves a torn line behind.
         self._handle.write(json.dumps(event, sort_keys=True) + "\n")
         self.events_written += 1
+
+    def wants(self, kind: str) -> bool:
+        return self.kinds is None or kind in self.kinds
 
     def close(self) -> None:
         if self._handle is not None:
@@ -204,6 +256,9 @@ class CsvRecorder(TraceRecorder):
             json.dumps(payload, sort_keys=True),
         ])
         self.events_written += 1
+
+    def wants(self, kind: str) -> bool:
+        return self.kinds is None or kind in self.kinds
 
     def close(self) -> None:
         if self._handle is not None:

@@ -396,3 +396,103 @@ class TestReportCli:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestQueryCli:
+    QUERY_EVENTS = [
+        {"kind": "control", "t": 0.0, "utilization": 0.5},
+        {"kind": "serve", "t": 1.0, "server": "s0", "latency_s": 2.0},
+        {"kind": "serve", "t": 2.0, "server": "s1", "latency_s": 4.0},
+        {"kind": "serve", "t": 3.0, "server": "s2", "latency_s": 6.0},
+        {"kind": "drop", "t": 4.0, "server": "s1", "reason": "queue"},
+    ]
+
+    def trace(self, tmp_path):
+        return write_trace(tmp_path / "q.jsonl", self.QUERY_EVENTS)
+
+    def test_filter_prints_json_lines(self, trace_inspect, tmp_path, capsys):
+        code = trace_inspect.main(
+            ["query", self.trace(tmp_path), "--kinds", "serve",
+             "--since", "2.0"]
+        )
+        assert code == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert [r["t"] for r in rows] == [2.0, 3.0]
+
+    def test_group_by_aggregates(self, trace_inspect, tmp_path, capsys):
+        code = trace_inspect.main(
+            ["query", self.trace(tmp_path), "--group-by", "kind",
+             "--agg", "count", "--agg", "mean:latency_s"]
+        )
+        assert code == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        serve = next(r for r in rows if r["kind"] == "serve")
+        assert serve["count"] == 3
+        assert serve["mean:latency_s"] == 4.0
+
+    def test_shard_filter_and_projection(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["query", self.trace(tmp_path), "--shard", "1",
+             "--n-shards", "2", "--fields", "kind,server"]
+        )
+        assert code == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert rows == [
+            {"kind": "serve", "server": "s1"},
+            {"kind": "drop", "server": "s1"},
+        ]
+
+    def test_where_clause_parses_json_values(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["query", self.trace(tmp_path), "--where", "t=1.0"]
+        )
+        assert code == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert [r["server"] for r in rows] == ["s0"]
+
+    def test_limit_truncates_output(self, trace_inspect, tmp_path, capsys):
+        code = trace_inspect.main(
+            ["query", self.trace(tmp_path), "--kinds", "serve",
+             "--limit", "1"]
+        )
+        assert code == 0
+        assert len(capsys.readouterr().out.splitlines()) == 1
+
+    def test_empty_result_set_exits_one(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        code = trace_inspect.main(
+            ["query", self.trace(tmp_path), "--kinds", "nonexistent"]
+        )
+        assert code == 1
+        assert "no matching events" in capsys.readouterr().err
+
+    def test_invalid_query_exits_two(self, trace_inspect, tmp_path, capsys):
+        trace = self.trace(tmp_path)
+        assert trace_inspect.main(
+            ["query", trace, "--shard", "0"]
+        ) == 2  # missing --n-shards
+        assert trace_inspect.main(
+            ["query", trace, "--group-by", "kind", "--agg", "median:x"]
+        ) == 2
+        assert trace_inspect.main(
+            ["query", trace, "--agg", "count"]
+        ) == 2  # --agg without --group-by
+        assert trace_inspect.main(
+            ["query", trace, "--where", "noequalsign"]
+        ) == 2
+
+    def test_missing_file_exits_two(self, trace_inspect, tmp_path, capsys):
+        code = trace_inspect.main(
+            ["query", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

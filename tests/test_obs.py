@@ -170,6 +170,42 @@ class TestRecorderSinks:
         with pytest.raises(ConfigurationError):
             MemoryRecorder(kinds=[])
 
+    def test_memory_recorder_max_events_bounds_the_buffer(self):
+        recorder = MemoryRecorder(max_events=3)
+        for i in range(10):
+            recorder.emit({"kind": "serve", "t": float(i)})
+        assert [e["t"] for e in recorder.events] == [0.0, 1.0, 2.0]
+        assert recorder.dropped_events == 7
+
+    def test_memory_recorder_bound_census_in_snapshot(self):
+        recorder = MemoryRecorder(max_events=2)
+        for i in range(5):
+            recorder.emit({"kind": "serve", "t": float(i)})
+        snapshot = recorder.observability_snapshot()
+        assert snapshot["trace_buffer"] == {
+            "max_events": 2,
+            "recorded_events": 2,
+            "dropped_events": 3,
+        }
+
+    def test_unbounded_memory_recorder_has_no_snapshot(self):
+        recorder = MemoryRecorder()
+        recorder.emit({"kind": "serve", "t": 1.0})
+        assert recorder.observability_snapshot() is None
+        assert recorder.dropped_events == 0
+
+    def test_memory_recorder_bound_counts_only_stored_kinds(self):
+        recorder = MemoryRecorder(kinds=["serve"], max_events=1)
+        recorder.emit({"kind": "drop", "t": 0.0})   # filtered, not dropped
+        recorder.emit({"kind": "serve", "t": 1.0})
+        recorder.emit({"kind": "serve", "t": 2.0})  # over the bound
+        assert len(recorder.events) == 1
+        assert recorder.dropped_events == 1
+
+    def test_memory_recorder_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRecorder(max_events=0)
+
     def test_jsonl_round_trip_is_exact(self, tmp_path):
         path = str(tmp_path / "trace.jsonl")
         events = [
@@ -348,6 +384,36 @@ class TestMetricsRegistry:
         hist.observe(0.5)
         hist.observe(1.5)
         assert hist.mean == pytest.approx(1.0)
+
+    def test_histogram_observe_many_matches_observe(self):
+        from repro.obs.metrics import Histogram
+
+        bounds = (0.5, 1.0, 2.0)
+        values = [0.25, 0.5, 0.75, 1.0, 1.5, 2.5, 0.5, 2.0]
+        batched = Histogram(bounds=bounds)
+        batched.observe_many(values)
+        looped = Histogram(bounds=bounds)
+        for value in values:
+            looped.observe(value)
+        assert batched.counts == looped.counts
+        assert batched.count == looped.count
+        assert batched.min == looped.min
+        assert batched.max == looped.max
+        assert batched.total == pytest.approx(looped.total)
+        # A second batch accumulates on top of the first.
+        batched.observe_many([3.0])
+        assert batched.count == len(values) + 1
+        assert batched.counts[-1] == looped.counts[-1] + 1
+        assert batched.max == 3.0
+
+    def test_histogram_observe_many_empty_is_noop(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram(bounds=(1.0,))
+        hist.observe_many([])
+        assert hist.count == 0
+        assert hist.counts == [0, 0]
+        assert hist.mean == 0.0
 
     def test_aggregate_snapshots(self):
         a = MetricsRegistry()
